@@ -1,0 +1,56 @@
+//! Benchmark Q3: the §3.2 minimum-cost vertex cut — exact branch-and-bound
+//! vs the greedy heuristic as the cycle family grows. The paper's
+//! NP-completeness observation predicts the exact solver's cost explodes
+//! with instance size while greedy stays polynomial.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pr_graph::cutset;
+use pr_sim::experiments::random_cut_instance;
+use std::hint::black_box;
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cutset");
+    for &(cycles, members) in &[(2usize, 3usize), (4, 4), (8, 5), (16, 6), (32, 6)] {
+        let instances: Vec<_> =
+            (0..8u64).map(|s| random_cut_instance(cycles, members, s)).collect();
+        g.bench_with_input(
+            BenchmarkId::new("exact", format!("{cycles}x{members}")),
+            &instances,
+            |b, instances| {
+                b.iter(|| {
+                    for inst in instances {
+                        black_box(cutset::solve_exact(black_box(inst), 2_000_000));
+                    }
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("greedy", format!("{cycles}x{members}")),
+            &instances,
+            |b, instances| {
+                b.iter(|| {
+                    for inst in instances {
+                        black_box(cutset::solve_greedy(black_box(inst)));
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_single_cycle_min_cost(c: &mut Criterion) {
+    // The exclusive-only case of §3.1: one cycle, pick the cheapest
+    // member — this is the per-deadlock overhead a real system pays.
+    let mut g = c.benchmark_group("single-cycle");
+    for &members in &[2usize, 4, 8, 16] {
+        let inst = random_cut_instance(1, members, 7);
+        g.bench_with_input(BenchmarkId::from_parameter(members), &inst, |b, inst| {
+            b.iter(|| black_box(cutset::solve(black_box(inst), 10_000)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_solvers, bench_single_cycle_min_cost);
+criterion_main!(benches);

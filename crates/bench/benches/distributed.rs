@@ -1,0 +1,53 @@
+//! Benchmark D1: the §3.3 distributed schemes — wall-clock cost of
+//! draining the same cross-site workload under detection vs prevention,
+//! and the per-scheme message/rollback profile.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pr_core::scheduler::RoundRobin;
+use pr_core::StrategyKind;
+use pr_dist::{CrossSiteScheme, DistConfig, DistributedSystem};
+use pr_model::Value;
+use pr_sim::generator::{GeneratorConfig, ProgramGenerator};
+use pr_storage::GlobalStore;
+use std::hint::black_box;
+
+fn workload() -> Vec<pr_model::TransactionProgram> {
+    let cfg = GeneratorConfig {
+        num_entities: 16,
+        min_locks: 2,
+        max_locks: 4,
+        pad_between: 3,
+        ..Default::default()
+    };
+    ProgramGenerator::new(cfg, 41).generate_workload(16)
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("d1-distributed");
+    g.sample_size(20);
+    let programs = workload();
+    for scheme in CrossSiteScheme::ALL {
+        for strategy in [StrategyKind::Total, StrategyKind::Mcs] {
+            let label = format!("{}/{}", scheme.name(), strategy.name());
+            g.bench_with_input(BenchmarkId::from_parameter(label), &programs, |b, programs| {
+                b.iter(|| {
+                    let store = GlobalStore::with_entities(16, Value::new(100));
+                    let mut sys = DistributedSystem::new(
+                        store,
+                        DistConfig::new(4, scheme, strategy),
+                    );
+                    for p in programs {
+                        sys.admit(p.clone()).unwrap();
+                    }
+                    sys.run(&mut RoundRobin::new()).unwrap();
+                    assert!(sys.all_committed());
+                    black_box(sys.metrics().clone())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

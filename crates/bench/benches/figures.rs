@@ -1,0 +1,84 @@
+//! Benchmarks F1–F5: the cost of reproducing each of the paper's figures
+//! end-to-end (scenario construction, engine execution, deadlock
+//! resolution).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pr_core::{StrategyKind, VictimPolicyKind};
+use pr_sim::scenarios::{figure1, figure2, figure3, figure4, figure5};
+use std::hint::black_box;
+
+fn bench_figure1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure1");
+    for strategy in StrategyKind::ALL {
+        g.bench_function(strategy.name(), |b| {
+            b.iter(|| {
+                let out = figure1::run(black_box(strategy));
+                assert!(out.victim_cost >= 4);
+                black_box(out)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_figure2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure2");
+    g.sample_size(10);
+    // The min-cost run is a bounded livelock: 2000 steps of mutual
+    // preemption. The partial-order run terminates naturally.
+    g.bench_function("mincost-livelock-2000-steps", |b| {
+        b.iter(|| black_box(figure2::run_policy(VictimPolicyKind::MinCost, 2_000)))
+    });
+    g.bench_function("partial-order-terminates", |b| {
+        b.iter(|| {
+            let out = figure2::run_policy(VictimPolicyKind::PartialOrder, 50_000);
+            assert!(out.completed);
+            black_box(out)
+        })
+    });
+    g.finish();
+}
+
+fn bench_figure3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure3");
+    g.bench_function("a-acyclic-non-forest", |b| b.iter(|| black_box(figure3::run_a())));
+    g.bench_function("b-two-cycles-one-victim", |b| {
+        b.iter(|| black_box(figure3::run_b(2, 2)))
+    });
+    g.bench_function("c-shared-holders-cut", |b| b.iter(|| black_box(figure3::run_c(25, 1))));
+    g.finish();
+}
+
+fn bench_figure4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure4");
+    let original = figure4::paper_t1_fig4();
+    let modified = figure4::paper_t1_fig4_modified();
+    g.bench_function("well-defined-three-ways-original", |b| {
+        b.iter(|| black_box(figure4::well_defined_states(black_box(&original))))
+    });
+    g.bench_function("well-defined-three-ways-modified", |b| {
+        b.iter(|| black_box(figure4::well_defined_states(black_box(&modified))))
+    });
+    g.finish();
+}
+
+fn bench_figure5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure5");
+    g.bench_function("spread-victim", |b| {
+        b.iter(|| black_box(figure5::run_variant(figure5::victim_spread())))
+    });
+    g.bench_function("clustered-victim", |b| {
+        b.iter(|| black_box(figure5::run_variant(figure5::victim_clustered())))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_figure1,
+    bench_figure2,
+    bench_figure3,
+    bench_figure4,
+    bench_figure5
+);
+criterion_main!(figures);

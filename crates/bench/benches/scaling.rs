@@ -1,0 +1,83 @@
+//! Benchmarks Q4/Q5: write-clustering sweep (Figure 5 at scale) and
+//! concurrency scaling (§1's motivation — deadlock handling cost grows
+//! with the multiprogramming level).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pr_core::{StrategyKind, SystemConfig, VictimPolicyKind};
+use pr_sim::generator::{Clustering, GeneratorConfig, ProgramGenerator};
+use pr_sim::runner::{run_workload, store_with, SchedulerKind};
+use std::hint::black_box;
+
+fn bench_concurrency_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("q5-concurrency");
+    g.sample_size(15);
+    for &txns in &[4usize, 8, 16, 32] {
+        let cfg = GeneratorConfig {
+            num_entities: 16,
+            min_locks: 2,
+            max_locks: 5,
+            pad_between: 2,
+            ..Default::default()
+        };
+        let programs = ProgramGenerator::new(cfg, 9).generate_workload(txns);
+        g.bench_with_input(BenchmarkId::from_parameter(txns), &programs, |b, programs| {
+            b.iter(|| {
+                let mut config =
+                    SystemConfig::new(StrategyKind::Mcs, VictimPolicyKind::PartialOrder);
+                config.max_steps = 2_000_000;
+                let report = run_workload(
+                    black_box(programs),
+                    store_with(16, 100),
+                    config,
+                    SchedulerKind::Random { seed: 23 },
+                )
+                .unwrap();
+                assert!(report.completed);
+                black_box(report)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("q4-clustering");
+    g.sample_size(15);
+    let variants: [(&str, Clustering); 3] = [
+        ("three-phase", Clustering::ThreePhase),
+        ("clustered", Clustering::Clustered),
+        ("spread", Clustering::Spread { spread_per_mille: 1000 }),
+    ];
+    for (name, clustering) in variants {
+        let cfg = GeneratorConfig {
+            num_entities: 10,
+            min_locks: 3,
+            max_locks: 6,
+            writes_per_entity: 2,
+            pad_between: 2,
+            clustering,
+            ..Default::default()
+        };
+        let programs = ProgramGenerator::new(cfg, 13).generate_workload(16);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &programs, |b, programs| {
+            b.iter(|| {
+                let mut config =
+                    SystemConfig::new(StrategyKind::Sdg, VictimPolicyKind::PartialOrder);
+                config.max_steps = 2_000_000;
+                let report = run_workload(
+                    black_box(programs),
+                    store_with(10, 100),
+                    config,
+                    SchedulerKind::Random { seed: 29 },
+                )
+                .unwrap();
+                assert!(report.completed);
+                black_box(report)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_concurrency_scaling, bench_clustering);
+criterion_main!(benches);

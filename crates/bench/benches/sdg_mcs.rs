@@ -1,0 +1,106 @@
+//! Benchmarks for the two §4 bookkeeping structures:
+//!
+//! * the state-dependency graph — the paper claims "the overhead in
+//!   maintaining a state dependency graph is clearly very low"; this
+//!   measures edge insertion, well-definedness queries, and the
+//!   articulation-point alternative;
+//! * the MCS version stacks — write recording and the Theorem 3
+//!   worst-case workspace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pr_graph::articulation::well_defined_by_articulation;
+use pr_graph::StateDependencyGraph;
+use pr_model::{EntityId, LockIndex, Value, VarId};
+use pr_storage::McsWorkspace;
+use std::hint::black_box;
+
+/// Builds an SDG with `n` lock states and a write to a random-ish earlier
+/// restorability index per state.
+fn build_sdg(n: u32) -> StateDependencyGraph {
+    let mut g = StateDependencyGraph::new();
+    for k in 0..n {
+        g.on_lock_state();
+        // Deterministic pseudo-random spread writes.
+        let u = (k.wrapping_mul(2654435761)) % (k + 1);
+        g.on_write(LockIndex::new(u), LockIndex::new(k + 1));
+    }
+    g
+}
+
+fn bench_sdg_maintenance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sdg-maintenance");
+    for &n in &[8u32, 32, 128, 512] {
+        g.bench_with_input(BenchmarkId::new("build", n), &n, |b, &n| {
+            b.iter(|| black_box(build_sdg(black_box(n))))
+        });
+        let sdg = build_sdg(n);
+        g.bench_with_input(BenchmarkId::new("query-latest-wd", n), &sdg, |b, sdg| {
+            b.iter(|| {
+                for q in 0..=n {
+                    black_box(sdg.latest_well_defined_at_or_below(LockIndex::new(q)));
+                }
+            })
+        });
+        let edges: Vec<(u32, u32)> = sdg.edges().to_vec();
+        g.bench_with_input(
+            BenchmarkId::new("articulation-alternative", n),
+            &edges,
+            |b, edges| b.iter(|| black_box(well_defined_by_articulation(n, black_box(edges)))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_mcs_worst_case(c: &mut Criterion) {
+    // The Theorem 3 adversarial pattern: lock E_j, then write every held
+    // entity — n(n+1)/2 copies.
+    let mut g = c.benchmark_group("mcs-theorem3");
+    for &n in &[4u32, 8, 16, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut w = McsWorkspace::new(&[Value::ZERO; 2]);
+                for j in 0..n {
+                    w.on_exclusive_lock(EntityId::new(j), LockIndex::new(j), Value::ZERO);
+                    for i in 0..=j {
+                        w.write_entity(EntityId::new(i), LockIndex::new(j + 1), Value::new(1))
+                            .unwrap();
+                    }
+                    w.assign_var(VarId::new(0), LockIndex::new(j + 1), Value::new(2)).unwrap();
+                    w.assign_var(VarId::new(1), LockIndex::new(j + 1), Value::new(3)).unwrap();
+                }
+                let counts = w.copy_counts();
+                assert_eq!(counts.entity_copies, (n * (n + 1) / 2) as usize);
+                black_box(counts)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mcs_rollback(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mcs-rollback");
+    for &n in &[8u32, 32, 128] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut w = McsWorkspace::new(&[Value::ZERO]);
+                    for j in 0..n {
+                        w.on_exclusive_lock(EntityId::new(j), LockIndex::new(j), Value::ZERO);
+                        w.write_entity(EntityId::new(j), LockIndex::new(j + 1), Value::new(1))
+                            .unwrap();
+                    }
+                    w
+                },
+                |mut w| {
+                    black_box(w.rollback_to(LockIndex::new(n / 2)));
+                    w
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sdg_maintenance, bench_mcs_worst_case, bench_mcs_rollback);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Benchmarks Q1/Q2: the same contended workload under each rollback
+//! strategy. Criterion measures the wall-clock cost of running the
+//! workload to completion — total rollback re-executes more operations,
+//! which shows up directly as time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pr_core::{StrategyKind, SystemConfig, VictimPolicyKind};
+use pr_sim::generator::{Clustering, GeneratorConfig, ProgramGenerator};
+use pr_sim::runner::{run_workload, store_with, SchedulerKind};
+use std::hint::black_box;
+
+fn contended_workload(seed: u64) -> Vec<pr_model::TransactionProgram> {
+    let cfg = GeneratorConfig {
+        num_entities: 8,
+        min_locks: 3,
+        max_locks: 6,
+        writes_per_entity: 2,
+        pad_between: 3,
+        clustering: Clustering::Spread { spread_per_mille: 500 },
+        ..Default::default()
+    };
+    ProgramGenerator::new(cfg, seed).generate_workload(16)
+}
+
+fn bench_lost_progress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("q1-lost-progress");
+    g.sample_size(20);
+    let programs = contended_workload(3);
+    for strategy in StrategyKind::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &programs,
+            |b, programs| {
+                b.iter(|| {
+                    let mut config =
+                        SystemConfig::new(strategy, VictimPolicyKind::PartialOrder);
+                    config.max_steps = 2_000_000;
+                    let report = run_workload(
+                        black_box(programs),
+                        store_with(8, 100),
+                        config,
+                        SchedulerKind::Random { seed: 17 },
+                    )
+                    .unwrap();
+                    assert!(report.completed);
+                    black_box(report)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_victim_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("q6-victim-policies");
+    g.sample_size(20);
+    let programs = contended_workload(5);
+    for policy in VictimPolicyKind::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &programs,
+            |b, programs| {
+                b.iter(|| {
+                    let mut config = SystemConfig::new(StrategyKind::Mcs, policy);
+                    // Bounded: the unrestricted policies may livelock, in
+                    // which case the bench measures the bounded run.
+                    config.max_steps = 100_000;
+                    black_box(
+                        run_workload(
+                            black_box(programs),
+                            store_with(8, 100),
+                            config,
+                            SchedulerKind::Random { seed: 17 },
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_budget_sweep(c: &mut Criterion) {
+    // E1: the bounded-copy interpolation between SDG and MCS.
+    let mut g = c.benchmark_group("e1-copy-budget");
+    g.sample_size(20);
+    let programs = contended_workload(7);
+    let strategies = [
+        StrategyKind::Sdg,
+        StrategyKind::Bounded(1),
+        StrategyKind::Bounded(4),
+        StrategyKind::Bounded(16),
+        StrategyKind::Mcs,
+    ];
+    for strategy in strategies {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &programs,
+            |b, programs| {
+                b.iter(|| {
+                    let mut config =
+                        SystemConfig::new(strategy, VictimPolicyKind::PartialOrder);
+                    config.max_steps = 2_000_000;
+                    black_box(
+                        run_workload(
+                            black_box(programs),
+                            store_with(8, 100),
+                            config,
+                            SchedulerKind::Random { seed: 31 },
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lost_progress, bench_victim_policies, bench_budget_sweep);
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! Engine configuration: rollback strategy, victim policy, limits.
+
+use serde::{Deserialize, Serialize};
+
+/// Which §4 rollback implementation the system runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// Total removal and restart — the baseline the paper improves on.
+    /// Single-copy workspace; every rollback goes to lock state 0.
+    Total,
+    /// Multi-lock copy strategy: per-lock-state value stacks allow rollback
+    /// to *any* lock state, at up to `n(n+1)/2` copies (Theorem 3).
+    Mcs,
+    /// State-dependency-graph strategy: single-copy workspace, rollback to
+    /// the deepest **well-defined** lock state at or below the ideal target
+    /// (Theorem 4) — total-rollback storage cost, near-MCS rollback depth.
+    Sdg,
+    /// Bounded-copy MCS: version stacks capped at the given number of
+    /// copies per entity/variable, evicting the oldest copy on overflow.
+    /// Implements the extension proposed in the paper's closing paragraph
+    /// ("the state-dependency graph implementation … can easily be
+    /// extended to allow more than one local copy"): budget 1 behaves
+    /// like the single-copy strategies, a large budget like full MCS,
+    /// and the sweep in between answers the paper's open question of how
+    /// bounded extra storage buys back well-defined states.
+    Bounded(u32),
+}
+
+impl StrategyKind {
+    /// All strategies, for sweeps.
+    pub const ALL: [StrategyKind; 3] = [StrategyKind::Total, StrategyKind::Mcs, StrategyKind::Sdg];
+
+    /// Short display name used in experiment tables.
+    pub fn name(self) -> String {
+        match self {
+            StrategyKind::Total => "total".into(),
+            StrategyKind::Mcs => "mcs".into(),
+            StrategyKind::Sdg => "sdg".into(),
+            StrategyKind::Bounded(k) => format!("bounded-{k}"),
+        }
+    }
+}
+
+/// How the victim(s) of a deadlock are chosen (§3.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum VictimPolicyKind {
+    /// Minimise total rollback cost with full freedom — the §3.1 optimum.
+    /// Exercising it without restriction risks *potentially infinite
+    /// mutual preemption* (Figure 2).
+    MinCost,
+    /// Theorem 2's remedy: restrict victims by a time-invariant partial
+    /// order ω on entry times. We orient ω so that victims are strictly
+    /// *younger* than the causer (the wound-wait direction), with the
+    /// causer yielding when it is itself the youngest on the cycle. Any
+    /// orientation rules out mutual preemption (Theorem 2); this one also
+    /// guarantees termination: the globally oldest transaction can never
+    /// be a victim, so it always progresses.
+    PartialOrder,
+    /// Roll back the youngest (latest-entry) member of each cycle —
+    /// a common heuristic baseline.
+    Youngest,
+    /// Always roll back the transaction that caused the conflict. Sound
+    /// for multi-cycle deadlocks too, since every cycle passes through the
+    /// causer (§3.2).
+    ConflictCauser,
+}
+
+impl VictimPolicyKind {
+    /// All policies, for sweeps.
+    pub const ALL: [VictimPolicyKind; 4] = [
+        VictimPolicyKind::MinCost,
+        VictimPolicyKind::PartialOrder,
+        VictimPolicyKind::Youngest,
+        VictimPolicyKind::ConflictCauser,
+    ];
+
+    /// Short display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            VictimPolicyKind::MinCost => "min-cost",
+            VictimPolicyKind::PartialOrder => "partial-order",
+            VictimPolicyKind::Youngest => "youngest",
+            VictimPolicyKind::ConflictCauser => "causer",
+        }
+    }
+}
+
+/// Full engine configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Rollback implementation.
+    pub strategy: StrategyKind,
+    /// Victim selection policy.
+    pub victim: VictimPolicyKind,
+    /// Maximum cycles enumerated per deadlock (multi-cycle deadlocks
+    /// beyond the cap are still broken: every cycle passes through the
+    /// causer, and unresolved cycles resurface on the next blocked step).
+    pub cycle_cap: usize,
+    /// Node budget for the exact cut-set solver before falling back to the
+    /// greedy heuristic.
+    pub cutset_node_budget: u64,
+    /// Safety valve for `run_to_completion`: abort after this many steps.
+    pub max_steps: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            strategy: StrategyKind::Mcs,
+            victim: VictimPolicyKind::PartialOrder,
+            cycle_cap: 64,
+            cutset_node_budget: 200_000,
+            max_steps: 10_000_000,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// A configuration with the given strategy and policy, default limits.
+    pub fn new(strategy: StrategyKind, victim: VictimPolicyKind) -> Self {
+        SystemConfig { strategy, victim, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SystemConfig::default();
+        assert_eq!(c.strategy, StrategyKind::Mcs);
+        assert_eq!(c.victim, VictimPolicyKind::PartialOrder);
+        assert!(c.cycle_cap > 0);
+        assert!(c.max_steps > 0);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<String> =
+            StrategyKind::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 3);
+        assert_eq!(StrategyKind::Bounded(3).name(), "bounded-3");
+        let names: std::collections::HashSet<&str> =
+            VictimPolicyKind::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn new_overrides_strategy_and_policy_only() {
+        let c = SystemConfig::new(StrategyKind::Sdg, VictimPolicyKind::MinCost);
+        assert_eq!(c.strategy, StrategyKind::Sdg);
+        assert_eq!(c.victim, VictimPolicyKind::MinCost);
+        assert_eq!(c.cycle_cap, SystemConfig::default().cycle_cap);
+    }
+}

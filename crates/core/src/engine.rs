@@ -1,0 +1,974 @@
+//! The execution engine: 2PL with partial-rollback deadlock removal.
+
+use crate::config::SystemConfig;
+use crate::deadlock::{plan_resolution, DeadlockEvent, ResolutionPlan};
+use crate::error::EngineError;
+use crate::event::{Event, EventLog, RollbackReason};
+use crate::metrics::Metrics;
+use crate::runtime::{Phase, TxnRuntime};
+use crate::scheduler::Scheduler;
+use pr_graph::cycles::cycles_on_wait;
+use pr_graph::{CandidateRollback, WaitsForGraph};
+use pr_lock::{HeldLock, LockTable, RequestOutcome};
+use pr_model::{EntityId, LockIndex, LockMode, Op, TransactionProgram, TxnId};
+use pr_storage::GlobalStore;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Result of stepping one transaction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StepOutcome {
+    /// The operation completed; the transaction remains ready.
+    Progressed,
+    /// The operation was a lock request that must wait (no deadlock).
+    Blocked {
+        /// The contested entity.
+        entity: EntityId,
+    },
+    /// The request would have deadlocked; the plan was executed.
+    DeadlockResolved {
+        /// The detected deadlock.
+        event: DeadlockEvent,
+        /// The rollbacks performed.
+        plan: ResolutionPlan,
+    },
+    /// The transaction committed.
+    Committed,
+}
+
+/// Maximum resolution rounds per blocked request. Each round performs at
+/// least one rollback, which strictly reduces held locks, so this bound is
+/// never reached by a correct engine; it converts a hypothetical
+/// resolution-loop bug into a visible error instead of an infinite loop.
+const MAX_RESOLUTION_ROUNDS: usize = 1024;
+
+/// A concurrent database system executing two-phase transactions under the
+/// configured rollback strategy and victim policy.
+pub struct System {
+    store: GlobalStore,
+    table: LockTable,
+    wfg: WaitsForGraph,
+    txns: BTreeMap<TxnId, TxnRuntime>,
+    config: SystemConfig,
+    metrics: Metrics,
+    next_txn: u32,
+    entry_counter: u64,
+    /// Every deadlock the system resolved, with the plan used — the
+    /// scenario tests and figure reproductions assert on this log.
+    history: Vec<(DeadlockEvent, ResolutionPlan)>,
+    /// Optional structured event log (off by default).
+    events: EventLog,
+    /// Incrementally maintained total of live local copies, so the peak
+    /// metric costs O(1) per operation instead of a scan over all
+    /// transactions.
+    copies_cache: BTreeMap<TxnId, usize>,
+    copies_total: usize,
+}
+
+impl System {
+    /// Creates a system over `store` with the given configuration.
+    pub fn new(store: GlobalStore, config: SystemConfig) -> Self {
+        System {
+            store,
+            table: LockTable::new(),
+            wfg: WaitsForGraph::new(),
+            txns: BTreeMap::new(),
+            config,
+            metrics: Metrics::default(),
+            next_txn: 1,
+            entry_counter: 0,
+            history: Vec::new(),
+            events: EventLog::new(),
+            copies_cache: BTreeMap::new(),
+            copies_total: 0,
+        }
+    }
+
+    /// Turns on structured event logging with the given retention bound.
+    pub fn enable_event_log(&mut self, capacity: usize) {
+        self.events.enable(capacity);
+    }
+
+    /// The recorded events (empty unless enabled).
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// Admits a transaction program; entities it locks are created in the
+    /// store (zero-valued) if missing. Returns the new transaction's id.
+    ///
+    /// The program must be valid (see `pr_model::validate`); invalid
+    /// programs are rejected.
+    pub fn admit(&mut self, program: TransactionProgram) -> Result<TxnId, EngineError> {
+        pr_model::validate::validate(&program)
+            .map_err(|_| EngineError::NotRunnable(TxnId::new(self.next_txn)))?;
+        for entity in program.locked_entities() {
+            self.store.ensure(entity);
+        }
+        let id = TxnId::new(self.next_txn);
+        self.next_txn += 1;
+        let entry = self.entry_counter;
+        self.entry_counter += 1;
+        self.txns.insert(id, TxnRuntime::new(id, Arc::new(program), entry, self.config.strategy));
+        self.events.record(self.metrics.steps, Event::Admitted { txn: id });
+        Ok(id)
+    }
+
+    /// Admits a pre-validated program without re-checking (builder output).
+    pub fn admit_unchecked(&mut self, program: TransactionProgram) -> TxnId {
+        self.admit(program).expect("program failed validation at admission")
+    }
+
+    /// Transactions currently ready to step, ascending by id.
+    pub fn ready(&self) -> Vec<TxnId> {
+        self.txns
+            .values()
+            .filter(|rt| rt.phase == Phase::Running)
+            .map(|rt| rt.id)
+            .collect()
+    }
+
+    /// Transactions currently blocked, ascending by id.
+    pub fn blocked(&self) -> Vec<TxnId> {
+        self.txns
+            .values()
+            .filter(|rt| rt.phase == Phase::Blocked)
+            .map(|rt| rt.id)
+            .collect()
+    }
+
+    /// Whether every admitted transaction has committed.
+    pub fn all_committed(&self) -> bool {
+        self.txns.values().all(|rt| rt.phase == Phase::Committed)
+    }
+
+    /// Executes one atomic operation of `id`.
+    pub fn step(&mut self, id: TxnId) -> Result<StepOutcome, EngineError> {
+        self.metrics.steps += 1;
+        let rt = self.txns.get(&id).ok_or(EngineError::NoSuchTxn(id))?;
+        if rt.phase != Phase::Running {
+            return Err(EngineError::NotRunnable(id));
+        }
+        let op = rt.program.op(rt.pc).cloned().ok_or(EngineError::NotRunnable(id))?;
+        match op {
+            Op::LockShared(entity) => self.do_lock(id, entity, LockMode::Shared),
+            Op::LockExclusive(entity) => self.do_lock(id, entity, LockMode::Exclusive),
+            Op::Unlock(entity) => self.do_unlock(id, entity),
+            Op::Read { entity, into } => {
+                let global = self.store.read(entity)?;
+                let rt = self.txns.get_mut(&id).expect("checked above");
+                let value = rt.read_entity(entity, global);
+                rt.assign_var(into, value)?;
+                self.metrics.ops_executed += 1;
+                Ok(StepOutcome::Progressed)
+            }
+            Op::Write { entity, expr } => {
+                let rt = self.txns.get_mut(&id).expect("checked above");
+                let value = expr.eval(rt.workspace.vars());
+                rt.write_entity(entity, value)?;
+                self.metrics.ops_executed += 1;
+                self.update_peak_copies_for(id);
+                Ok(StepOutcome::Progressed)
+            }
+            Op::Assign { var, expr } => {
+                let rt = self.txns.get_mut(&id).expect("checked above");
+                let value = expr.eval(rt.workspace.vars());
+                rt.assign_var(var, value)?;
+                self.metrics.ops_executed += 1;
+                self.update_peak_copies_for(id);
+                Ok(StepOutcome::Progressed)
+            }
+            Op::Compute(expr) => {
+                let rt = self.txns.get_mut(&id).expect("checked above");
+                let _ = expr.eval(rt.workspace.vars());
+                rt.advance();
+                self.metrics.ops_executed += 1;
+                Ok(StepOutcome::Progressed)
+            }
+            Op::Commit => self.do_commit(id),
+        }
+    }
+
+    /// Runs transactions under `scheduler` until all commit.
+    pub fn run<S: Scheduler>(&mut self, scheduler: &mut S) -> Result<(), EngineError> {
+        let mut steps: u64 = 0;
+        loop {
+            let ready = self.ready();
+            if ready.is_empty() {
+                if self.all_committed() {
+                    return Ok(());
+                }
+                return Err(EngineError::Stuck { blocked: self.blocked() });
+            }
+            steps += 1;
+            if steps > self.config.max_steps {
+                return Err(EngineError::StepLimitExceeded { limit: self.config.max_steps });
+            }
+            let pick = scheduler.pick(&ready);
+            self.step(pick)?;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Operation handlers
+    // ------------------------------------------------------------------
+
+    fn do_lock(
+        &mut self,
+        id: TxnId,
+        entity: EntityId,
+        mode: LockMode,
+    ) -> Result<StepOutcome, EngineError> {
+        let rt = self.txns.get(&id).expect("caller verified");
+        let outcome = self.table.request(id, entity, mode, rt.state, rt.lock_index())?;
+        match outcome {
+            RequestOutcome::Granted => {
+                self.finalize_grant(id, entity, mode)?;
+                // A compatible request may be granted while others wait
+                // (e.g. a shared lock joining shared holders past a blocked
+                // exclusive waiter): those waiters now wait on this new
+                // holder as well, and their arcs must say so or a later
+                // cycle through it would go undetected.
+                self.refresh_waiters(entity);
+                Ok(StepOutcome::Progressed)
+            }
+            RequestOutcome::Wait { holders, .. } => {
+                {
+                    let rt = self.txns.get_mut(&id).expect("caller verified");
+                    rt.phase = Phase::Blocked;
+                    rt.blocked_on = Some(entity);
+                }
+                self.events.record(
+                    self.metrics.steps,
+                    Event::Waited { txn: id, entity, holders: holders.clone() },
+                );
+                self.wfg.set_wait(id, entity, &holders);
+                self.metrics.waits += 1;
+                let resolved = self.resolve_deadlocks(id)?;
+                match resolved {
+                    Some((event, plan)) => Ok(StepOutcome::DeadlockResolved { event, plan }),
+                    None => Ok(StepOutcome::Blocked { entity }),
+                }
+            }
+        }
+    }
+
+    /// Detects and resolves every cycle through the blocked transaction
+    /// `causer`, looping because (a) the cycle cap may hide cycles and
+    /// (b) rollbacks reshape the graph. Returns the first event/plan pair
+    /// (subsequent rounds are appended to the history).
+    fn resolve_deadlocks(
+        &mut self,
+        causer: TxnId,
+    ) -> Result<Option<(DeadlockEvent, ResolutionPlan)>, EngineError> {
+        let mut first: Option<(DeadlockEvent, ResolutionPlan)> = None;
+        for round in 0.. {
+            if round >= MAX_RESOLUTION_ROUNDS {
+                return Err(EngineError::Stuck { blocked: self.blocked() });
+            }
+            let rt = self.txns.get(&causer).expect("causer exists");
+            if rt.phase != Phase::Blocked {
+                break; // granted (or rolled back) during a previous round
+            }
+            let entity = rt.blocked_on.expect("blocked transactions record their entity");
+            // Recompute the (possibly changed) incompatible holders.
+            let mode = self
+                .table
+                .waiting_on(causer, entity)
+                .map(|w| w.mode)
+                .expect("blocked transaction has a queued request");
+            let holders: Vec<TxnId> = self
+                .table
+                .holder_records(entity)
+                .into_iter()
+                .filter(|h| h.txn != causer && !mode.compatible_with(h.mode))
+                .map(|h| h.txn)
+                .collect();
+            // Detection runs on the graph without the causer's own arcs.
+            self.wfg.clear_wait(causer);
+            let cycles =
+                cycles_on_wait(&self.wfg, causer, entity, &holders, self.config.cycle_cap);
+            self.wfg.set_wait(causer, entity, &holders);
+            if cycles.is_empty() {
+                break;
+            }
+            self.metrics.deadlocks += 1;
+            self.events.record(
+                self.metrics.steps,
+                Event::DeadlockDetected { causer, entity, cycles: cycles.len() },
+            );
+            let event = DeadlockEvent { causer, entity, cycles };
+            let plan = plan_resolution(&event, &self.config, &self.txns);
+            if plan.optimal {
+                self.metrics.cutset_optimal += 1;
+            } else {
+                self.metrics.cutset_greedy += 1;
+            }
+            if plan.rollbacks.is_empty() {
+                // Defensive: cannot happen while every cycle member is
+                // rollbackable; surface as stuck rather than spinning.
+                return Err(EngineError::Stuck { blocked: self.blocked() });
+            }
+            for rb in &plan.rollbacks {
+                self.execute_rollback(*rb)?;
+            }
+            self.history.push((event.clone(), plan.clone()));
+            if first.is_none() {
+                first = Some((event, plan));
+            }
+        }
+        Ok(first)
+    }
+
+    /// Performs one planned rollback: §4's procedure, engine side.
+    fn execute_rollback(&mut self, rb: CandidateRollback) -> Result<(), EngineError> {
+        let CandidateRollback { txn: victim, target, ideal, .. } = rb;
+        // Step 1: halt the transaction — cancel its pending request if any.
+        let blocked_entity = {
+            let rt = self.txns.get(&victim).ok_or(EngineError::NoSuchTxn(victim))?;
+            (rt.phase == Phase::Blocked).then(|| {
+                rt.blocked_on.expect("blocked transactions record their entity")
+            })
+        };
+        if let Some(entity) = blocked_entity {
+            let granted = self.table.cancel_wait(victim, entity)?;
+            self.wfg.clear_wait(victim);
+            self.process_grants(entity, granted)?;
+            self.refresh_waiters(entity);
+        }
+        // Steps 2–5: workspace and runtime rollback.
+        let (released, cost, overshoot) = {
+            let rt = self.txns.get_mut(&victim).expect("checked above");
+            let target = target.min(rt.lock_index());
+            let ideal = ideal.min(rt.lock_index());
+            let cost = rt.cost_to_lock_state(target);
+            let ideal_cost = rt.cost_to_lock_state(ideal);
+            let released = rt.rollback_to(target)?;
+            (released, cost, cost - ideal_cost)
+        };
+        self.events.record(
+            self.metrics.steps,
+            Event::RolledBack {
+                victim,
+                target,
+                cost,
+                reason: RollbackReason::DeadlockVictim,
+            },
+        );
+        self.metrics.states_lost += u64::from(cost);
+        self.metrics.rollback_overshoot += u64::from(overshoot);
+        if target == LockIndex::ZERO {
+            self.metrics.total_rollbacks += 1;
+        } else {
+            self.metrics.partial_rollbacks += 1;
+        }
+        self.metrics.record_preemption(victim);
+        self.update_peak_copies_for(victim);
+        // Release the undone locks — without publishing: the database still
+        // holds the pre-lock global values (§4's deferred update).
+        for ls in released {
+            let granted = self.table.release(victim, ls.entity)?;
+            self.process_grants(ls.entity, granted)?;
+            self.refresh_waiters(ls.entity);
+        }
+        Ok(())
+    }
+
+    fn do_unlock(&mut self, id: TxnId, entity: EntityId) -> Result<StepOutcome, EngineError> {
+        let published = {
+            let rt = self.txns.get_mut(&id).expect("caller verified");
+            rt.complete_unlock(entity)
+        };
+        if let Some(value) = published {
+            self.store.publish(entity, value)?;
+            self.events.record(self.metrics.steps, Event::Published { txn: id, entity });
+        }
+        self.update_peak_copies_for(id);
+        let granted = self.table.release(id, entity)?;
+        self.process_grants(entity, granted)?;
+        self.refresh_waiters(entity);
+        self.metrics.ops_executed += 1;
+        Ok(StepOutcome::Progressed)
+    }
+
+    fn do_commit(&mut self, id: TxnId) -> Result<StepOutcome, EngineError> {
+        // Release every lock still held, publishing exclusive finals
+        // ("the system may equivalently release any entities which a
+        // transaction has failed to unlock at the time it terminates").
+        let held: Vec<EntityId> = {
+            let rt = self.txns.get(&id).expect("caller verified");
+            rt.held.iter().copied().collect()
+        };
+        for entity in held {
+            let published = {
+                let rt = self.txns.get_mut(&id).expect("caller verified");
+                rt.complete_unlock(entity)
+            };
+            // complete_unlock advanced pc/state; commit-time releases are
+            // not separate operations, so undo the advance.
+            {
+                let rt = self.txns.get_mut(&id).expect("caller verified");
+                rt.pc -= 1;
+                rt.state = pr_model::StateIndex::new(rt.state.raw() - 1);
+            }
+            if let Some(value) = published {
+                self.store.publish(entity, value)?;
+            }
+            let granted = self.table.release(id, entity)?;
+            self.process_grants(entity, granted)?;
+            self.refresh_waiters(entity);
+        }
+        let rt = self.txns.get_mut(&id).expect("caller verified");
+        rt.advance();
+        rt.phase = Phase::Committed;
+        self.events.record(self.metrics.steps, Event::Committed { txn: id });
+        self.update_peak_copies_for(id);
+        self.metrics.ops_executed += 1;
+        self.metrics.commits += 1;
+        Ok(StepOutcome::Committed)
+    }
+
+    // ------------------------------------------------------------------
+    // Grant plumbing
+    // ------------------------------------------------------------------
+
+    fn finalize_grant(
+        &mut self,
+        id: TxnId,
+        entity: EntityId,
+        mode: LockMode,
+    ) -> Result<(), EngineError> {
+        let global = self.store.read(entity)?;
+        let rt = self.txns.get_mut(&id).expect("grantee exists");
+        rt.complete_lock(entity, mode, global);
+        self.events.record(self.metrics.steps, Event::Granted { txn: id, entity, mode });
+        self.metrics.ops_executed += 1;
+        self.update_peak_copies_for(id);
+        Ok(())
+    }
+
+    /// Completes promoted waiters after a release or cancellation.
+    fn process_grants(
+        &mut self,
+        entity: EntityId,
+        granted: Vec<HeldLock>,
+    ) -> Result<(), EngineError> {
+        for h in granted {
+            self.wfg.clear_wait(h.txn);
+            self.finalize_grant(h.txn, entity, h.mode)?;
+        }
+        Ok(())
+    }
+
+    /// Re-points the waits-for arcs of every transaction still queued on
+    /// `entity` at the *current* incompatible holders. Holder sets change
+    /// at every release, cancellation, and grant; a stale arc would make
+    /// deadlock detection miss cycles through the new holders.
+    ///
+    /// Refreshing can only retarget arcs at freshly *granted* (hence
+    /// running, non-waiting) transactions, so it never closes a cycle
+    /// itself.
+    fn refresh_waiters(&mut self, entity: EntityId) {
+        let holders = self.table.holder_records(entity);
+        for w in self.table.waiters_of(entity) {
+            let blockers: Vec<TxnId> = holders
+                .iter()
+                .filter(|h| h.txn != w.txn && !w.mode.compatible_with(h.mode))
+                .map(|h| h.txn)
+                .collect();
+            debug_assert!(!blockers.is_empty(), "grantable waiter left in queue");
+            self.wfg.set_wait(w.txn, entity, &blockers);
+        }
+    }
+
+    /// Refreshes the cached copy count of `id` and bumps the peak metric.
+    fn update_peak_copies_for(&mut self, id: TxnId) {
+        let now = self.txns.get(&id).map(TxnRuntime::copies).unwrap_or(0);
+        let prev = self.copies_cache.insert(id, now).unwrap_or(0);
+        self.copies_total = self.copies_total + now - prev.min(self.copies_total);
+        if self.copies_total > self.metrics.peak_copies {
+            self.metrics.peak_copies = self.copies_total;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The database.
+    pub fn store(&self) -> &GlobalStore {
+        &self.store
+    }
+
+    /// Mutable database access (for scenario setup).
+    pub fn store_mut(&mut self) -> &mut GlobalStore {
+        &mut self.store
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The lock table.
+    pub fn table(&self) -> &LockTable {
+        &self.table
+    }
+
+    /// The concurrency graph.
+    pub fn graph(&self) -> &WaitsForGraph {
+        &self.wfg
+    }
+
+    /// Runtime state of one transaction.
+    pub fn txn(&self, id: TxnId) -> Option<&TxnRuntime> {
+        self.txns.get(&id)
+    }
+
+    /// All transaction ids, ascending.
+    pub fn txn_ids(&self) -> Vec<TxnId> {
+        self.txns.keys().copied().collect()
+    }
+
+    /// The deadlock/resolution log, oldest first.
+    pub fn history(&self) -> &[(DeadlockEvent, ResolutionPlan)] {
+        &self.history
+    }
+
+    /// Engine-wide invariant check, used liberally by the test suites:
+    /// lock-table consistency, graph/table agreement, and two-phase
+    /// discipline of every runtime.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.table.check_invariants()?;
+        for rt in self.txns.values() {
+            match rt.phase {
+                Phase::Blocked => {
+                    let entity =
+                        rt.blocked_on.ok_or_else(|| format!("{}: blocked without entity", rt.id))?;
+                    if self.table.waiting_on(rt.id, entity).is_none() {
+                        return Err(format!("{}: blocked but not queued on {entity}", rt.id));
+                    }
+                    if !self.wfg.is_waiting(rt.id) {
+                        return Err(format!("{}: blocked but absent from waits-for graph", rt.id));
+                    }
+                }
+                Phase::Running | Phase::Committed => {
+                    if self.wfg.is_waiting(rt.id) {
+                        return Err(format!("{}: not blocked but waits in graph", rt.id));
+                    }
+                }
+            }
+            for entity in &rt.held {
+                if self.table.held_by(rt.id, *entity).is_none() {
+                    return Err(format!("{}: believes it holds {entity} but table disagrees", rt.id));
+                }
+            }
+        }
+        if self.wfg.has_cycle() {
+            return Err("waits-for graph contains an unresolved cycle".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{StrategyKind, VictimPolicyKind};
+    use crate::scheduler::{RoundRobin, Scripted};
+    use pr_model::{Expr, ProgramBuilder, Value, VarId};
+
+    fn e(i: u32) -> EntityId {
+        EntityId::new(i)
+    }
+    fn t(i: u32) -> TxnId {
+        TxnId::new(i)
+    }
+
+    fn transfer(from: u32, to: u32, amount: i64) -> pr_model::TransactionProgram {
+        let v = VarId::new(0);
+        ProgramBuilder::new()
+            .lock_exclusive(e(from))
+            .lock_exclusive(e(to))
+            .read(e(from), v)
+            .assign(v, Expr::sub(Expr::var(v), Expr::lit(amount)))
+            .write(e(from), Expr::var(v))
+            .read(e(to), v)
+            .assign(v, Expr::add(Expr::var(v), Expr::lit(amount)))
+            .write(e(to), Expr::var(v))
+            .unlock(e(from))
+            .unlock(e(to))
+            .build_unchecked()
+    }
+
+    fn system(strategy: StrategyKind, victim: VictimPolicyKind) -> System {
+        let store = GlobalStore::with_entities(8, Value::new(100));
+        System::new(store, SystemConfig::new(strategy, victim))
+    }
+
+    #[test]
+    fn single_transaction_runs_to_completion() {
+        let mut sys = system(StrategyKind::Mcs, VictimPolicyKind::MinCost);
+        sys.admit_unchecked(transfer(0, 1, 30));
+        sys.run(&mut RoundRobin::new()).unwrap();
+        assert!(sys.all_committed());
+        assert_eq!(sys.store().read(e(0)).unwrap(), Value::new(70));
+        assert_eq!(sys.store().read(e(1)).unwrap(), Value::new(130));
+        assert_eq!(sys.metrics().deadlocks, 0);
+        sys.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn non_conflicting_transactions_interleave_freely() {
+        let mut sys = system(StrategyKind::Mcs, VictimPolicyKind::MinCost);
+        sys.admit_unchecked(transfer(0, 1, 10));
+        sys.admit_unchecked(transfer(2, 3, 20));
+        sys.run(&mut RoundRobin::new()).unwrap();
+        assert!(sys.all_committed());
+        assert_eq!(sys.store().total(), Value::new(800));
+        assert_eq!(sys.metrics().waits, 0);
+    }
+
+    #[test]
+    fn conflicting_transactions_serialize_via_waiting() {
+        let mut sys = system(StrategyKind::Mcs, VictimPolicyKind::MinCost);
+        sys.admit_unchecked(transfer(0, 1, 10));
+        sys.admit_unchecked(transfer(0, 1, 5));
+        sys.run(&mut RoundRobin::new()).unwrap();
+        assert!(sys.all_committed());
+        assert_eq!(sys.store().read(e(0)).unwrap(), Value::new(85));
+        assert_eq!(sys.store().read(e(1)).unwrap(), Value::new(115));
+        assert!(sys.metrics().waits > 0);
+        assert_eq!(sys.metrics().deadlocks, 0);
+    }
+
+    /// The classic two-transaction deadlock: T1 locks a then b; T2 locks
+    /// b then a. Interleaved so both first locks are granted.
+    fn deadlocking_pair(strategy: StrategyKind, victim: VictimPolicyKind) -> System {
+        let mut sys = system(strategy, victim);
+        sys.admit_unchecked(transfer(0, 1, 10)); // T1: a then b
+        sys.admit_unchecked(transfer(1, 0, 5)); // T2: b then a
+        sys
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_resolved_mcs() {
+        for victim in VictimPolicyKind::ALL {
+            let mut sys = deadlocking_pair(StrategyKind::Mcs, victim);
+            // Interleave: T1 locks a, T2 locks b, T1 requests b (waits),
+            // T2 requests a (deadlock).
+            let mut sched = Scripted::new(vec![t(1), t(2), t(1), t(2)]);
+            sys.run(&mut sched).unwrap_or_else(|e| panic!("{victim:?}: {e}"));
+            assert!(sys.all_committed());
+            assert_eq!(sys.metrics().deadlocks, 1, "{victim:?}");
+            assert!(sys.metrics().rollbacks() >= 1);
+            // Money is conserved regardless of policy.
+            assert_eq!(sys.store().read(e(0)).unwrap() + sys.store().read(e(1)).unwrap(),
+                Value::new(200), "{victim:?}");
+            sys.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn deadlock_resolution_works_for_all_strategies() {
+        for strategy in StrategyKind::ALL {
+            let mut sys = deadlocking_pair(strategy, VictimPolicyKind::PartialOrder);
+            let mut sched = Scripted::new(vec![t(1), t(2), t(1), t(2)]);
+            sys.run(&mut sched).unwrap_or_else(|e| panic!("{strategy:?}: {e}"));
+            assert!(sys.all_committed(), "{strategy:?}");
+            assert_eq!(
+                sys.store().read(e(0)).unwrap() + sys.store().read(e(1)).unwrap(),
+                Value::new(200),
+                "{strategy:?}"
+            );
+            sys.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn total_strategy_always_restarts_from_zero() {
+        let mut sys = deadlocking_pair(StrategyKind::Total, VictimPolicyKind::MinCost);
+        let mut sched = Scripted::new(vec![t(1), t(2), t(1), t(2)]);
+        sys.run(&mut sched).unwrap();
+        assert_eq!(sys.metrics().partial_rollbacks, 0);
+        assert!(sys.metrics().total_rollbacks >= 1);
+    }
+
+    #[test]
+    fn partial_rollback_preserves_earlier_work() {
+        // T1: locks a, pads, locks b — partial rollback of T1 to release b
+        // should not touch a.
+        // Use a 3-txn chain to force a deadlock where T1 releases only b.
+        let p1 = ProgramBuilder::new()
+            .lock_exclusive(e(0))
+            .write_const(e(0), 7)
+            .lock_exclusive(e(1))
+            .unlock(e(0))
+            .unlock(e(1))
+            .build_unchecked();
+        let p2 = ProgramBuilder::new()
+            .lock_exclusive(e(1))
+            .pad(6)
+            .lock_exclusive(e(0))
+            .unlock(e(1))
+            .unlock(e(0))
+            .build_unchecked();
+        let mut sys = system(StrategyKind::Mcs, VictimPolicyKind::MinCost);
+        sys.admit_unchecked(p1);
+        sys.admit_unchecked(p2);
+        // T1 locks a, writes; T2 locks b and pads; T1 requests b → waits;
+        // T2 requests a → deadlock. T1 must release a (T2 wants a): roll
+        // T1 to lock state 0, cost 2 (it waits from state 2). T2 must
+        // release b: roll T2 to lock state 0, cost 7. T1 is cheaper.
+        let mut sched = Scripted::new(vec![t(1), t(1), t(2), t(2), t(2), t(2), t(2), t(2), t(2),
+            t(1), t(2)]);
+        sys.run(&mut sched).unwrap();
+        assert!(sys.all_committed());
+        let (event, plan) = &sys.history()[0];
+        assert_eq!(event.causer, t(2));
+        assert_eq!(plan.rollbacks.len(), 1);
+        assert_eq!(plan.rollbacks[0].txn, t(1));
+        assert_eq!(plan.total_cost, 2);
+        // T1's write to a was undone and re-executed; final value holds.
+        assert_eq!(sys.store().read(e(0)).unwrap(), Value::new(7));
+    }
+
+    #[test]
+    fn shared_locks_allow_concurrent_readers() {
+        let reader = |ent: u32| {
+            ProgramBuilder::new()
+                .lock_shared(e(ent))
+                .read(e(ent), VarId::new(0))
+                .unlock(e(ent))
+                .build_unchecked()
+        };
+        let mut sys = system(StrategyKind::Mcs, VictimPolicyKind::MinCost);
+        sys.admit_unchecked(reader(0));
+        sys.admit_unchecked(reader(0));
+        sys.admit_unchecked(reader(0));
+        sys.run(&mut RoundRobin::new()).unwrap();
+        assert!(sys.all_committed());
+        assert_eq!(sys.metrics().waits, 0);
+    }
+
+    /// Figure 3(c)-style multi-cycle deadlock: T2 and T3 hold shared locks
+    /// on f and each waits on T1; T1's exclusive request on f closes two
+    /// cycles at once.
+    #[test]
+    fn multi_cycle_deadlock_from_shared_holders() {
+        let p1 = ProgramBuilder::new()
+            .lock_exclusive(e(0)) // a
+            .lock_exclusive(e(1)) // b
+            .lock_exclusive(e(5)) // f — the deadlocking request
+            .unlock(e(0))
+            .unlock(e(1))
+            .unlock(e(5))
+            .build_unchecked();
+        let p2 = ProgramBuilder::new()
+            .lock_shared(e(5))
+            .pad(2)
+            .lock_shared(e(0)) // waits on T1
+            .unlock(e(5))
+            .unlock(e(0))
+            .build_unchecked();
+        let p3 = ProgramBuilder::new()
+            .lock_shared(e(5))
+            .pad(4)
+            .lock_shared(e(1)) // waits on T1
+            .unlock(e(5))
+            .unlock(e(1))
+            .build_unchecked();
+        let mut sys = system(StrategyKind::Mcs, VictimPolicyKind::MinCost);
+        sys.admit_unchecked(p1);
+        sys.admit_unchecked(p2);
+        sys.admit_unchecked(p3);
+        // T1 locks a, b; T2 locks f shared, pads, requests a → waits;
+        // T3 locks f shared, pads, requests b → waits; T1 requests f →
+        // two cycles close.
+        let mut sched = Scripted::new(vec![
+            t(1), t(1), // a, b
+            t(2), t(2), t(2), t(2), // f, pads, request a
+            t(3), t(3), t(3), t(3), t(3), t(3), // f, pads, request b
+            t(1), // request f → deadlock
+        ]);
+        sys.run(&mut sched).unwrap();
+        assert!(sys.all_committed());
+        assert_eq!(sys.metrics().deadlocks, 1);
+        let (event, _plan) = &sys.history()[0];
+        assert_eq!(event.causer, t(1));
+        assert_eq!(event.cycles.len(), 2, "both cycles pass through T1");
+        sys.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn sdg_overshoot_is_recorded_when_states_are_undefined() {
+        // T1 writes a, locks b, locks c, rewrites a — destroying lock
+        // states 1 and 2 — then requests d. A deadlock needing T1 to
+        // release c (lock state 2) must overshoot to lock state 0.
+        let p1 = ProgramBuilder::new()
+            .lock_exclusive(e(0)) // a: lock state 0
+            .write_const(e(0), 1)
+            .lock_exclusive(e(1)) // b: lock state 1
+            .lock_exclusive(e(2)) // c: lock state 2
+            .write_const(e(0), 2) // destroys states 1, 2
+            .lock_exclusive(e(3)) // d — will deadlock
+            .unlock(e(0))
+            .unlock(e(1))
+            .unlock(e(2))
+            .unlock(e(3))
+            .build_unchecked();
+        let p2 = ProgramBuilder::new()
+            .lock_exclusive(e(3))
+            .pad(20) // expensive to roll back
+            .lock_exclusive(e(2)) // waits on T1
+            .unlock(e(3))
+            .unlock(e(2))
+            .build_unchecked();
+        let mut sys = system(StrategyKind::Sdg, VictimPolicyKind::MinCost);
+        let id1 = sys.admit_unchecked(p1);
+        let id2 = sys.admit_unchecked(p2);
+        sys.step(id2).unwrap(); // T2 locks d
+        for _ in 0..5 {
+            sys.step(id1).unwrap(); // T1 up to rewrite of a
+        }
+        for _ in 0..20 {
+            sys.step(id2).unwrap(); // T2 pads
+        }
+        // T1 requests d → waits on T2 (no cycle yet).
+        assert!(matches!(sys.step(id1).unwrap(), StepOutcome::Blocked { .. }));
+        // T2 requests c → deadlock. T1's ideal release of c is lock state
+        // 2 (cost 3: states 5→... T1 at state 5, lock state 2 at state 3 →
+        // cost 2)… the SDG fallback forces lock state 0, cost 5.
+        // T2's alternative: release d at lock state 0, cost 22.
+        let out = sys.step(id2).unwrap();
+        assert!(matches!(out, StepOutcome::DeadlockResolved { .. }));
+        assert!(sys.metrics().rollback_overshoot > 0, "SDG had to overshoot");
+        let (_, plan) = &sys.history()[0];
+        assert_eq!(plan.rollbacks[0].txn, id1);
+        assert_eq!(plan.rollbacks[0].target, LockIndex::ZERO);
+        sys.run(&mut RoundRobin::new()).unwrap();
+        assert!(sys.all_committed());
+    }
+
+    #[test]
+    fn stuck_is_impossible_under_heavy_conflict() {
+        // Ten transfers over two accounts in both directions; every
+        // strategy/policy combination must drain the system.
+        for strategy in StrategyKind::ALL {
+            for victim in VictimPolicyKind::ALL {
+                let mut sys = system(strategy, victim);
+                for i in 0..10 {
+                    if i % 2 == 0 {
+                        sys.admit_unchecked(transfer(0, 1, 1));
+                    } else {
+                        sys.admit_unchecked(transfer(1, 0, 1));
+                    }
+                }
+                sys.run(&mut RoundRobin::new())
+                    .unwrap_or_else(|err| panic!("{strategy:?}/{victim:?}: {err}"));
+                assert!(sys.all_committed());
+                assert_eq!(
+                    sys.store().read(e(0)).unwrap() + sys.store().read(e(1)).unwrap(),
+                    Value::new(200)
+                );
+                sys.check_invariants().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_strategy_resolves_deadlocks_and_tracks_overshoot() {
+        for budget in [1u32, 2, 8] {
+            let mut sys = deadlocking_pair(StrategyKind::Bounded(budget), VictimPolicyKind::PartialOrder);
+            let mut sched = Scripted::new(vec![t(1), t(2), t(1), t(2)]);
+            sys.run(&mut sched).unwrap_or_else(|e| panic!("budget {budget}: {e}"));
+            assert!(sys.all_committed());
+            assert_eq!(
+                sys.store().read(e(0)).unwrap() + sys.store().read(e(1)).unwrap(),
+                Value::new(200),
+                "budget {budget}"
+            );
+            sys.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn bounded_with_large_budget_matches_mcs_exactly() {
+        // With a budget no workload exceeds, Bounded must behave exactly
+        // like unbounded MCS: same metrics, same final state.
+        let run = |strategy: StrategyKind| {
+            let mut sys = system(strategy, VictimPolicyKind::PartialOrder);
+            for i in 0..8 {
+                if i % 2 == 0 {
+                    sys.admit_unchecked(transfer(0, 1, 3));
+                } else {
+                    sys.admit_unchecked(transfer(1, 0, 2));
+                }
+            }
+            sys.run(&mut RoundRobin::new()).unwrap();
+            (sys.metrics().clone(), sys.store().snapshot())
+        };
+        let (m1, s1) = run(StrategyKind::Mcs);
+        let (m2, s2) = run(StrategyKind::Bounded(1_000));
+        assert_eq!(m1, m2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn event_log_narrates_a_deadlock() {
+        let mut sys = deadlocking_pair(StrategyKind::Mcs, VictimPolicyKind::PartialOrder);
+        sys.enable_event_log(1_000);
+        let mut sched = Scripted::new(vec![t(1), t(2), t(1), t(2)]);
+        sys.run(&mut sched).unwrap();
+        let rendered = sys.events().render();
+        assert!(rendered.contains("granted X-lock"));
+        assert!(rendered.contains("waits for"));
+        assert!(rendered.contains("deadlock:"));
+        assert!(rendered.contains("rolled back"));
+        assert!(rendered.contains("committed"));
+        // Event kinds agree with the metrics.
+        use crate::event::Event;
+        let count = |pred: fn(&Event) -> bool| {
+            sys.events().events().iter().filter(|(_, e)| pred(e)).count() as u64
+        };
+        assert_eq!(count(|e| matches!(e, Event::Committed { .. })), sys.metrics().commits);
+        assert_eq!(
+            count(|e| matches!(e, Event::DeadlockDetected { .. })),
+            sys.metrics().deadlocks
+        );
+        assert_eq!(count(|e| matches!(e, Event::RolledBack { .. })), sys.metrics().rollbacks());
+    }
+
+    #[test]
+    fn event_log_is_free_when_disabled() {
+        let mut sys = deadlocking_pair(StrategyKind::Mcs, VictimPolicyKind::PartialOrder);
+        let mut sched = Scripted::new(vec![t(1), t(2), t(1), t(2)]);
+        sys.run(&mut sched).unwrap();
+        assert!(sys.events().events().is_empty());
+    }
+
+    #[test]
+    fn admit_rejects_invalid_programs() {
+        let bad = pr_model::TransactionProgram::from_parts(
+            vec![Op::Unlock(e(0))],
+            vec![],
+        );
+        let mut sys = system(StrategyKind::Mcs, VictimPolicyKind::MinCost);
+        assert!(sys.admit(bad).is_err());
+    }
+
+    #[test]
+    fn step_errors_on_blocked_or_unknown_txn() {
+        let mut sys = deadlocking_pair(StrategyKind::Mcs, VictimPolicyKind::MinCost);
+        assert!(matches!(sys.step(t(9)), Err(EngineError::NoSuchTxn(_))));
+        sys.step(t(1)).unwrap(); // T1 locks a
+        sys.step(t(2)).unwrap(); // T2 locks b
+        assert!(matches!(sys.step(t(1)).unwrap(), StepOutcome::Blocked { .. }));
+        assert!(matches!(sys.step(t(1)), Err(EngineError::NotRunnable(_))));
+    }
+}

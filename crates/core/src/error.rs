@@ -1,0 +1,82 @@
+//! Engine errors.
+
+use pr_lock::LockError;
+use pr_model::TxnId;
+use pr_storage::StorageError;
+use std::fmt;
+
+/// Errors raised by the execution engine.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EngineError {
+    /// Unknown transaction id.
+    NoSuchTxn(TxnId),
+    /// The transaction cannot step: it is blocked or committed.
+    NotRunnable(TxnId),
+    /// `run_to_completion` hit the configured step limit.
+    StepLimitExceeded {
+        /// The configured limit that was hit.
+        limit: u64,
+    },
+    /// Every live transaction is blocked yet no deadlock was detected —
+    /// an engine invariant violation (deadlock detection is complete, so
+    /// this indicates a bug; surfaced instead of hanging).
+    Stuck {
+        /// The blocked transactions.
+        blocked: Vec<TxnId>,
+    },
+    /// A storage-layer failure (always an engine bug if it surfaces).
+    Storage(StorageError),
+    /// A lock-manager failure (always an engine bug if it surfaces).
+    Lock(LockError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::NoSuchTxn(t) => write!(f, "no such transaction: {t}"),
+            EngineError::NotRunnable(t) => write!(f, "transaction {t} is not runnable"),
+            EngineError::StepLimitExceeded { limit } => {
+                write!(f, "step limit exceeded ({limit})")
+            }
+            EngineError::Stuck { blocked } => {
+                write!(f, "all live transactions blocked without detected deadlock: {blocked:?}")
+            }
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
+            EngineError::Lock(e) => write!(f, "lock error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+impl From<LockError> for EngineError {
+    fn from(e: LockError) -> Self {
+        EngineError::Lock(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pr_model::EntityId;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: EngineError =
+            StorageError::NoSuchEntity(EntityId::new(1)).into();
+        assert!(matches!(e, EngineError::Storage(_)));
+        assert!(e.to_string().contains("storage error"));
+        let e: EngineError =
+            LockError::NotHeld { txn: TxnId::new(1), entity: EntityId::new(0) }.into();
+        assert!(matches!(e, EngineError::Lock(_)));
+        assert!(EngineError::Stuck { blocked: vec![TxnId::new(1)] }
+            .to_string()
+            .contains("blocked"));
+    }
+}

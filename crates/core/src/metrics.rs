@@ -1,0 +1,99 @@
+//! Engine metrics — the quantities the paper's arguments are about.
+
+use pr_model::TxnId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Counters accumulated by a [`crate::System`] over its lifetime.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Scheduler steps taken (including steps that ended in a wait).
+    pub steps: u64,
+    /// Atomic operations completed (state-index increments).
+    pub ops_executed: u64,
+    /// Deadlocks detected.
+    pub deadlocks: u64,
+    /// Rollbacks performed to a lock state `> 0`.
+    pub partial_rollbacks: u64,
+    /// Rollbacks performed to lock state 0 (restarts).
+    pub total_rollbacks: u64,
+    /// Sum of rollback costs: states (= operations) lost and re-executed.
+    /// This is the paper's measure of the damage deadlock handling does.
+    pub states_lost: u64,
+    /// States lost *beyond* the ideal (MCS-reachable) target because the
+    /// SDG strategy had to fall back to an earlier well-defined state —
+    /// the price of single-copy storage.
+    pub rollback_overshoot: u64,
+    /// Wait responses issued.
+    pub waits: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Deadlock resolutions whose cut set was provably optimal.
+    pub cutset_optimal: u64,
+    /// Deadlock resolutions that used the greedy fallback.
+    pub cutset_greedy: u64,
+    /// Peak total local copies held across all live transactions at once
+    /// (Theorem 3 accounting: stack elements beyond base for MCS, one per
+    /// exclusively held entity for single-copy strategies).
+    pub peak_copies: usize,
+    /// Times each transaction was chosen as a rollback victim.
+    pub preemptions: BTreeMap<TxnId, u32>,
+}
+
+impl Metrics {
+    /// Largest preemption count suffered by any single transaction — the
+    /// mutual-preemption indicator (Figure 2 / Theorem 2).
+    pub fn max_preemptions(&self) -> u32 {
+        self.preemptions.values().copied().max().unwrap_or(0)
+    }
+
+    /// Total rollbacks of either kind.
+    pub fn rollbacks(&self) -> u64 {
+        self.partial_rollbacks + self.total_rollbacks
+    }
+
+    /// Fraction of executed operations that were wasted (re-executed
+    /// work), in [0, 1].
+    pub fn waste_ratio(&self) -> f64 {
+        if self.ops_executed == 0 {
+            0.0
+        } else {
+            self.states_lost as f64 / self.ops_executed as f64
+        }
+    }
+
+    /// Records a victimisation of `txn`.
+    pub fn record_preemption(&mut self, txn: TxnId) {
+        *self.preemptions.entry(txn).or_insert(0) += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preemption_tracking() {
+        let mut m = Metrics::default();
+        assert_eq!(m.max_preemptions(), 0);
+        m.record_preemption(TxnId::new(1));
+        m.record_preemption(TxnId::new(1));
+        m.record_preemption(TxnId::new(2));
+        assert_eq!(m.max_preemptions(), 2);
+        assert_eq!(m.preemptions[&TxnId::new(1)], 2);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let m = Metrics {
+            partial_rollbacks: 3,
+            total_rollbacks: 2,
+            states_lost: 50,
+            ops_executed: 200,
+            ..Default::default()
+        };
+        assert_eq!(m.rollbacks(), 5);
+        assert!((m.waste_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(Metrics::default().waste_ratio(), 0.0);
+    }
+}

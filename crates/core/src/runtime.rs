@@ -1,0 +1,510 @@
+//! Per-transaction runtime state.
+//!
+//! A [`TxnRuntime`] tracks one executing transaction: its program counter,
+//! state index (operations executed), granted lock states, workspace
+//! (strategy-dependent), and — for the SDG strategy — its state-dependency
+//! graph. The rollback procedure of §4 is implemented here, steps 2–5; the
+//! engine performs step 1 (waiting/cancelling the transaction) and the
+//! lock releases, which need the lock table.
+
+use crate::config::StrategyKind;
+use pr_graph::StateDependencyGraph;
+use pr_model::{EntityId, LockIndex, LockMode, StateIndex, TransactionProgram, Value, VarId};
+use pr_model::TxnId;
+use pr_storage::{McsWorkspace, SingleCopyWorkspace, StorageError};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Execution phase of a transaction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// Ready to execute its next operation.
+    Running,
+    /// Blocked on a lock request.
+    Blocked,
+    /// Finished; locks released.
+    Committed,
+}
+
+/// One granted lock request — the transaction-side record of a lock state.
+/// `lock_states[k]` describes lock state `k`.
+#[derive(Clone, Copy, Debug)]
+pub struct LockStateInfo {
+    /// Entity locked by the request this lock state precedes.
+    pub entity: EntityId,
+    /// Mode acquired.
+    pub mode: LockMode,
+    /// State index of the lock state — the state the transaction was in
+    /// when it issued the request ("the last state in which T does not
+    /// hold a lock on A", §3.1). Rollback cost to here = current − this.
+    pub state_index: StateIndex,
+    /// Program counter of the lock-request operation, where execution
+    /// resumes after a rollback to this lock state.
+    pub pc: usize,
+}
+
+/// Strategy-dependent workspace.
+#[derive(Clone, Debug)]
+pub enum Workspace {
+    /// Multi-lock copy stacks (MCS, §4).
+    Mcs(McsWorkspace),
+    /// One local copy per entity (total rollback and SDG, §4).
+    Single(SingleCopyWorkspace),
+}
+
+impl Workspace {
+    fn for_strategy(strategy: StrategyKind, initial_vars: &[Value]) -> Workspace {
+        match strategy {
+            StrategyKind::Mcs => Workspace::Mcs(McsWorkspace::new(initial_vars)),
+            StrategyKind::Bounded(k) => Workspace::Mcs(McsWorkspace::with_budget(
+                initial_vars,
+                Some(k.max(1) as usize),
+            )),
+            StrategyKind::Total | StrategyKind::Sdg => {
+                Workspace::Single(SingleCopyWorkspace::new(initial_vars))
+            }
+        }
+    }
+
+    /// Current local-variable values for expression evaluation.
+    pub fn vars(&self) -> &[Value] {
+        match self {
+            Workspace::Mcs(w) => w.vars(),
+            Workspace::Single(w) => w.vars(),
+        }
+    }
+
+    /// Local copies currently held, in the units compared by the storage
+    /// experiments (stack elements beyond base for MCS; one per exclusive
+    /// entity for single-copy).
+    pub fn copies(&self) -> usize {
+        match self {
+            Workspace::Mcs(w) => w.copy_counts().total(),
+            Workspace::Single(w) => w.entity_copies(),
+        }
+    }
+}
+
+/// Runtime state of one transaction.
+#[derive(Clone, Debug)]
+pub struct TxnRuntime {
+    /// Transaction id.
+    pub id: TxnId,
+    /// The program being executed.
+    pub program: Arc<TransactionProgram>,
+    /// Next operation to execute.
+    pub pc: usize,
+    /// Operations executed so far (the §2 state index).
+    pub state: StateIndex,
+    /// Execution phase.
+    pub phase: Phase,
+    /// The rollback strategy this runtime was built for.
+    pub strategy: StrategyKind,
+    /// ω for Theorem 2: position in the entry order, fixed at admission
+    /// and retained across rollbacks (even total ones — the transaction is
+    /// the same execution instance).
+    pub entry_order: u64,
+    /// Whether the transaction has executed its first unlock. Two-phase
+    /// transactions are never rolled back after it (§2), and can never be
+    /// blocked again either (no further lock requests).
+    pub shrinking: bool,
+    /// Granted lock requests, in grant order; index = lock index.
+    pub lock_states: Vec<LockStateInfo>,
+    /// Strategy-dependent local storage.
+    pub workspace: Workspace,
+    /// State-dependency graph (SDG strategy only).
+    pub sdg: Option<StateDependencyGraph>,
+    /// Times this transaction was chosen as a victim.
+    pub preemptions: u32,
+    /// States lost to rollbacks of this transaction.
+    pub states_lost: u64,
+    /// Entity currently being waited for, when blocked.
+    pub blocked_on: Option<EntityId>,
+    /// Entities whose locks are currently held (lock states minus
+    /// unlocks), for commit-time release.
+    pub held: BTreeSet<EntityId>,
+}
+
+impl TxnRuntime {
+    /// Creates the runtime for `program`, admitted at `entry_order`.
+    pub fn new(
+        id: TxnId,
+        program: Arc<TransactionProgram>,
+        entry_order: u64,
+        strategy: StrategyKind,
+    ) -> Self {
+        let workspace = Workspace::for_strategy(strategy, program.initial_vars());
+        // Sdg tracks write-destroyed states; Bounded tracks
+        // eviction-destroyed ones. Both consult the graph for reachable
+        // rollback targets.
+        let sdg = matches!(strategy, StrategyKind::Sdg | StrategyKind::Bounded(_))
+            .then(StateDependencyGraph::new);
+        TxnRuntime {
+            id,
+            program,
+            pc: 0,
+            state: StateIndex::ZERO,
+            phase: Phase::Running,
+            strategy,
+            entry_order,
+            shrinking: false,
+            lock_states: Vec::new(),
+            workspace,
+            sdg,
+            preemptions: 0,
+            states_lost: 0,
+            blocked_on: None,
+            held: BTreeSet::new(),
+        }
+    }
+
+    /// Lock index the next operation executes at (= granted lock states).
+    pub fn lock_index(&self) -> LockIndex {
+        LockIndex::new(self.lock_states.len() as u32)
+    }
+
+    /// The lock state at which `entity` was locked, if held.
+    pub fn lock_state_for(&self, entity: EntityId) -> Option<LockIndex> {
+        self.lock_states
+            .iter()
+            .position(|ls| ls.entity == entity)
+            .map(|k| LockIndex::new(k as u32))
+    }
+
+    /// §3.1 rollback cost to reach lock state `target`: states lost.
+    pub fn cost_to_lock_state(&self, target: LockIndex) -> u32 {
+        let target_state = if target.index() < self.lock_states.len() {
+            self.lock_states[target.index()].state_index
+        } else {
+            self.state
+        };
+        self.state.cost_to(target_state)
+    }
+
+    /// The deepest reachable rollback target at or below `ideal` under
+    /// this runtime's strategy: `ideal` itself for MCS, lock state 0 for
+    /// total rollback, and the latest well-defined state for SDG.
+    pub fn reachable_target(&self, strategy: StrategyKind, ideal: LockIndex) -> LockIndex {
+        match strategy {
+            StrategyKind::Total => LockIndex::ZERO,
+            StrategyKind::Mcs => ideal,
+            StrategyKind::Sdg | StrategyKind::Bounded(_) => self
+                .sdg
+                .as_ref()
+                .expect("SDG/Bounded strategies carry a state-dependency graph")
+                .latest_well_defined_at_or_below(ideal),
+        }
+    }
+
+    /// Completes a granted lock request: records the lock state, advances
+    /// past the request op, and (for exclusive locks) takes the local copy
+    /// of the entity's global value.
+    pub fn complete_lock(
+        &mut self,
+        entity: EntityId,
+        mode: LockMode,
+        global: Value,
+    ) {
+        let info = LockStateInfo {
+            entity,
+            mode,
+            state_index: self.state,
+            pc: self.pc,
+        };
+        let lock_state = self.lock_index();
+        self.lock_states.push(info);
+        self.held.insert(entity);
+        if mode == LockMode::Exclusive {
+            match &mut self.workspace {
+                Workspace::Mcs(w) => w.on_exclusive_lock(entity, lock_state, global),
+                Workspace::Single(w) => w.on_exclusive_lock(entity, lock_state, global),
+            }
+        }
+        if let Some(sdg) = &mut self.sdg {
+            sdg.on_lock_state();
+        }
+        self.advance();
+        self.phase = Phase::Running;
+        self.blocked_on = None;
+    }
+
+    /// Reads the transaction's view of `entity`: its local copy when held
+    /// exclusively, otherwise `fallback_global` (shared locks read the
+    /// database's global value directly).
+    pub fn read_entity(&self, entity: EntityId, fallback_global: Value) -> Value {
+        let local = match &self.workspace {
+            Workspace::Mcs(w) => w.read_entity(entity),
+            Workspace::Single(w) => w.read_entity(entity),
+        };
+        local.unwrap_or(fallback_global)
+    }
+
+    /// Records a write of `value` to `entity` at the current lock index.
+    pub fn write_entity(&mut self, entity: EntityId, value: Value) -> Result<(), StorageError> {
+        let li = self.lock_index();
+        match &mut self.workspace {
+            Workspace::Mcs(w) => {
+                if let Some((from, to)) = w.write_entity(entity, li, value)? {
+                    // A budget eviction destroyed the values of lock
+                    // states in [from, to): encode as the spanning edge
+                    // (from − 1, to).
+                    if let Some(sdg) = &mut self.sdg {
+                        sdg.on_write(LockIndex::new(from.raw().saturating_sub(1)), to);
+                    }
+                }
+            }
+            Workspace::Single(w) => {
+                let rec = w.write_entity(entity, li, value)?;
+                if let Some(sdg) = &mut self.sdg {
+                    sdg.on_write(rec.u, rec.w);
+                }
+            }
+        }
+        self.advance();
+        Ok(())
+    }
+
+    /// Records an assignment of `value` to local variable `var`.
+    pub fn assign_var(&mut self, var: VarId, value: Value) -> Result<(), StorageError> {
+        let li = self.lock_index();
+        match &mut self.workspace {
+            Workspace::Mcs(w) => {
+                if let Some((from, to)) = w.assign_var(var, li, value)? {
+                    if let Some(sdg) = &mut self.sdg {
+                        sdg.on_write(LockIndex::new(from.raw().saturating_sub(1)), to);
+                    }
+                }
+            }
+            Workspace::Single(w) => {
+                let rec = w.assign_var(var, li, value)?;
+                if let Some(sdg) = &mut self.sdg {
+                    sdg.on_write(rec.u, rec.w);
+                }
+            }
+        }
+        self.advance();
+        Ok(())
+    }
+
+    /// Handles an unlock: marks the shrinking phase and returns the final
+    /// local value to publish (exclusive holds only).
+    pub fn complete_unlock(&mut self, entity: EntityId) -> Option<Value> {
+        self.shrinking = true;
+        self.held.remove(&entity);
+        let published = match &mut self.workspace {
+            Workspace::Mcs(w) => w.on_unlock(entity),
+            Workspace::Single(w) => w.on_unlock(entity),
+        };
+        self.advance();
+        published
+    }
+
+    /// Advances one atomic operation: `pc` and state index.
+    pub fn advance(&mut self) {
+        self.pc += 1;
+        self.state = self.state.next();
+    }
+
+    /// Performs the runtime part of a rollback to lock state `target`
+    /// (workspace restore, SDG truncation, pc/state reset, §4 steps 2–5).
+    /// Returns the lock-state records released (the engine releases the
+    /// corresponding table locks, *without* publishing).
+    ///
+    /// The caller must have verified that `target` is reachable under the
+    /// strategy; for single-copy workspaces an unreachable target is a
+    /// programming error and surfaces as `StorageError::NotRestorable`.
+    pub fn rollback_to(&mut self, target: LockIndex) -> Result<Vec<LockStateInfo>, StorageError> {
+        debug_assert!(!self.shrinking, "two-phase transactions never roll back after unlock");
+        debug_assert!(target.index() <= self.lock_states.len());
+        // A bounded workspace cannot detect a rollback into an evicted
+        // interval on its own (the stacks simply no longer hold the
+        // value); the engine must only aim at well-defined states. The
+        // single-copy workspace (Sdg strategy) validates for itself and
+        // returns an error, so only Bounded needs the guard.
+        debug_assert!(
+            !matches!(self.strategy, StrategyKind::Bounded(_))
+                || self.sdg.as_ref().is_some_and(|g| g.is_well_defined(target)),
+            "bounded rollback target {target:?} lies in an evicted interval",
+        );
+        match &mut self.workspace {
+            Workspace::Mcs(w) => {
+                w.rollback_to(target);
+            }
+            Workspace::Single(w) => {
+                w.rollback_to(target)?;
+            }
+        }
+        if let Some(sdg) = &mut self.sdg {
+            sdg.rollback_to(target);
+        }
+        let released = self.lock_states.split_off(target.index());
+        for ls in &released {
+            self.held.remove(&ls.entity);
+        }
+        let (new_pc, new_state) = match self.lock_states.get(target.index().wrapping_sub(1)) {
+            // Rolling to lock state k: resume at the k-th lock request.
+            _ if !released.is_empty() => (released[0].pc, released[0].state_index),
+            // target == current lock index: nothing released, nothing moves.
+            _ => (self.pc, self.state),
+        };
+        let lost = self.state.cost_to(new_state);
+        self.states_lost += u64::from(lost);
+        self.preemptions += 1;
+        self.pc = new_pc;
+        self.state = new_state;
+        self.phase = Phase::Running;
+        self.blocked_on = None;
+        Ok(released)
+    }
+
+    /// Whether this transaction may still be rolled back.
+    pub fn rollbackable(&self) -> bool {
+        !self.shrinking && self.phase != Phase::Committed
+    }
+
+    /// Local copies currently held.
+    pub fn copies(&self) -> usize {
+        self.workspace.copies()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pr_model::{EntityId, ProgramBuilder};
+
+    fn e(i: u32) -> EntityId {
+        EntityId::new(i)
+    }
+
+    fn runtime(strategy: StrategyKind) -> TxnRuntime {
+        let p = ProgramBuilder::new()
+            .lock_exclusive(e(0))
+            .write_const(e(0), 1)
+            .lock_exclusive(e(1))
+            .write_const(e(1), 2)
+            .lock_exclusive(e(2))
+            .build_unchecked();
+        TxnRuntime::new(TxnId::new(1), Arc::new(p), 0, strategy)
+    }
+
+    #[test]
+    fn complete_lock_advances_and_records() {
+        let mut rt = runtime(StrategyKind::Mcs);
+        rt.complete_lock(e(0), LockMode::Exclusive, Value::new(10));
+        assert_eq!(rt.pc, 1);
+        assert_eq!(rt.state, StateIndex::new(1));
+        assert_eq!(rt.lock_index(), LockIndex::new(1));
+        assert_eq!(rt.lock_state_for(e(0)), Some(LockIndex::ZERO));
+        assert_eq!(rt.read_entity(e(0), Value::ZERO), Value::new(10));
+    }
+
+    #[test]
+    fn cost_to_lock_state_is_state_difference() {
+        let mut rt = runtime(StrategyKind::Mcs);
+        rt.complete_lock(e(0), LockMode::Exclusive, Value::ZERO); // state 0→1
+        rt.write_entity(e(0), Value::new(1)).unwrap(); // 1→2
+        rt.complete_lock(e(1), LockMode::Exclusive, Value::ZERO); // 2→3
+        // Lock state 0 was at state 0; lock state 1 at state 2.
+        assert_eq!(rt.cost_to_lock_state(LockIndex::new(0)), 3);
+        assert_eq!(rt.cost_to_lock_state(LockIndex::new(1)), 1);
+        assert_eq!(rt.cost_to_lock_state(LockIndex::new(2)), 0);
+    }
+
+    #[test]
+    fn rollback_resets_pc_state_and_releases_locks() {
+        let mut rt = runtime(StrategyKind::Mcs);
+        rt.complete_lock(e(0), LockMode::Exclusive, Value::new(10));
+        rt.write_entity(e(0), Value::new(11)).unwrap();
+        rt.complete_lock(e(1), LockMode::Exclusive, Value::new(20));
+        rt.write_entity(e(1), Value::new(21)).unwrap();
+        let released = rt.rollback_to(LockIndex::new(1)).unwrap();
+        assert_eq!(released.len(), 1);
+        assert_eq!(released[0].entity, e(1));
+        // Resume at the second lock request (pc 2 in the program), state 2.
+        assert_eq!(rt.pc, 2);
+        assert_eq!(rt.state, StateIndex::new(2));
+        assert_eq!(rt.states_lost, 2);
+        assert_eq!(rt.preemptions, 1);
+        // a's written value survives (write was before lock state 1).
+        assert_eq!(rt.read_entity(e(0), Value::ZERO), Value::new(11));
+        assert!(rt.lock_state_for(e(1)).is_none());
+    }
+
+    #[test]
+    fn total_strategy_reaches_only_zero() {
+        let rt = runtime(StrategyKind::Total);
+        assert_eq!(rt.reachable_target(StrategyKind::Total, LockIndex::new(2)), LockIndex::ZERO);
+    }
+
+    #[test]
+    fn mcs_reaches_ideal_target() {
+        let rt = runtime(StrategyKind::Mcs);
+        assert_eq!(rt.reachable_target(StrategyKind::Mcs, LockIndex::new(2)), LockIndex::new(2));
+    }
+
+    #[test]
+    fn sdg_falls_back_to_well_defined_state() {
+        let mut rt = runtime(StrategyKind::Sdg);
+        rt.complete_lock(e(0), LockMode::Exclusive, Value::ZERO); // k0
+        rt.write_entity(e(0), Value::new(1)).unwrap(); // first write: harmless
+        rt.complete_lock(e(1), LockMode::Exclusive, Value::ZERO); // k1
+        rt.complete_lock(e(2), LockMode::Exclusive, Value::ZERO); // k2
+        rt.write_entity(e(0), Value::new(2)).unwrap(); // destroys k1, k2
+        assert_eq!(rt.reachable_target(StrategyKind::Sdg, LockIndex::new(2)), LockIndex::ZERO);
+        assert_eq!(rt.reachable_target(StrategyKind::Sdg, LockIndex::new(3)), LockIndex::new(3));
+    }
+
+    #[test]
+    fn sdg_rollback_restores_values() {
+        let mut rt = runtime(StrategyKind::Sdg);
+        rt.complete_lock(e(0), LockMode::Exclusive, Value::new(100));
+        rt.write_entity(e(0), Value::new(1)).unwrap();
+        rt.complete_lock(e(1), LockMode::Exclusive, Value::new(200));
+        rt.complete_lock(e(2), LockMode::Exclusive, Value::new(300));
+        rt.write_entity(e(0), Value::new(2)).unwrap(); // destroys k1, k2
+        // Ideal target 2 is undefined; reachable target is 0 (total).
+        let target = rt.reachable_target(StrategyKind::Sdg, LockIndex::new(2));
+        assert_eq!(target, LockIndex::ZERO);
+        let released = rt.rollback_to(target).unwrap();
+        assert_eq!(released.len(), 3);
+        assert_eq!(rt.pc, 0);
+        assert_eq!(rt.state, StateIndex::ZERO);
+        // Rolling back to a *well-defined* non-zero state works: rebuild.
+        rt.complete_lock(e(0), LockMode::Exclusive, Value::new(100));
+        rt.write_entity(e(0), Value::new(1)).unwrap();
+        rt.complete_lock(e(1), LockMode::Exclusive, Value::new(200));
+        let released = rt.rollback_to(LockIndex::new(1)).unwrap();
+        assert_eq!(released.len(), 1);
+        assert_eq!(rt.read_entity(e(0), Value::ZERO), Value::new(1));
+    }
+
+    #[test]
+    fn unlock_marks_shrinking_and_returns_final_value() {
+        let mut rt = runtime(StrategyKind::Mcs);
+        rt.complete_lock(e(0), LockMode::Exclusive, Value::new(5));
+        rt.write_entity(e(0), Value::new(6)).unwrap();
+        let v = rt.complete_unlock(e(0));
+        assert_eq!(v, Some(Value::new(6)));
+        assert!(rt.shrinking);
+        assert!(!rt.rollbackable());
+    }
+
+    #[test]
+    fn shared_locks_have_no_local_copy() {
+        let mut rt = runtime(StrategyKind::Mcs);
+        rt.complete_lock(e(0), LockMode::Shared, Value::new(7));
+        assert_eq!(rt.read_entity(e(0), Value::new(42)), Value::new(42));
+        assert_eq!(rt.complete_unlock(e(0)), None);
+    }
+
+    #[test]
+    fn rollback_to_current_lock_index_is_a_noop_motion() {
+        let mut rt = runtime(StrategyKind::Mcs);
+        rt.complete_lock(e(0), LockMode::Exclusive, Value::ZERO);
+        let pc = rt.pc;
+        let released = rt.rollback_to(LockIndex::new(1)).unwrap();
+        assert!(released.is_empty());
+        assert_eq!(rt.pc, pc);
+    }
+}

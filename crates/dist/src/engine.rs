@@ -1,0 +1,846 @@
+//! The distributed execution engine (§3.3).
+//!
+//! Shares the transaction runtime, lock semantics, rollback strategies and
+//! victim machinery with `pr-core`, but distributes deadlock handling:
+//! entities live at sites, remote interactions cost messages, and the
+//! cross-site scheme decides between detection and prevention.
+
+use crate::metrics::DistMetrics;
+use crate::site::{Partition, SiteId};
+use pr_core::deadlock::{plan_resolution, DeadlockEvent};
+use pr_core::runtime::{Phase, TxnRuntime};
+use pr_core::scheduler::Scheduler;
+use pr_core::{EngineError, StrategyKind, SystemConfig, VictimPolicyKind};
+use pr_graph::cycles::cycles_on_wait;
+use pr_graph::{CandidateRollback, WaitsForGraph};
+use pr_lock::{HeldLock, LockTable, RequestOutcome};
+use pr_model::{EntityId, LockIndex, LockMode, Op, TransactionProgram, TxnId};
+use pr_storage::GlobalStore;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// How cross-site deadlocks are kept at bay (§3.3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CrossSiteScheme {
+    /// One coordinator (site 0) maintains the complete concurrency graph;
+    /// every wait registered from another site costs a message. Detection
+    /// and min-cost resolution work exactly as in the centralized system.
+    GlobalDetection,
+    /// Timestamp prevention: an older requester *wounds* (partially rolls
+    /// back) every younger incompatible holder just past the contested
+    /// entity's lock state; a younger requester waits. Timestamps
+    /// strictly increase along every wait arc, so no cycle can ever form
+    /// and no detection machinery is needed.
+    WoundWait,
+    /// The paper's "a priori ordering of the sites": a transaction may
+    /// wait only for an entity whose site is ≥ every site it currently
+    /// holds entities at. Violations partially roll the requester back to
+    /// its latest state holding nothing above the requested site. Any
+    /// remaining cycle is confined to a single site and caught by that
+    /// site's local graph.
+    SiteOrdered,
+}
+
+impl CrossSiteScheme {
+    /// All schemes, for sweeps.
+    pub const ALL: [CrossSiteScheme; 3] = [
+        CrossSiteScheme::GlobalDetection,
+        CrossSiteScheme::WoundWait,
+        CrossSiteScheme::SiteOrdered,
+    ];
+
+    /// Short display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrossSiteScheme::GlobalDetection => "global-detection",
+            CrossSiteScheme::WoundWait => "wound-wait",
+            CrossSiteScheme::SiteOrdered => "site-ordered",
+        }
+    }
+}
+
+/// Distributed system configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DistConfig {
+    /// Entity placement.
+    pub partition: Partition,
+    /// Cross-site deadlock scheme.
+    pub scheme: CrossSiteScheme,
+    /// Rollback strategy (shared with the single-site engine).
+    pub strategy: StrategyKind,
+    /// Victim policy for detection-based resolution.
+    pub victim: VictimPolicyKind,
+    /// Step limit for `run`.
+    pub max_steps: u64,
+}
+
+impl DistConfig {
+    /// A configuration over `sites` round-robin sites.
+    pub fn new(sites: u16, scheme: CrossSiteScheme, strategy: StrategyKind) -> Self {
+        DistConfig {
+            partition: Partition::RoundRobin { sites },
+            scheme,
+            strategy,
+            victim: VictimPolicyKind::PartialOrder,
+            max_steps: 10_000_000,
+        }
+    }
+
+    fn engine_config(&self) -> SystemConfig {
+        let mut c = SystemConfig::new(self.strategy, self.victim);
+        c.max_steps = self.max_steps;
+        c
+    }
+}
+
+/// A multi-site database system.
+pub struct DistributedSystem {
+    store: GlobalStore,
+    table: LockTable,
+    /// One graph per site under `SiteOrdered` (indexed by entity site);
+    /// `graphs[0]` is the coordinator's graph otherwise.
+    graphs: Vec<WaitsForGraph>,
+    txns: BTreeMap<TxnId, TxnRuntime>,
+    home: BTreeMap<TxnId, SiteId>,
+    config: DistConfig,
+    metrics: DistMetrics,
+    next_txn: u32,
+    entry_counter: u64,
+}
+
+impl DistributedSystem {
+    /// Creates a system over `store`.
+    pub fn new(store: GlobalStore, config: DistConfig) -> Self {
+        let graphs = match config.scheme {
+            CrossSiteScheme::SiteOrdered => {
+                vec![WaitsForGraph::new(); config.partition.sites() as usize]
+            }
+            _ => vec![WaitsForGraph::new()],
+        };
+        DistributedSystem {
+            store,
+            table: LockTable::new(),
+            graphs,
+            txns: BTreeMap::new(),
+            home: BTreeMap::new(),
+            config,
+            metrics: DistMetrics::default(),
+            next_txn: 1,
+            entry_counter: 0,
+        }
+    }
+
+    /// Admits a program; the transaction's home site is the site of its
+    /// first locked entity (where it originates).
+    pub fn admit(&mut self, program: TransactionProgram) -> Result<TxnId, EngineError> {
+        pr_model::validate::validate(&program)
+            .map_err(|_| EngineError::NotRunnable(TxnId::new(self.next_txn)))?;
+        for entity in program.locked_entities() {
+            self.store.ensure(entity);
+        }
+        let home = program
+            .locked_entities()
+            .first()
+            .map(|&e| self.config.partition.site_of(e))
+            .unwrap_or(SiteId::COORDINATOR);
+        let id = TxnId::new(self.next_txn);
+        self.next_txn += 1;
+        let entry = self.entry_counter;
+        self.entry_counter += 1;
+        self.txns.insert(id, TxnRuntime::new(id, Arc::new(program), entry, self.config.strategy));
+        self.home.insert(id, home);
+        Ok(id)
+    }
+
+    fn site_of(&self, entity: EntityId) -> SiteId {
+        self.config.partition.site_of(entity)
+    }
+
+    fn home_of(&self, txn: TxnId) -> SiteId {
+        self.home.get(&txn).copied().unwrap_or(SiteId::COORDINATOR)
+    }
+
+    fn graph_index(&self, entity: EntityId) -> usize {
+        match self.config.scheme {
+            CrossSiteScheme::SiteOrdered => usize::from(self.site_of(entity).raw()),
+            _ => 0,
+        }
+    }
+
+    fn charge_remote(&mut self, txn: TxnId, entity: EntityId, msgs: u64) {
+        if self.site_of(entity) != self.home_of(txn) {
+            self.metrics.messages += msgs;
+        }
+    }
+
+    /// Ready transactions.
+    pub fn ready(&self) -> Vec<TxnId> {
+        self.txns.values().filter(|rt| rt.phase == Phase::Running).map(|rt| rt.id).collect()
+    }
+
+    /// Whether every transaction committed.
+    pub fn all_committed(&self) -> bool {
+        self.txns.values().all(|rt| rt.phase == Phase::Committed)
+    }
+
+    /// Runs under `scheduler` until all commit.
+    pub fn run<S: Scheduler>(&mut self, scheduler: &mut S) -> Result<(), EngineError> {
+        let mut steps = 0u64;
+        loop {
+            let ready = self.ready();
+            if ready.is_empty() {
+                if self.all_committed() {
+                    return Ok(());
+                }
+                return Err(EngineError::Stuck {
+                    blocked: self
+                        .txns
+                        .values()
+                        .filter(|rt| rt.phase == Phase::Blocked)
+                        .map(|rt| rt.id)
+                        .collect(),
+                });
+            }
+            steps += 1;
+            if steps > self.config.max_steps {
+                return Err(EngineError::StepLimitExceeded { limit: self.config.max_steps });
+            }
+            let pick = scheduler.pick(&ready);
+            self.step(pick)?;
+        }
+    }
+
+    /// Executes one atomic operation of `id`.
+    pub fn step(&mut self, id: TxnId) -> Result<(), EngineError> {
+        let rt = self.txns.get(&id).ok_or(EngineError::NoSuchTxn(id))?;
+        if rt.phase != Phase::Running {
+            return Err(EngineError::NotRunnable(id));
+        }
+        let op = rt.program.op(rt.pc).cloned().ok_or(EngineError::NotRunnable(id))?;
+        match op {
+            Op::LockShared(e) => self.do_lock(id, e, LockMode::Shared),
+            Op::LockExclusive(e) => self.do_lock(id, e, LockMode::Exclusive),
+            Op::Unlock(e) => self.do_unlock(id, e),
+            Op::Read { entity, into } => {
+                let global = self.store.read(entity)?;
+                let rt = self.txns.get_mut(&id).expect("checked");
+                let value = rt.read_entity(entity, global);
+                rt.assign_var(into, value)?;
+                self.charge_remote(id, entity, 1); // remote read fetch
+                self.metrics.ops_executed += 1;
+                Ok(())
+            }
+            Op::Write { entity, expr } => {
+                let rt = self.txns.get_mut(&id).expect("checked");
+                let value = expr.eval(rt.workspace.vars());
+                rt.write_entity(entity, value)?;
+                self.metrics.ops_executed += 1;
+                Ok(())
+            }
+            Op::Assign { var, expr } => {
+                let rt = self.txns.get_mut(&id).expect("checked");
+                let value = expr.eval(rt.workspace.vars());
+                rt.assign_var(var, value)?;
+                self.metrics.ops_executed += 1;
+                Ok(())
+            }
+            Op::Compute(expr) => {
+                let rt = self.txns.get_mut(&id).expect("checked");
+                let _ = expr.eval(rt.workspace.vars());
+                rt.advance();
+                self.metrics.ops_executed += 1;
+                Ok(())
+            }
+            Op::Commit => self.do_commit(id),
+        }
+    }
+
+    fn do_lock(&mut self, id: TxnId, entity: EntityId, mode: LockMode) -> Result<(), EngineError> {
+        // Site-order rule is checked before the request is even sent.
+        if self.config.scheme == CrossSiteScheme::SiteOrdered {
+            let s = self.site_of(entity);
+            let rt = self.txns.get(&id).expect("checked");
+            let violation = rt
+                .lock_states
+                .iter()
+                .position(|ls| self.site_of(ls.entity) > s && rt.held.contains(&ls.entity));
+            if let Some(first_bad) = violation {
+                // Only an actual wait violates the ordering argument; probe
+                // whether the lock would be granted outright.
+                let holders = self.table.holder_records(entity);
+                let must_wait =
+                    holders.iter().any(|h| h.txn != id && !mode.compatible_with(h.mode));
+                if must_wait {
+                    // Tie-break by entry order so mutual violators cannot
+                    // preempt each other forever (the Theorem 2 argument):
+                    // the oldest requester wounds the younger holders out
+                    // of its way and acquires in the same step; a younger
+                    // requester yields by releasing everything. The loop
+                    // is needed because each wound's releases may promote
+                    // queued waiters into fresh holders.
+                    self.metrics.order_violations += 1;
+                    let my_entry = rt.entry_order;
+                    let ideal = LockIndex::new(first_bad as u32);
+                    loop {
+                        let blockers: Vec<TxnId> = self
+                            .table
+                            .holder_records(entity)
+                            .into_iter()
+                            .filter(|h| h.txn != id && !mode.compatible_with(h.mode))
+                            .map(|h| h.txn)
+                            .collect();
+                        if blockers.is_empty() {
+                            let (state, lock_index) = {
+                                let rt = self.txns.get(&id).expect("checked");
+                                (rt.state, rt.lock_index())
+                            };
+                            self.charge_remote(id, entity, 2);
+                            match self.table.request(id, entity, mode, state, lock_index)? {
+                                RequestOutcome::Granted => {
+                                    self.finalize_grant(id, entity, mode)?;
+                                    self.sync_entity(entity)?;
+                                }
+                                RequestOutcome::Wait { .. } => {
+                                    unreachable!("no incompatible holders remain")
+                                }
+                            }
+                            return Ok(());
+                        }
+                        let all_younger = blockers.iter().all(|t| {
+                            self.txns.get(t).is_some_and(|hrt| {
+                                hrt.entry_order > my_entry && hrt.rollbackable()
+                            })
+                        });
+                        if !all_younger {
+                            // Yield: release *everything*. Dropping only
+                            // the high-site holdings is not enough — the
+                            // older holder may be waiting on a low-site
+                            // lock we would keep (a cross-site cycle in
+                            // disguise).
+                            let rt = self.txns.get(&id).expect("checked");
+                            let target = LockIndex::ZERO;
+                            let cost = rt.cost_to_lock_state(target);
+                            let ideal_cost = rt.cost_to_lock_state(ideal);
+                            self.execute_rollback(CandidateRollback {
+                                txn: id,
+                                target,
+                                ideal,
+                                cost,
+                            })?;
+                            self.metrics.rollback_overshoot += u64::from(cost - ideal_cost);
+                            return Ok(());
+                        }
+                        self.wound_younger_holders(id, entity, &blockers)?;
+                    }
+                }
+                }
+            }
+
+        let (state, lock_index) = {
+            let rt = self.txns.get(&id).expect("checked");
+            (rt.state, rt.lock_index())
+        };
+        self.charge_remote(id, entity, 2); // request + response
+        let outcome = self.table.request(id, entity, mode, state, lock_index)?;
+        match outcome {
+            RequestOutcome::Granted => {
+                self.finalize_grant(id, entity, mode)?;
+                self.sync_entity(entity)?;
+                Ok(())
+            }
+            RequestOutcome::Wait { holders, .. } => {
+                {
+                    let rt = self.txns.get_mut(&id).expect("checked");
+                    rt.phase = Phase::Blocked;
+                    rt.blocked_on = Some(entity);
+                }
+                let gi = self.graph_index(entity);
+                self.graphs[gi].set_wait(id, entity, &holders);
+                if self.config.scheme == CrossSiteScheme::GlobalDetection
+                    && self.home_of(id) != SiteId::COORDINATOR
+                {
+                    self.metrics.messages += 1; // graph maintenance
+                }
+                self.metrics.waits += 1;
+                match self.config.scheme {
+                    CrossSiteScheme::WoundWait => self.wound_younger_holders(id, entity, &holders),
+                    _ => self.resolve_cycles(id, entity),
+                }
+            }
+        }
+    }
+
+    /// Wound-wait: partially roll back every incompatible holder younger
+    /// than the requester, just past the contested entity's lock state.
+    fn wound_younger_holders(
+        &mut self,
+        requester: TxnId,
+        entity: EntityId,
+        holders: &[TxnId],
+    ) -> Result<(), EngineError> {
+        let my_entry = self.txns.get(&requester).expect("checked").entry_order;
+        for &h in holders {
+            let Some(hrt) = self.txns.get(&h) else { continue };
+            if hrt.entry_order <= my_entry || !hrt.rollbackable() {
+                continue; // older (or unwoundable) holder: we wait
+            }
+            let Some(ideal) = hrt.lock_state_for(entity) else { continue };
+            let target = hrt.reachable_target(self.config.strategy, ideal);
+            let cost = hrt.cost_to_lock_state(target);
+            let ideal_cost = hrt.cost_to_lock_state(ideal);
+            self.execute_rollback(CandidateRollback { txn: h, target, ideal, cost })?;
+            self.metrics.wounds += 1;
+            self.metrics.rollback_overshoot += u64::from(cost - ideal_cost);
+            self.charge_remote(h, entity, 1); // wound notification
+        }
+        Ok(())
+    }
+
+    /// Detection-based resolution (global or per-site graph), mirroring
+    /// the single-site engine's loop.
+    fn resolve_cycles(&mut self, causer: TxnId, entity: EntityId) -> Result<(), EngineError> {
+        let gi = self.graph_index(entity);
+        for round in 0..1024 {
+            let rt = self.txns.get(&causer).expect("checked");
+            if rt.phase != Phase::Blocked {
+                return Ok(());
+            }
+            let Some(mode) = self.table.waiting_on(causer, entity).map(|w| w.mode) else {
+                return Ok(());
+            };
+            let holders: Vec<TxnId> = self
+                .table
+                .holder_records(entity)
+                .into_iter()
+                .filter(|h| h.txn != causer && !mode.compatible_with(h.mode))
+                .map(|h| h.txn)
+                .collect();
+            self.graphs[gi].clear_wait(causer);
+            let cycles = cycles_on_wait(&self.graphs[gi], causer, entity, &holders, 64);
+            self.graphs[gi].set_wait(causer, entity, &holders);
+            if cycles.is_empty() {
+                return Ok(());
+            }
+            self.metrics.detected_deadlocks += 1;
+            let event = DeadlockEvent { causer, entity, cycles };
+            let plan = plan_resolution(&event, &self.config.engine_config(), &self.txns);
+            if plan.rollbacks.is_empty() {
+                break;
+            }
+            for rb in &plan.rollbacks {
+                self.execute_rollback(*rb)?;
+                self.metrics.detection_rollbacks += 1;
+            }
+            let _ = round;
+        }
+        Err(EngineError::Stuck { blocked: vec![causer] })
+    }
+
+    fn execute_rollback(&mut self, rb: CandidateRollback) -> Result<(), EngineError> {
+        let victim = rb.txn;
+        let blocked_entity = {
+            let rt = self.txns.get(&victim).ok_or(EngineError::NoSuchTxn(victim))?;
+            (rt.phase == Phase::Blocked).then(|| rt.blocked_on.expect("blocked records entity"))
+        };
+        if let Some(entity) = blocked_entity {
+            let granted = self.table.cancel_wait(victim, entity)?;
+            let gi = self.graph_index(entity);
+            self.graphs[gi].clear_wait(victim);
+            self.process_grants(entity, granted)?;
+            self.refresh_waiters(entity);
+        }
+        let (released, cost) = {
+            let rt = self.txns.get_mut(&victim).expect("checked");
+            let target = rb.target.min(rt.lock_index());
+            let cost = rt.cost_to_lock_state(target);
+            (rt.rollback_to(target)?, cost)
+        };
+        self.metrics.states_lost += u64::from(cost);
+        for ls in released {
+            // A nested wound triggered by an earlier release in this loop
+            // may already have rolled the victim further and released this
+            // entity; the lock table is the source of truth.
+            if self.table.held_by(victim, ls.entity).is_none() {
+                continue;
+            }
+            self.charge_remote(victim, ls.entity, 1);
+            let granted = self.table.release(victim, ls.entity)?;
+            self.process_grants(ls.entity, granted)?;
+            self.sync_entity(ls.entity)?;
+        }
+        Ok(())
+    }
+
+    fn do_unlock(&mut self, id: TxnId, entity: EntityId) -> Result<(), EngineError> {
+        let published = {
+            let rt = self.txns.get_mut(&id).expect("checked");
+            rt.complete_unlock(entity)
+        };
+        if let Some(v) = published {
+            self.store.publish(entity, v)?;
+        }
+        self.charge_remote(id, entity, 1);
+        let granted = self.table.release(id, entity)?;
+        self.process_grants(entity, granted)?;
+        self.sync_entity(entity)?;
+        self.metrics.ops_executed += 1;
+        Ok(())
+    }
+
+    fn do_commit(&mut self, id: TxnId) -> Result<(), EngineError> {
+        let held: Vec<EntityId> = {
+            let rt = self.txns.get(&id).expect("checked");
+            rt.held.iter().copied().collect()
+        };
+        for entity in held {
+            let published = {
+                let rt = self.txns.get_mut(&id).expect("checked");
+                let v = rt.complete_unlock(entity);
+                rt.pc -= 1;
+                rt.state = pr_model::StateIndex::new(rt.state.raw() - 1);
+                v
+            };
+            if let Some(v) = published {
+                self.store.publish(entity, v)?;
+            }
+            self.charge_remote(id, entity, 1);
+            let granted = self.table.release(id, entity)?;
+            self.process_grants(entity, granted)?;
+            self.sync_entity(entity)?;
+        }
+        let rt = self.txns.get_mut(&id).expect("checked");
+        rt.advance();
+        rt.phase = Phase::Committed;
+        self.metrics.ops_executed += 1;
+        self.metrics.commits += 1;
+        Ok(())
+    }
+
+    fn finalize_grant(&mut self, id: TxnId, entity: EntityId, mode: LockMode) -> Result<(), EngineError> {
+        let global = self.store.read(entity)?;
+        let rt = self.txns.get_mut(&id).expect("grantee exists");
+        rt.complete_lock(entity, mode, global);
+        self.metrics.ops_executed += 1;
+        Ok(())
+    }
+
+    fn process_grants(&mut self, entity: EntityId, granted: Vec<HeldLock>) -> Result<(), EngineError> {
+        let gi = self.graph_index(entity);
+        for h in granted {
+            self.graphs[gi].clear_wait(h.txn);
+            self.finalize_grant(h.txn, entity, h.mode)?;
+        }
+        Ok(())
+    }
+
+    /// Refreshes waiter arcs and re-applies the wound-wait rule: a newly
+    /// granted *younger* holder must not keep an older waiter waiting, or
+    /// the timestamp invariant (waits only run young → old) breaks and an
+    /// undetectable cycle could form.
+    fn sync_entity(&mut self, entity: EntityId) -> Result<(), EngineError> {
+        self.refresh_waiters(entity);
+        if self.config.scheme != CrossSiteScheme::WoundWait {
+            return Ok(());
+        }
+        loop {
+            let holders = self.table.holder_records(entity);
+            let mut wound: Option<CandidateRollback> = None;
+            'outer: for w in self.table.waiters_of(entity) {
+                let w_entry = match self.txns.get(&w.txn) {
+                    Some(rt) => rt.entry_order,
+                    None => continue,
+                };
+                for h in &holders {
+                    if h.txn == w.txn || w.mode.compatible_with(h.mode) {
+                        continue;
+                    }
+                    let Some(hrt) = self.txns.get(&h.txn) else { continue };
+                    if hrt.entry_order > w_entry && hrt.rollbackable() {
+                        let Some(ideal) = hrt.lock_state_for(entity) else { continue };
+                        let target = hrt.reachable_target(self.config.strategy, ideal);
+                        let cost = hrt.cost_to_lock_state(target);
+                        wound = Some(CandidateRollback { txn: h.txn, target, ideal, cost });
+                        break 'outer;
+                    }
+                }
+            }
+            let Some(rb) = wound else { return Ok(()) };
+            let ideal_cost =
+                self.txns.get(&rb.txn).expect("checked").cost_to_lock_state(rb.ideal);
+            self.execute_rollback(rb)?;
+            self.metrics.wounds += 1;
+            self.metrics.rollback_overshoot += u64::from(rb.cost - ideal_cost);
+            self.charge_remote(rb.txn, entity, 1);
+            self.refresh_waiters(entity);
+        }
+    }
+
+    fn refresh_waiters(&mut self, entity: EntityId) {
+        let gi = self.graph_index(entity);
+        let holders = self.table.holder_records(entity);
+        for w in self.table.waiters_of(entity) {
+            let blockers: Vec<TxnId> = holders
+                .iter()
+                .filter(|h| h.txn != w.txn && !w.mode.compatible_with(h.mode))
+                .map(|h| h.txn)
+                .collect();
+            self.graphs[gi].set_wait(w.txn, entity, &blockers);
+        }
+    }
+
+    /// The database.
+    pub fn store(&self) -> &GlobalStore {
+        &self.store
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> &DistMetrics {
+        &self.metrics
+    }
+
+    /// A transaction's runtime.
+    pub fn txn(&self, id: TxnId) -> Option<&TxnRuntime> {
+        self.txns.get(&id)
+    }
+
+    /// A transaction's home site.
+    pub fn home(&self, id: TxnId) -> SiteId {
+        self.home_of(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pr_core::scheduler::RoundRobin;
+    use pr_model::{ProgramBuilder, Value};
+
+    fn e(i: u32) -> EntityId {
+        EntityId::new(i)
+    }
+
+    /// Lock a then b with padding — entities chosen so sites differ under
+    /// a 2-site round-robin partition (even ids site0, odd ids site1).
+    fn two_lock(a: u32, b: u32, pads: usize) -> TransactionProgram {
+        ProgramBuilder::new()
+            .lock_exclusive(e(a))
+            .write_const(e(a), 1)
+            .pad(pads)
+            .lock_exclusive(e(b))
+            .write_const(e(b), 2)
+            .build()
+            .unwrap()
+    }
+
+    fn sys(scheme: CrossSiteScheme, strategy: StrategyKind) -> DistributedSystem {
+        let store = GlobalStore::with_entities(8, Value::new(100));
+        DistributedSystem::new(store, DistConfig::new(2, scheme, strategy))
+    }
+
+    #[test]
+    fn home_site_is_first_locked_entitys_site() {
+        let mut s = sys(CrossSiteScheme::GlobalDetection, StrategyKind::Mcs);
+        let t1 = s.admit(two_lock(0, 1, 0)).unwrap();
+        let t2 = s.admit(two_lock(1, 0, 0)).unwrap();
+        assert_eq!(s.home(t1), SiteId::new(0));
+        assert_eq!(s.home(t2), SiteId::new(1));
+    }
+
+    #[test]
+    fn all_schemes_resolve_the_classic_cross_site_deadlock() {
+        for scheme in CrossSiteScheme::ALL {
+            let mut s = sys(scheme, StrategyKind::Mcs);
+            let t1 = s.admit(two_lock(0, 1, 2)).unwrap();
+            let t2 = s.admit(two_lock(1, 0, 2)).unwrap();
+            // Both take their first lock, then collide.
+            s.step(t1).unwrap();
+            s.step(t2).unwrap();
+            s.run(&mut RoundRobin::new()).unwrap_or_else(|err| panic!("{scheme:?}: {err}"));
+            assert!(s.all_committed(), "{scheme:?}");
+            // Each entity's final value is the last committer's write —
+            // either serial order is correct.
+            for ent in [e(0), e(1)] {
+                let v = s.store().read(ent).unwrap();
+                assert!(v == Value::new(1) || v == Value::new(2), "{scheme:?}: {ent} = {v}");
+            }
+            assert!(s.metrics().rollbacks() >= 1, "{scheme:?} had to roll someone back");
+        }
+    }
+
+    #[test]
+    fn global_detection_pays_graph_maintenance_messages() {
+        let run = |scheme| {
+            let mut s = sys(scheme, StrategyKind::Mcs);
+            for i in 0..6 {
+                let (a, b) = if i % 2 == 0 { (0, 1) } else { (1, 0) };
+                s.admit(two_lock(a, b, 2)).unwrap();
+            }
+            s.run(&mut RoundRobin::new()).unwrap();
+            s.metrics().clone()
+        };
+        let global = run(CrossSiteScheme::GlobalDetection);
+        let wound = run(CrossSiteScheme::WoundWait);
+        assert!(global.messages > 0 && wound.messages > 0);
+        assert_eq!(wound.detected_deadlocks, 0, "prevention never detects");
+        assert!(global.detected_deadlocks > 0);
+    }
+
+    #[test]
+    fn wound_wait_rolls_back_younger_holders_only() {
+        let mut s = sys(CrossSiteScheme::WoundWait, StrategyKind::Mcs);
+        let t1 = s.admit(two_lock(0, 1, 2)).unwrap(); // older
+        let t2 = s.admit(two_lock(1, 0, 2)).unwrap(); // younger
+        s.step(t1).unwrap(); // T1 holds a
+        s.step(t2).unwrap(); // T2 holds b
+        // T2 (younger) runs up to and including its request of a (held by
+        // the older T1): it waits.
+        for _ in 0..4 {
+            s.step(t2).unwrap();
+        }
+        assert_eq!(s.txn(t2).unwrap().phase, Phase::Blocked);
+        assert_eq!(s.metrics().wounds, 0);
+        // T1 (older) requests b held by T2 (younger): wounds T2.
+        for _ in 0..4 {
+            s.step(t1).unwrap();
+        }
+        assert_eq!(s.metrics().wounds, 1);
+        assert!(s.txn(t1).unwrap().held.contains(&e(1)), "T1 got b after the wound");
+        s.run(&mut RoundRobin::new()).unwrap();
+        assert!(s.all_committed());
+    }
+
+    #[test]
+    fn site_ordered_rolls_back_order_violations() {
+        // T1 locks b (site1) then a (site0): waiting for a while holding
+        // site1 violates the order whenever a is contested.
+        let mut s = sys(CrossSiteScheme::SiteOrdered, StrategyKind::Mcs);
+        let t1 = s.admit(two_lock(1, 0, 2)).unwrap(); // b then a: descending
+        let t2 = s.admit(two_lock(0, 2, 8)).unwrap(); // holds a a while
+        s.step(t2).unwrap(); // T2 holds a
+        s.step(t1).unwrap(); // T1 holds b
+        for _ in 0..4 {
+            s.step(t1).unwrap(); // write, pads, then the request of a
+        }
+        // T1's request of contested a (site0 < site1 of held b) violates
+        // the order: T1 was rolled back instead of enqueued.
+        assert_eq!(s.metrics().order_violations, 1);
+        assert_eq!(s.txn(t1).unwrap().phase, Phase::Running);
+        s.run(&mut RoundRobin::new()).unwrap();
+        assert!(s.all_committed());
+    }
+
+    #[test]
+    fn site_ordered_detects_same_site_cycles_locally() {
+        // Entities 0 and 2 both live at site 0 under 2-site round-robin:
+        // a same-site deadlock, resolved by the local graph.
+        let mut s = sys(CrossSiteScheme::SiteOrdered, StrategyKind::Mcs);
+        let t1 = s.admit(two_lock(0, 2, 2)).unwrap();
+        let t2 = s.admit(two_lock(2, 0, 2)).unwrap();
+        s.step(t1).unwrap();
+        s.step(t2).unwrap();
+        s.run(&mut RoundRobin::new()).unwrap();
+        assert!(s.all_committed());
+        assert!(s.metrics().detected_deadlocks >= 1, "local detection fired");
+        assert_eq!(s.metrics().order_violations, 0, "same-site locks never violate the order");
+    }
+
+    #[test]
+    fn remote_operations_cost_messages_local_ones_do_not() {
+        let mut s = sys(CrossSiteScheme::WoundWait, StrategyKind::Mcs);
+        // Both entities at site 0 (ids 0 and 2), txn homed at site 0: no
+        // remote traffic at all.
+        let t1 = s.admit(two_lock(0, 2, 0)).unwrap();
+        let _ = t1;
+        s.run(&mut RoundRobin::new()).unwrap();
+        assert_eq!(s.metrics().messages, 0);
+
+        // Cross-site transaction pays for its remote lock.
+        let store = GlobalStore::with_entities(8, Value::new(100));
+        let mut s =
+            DistributedSystem::new(store, DistConfig::new(2, CrossSiteScheme::WoundWait, StrategyKind::Mcs));
+        s.admit(two_lock(0, 1, 0)).unwrap();
+        s.run(&mut RoundRobin::new()).unwrap();
+        assert!(s.metrics().messages >= 3, "remote lock + read + release");
+    }
+
+    #[test]
+    fn distributed_runs_are_deterministic() {
+        let run = || {
+            let store = GlobalStore::with_entities(8, Value::new(100));
+            let mut s = DistributedSystem::new(
+                store,
+                DistConfig::new(2, CrossSiteScheme::SiteOrdered, StrategyKind::Mcs),
+            );
+            for i in 0..10 {
+                let (a, b) = if i % 2 == 0 { (0, 3) } else { (3, 0) };
+                s.admit(two_lock(a, b, 4)).unwrap();
+            }
+            s.run(&mut RoundRobin::new()).unwrap();
+            (s.metrics().clone(), s.store().snapshot())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn distributed_outcomes_match_some_serial_order() {
+        // Two conflicting writers: the final value of each entity must be
+        // one of the two serial outcomes under every scheme.
+        for scheme in CrossSiteScheme::ALL {
+            let mut s = sys(scheme, StrategyKind::Sdg);
+            let p1 = ProgramBuilder::new()
+                .lock_exclusive(e(0))
+                .write_const(e(0), 10)
+                .pad(2)
+                .lock_exclusive(e(1))
+                .write_const(e(1), 11)
+                .build()
+                .unwrap();
+            let p2 = ProgramBuilder::new()
+                .lock_exclusive(e(1))
+                .write_const(e(1), 21)
+                .pad(2)
+                .lock_exclusive(e(0))
+                .write_const(e(0), 20)
+                .build()
+                .unwrap();
+            let t1 = s.admit(p1).unwrap();
+            let t2 = s.admit(p2).unwrap();
+            s.step(t1).unwrap();
+            s.step(t2).unwrap();
+            s.run(&mut RoundRobin::new()).unwrap();
+            let v0 = s.store().read(e(0)).unwrap().raw();
+            let v1 = s.store().read(e(1)).unwrap().raw();
+            // Serial T1;T2 → (20, 21); serial T2;T1 → (10, 11).
+            assert!(
+                (v0, v1) == (20, 21) || (v0, v1) == (10, 11),
+                "{scheme:?}: ({v0}, {v1}) is not a serial outcome"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_rollback_beats_total_under_every_scheme() {
+        for scheme in CrossSiteScheme::ALL {
+            let run = |strategy| {
+                let store = GlobalStore::with_entities(8, Value::new(100));
+                let mut s =
+                    DistributedSystem::new(store, DistConfig::new(2, scheme, strategy));
+                for i in 0..8 {
+                    let (a, b) = if i % 2 == 0 { (0, 3) } else { (3, 0) };
+                    s.admit(two_lock(a, b, 6)).unwrap();
+                }
+                s.run(&mut RoundRobin::new()).unwrap();
+                assert!(s.all_committed());
+                s.metrics().clone()
+            };
+            let total = run(StrategyKind::Total);
+            let mcs = run(StrategyKind::Mcs);
+            assert!(
+                mcs.states_lost <= total.states_lost,
+                "{scheme:?}: partial {} vs total {}",
+                mcs.states_lost,
+                total.states_lost
+            );
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # pr-dist — partial rollback in distributed systems (§3.3)
+//!
+//! "For distributed systems, in which transactions process data at a
+//! number of different sites, the communications among sites required for
+//! the maintenance of such global data may make it impractical … Various
+//! methods, such as using timestamps or an a priori ordering of the sites
+//! … have been proposed. These mechanisms in no way invalidate the
+//! advantages of rolling a transaction back to the latest possible state
+//! in which the conflict necessitating the rollback no longer exists."
+//!
+//! This crate builds the multi-site substrate the paper sketches: entities
+//! are [partitioned](Partition) across sites, every remote interaction is
+//! charged messages, and three deadlock-handling schemes — all combinable
+//! with any rollback strategy — are implemented:
+//!
+//! * [`CrossSiteScheme::GlobalDetection`] — one coordinator maintains the
+//!   full concurrency graph (the centralized method of §3, paying graph-
+//!   maintenance messages on every wait);
+//! * [`CrossSiteScheme::WoundWait`] — timestamp prevention, no detection
+//!   at all: an older requester *wounds* (partially rolls back) younger
+//!   holders just far enough to take the lock; a younger requester waits.
+//!   Cycles are impossible because timestamps strictly increase along
+//!   every wait arc;
+//! * [`CrossSiteScheme::SiteOrdered`] — the paper's "a priori ordering of
+//!   the sites": waiting is allowed only for entities at sites no lower
+//!   than any currently held; violations are resolved by partially rolling
+//!   the requester back to its latest state holding nothing above the
+//!   requested site. Cross-site cycles become impossible, and same-site
+//!   cycles are caught by purely *local* detection with the standard
+//!   partial-rollback resolution.
+//!
+//! The experiments quantify §3.3's trade-off: prevention schemes save the
+//! coordinator traffic but perform unnecessary rollbacks; partial rollback
+//! shrinks the damage of every rollback under *every* scheme.
+
+pub mod engine;
+pub mod metrics;
+pub mod site;
+
+pub use engine::{CrossSiteScheme, DistConfig, DistributedSystem};
+pub use metrics::DistMetrics;
+pub use site::{Partition, SiteId};

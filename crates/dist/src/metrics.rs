@@ -1,0 +1,53 @@
+//! Distributed-system metrics: everything the single-site engine counts,
+//! plus the §3.3 quantities — messages and per-scheme rollback causes.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by a [`crate::DistributedSystem`].
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistMetrics {
+    /// Atomic operations completed.
+    pub ops_executed: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Inter-site messages: remote lock/unlock traffic, coordinator graph
+    /// maintenance (global detection), wound notifications.
+    pub messages: u64,
+    /// Deadlocks detected by a (global or per-site) graph.
+    pub detected_deadlocks: u64,
+    /// Rollbacks performed to break detected deadlocks.
+    pub detection_rollbacks: u64,
+    /// Wounds performed (wound-wait prevention).
+    pub wounds: u64,
+    /// Site-order violations resolved by rolling the requester back.
+    pub order_violations: u64,
+    /// States lost across all rollbacks (the paper's damage measure).
+    pub states_lost: u64,
+    /// States lost beyond ideal targets (strategy overshoot).
+    pub rollback_overshoot: u64,
+    /// Wait responses issued.
+    pub waits: u64,
+}
+
+impl DistMetrics {
+    /// All rollbacks of any cause.
+    pub fn rollbacks(&self) -> u64 {
+        self.detection_rollbacks + self.wounds + self.order_violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rollbacks_sums_causes() {
+        let m = DistMetrics {
+            detection_rollbacks: 2,
+            wounds: 3,
+            order_violations: 4,
+            ..Default::default()
+        };
+        assert_eq!(m.rollbacks(), 9);
+    }
+}

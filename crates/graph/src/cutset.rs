@@ -1,0 +1,356 @@
+//! Minimum-cost victim selection for multi-cycle deadlocks (§3.2).
+//!
+//! "Optimization of deadlock removal in a system with shared and exclusive
+//! locks involves finding a set of transactions whose rollback will remove
+//! all cycles from the graph and the sum of whose rollback costs is
+//! minimal. … Unfortunately, the problem appears to be NP-complete, as is
+//! the closely-related feedback vertex set problem."
+//!
+//! The instance is given as a family of cycles; each cycle lists, per
+//! member transaction, the **candidate rollback** (target lock state +
+//! cost) that breaks *that* cycle. Rolling a transaction back to a deeper
+//! (smaller) target covers every cycle whose candidate target is at least
+//! the chosen one, at the maximum of the covered candidates' costs (cost
+//! is monotone in depth, and only candidate depths can be optimal).
+//!
+//! [`solve_exact`] is a branch-and-bound over the first-uncovered-cycle
+//! choice tree with cost pruning and a node budget; [`solve_greedy`] is a
+//! cost-effectiveness heuristic. [`solve`] tries exact first and falls
+//! back.
+
+use pr_model::{LockIndex, TxnId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A possible rollback of one transaction that would break one cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CandidateRollback {
+    /// The transaction to roll back.
+    pub txn: TxnId,
+    /// The lock state to roll back to (the transaction's lock state for
+    /// the entity it must release — or, under the SDG strategy, the
+    /// deepest well-defined state at or below it).
+    pub target: LockIndex,
+    /// The ideal (MCS-reachable) target for the same entity; `target <=
+    /// ideal`, with strict inequality only when the strategy had to
+    /// overshoot. The engine charges `cost(target) − cost(ideal)` to its
+    /// overshoot metric.
+    pub ideal: LockIndex,
+    /// States lost by this rollback (§3.1's cost function).
+    pub cost: u32,
+}
+
+/// A chosen set of rollbacks covering every cycle.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct CutSolution {
+    /// One planned rollback per victim (deepest target needed).
+    pub rollbacks: Vec<CandidateRollback>,
+    /// Sum of the victims' costs.
+    pub total_cost: u64,
+    /// Whether the solution is provably optimal (exact solver completed).
+    pub optimal: bool,
+}
+
+impl CutSolution {
+    fn from_choice(choice: &BTreeMap<TxnId, CandidateRollback>, optimal: bool) -> Self {
+        let rollbacks: Vec<CandidateRollback> = choice.values().copied().collect();
+        let total_cost = rollbacks.iter().map(|r| u64::from(r.cost)).sum();
+        CutSolution { rollbacks, total_cost, optimal }
+    }
+}
+
+/// Whether a chosen per-transaction rollback covers the given cycle: some
+/// member's candidate is at or above the chosen target (rolling back to
+/// `chosen.target <= candidate.target` releases the entity that candidate
+/// releases).
+fn covers(choice: &BTreeMap<TxnId, CandidateRollback>, cycle: &[CandidateRollback]) -> bool {
+    cycle.iter().any(|cand| {
+        choice
+            .get(&cand.txn)
+            .is_some_and(|chosen| chosen.target <= cand.target)
+    })
+}
+
+/// Merges a candidate into a choice map, keeping the deeper target and the
+/// correspondingly larger cost. Returns the cost delta.
+fn merge(choice: &mut BTreeMap<TxnId, CandidateRollback>, cand: CandidateRollback) -> u64 {
+    match choice.get_mut(&cand.txn) {
+        Some(existing) => {
+            let old = u64::from(existing.cost);
+            if cand.target < existing.target {
+                existing.target = cand.target;
+            }
+            if cand.ideal < existing.ideal {
+                existing.ideal = cand.ideal;
+            }
+            if cand.cost > existing.cost {
+                existing.cost = cand.cost;
+            }
+            u64::from(existing.cost) - old
+        }
+        None => {
+            choice.insert(cand.txn, cand);
+            u64::from(cand.cost)
+        }
+    }
+}
+
+/// Exact branch-and-bound. Returns `None` if the node budget is exhausted
+/// before the search completes (the caller then falls back to the greedy
+/// heuristic).
+pub fn solve_exact(cycles: &[Vec<CandidateRollback>], node_budget: u64) -> Option<CutSolution> {
+    if cycles.iter().any(Vec::is_empty) {
+        // A cycle with no candidates can never be broken; the engine never
+        // produces this (every cycle member is a candidate).
+        return None;
+    }
+    struct Search<'a> {
+        cycles: &'a [Vec<CandidateRollback>],
+        best: Option<CutSolution>,
+        nodes: u64,
+        budget: u64,
+    }
+    impl Search<'_> {
+        fn run(&mut self, choice: &mut BTreeMap<TxnId, CandidateRollback>, cost: u64) -> bool {
+            self.nodes += 1;
+            if self.nodes > self.budget {
+                return false;
+            }
+            if let Some(best) = &self.best {
+                if cost >= best.total_cost {
+                    return true; // prune
+                }
+            }
+            // Pick the uncovered cycle with the fewest candidates.
+            let next = self
+                .cycles
+                .iter()
+                .filter(|c| !covers(choice, c))
+                .min_by_key(|c| c.len());
+            let Some(cycle) = next else {
+                self.best = Some(CutSolution::from_choice(choice, true));
+                return true;
+            };
+            for &cand in cycle {
+                let saved = choice.get(&cand.txn).copied();
+                let delta = merge(choice, cand);
+                if !self.run(choice, cost + delta) {
+                    return false;
+                }
+                match saved {
+                    Some(prev) => {
+                        choice.insert(cand.txn, prev);
+                    }
+                    None => {
+                        choice.remove(&cand.txn);
+                    }
+                }
+            }
+            true
+        }
+    }
+    let mut search = Search { cycles, best: None, nodes: 0, budget: node_budget };
+    let completed = search.run(&mut BTreeMap::new(), 0);
+    if completed {
+        search.best
+    } else {
+        None
+    }
+}
+
+/// Greedy heuristic: repeatedly commit the candidate with the best
+/// (newly covered cycles) / (cost increase) ratio.
+pub fn solve_greedy(cycles: &[Vec<CandidateRollback>]) -> CutSolution {
+    let mut choice: BTreeMap<TxnId, CandidateRollback> = BTreeMap::new();
+    loop {
+        let uncovered: Vec<&Vec<CandidateRollback>> =
+            cycles.iter().filter(|c| !covers(&choice, c)).collect();
+        if uncovered.is_empty() {
+            break;
+        }
+        let mut best: Option<(CandidateRollback, u64, usize)> = None; // (cand, delta, gain)
+        for cycle in &uncovered {
+            for &cand in cycle.iter() {
+                let mut trial = choice.clone();
+                let delta = merge(&mut trial, cand);
+                let gain = uncovered.iter().filter(|c| covers(&trial, c)).count();
+                debug_assert!(gain >= 1);
+                let better = match &best {
+                    None => true,
+                    Some((_, bd, bg)) => {
+                        // Compare gain/delta ratios without floats:
+                        // gain * bd > bg * delta, tie-break on smaller delta.
+                        (gain as u64) * *bd > (*bg as u64) * delta
+                            || ((gain as u64) * *bd == (*bg as u64) * delta && delta < *bd)
+                    }
+                };
+                if better {
+                    best = Some((cand, delta, gain));
+                }
+            }
+        }
+        let (cand, _, _) = best.expect("uncovered cycles have candidates");
+        merge(&mut choice, cand);
+    }
+    CutSolution::from_choice(&choice, false)
+}
+
+/// Solves the instance: exact when it completes within `node_budget`
+/// nodes, greedy otherwise.
+///
+/// ```
+/// use pr_graph::cutset::{solve, CandidateRollback};
+/// use pr_model::{LockIndex, TxnId};
+///
+/// let cand = |txn, cost| CandidateRollback {
+///     txn: TxnId::new(txn),
+///     target: LockIndex::new(1),
+///     ideal: LockIndex::new(1),
+///     cost,
+/// };
+/// // Figure 1's single cycle: costs 4 / 6 / 5 → T2 is chosen.
+/// let cycle = vec![cand(2, 4), cand(3, 6), cand(4, 5)];
+/// let solution = solve(&[cycle], 10_000);
+/// assert_eq!(solution.total_cost, 4);
+/// assert_eq!(solution.rollbacks[0].txn, TxnId::new(2));
+/// ```
+pub fn solve(cycles: &[Vec<CandidateRollback>], node_budget: u64) -> CutSolution {
+    match solve_exact(cycles, node_budget) {
+        Some(s) => s,
+        None => solve_greedy(cycles),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(txn: u32, target: u32, cost: u32) -> CandidateRollback {
+        CandidateRollback {
+            txn: TxnId::new(txn),
+            target: LockIndex::new(target),
+            ideal: LockIndex::new(target),
+            cost,
+        }
+    }
+
+    #[test]
+    fn single_cycle_picks_min_cost_member() {
+        // Figure 1: costs T2=4, T3=6, T4=5 ⇒ pick T2.
+        let cycles = vec![vec![cand(2, 1, 4), cand(3, 1, 6), cand(4, 1, 5)]];
+        let s = solve(&cycles, 10_000);
+        assert!(s.optimal);
+        assert_eq!(s.total_cost, 4);
+        assert_eq!(s.rollbacks, vec![cand(2, 1, 4)]);
+    }
+
+    #[test]
+    fn shared_vertex_is_cheaper_than_two_cuts() {
+        // Two cycles sharing T1 (cost 5 each way); individual members cost 3.
+        // Cutting T1 once (cost 5) beats cutting T2 and T3 (3 + 3 = 6).
+        let cycles = vec![
+            vec![cand(1, 2, 5), cand(2, 1, 3)],
+            vec![cand(1, 2, 5), cand(3, 1, 3)],
+        ];
+        let s = solve(&cycles, 10_000);
+        assert!(s.optimal);
+        assert_eq!(s.total_cost, 5);
+        assert_eq!(s.rollbacks, vec![cand(1, 2, 5)]);
+    }
+
+    #[test]
+    fn separate_cheap_cuts_beat_expensive_shared_vertex() {
+        let cycles = vec![
+            vec![cand(1, 2, 50), cand(2, 1, 3)],
+            vec![cand(1, 2, 50), cand(3, 1, 4)],
+        ];
+        let s = solve(&cycles, 10_000);
+        assert!(s.optimal);
+        assert_eq!(s.total_cost, 7);
+        assert_eq!(s.rollbacks.len(), 2);
+    }
+
+    #[test]
+    fn deeper_rollback_of_same_txn_merges_costs() {
+        // T1 appears in both cycles with different depths: covering both
+        // with T1 requires the deeper target (1) at the higher cost (9).
+        let cycles = vec![
+            vec![cand(1, 3, 2), cand(2, 1, 100)],
+            vec![cand(1, 1, 9), cand(3, 1, 100)],
+        ];
+        let s = solve(&cycles, 10_000);
+        assert!(s.optimal);
+        assert_eq!(s.total_cost, 9);
+        assert_eq!(s.rollbacks, vec![cand(1, 1, 9)]);
+    }
+
+    #[test]
+    fn shallow_choice_does_not_cover_deeper_requirement() {
+        // Choosing T1@target3 covers cycle A (needs ≥3)… but cycle B needs
+        // target ≤ 1. The solver must notice the shallow choice is not
+        // enough.
+        let cycles = vec![vec![cand(1, 3, 2)], vec![cand(1, 1, 9)]];
+        let s = solve(&cycles, 10_000);
+        assert!(s.optimal);
+        assert_eq!(s.rollbacks, vec![cand(1, 1, 9)]);
+        assert_eq!(s.total_cost, 9);
+    }
+
+    #[test]
+    fn greedy_matches_exact_on_small_instances() {
+        let cycles = vec![
+            vec![cand(1, 2, 5), cand(2, 1, 3), cand(4, 0, 7)],
+            vec![cand(1, 2, 5), cand(3, 1, 4)],
+            vec![cand(2, 1, 3), cand(3, 1, 4)],
+        ];
+        let exact = solve_exact(&cycles, 100_000).unwrap();
+        let greedy = solve_greedy(&cycles);
+        assert!(greedy.total_cost >= exact.total_cost);
+        // Both must actually cover everything.
+        for s in [&exact, &greedy] {
+            let choice: BTreeMap<TxnId, CandidateRollback> =
+                s.rollbacks.iter().map(|r| (r.txn, *r)).collect();
+            for c in &cycles {
+                assert!(covers(&choice, c));
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_falls_back_to_greedy() {
+        let cycles: Vec<Vec<CandidateRollback>> = (0..12)
+            .map(|i| (0..6).map(|j| cand(i * 6 + j, 1, i + j + 1)).collect())
+            .collect();
+        assert!(solve_exact(&cycles, 10).is_none());
+        let s = solve(&cycles, 10);
+        assert!(!s.optimal);
+        assert!(!s.rollbacks.is_empty());
+    }
+
+    #[test]
+    fn zero_cost_candidates_are_preferred() {
+        let cycles = vec![vec![cand(1, 5, 0), cand(2, 1, 3)]];
+        let s = solve(&cycles, 1_000);
+        assert_eq!(s.total_cost, 0);
+        assert_eq!(s.rollbacks[0].txn, TxnId::new(1));
+    }
+
+    #[test]
+    fn empty_instance_is_trivially_solved() {
+        let s = solve(&[], 1_000);
+        assert!(s.optimal);
+        assert_eq!(s.total_cost, 0);
+        assert!(s.rollbacks.is_empty());
+    }
+
+    #[test]
+    fn greedy_handles_many_cycles() {
+        // 30 cycles all sharing txn 0 — greedy should pick the hub.
+        let cycles: Vec<Vec<CandidateRollback>> = (1..=30)
+            .map(|i| vec![cand(0, 1, 10), cand(i, 1, 8)])
+            .collect();
+        let s = solve_greedy(&cycles);
+        assert_eq!(s.total_cost, 10);
+        assert_eq!(s.rollbacks, vec![cand(0, 1, 10)]);
+    }
+}

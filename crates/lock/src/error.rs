@@ -1,0 +1,72 @@
+//! Lock-manager errors.
+
+use pr_model::{EntityId, TxnId};
+use std::fmt;
+
+/// Errors raised by [`crate::LockTable`]. Like the storage errors, these
+/// indicate protocol violations by the caller, not data conditions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LockError {
+    /// The transaction already holds a lock on the entity.
+    AlreadyHeld {
+        /// Requesting transaction.
+        txn: TxnId,
+        /// Entity already held.
+        entity: EntityId,
+    },
+    /// The transaction already has a pending request (a transaction is a
+    /// sequential process; it cannot wait on two entities at once).
+    AlreadyWaiting {
+        /// Requesting transaction.
+        txn: TxnId,
+        /// Entity it is already waiting for.
+        entity: EntityId,
+    },
+    /// The transaction does not hold a lock on the entity it tried to
+    /// release.
+    NotHeld {
+        /// Releasing transaction.
+        txn: TxnId,
+        /// Entity not held.
+        entity: EntityId,
+    },
+    /// The transaction has no pending request to cancel on this entity.
+    NotWaiting {
+        /// Transaction named in the cancellation.
+        txn: TxnId,
+        /// Entity it was claimed to be waiting for.
+        entity: EntityId,
+    },
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::AlreadyHeld { txn, entity } => {
+                write!(f, "{txn} already holds a lock on {entity}")
+            }
+            LockError::AlreadyWaiting { txn, entity } => {
+                write!(f, "{txn} is already waiting for {entity}")
+            }
+            LockError::NotHeld { txn, entity } => {
+                write!(f, "{txn} does not hold a lock on {entity}")
+            }
+            LockError::NotWaiting { txn, entity } => {
+                write!(f, "{txn} is not waiting for {entity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_txn_and_entity() {
+        let e = LockError::AlreadyHeld { txn: TxnId::new(1), entity: EntityId::new(0) };
+        assert_eq!(e.to_string(), "T1 already holds a lock on a");
+    }
+}

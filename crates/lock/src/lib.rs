@@ -1,0 +1,32 @@
+//! # pr-lock — lock manager substrate
+//!
+//! A shared/exclusive lock table implementing the response rules of §2:
+//!
+//! 1. a request is **granted** when no *conflicting* lock is held on the
+//!    entity (shared requests coexist with shared holders, as §3.2's
+//!    examples require);
+//! 2. otherwise the requester **waits** on the set of incompatible holders —
+//!    exactly the arcs of the paper's concurrency (waits-for) graph;
+//! 3. deadlock handling (rule 3) is the caller's job: the engine in
+//!    `pr-core` consults `pr-graph` and rolls somebody back.
+//!
+//! Waiters are kept in FIFO order per entity and re-examined at every
+//! release or wait-cancellation; a waiter is granted as soon as it is
+//! compatible with the then-current holders. Like the paper (§3.1, which
+//! explicitly leaves "unfair scheduling" out of scope) the table does not
+//! attempt anti-starvation queue-jump prevention — a shared request may be
+//! granted past a blocked exclusive waiter.
+//!
+//! Each held lock remembers the state index from which it was requested and
+//! the lock index of its lock state: precisely the bookkeeping §3.1 needs
+//! to price a rollback ("if the system maintains for each locked entity A
+//! the index of the last state … then the system can easily compute this
+//! cost function").
+
+pub mod conflict;
+pub mod error;
+pub mod table;
+
+pub use conflict::{classify_conflict, ConflictType};
+pub use error::LockError;
+pub use table::{HeldLock, LockTable, RequestOutcome, WaitingRequest};

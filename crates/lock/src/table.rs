@@ -1,0 +1,505 @@
+//! The lock table: holders, FIFO waiter queues, grant/release logic.
+
+use crate::conflict::{classify_conflict, ConflictType};
+use crate::error::LockError;
+use pr_model::{EntityId, LockIndex, LockMode, StateIndex, TxnId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// A granted lock, with the §3.1 cost-bookkeeping metadata: the state index
+/// from which the transaction issued the request ("the last state … in
+/// which T does not hold a lock on A") and the lock index of the lock state
+/// the request created.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct HeldLock {
+    /// Holder.
+    pub txn: TxnId,
+    /// Mode held.
+    pub mode: LockMode,
+    /// State index the holder was at when it requested the lock — rolling
+    /// back to this state releases the lock; the rollback cost of §3.1 is
+    /// `current state − this`.
+    pub requested_from_state: StateIndex,
+    /// Lock index of the lock state this request created.
+    pub lock_state: LockIndex,
+}
+
+/// A pending request, carrying the same metadata so it can be promoted to
+/// a [`HeldLock`] unchanged when granted (a blocked transaction does not
+/// advance, so the values stay correct while it waits).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct WaitingRequest {
+    /// Requester.
+    pub txn: TxnId,
+    /// Mode requested.
+    pub mode: LockMode,
+    /// State index at request time.
+    pub requested_from_state: StateIndex,
+    /// Lock index the lock state will have when granted.
+    pub lock_state: LockIndex,
+}
+
+impl WaitingRequest {
+    fn into_held(self) -> HeldLock {
+        HeldLock {
+            txn: self.txn,
+            mode: self.mode,
+            requested_from_state: self.requested_from_state,
+            lock_state: self.lock_state,
+        }
+    }
+}
+
+/// Outcome of a lock request (§2's response rules 1 and 2).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RequestOutcome {
+    /// Rule 1: no conflicting holder; the lock is granted immediately.
+    Granted,
+    /// Rule 2: the requester must wait on the listed (incompatible)
+    /// holders. These are exactly the new arcs of the concurrency graph.
+    Wait {
+        /// Holders the requester now waits for.
+        holders: Vec<TxnId>,
+        /// §3.2 classification of the conflict.
+        conflict: ConflictType,
+    },
+}
+
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+struct EntityLock {
+    holders: Vec<HeldLock>,
+    queue: VecDeque<WaitingRequest>,
+}
+
+impl EntityLock {
+    fn is_idle(&self) -> bool {
+        self.holders.is_empty() && self.queue.is_empty()
+    }
+
+    fn incompatible_holders(&self, txn: TxnId, mode: LockMode) -> Vec<TxnId> {
+        self.holders
+            .iter()
+            .filter(|h| h.txn != txn && !mode.compatible_with(h.mode))
+            .map(|h| h.txn)
+            .collect()
+    }
+}
+
+/// The lock manager.
+///
+/// ```
+/// use pr_lock::{LockTable, RequestOutcome};
+/// use pr_model::{EntityId, LockIndex, LockMode, StateIndex, TxnId};
+///
+/// let mut table = LockTable::new();
+/// let (t1, t2, a) = (TxnId::new(1), TxnId::new(2), EntityId::new(0));
+/// let grant = |tbl: &mut LockTable, t| {
+///     tbl.request(t, a, LockMode::Exclusive, StateIndex::ZERO, LockIndex::ZERO).unwrap()
+/// };
+/// assert_eq!(grant(&mut table, t1), RequestOutcome::Granted);
+/// // T2 must wait on the exclusive holder T1…
+/// assert!(matches!(grant(&mut table, t2), RequestOutcome::Wait { .. }));
+/// // …and is promoted when T1 releases.
+/// let promoted = table.release(t1, a).unwrap();
+/// assert_eq!(promoted[0].txn, t2);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LockTable {
+    entities: BTreeMap<EntityId, EntityLock>,
+    /// Grants performed, for metrics.
+    grants: u64,
+    /// Wait responses issued, for metrics.
+    waits: u64,
+}
+
+impl LockTable {
+    /// Creates an empty lock table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Processes a lock request per §2: grants it if no conflicting lock is
+    /// held, otherwise enqueues the requester and reports the holders it
+    /// must wait for.
+    pub fn request(
+        &mut self,
+        txn: TxnId,
+        entity: EntityId,
+        mode: LockMode,
+        requested_from_state: StateIndex,
+        lock_state: LockIndex,
+    ) -> Result<RequestOutcome, LockError> {
+        let slot = self.entities.entry(entity).or_default();
+        if slot.holders.iter().any(|h| h.txn == txn) {
+            return Err(LockError::AlreadyHeld { txn, entity });
+        }
+        if slot.queue.iter().any(|w| w.txn == txn) {
+            return Err(LockError::AlreadyWaiting { txn, entity });
+        }
+        let blockers = slot.incompatible_holders(txn, mode);
+        if blockers.is_empty() {
+            slot.holders.push(HeldLock {
+                txn,
+                mode,
+                requested_from_state,
+                lock_state,
+            });
+            self.grants += 1;
+            Ok(RequestOutcome::Granted)
+        } else {
+            let holder_modes: Vec<LockMode> = slot
+                .holders
+                .iter()
+                .filter(|h| blockers.contains(&h.txn))
+                .map(|h| h.mode)
+                .collect();
+            let conflict = classify_conflict(mode, &holder_modes)
+                .expect("incompatible holders imply a conflict");
+            slot.queue.push_back(WaitingRequest {
+                txn,
+                mode,
+                requested_from_state,
+                lock_state,
+            });
+            self.waits += 1;
+            Ok(RequestOutcome::Wait { holders: blockers, conflict })
+        }
+    }
+
+    /// Releases the lock `txn` holds on `entity` and grants every waiter
+    /// that is now compatible, in FIFO order. Returns the promoted
+    /// requests.
+    pub fn release(&mut self, txn: TxnId, entity: EntityId) -> Result<Vec<HeldLock>, LockError> {
+        let slot = self.entities.get_mut(&entity).ok_or(LockError::NotHeld { txn, entity })?;
+        let before = slot.holders.len();
+        slot.holders.retain(|h| h.txn != txn);
+        if slot.holders.len() == before {
+            return Err(LockError::NotHeld { txn, entity });
+        }
+        let granted = Self::drain_grantable(slot);
+        self.grants += granted.len() as u64;
+        if self.entities.get(&entity).is_some_and(EntityLock::is_idle) {
+            self.entities.remove(&entity);
+        }
+        Ok(granted)
+    }
+
+    /// Cancels `txn`'s pending request on `entity` (used when a waiter is
+    /// chosen as a rollback victim). Other waiters may become grantable —
+    /// removing an exclusive waiter can unblock nothing under holder-only
+    /// granting, but the re-scan keeps the invariant simple and future-proof.
+    pub fn cancel_wait(
+        &mut self,
+        txn: TxnId,
+        entity: EntityId,
+    ) -> Result<Vec<HeldLock>, LockError> {
+        let slot = self.entities.get_mut(&entity).ok_or(LockError::NotWaiting { txn, entity })?;
+        let before = slot.queue.len();
+        slot.queue.retain(|w| w.txn != txn);
+        if slot.queue.len() == before {
+            return Err(LockError::NotWaiting { txn, entity });
+        }
+        let granted = Self::drain_grantable(slot);
+        self.grants += granted.len() as u64;
+        if self.entities.get(&entity).is_some_and(EntityLock::is_idle) {
+            self.entities.remove(&entity);
+        }
+        Ok(granted)
+    }
+
+    /// Grants queued requests that are compatible with the current holders,
+    /// scanning in FIFO order. Per the paper's rules a compatible request
+    /// never waits, so a shared waiter may be promoted past a blocked
+    /// exclusive one.
+    fn drain_grantable(slot: &mut EntityLock) -> Vec<HeldLock> {
+        let mut granted = Vec::new();
+        let mut i = 0;
+        while i < slot.queue.len() {
+            let w = slot.queue[i];
+            if slot.incompatible_holders(w.txn, w.mode).is_empty() {
+                let held = slot.queue.remove(i).expect("index in range").into_held();
+                slot.holders.push(held);
+                granted.push(held);
+            } else {
+                i += 1;
+            }
+        }
+        granted
+    }
+
+    /// Transactions currently holding a lock on `entity`.
+    pub fn holders_of(&self, entity: EntityId) -> Vec<TxnId> {
+        self.entities
+            .get(&entity)
+            .map(|s| s.holders.iter().map(|h| h.txn).collect())
+            .unwrap_or_default()
+    }
+
+    /// Full holder records for `entity`.
+    pub fn holder_records(&self, entity: EntityId) -> Vec<HeldLock> {
+        self.entities.get(&entity).map(|s| s.holders.clone()).unwrap_or_default()
+    }
+
+    /// The lock `txn` holds on `entity`, if any.
+    pub fn held_by(&self, txn: TxnId, entity: EntityId) -> Option<HeldLock> {
+        self.entities
+            .get(&entity)?
+            .holders
+            .iter()
+            .find(|h| h.txn == txn)
+            .copied()
+    }
+
+    /// The pending request `txn` has on `entity`, if any.
+    pub fn waiting_on(&self, txn: TxnId, entity: EntityId) -> Option<WaitingRequest> {
+        self.entities
+            .get(&entity)?
+            .queue
+            .iter()
+            .find(|w| w.txn == txn)
+            .copied()
+    }
+
+    /// All pending requests on `entity`, FIFO order.
+    pub fn waiters_of(&self, entity: EntityId) -> Vec<WaitingRequest> {
+        self.entities
+            .get(&entity)
+            .map(|s| s.queue.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of entities with at least one holder or waiter.
+    pub fn active_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Total grants issued so far.
+    pub fn grant_count(&self) -> u64 {
+        self.grants
+    }
+
+    /// Total wait responses issued so far.
+    pub fn wait_count(&self) -> u64 {
+        self.waits
+    }
+
+    /// Internal invariant check for tests: no transaction both holds and
+    /// waits on the same entity; every holder set is mode-consistent.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (entity, slot) in &self.entities {
+            let exclusive = slot.holders.iter().filter(|h| h.mode == LockMode::Exclusive).count();
+            if exclusive > 1 {
+                return Err(format!("{entity}: multiple exclusive holders"));
+            }
+            if exclusive == 1 && slot.holders.len() > 1 {
+                return Err(format!("{entity}: exclusive holder coexists with others"));
+            }
+            for w in &slot.queue {
+                if slot.holders.iter().any(|h| h.txn == w.txn) {
+                    return Err(format!("{entity}: {} both holds and waits", w.txn));
+                }
+                if slot.incompatible_holders(w.txn, w.mode).is_empty() {
+                    return Err(format!("{entity}: grantable request left waiting"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TxnId {
+        TxnId::new(i)
+    }
+    fn e(i: u32) -> EntityId {
+        EntityId::new(i)
+    }
+    fn req(
+        tbl: &mut LockTable,
+        txn: u32,
+        ent: u32,
+        mode: LockMode,
+    ) -> Result<RequestOutcome, LockError> {
+        tbl.request(t(txn), e(ent), mode, StateIndex::new(0), LockIndex::new(0))
+    }
+
+    #[test]
+    fn exclusive_then_exclusive_waits() {
+        let mut tbl = LockTable::new();
+        assert_eq!(req(&mut tbl, 1, 0, LockMode::Exclusive).unwrap(), RequestOutcome::Granted);
+        match req(&mut tbl, 2, 0, LockMode::Exclusive).unwrap() {
+            RequestOutcome::Wait { holders, conflict } => {
+                assert_eq!(holders, vec![t(1)]);
+                assert_eq!(conflict, ConflictType::Type2);
+            }
+            other => panic!("expected wait, got {other:?}"),
+        }
+        tbl.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let mut tbl = LockTable::new();
+        assert_eq!(req(&mut tbl, 1, 0, LockMode::Shared).unwrap(), RequestOutcome::Granted);
+        assert_eq!(req(&mut tbl, 2, 0, LockMode::Shared).unwrap(), RequestOutcome::Granted);
+        assert_eq!(tbl.holders_of(e(0)), vec![t(1), t(2)]);
+        tbl.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn exclusive_request_waits_on_all_shared_holders() {
+        let mut tbl = LockTable::new();
+        req(&mut tbl, 1, 0, LockMode::Shared).unwrap();
+        req(&mut tbl, 2, 0, LockMode::Shared).unwrap();
+        match req(&mut tbl, 3, 0, LockMode::Exclusive).unwrap() {
+            RequestOutcome::Wait { holders, conflict } => {
+                assert_eq!(holders, vec![t(1), t(2)]);
+                assert_eq!(conflict, ConflictType::Type2);
+            }
+            other => panic!("expected wait, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_request_vs_exclusive_holder_is_type1() {
+        let mut tbl = LockTable::new();
+        req(&mut tbl, 1, 0, LockMode::Exclusive).unwrap();
+        match req(&mut tbl, 2, 0, LockMode::Shared).unwrap() {
+            RequestOutcome::Wait { holders, conflict } => {
+                assert_eq!(holders, vec![t(1)]);
+                assert_eq!(conflict, ConflictType::Type1);
+            }
+            other => panic!("expected wait, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn release_promotes_fifo_waiter() {
+        let mut tbl = LockTable::new();
+        req(&mut tbl, 1, 0, LockMode::Exclusive).unwrap();
+        req(&mut tbl, 2, 0, LockMode::Exclusive).unwrap();
+        req(&mut tbl, 3, 0, LockMode::Exclusive).unwrap();
+        let granted = tbl.release(t(1), e(0)).unwrap();
+        assert_eq!(granted.len(), 1);
+        assert_eq!(granted[0].txn, t(2));
+        assert_eq!(tbl.holders_of(e(0)), vec![t(2)]);
+        assert!(tbl.waiting_on(t(3), e(0)).is_some());
+        tbl.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn release_promotes_shared_batch() {
+        let mut tbl = LockTable::new();
+        req(&mut tbl, 1, 0, LockMode::Exclusive).unwrap();
+        req(&mut tbl, 2, 0, LockMode::Shared).unwrap();
+        req(&mut tbl, 3, 0, LockMode::Shared).unwrap();
+        let granted = tbl.release(t(1), e(0)).unwrap();
+        assert_eq!(granted.iter().map(|h| h.txn).collect::<Vec<_>>(), vec![t(2), t(3)]);
+        tbl.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn shared_waiter_passes_blocked_exclusive_waiter() {
+        // Paper semantics: compatible requests are granted regardless of
+        // queue order. S2 holds shared; X3 waits; S4's request is granted
+        // immediately despite X3 waiting.
+        let mut tbl = LockTable::new();
+        req(&mut tbl, 2, 0, LockMode::Shared).unwrap();
+        assert!(matches!(
+            req(&mut tbl, 3, 0, LockMode::Exclusive).unwrap(),
+            RequestOutcome::Wait { .. }
+        ));
+        assert_eq!(req(&mut tbl, 4, 0, LockMode::Shared).unwrap(), RequestOutcome::Granted);
+        tbl.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn cancel_wait_removes_pending_request() {
+        let mut tbl = LockTable::new();
+        req(&mut tbl, 1, 0, LockMode::Exclusive).unwrap();
+        req(&mut tbl, 2, 0, LockMode::Exclusive).unwrap();
+        let granted = tbl.cancel_wait(t(2), e(0)).unwrap();
+        assert!(granted.is_empty());
+        assert!(tbl.waiting_on(t(2), e(0)).is_none());
+        // Releasing now grants nobody.
+        assert!(tbl.release(t(1), e(0)).unwrap().is_empty());
+        assert_eq!(tbl.active_entities(), 0);
+    }
+
+    #[test]
+    fn cancelling_blocked_exclusive_lets_release_grant_shared() {
+        let mut tbl = LockTable::new();
+        req(&mut tbl, 1, 0, LockMode::Exclusive).unwrap();
+        req(&mut tbl, 2, 0, LockMode::Exclusive).unwrap();
+        req(&mut tbl, 3, 0, LockMode::Shared).unwrap();
+        tbl.cancel_wait(t(2), e(0)).unwrap();
+        let granted = tbl.release(t(1), e(0)).unwrap();
+        assert_eq!(granted.iter().map(|h| h.txn).collect::<Vec<_>>(), vec![t(3)]);
+    }
+
+    #[test]
+    fn double_request_and_bad_release_error() {
+        let mut tbl = LockTable::new();
+        req(&mut tbl, 1, 0, LockMode::Shared).unwrap();
+        assert_eq!(
+            req(&mut tbl, 1, 0, LockMode::Shared),
+            Err(LockError::AlreadyHeld { txn: t(1), entity: e(0) })
+        );
+        req(&mut tbl, 2, 0, LockMode::Exclusive).unwrap();
+        assert_eq!(
+            req(&mut tbl, 2, 0, LockMode::Exclusive),
+            Err(LockError::AlreadyWaiting { txn: t(2), entity: e(0) })
+        );
+        assert_eq!(
+            tbl.release(t(3), e(0)),
+            Err(LockError::NotHeld { txn: t(3), entity: e(0) })
+        );
+        assert_eq!(
+            tbl.cancel_wait(t(3), e(0)),
+            Err(LockError::NotWaiting { txn: t(3), entity: e(0) })
+        );
+        assert_eq!(
+            tbl.cancel_wait(t(3), e(9)),
+            Err(LockError::NotWaiting { txn: t(3), entity: e(9) })
+        );
+    }
+
+    #[test]
+    fn metadata_travels_from_request_to_grant() {
+        let mut tbl = LockTable::new();
+        tbl.request(t(1), e(0), LockMode::Exclusive, StateIndex::new(5), LockIndex::new(2))
+            .unwrap();
+        tbl.request(t(2), e(0), LockMode::Exclusive, StateIndex::new(8), LockIndex::new(3))
+            .unwrap();
+        let held = tbl.held_by(t(1), e(0)).unwrap();
+        assert_eq!(held.requested_from_state, StateIndex::new(5));
+        assert_eq!(held.lock_state, LockIndex::new(2));
+        let granted = tbl.release(t(1), e(0)).unwrap();
+        assert_eq!(granted[0].requested_from_state, StateIndex::new(8));
+        assert_eq!(granted[0].lock_state, LockIndex::new(3));
+    }
+
+    #[test]
+    fn counters_track_grants_and_waits() {
+        let mut tbl = LockTable::new();
+        req(&mut tbl, 1, 0, LockMode::Exclusive).unwrap();
+        req(&mut tbl, 2, 0, LockMode::Exclusive).unwrap();
+        tbl.release(t(1), e(0)).unwrap();
+        assert_eq!(tbl.grant_count(), 2);
+        assert_eq!(tbl.wait_count(), 1);
+    }
+
+    #[test]
+    fn idle_entities_are_garbage_collected() {
+        let mut tbl = LockTable::new();
+        req(&mut tbl, 1, 0, LockMode::Shared).unwrap();
+        req(&mut tbl, 1, 1, LockMode::Shared).unwrap();
+        assert_eq!(tbl.active_entities(), 2);
+        tbl.release(t(1), e(0)).unwrap();
+        tbl.release(t(1), e(1)).unwrap();
+        assert_eq!(tbl.active_entities(), 0);
+    }
+}

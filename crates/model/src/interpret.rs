@@ -1,0 +1,153 @@
+//! A reference interpreter for solo execution.
+//!
+//! Runs a program against an entity→value map as if it were alone in the
+//! system (every lock trivially granted). This is the semantic oracle for
+//! the [restructuring passes](crate::restructure): a transformation is
+//! correct iff solo execution produces identical final entity values and
+//! locals for every initial store.
+
+use crate::ids::EntityId;
+use crate::op::Op;
+use crate::program::TransactionProgram;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// Result of a solo run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SoloOutcome {
+    /// Final global values (only entities the program touched are listed).
+    pub entities: BTreeMap<EntityId, Value>,
+    /// Final local variable values.
+    pub locals: Vec<Value>,
+}
+
+/// Executes `program` alone against `initial` (missing entities default to
+/// [`Value::ZERO`]). The program must be valid.
+pub fn run_solo(program: &TransactionProgram, initial: &BTreeMap<EntityId, Value>) -> SoloOutcome {
+    let mut globals: BTreeMap<EntityId, Value> = BTreeMap::new();
+    let mut local_copy: BTreeMap<EntityId, Value> = BTreeMap::new();
+    let mut exclusive: BTreeMap<EntityId, bool> = BTreeMap::new();
+    let mut locals: Vec<Value> = program.initial_vars().to_vec();
+    let read_global =
+        |globals: &BTreeMap<EntityId, Value>, e: EntityId| -> Value {
+            globals.get(&e).or_else(|| initial.get(&e)).copied().unwrap_or(Value::ZERO)
+        };
+    for op in program.ops() {
+        match op {
+            Op::LockShared(e) => {
+                exclusive.insert(*e, false);
+            }
+            Op::LockExclusive(e) => {
+                exclusive.insert(*e, true);
+                let g = read_global(&globals, *e);
+                local_copy.insert(*e, g);
+            }
+            Op::Unlock(e) => {
+                if exclusive.remove(e) == Some(true) {
+                    if let Some(v) = local_copy.remove(e) {
+                        globals.insert(*e, v);
+                    }
+                }
+            }
+            Op::Read { entity, into } => {
+                let v = local_copy
+                    .get(entity)
+                    .copied()
+                    .unwrap_or_else(|| read_global(&globals, *entity));
+                locals[into.index()] = v;
+            }
+            Op::Write { entity, expr } => {
+                let v = expr.eval(&locals);
+                local_copy.insert(*entity, v);
+            }
+            Op::Assign { var, expr } => {
+                let v = expr.eval(&locals);
+                locals[var.index()] = v;
+            }
+            Op::Compute(expr) => {
+                let _ = expr.eval(&locals);
+            }
+            Op::Commit => {
+                // Publish anything still held exclusively.
+                for (e, is_x) in std::mem::take(&mut exclusive) {
+                    if is_x {
+                        if let Some(v) = local_copy.remove(&e) {
+                            globals.insert(e, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    SoloOutcome { entities: globals, locals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::op::Expr;
+    use crate::ids::VarId;
+
+    fn e(i: u32) -> EntityId {
+        EntityId::new(i)
+    }
+    fn v(i: i64) -> Value {
+        Value::new(i)
+    }
+
+    #[test]
+    fn transfer_semantics() {
+        let var = VarId::new(0);
+        let p = ProgramBuilder::new()
+            .lock_exclusive(e(0))
+            .lock_exclusive(e(1))
+            .read(e(0), var)
+            .write(e(0), Expr::sub(Expr::var(var), Expr::lit(10)))
+            .read(e(1), var)
+            .write(e(1), Expr::add(Expr::var(var), Expr::lit(10)))
+            .unlock(e(0))
+            .unlock(e(1))
+            .build_unchecked();
+        let initial = BTreeMap::from([(e(0), v(100)), (e(1), v(50))]);
+        let out = run_solo(&p, &initial);
+        assert_eq!(out.entities[&e(0)], v(90));
+        assert_eq!(out.entities[&e(1)], v(60));
+    }
+
+    #[test]
+    fn commit_publishes_unreleased_exclusive_locks() {
+        let p = ProgramBuilder::new()
+            .lock_exclusive(e(0))
+            .write_const(e(0), 7)
+            .build_unchecked();
+        let out = run_solo(&p, &BTreeMap::new());
+        assert_eq!(out.entities[&e(0)], v(7));
+    }
+
+    #[test]
+    fn shared_reads_see_global_values() {
+        let var = VarId::new(0);
+        let p = ProgramBuilder::new()
+            .lock_shared(e(3))
+            .read(e(3), var)
+            .assign(var, Expr::mul(Expr::var(var), Expr::lit(2)))
+            .build_unchecked();
+        let initial = BTreeMap::from([(e(3), v(21))]);
+        let out = run_solo(&p, &initial);
+        assert_eq!(out.locals[0], v(42));
+        assert!(out.entities.is_empty(), "shared locks publish nothing");
+    }
+
+    #[test]
+    fn reads_of_own_writes_see_the_local_copy() {
+        let var = VarId::new(0);
+        let p = ProgramBuilder::new()
+            .lock_exclusive(e(0))
+            .write_const(e(0), 5)
+            .read(e(0), var)
+            .build_unchecked();
+        let out = run_solo(&p, &BTreeMap::from([(e(0), v(1))]));
+        assert_eq!(out.locals[0], v(5), "deferred update is still locally visible");
+    }
+}

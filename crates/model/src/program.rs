@@ -1,0 +1,312 @@
+//! Straight-line transaction programs.
+//!
+//! A [`TransactionProgram`] is the static text a transaction executes: a
+//! sequence of [`Op`]s plus the number and initial values of its local
+//! variables. Programs are straight-line (no branches); §2 models a
+//! transaction as "a sequence of atomic operations", and straight-line
+//! programs make replays after rollback exactly reproducible, which is the
+//! property partial rollback depends on.
+
+use crate::error::ModelError;
+use crate::ids::{EntityId, LockIndex, VarId};
+use crate::op::{LockMode, Op};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A static transaction program.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TransactionProgram {
+    ops: Vec<Op>,
+    initial_vars: Vec<Value>,
+}
+
+impl TransactionProgram {
+    /// Creates a program from raw parts without validating it.
+    ///
+    /// Use [`crate::validate::validate`] (or [`crate::ProgramBuilder`],
+    /// which validates on `build`) before handing a program to the engine.
+    pub fn from_parts(ops: Vec<Op>, initial_vars: Vec<Value>) -> Self {
+        TransactionProgram { ops, initial_vars }
+    }
+
+    /// The operation sequence.
+    #[inline]
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// The operation at program counter `pc`, if in range.
+    #[inline]
+    pub fn op(&self, pc: usize) -> Option<&Op> {
+        self.ops.get(pc)
+    }
+
+    /// Number of operations (also the state index a full run terminates at).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program has no operations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Initial values of the local variables; `initial_vars.len()` is the
+    /// number of local variables.
+    #[inline]
+    pub fn initial_vars(&self) -> &[Value] {
+        &self.initial_vars
+    }
+
+    /// Number of local variables.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.initial_vars.len()
+    }
+
+    /// All lock requests in program order as `(pc, entity, mode)`.
+    ///
+    /// The position of a request in this list is its lock index: the `k`-th
+    /// request creates lock state `k`.
+    pub fn lock_requests(&self) -> Vec<(usize, EntityId, LockMode)> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter_map(|(pc, op)| op.lock_request().map(|(e, m)| (pc, e, m)))
+            .collect()
+    }
+
+    /// The lock index of the operation at `pc`: the number of lock requests
+    /// at program counters strictly less than *or equal to* positions
+    /// preceding `pc`.
+    ///
+    /// Per §4, an operation executed after the `k`-th lock request (0-based)
+    /// and before the `(k+1)`-th has lock index `k + 1`: `k + 1` lock states
+    /// precede it.
+    pub fn lock_index_of_pc(&self, pc: usize) -> LockIndex {
+        let n = self.ops[..pc.min(self.ops.len())]
+            .iter()
+            .filter(|op| op.is_lock_request())
+            .count();
+        LockIndex::new(n as u32)
+    }
+
+    /// Program counter of the `k`-th lock request (0-based), if it exists.
+    ///
+    /// Rolling back to lock state `k` resets the program counter here: the
+    /// transaction resumes by re-issuing that lock request.
+    pub fn pc_of_lock_request(&self, k: LockIndex) -> Option<usize> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| op.is_lock_request())
+            .nth(k.index())
+            .map(|(pc, _)| pc)
+    }
+
+    /// Total number of lock requests in the program.
+    pub fn num_lock_requests(&self) -> usize {
+        self.ops.iter().filter(|op| op.is_lock_request()).count()
+    }
+
+    /// Entities the program ever locks (deduplicated, program order).
+    pub fn locked_entities(&self) -> Vec<EntityId> {
+        let mut seen = Vec::new();
+        for op in &self.ops {
+            if let Some((e, _)) = op.lock_request() {
+                if !seen.contains(&e) {
+                    seen.push(e);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Entities the program writes (deduplicated, program order).
+    pub fn written_entities(&self) -> Vec<EntityId> {
+        let mut seen = Vec::new();
+        for op in &self.ops {
+            if let Op::Write { entity, .. } = op {
+                if !seen.contains(entity) {
+                    seen.push(*entity);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The strongest lock mode the program ever requests for `entity`.
+    pub fn lock_mode_for(&self, entity: EntityId) -> Option<LockMode> {
+        let mut mode = None;
+        for op in &self.ops {
+            if let Some((e, m)) = op.lock_request() {
+                if e == entity {
+                    mode = match (mode, m) {
+                        (Some(LockMode::Exclusive), _) => Some(LockMode::Exclusive),
+                        (_, m) => Some(m),
+                    };
+                }
+            }
+        }
+        mode
+    }
+
+    /// Largest local-variable index referenced anywhere, if any. Used by the
+    /// validator to ensure `initial_vars` covers every reference.
+    pub fn max_var_referenced(&self) -> Option<VarId> {
+        let mut max: Option<VarId> = None;
+        let mut bump = |v: VarId| {
+            max = Some(match max {
+                Some(m) if m >= v => m,
+                _ => v,
+            });
+        };
+        for op in &self.ops {
+            if let Some(v) = op.written_var() {
+                bump(v);
+            }
+            match op {
+                Op::Write { expr, .. } | Op::Assign { expr, .. } => {
+                    if let Some(v) = expr.max_var() {
+                        bump(v);
+                    }
+                }
+                _ => {}
+            }
+        }
+        max
+    }
+
+    /// A compact single-line rendering, useful in test failure messages.
+    pub fn render(&self) -> String {
+        let body: Vec<String> = self.ops.iter().map(|op| op.to_string()).collect();
+        body.join("; ")
+    }
+}
+
+impl fmt::Display for TransactionProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+impl TryFrom<Vec<Op>> for TransactionProgram {
+    type Error = ModelError;
+
+    /// Builds a program with enough zero-initialised local variables for
+    /// every reference, then validates it.
+    fn try_from(ops: Vec<Op>) -> Result<Self, ModelError> {
+        let tmp = TransactionProgram::from_parts(ops, Vec::new());
+        let nvars = tmp.max_var_referenced().map_or(0, |v| v.index() + 1);
+        let prog = TransactionProgram::from_parts(tmp.ops, vec![Value::ZERO; nvars]);
+        crate::validate::validate(&prog)?;
+        Ok(prog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Expr;
+
+    fn sample() -> TransactionProgram {
+        // LX(a); L0 := R(a); L0 := L0 + 1; W(a); LS(b); L1 := R(b); U(a); U(b); COMMIT
+        TransactionProgram::from_parts(
+            vec![
+                Op::LockExclusive(EntityId::new(0)),
+                Op::Read { entity: EntityId::new(0), into: VarId::new(0) },
+                Op::Assign {
+                    var: VarId::new(0),
+                    expr: Expr::add(Expr::var(VarId::new(0)), Expr::lit(1)),
+                },
+                Op::Write { entity: EntityId::new(0), expr: Expr::var(VarId::new(0)) },
+                Op::LockShared(EntityId::new(1)),
+                Op::Read { entity: EntityId::new(1), into: VarId::new(1) },
+                Op::Unlock(EntityId::new(0)),
+                Op::Unlock(EntityId::new(1)),
+                Op::Commit,
+            ],
+            vec![Value::ZERO, Value::ZERO],
+        )
+    }
+
+    #[test]
+    fn lock_requests_enumerate_in_order() {
+        let p = sample();
+        let reqs = p.lock_requests();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0], (0, EntityId::new(0), LockMode::Exclusive));
+        assert_eq!(reqs[1], (4, EntityId::new(1), LockMode::Shared));
+        assert_eq!(p.num_lock_requests(), 2);
+    }
+
+    #[test]
+    fn lock_index_of_pc_counts_preceding_requests_inclusive() {
+        let p = sample();
+        // pc 0 is the first lock request itself: zero lock states precede it
+        // at issue time... but lock_index_of_pc counts requests *before* pc.
+        assert_eq!(p.lock_index_of_pc(0), LockIndex::new(0));
+        // The read at pc 1 runs after request 0 was granted: lock index 1.
+        assert_eq!(p.lock_index_of_pc(1), LockIndex::new(1));
+        assert_eq!(p.lock_index_of_pc(3), LockIndex::new(1));
+        // pc 4 is the second request; ops after it have lock index 2.
+        assert_eq!(p.lock_index_of_pc(4), LockIndex::new(1));
+        assert_eq!(p.lock_index_of_pc(5), LockIndex::new(2));
+    }
+
+    #[test]
+    fn pc_of_lock_request_inverts_lock_indices() {
+        let p = sample();
+        assert_eq!(p.pc_of_lock_request(LockIndex::new(0)), Some(0));
+        assert_eq!(p.pc_of_lock_request(LockIndex::new(1)), Some(4));
+        assert_eq!(p.pc_of_lock_request(LockIndex::new(2)), None);
+    }
+
+    #[test]
+    fn footprints() {
+        let p = sample();
+        assert_eq!(p.locked_entities(), vec![EntityId::new(0), EntityId::new(1)]);
+        assert_eq!(p.written_entities(), vec![EntityId::new(0)]);
+        assert_eq!(p.lock_mode_for(EntityId::new(0)), Some(LockMode::Exclusive));
+        assert_eq!(p.lock_mode_for(EntityId::new(1)), Some(LockMode::Shared));
+        assert_eq!(p.lock_mode_for(EntityId::new(9)), None);
+        assert_eq!(p.max_var_referenced(), Some(VarId::new(1)));
+    }
+
+    #[test]
+    fn try_from_ops_sizes_vars_and_validates() {
+        let p = TransactionProgram::try_from(vec![
+            Op::LockExclusive(EntityId::new(0)),
+            Op::Read { entity: EntityId::new(0), into: VarId::new(3) },
+            Op::Commit,
+        ])
+        .unwrap();
+        assert_eq!(p.num_vars(), 4);
+    }
+
+    #[test]
+    fn try_from_rejects_invalid() {
+        // Unlock before any lock: not two-phase-legal.
+        let err = TransactionProgram::try_from(vec![Op::Unlock(EntityId::new(0))]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn render_is_compact() {
+        let p = sample();
+        let s = p.render();
+        assert!(s.starts_with("LX(a)"));
+        assert!(s.ends_with("COMMIT"));
+        assert_eq!(p.to_string(), s);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(sample().len(), 9);
+        assert!(!sample().is_empty());
+        assert!(TransactionProgram::from_parts(vec![], vec![]).is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! Transaction restructuring for efficient partial rollback (§5).
+//!
+//! "These relationships between the structure of transactions and their
+//! efficiency … raise interesting possibilities for the optimization of
+//! transactions intended to run in such systems, perhaps at the time of
+//! their compilation."
+//!
+//! Two semantics-preserving code-motion passes realise the paper's two
+//! structuring principles:
+//!
+//! * [`hoist_locks`] moves every lock request to the front of the program
+//!   (preserving their relative order), every unlock to the back — the
+//!   strict **three-phase** shape of §5. All writes then follow the last
+//!   lock request, so *every* lock state is well-defined and the system
+//!   "may cease monitoring" the transaction after its last lock.
+//! * [`cluster_writes`] moves each re-write of an entity as far back
+//!   (earlier) as data dependencies allow, packing writes to the same
+//!   entity together — §5's "as few lock states as possible between
+//!   successive write operations to a given entity".
+//!
+//! Both passes are verified against the [solo interpreter](crate::interpret)
+//! by the property tests: transformed programs compute identical final
+//! states for arbitrary initial stores.
+
+use crate::analysis;
+use crate::op::Op;
+use crate::program::TransactionProgram;
+
+/// Rewrites `program` into the strict three-phase shape: all lock
+/// requests first (relative order preserved), then all data operations,
+/// then all unlocks, then commit.
+///
+/// ```
+/// use pr_model::{analysis, restructure, EntityId, ProgramBuilder};
+///
+/// let (a, b) = (EntityId::new(0), EntityId::new(1));
+/// let interleaved = ProgramBuilder::new()
+///     .lock_exclusive(a)
+///     .write_const(a, 1)
+///     .lock_exclusive(b)
+///     .write_const(a, 2) // destroys lock state 1 under SDG
+///     .build()
+///     .unwrap();
+/// let three_phase = restructure::hoist_locks(&interleaved);
+/// assert!(analysis::analyze(&three_phase).is_three_phase);
+/// assert_eq!(analysis::analyze(&three_phase).undefined_count(), 0);
+/// ```
+///
+/// Sound because moving a lock earlier only widens the interval during
+/// which its entity is protected, and data operations keep their relative
+/// order (hence identical values).
+pub fn hoist_locks(program: &TransactionProgram) -> TransactionProgram {
+    let mut locks = Vec::new();
+    let mut data = Vec::new();
+    let mut unlocks = Vec::new();
+    for op in program.ops() {
+        match op {
+            Op::LockShared(_) | Op::LockExclusive(_) => locks.push(op.clone()),
+            Op::Unlock(_) => unlocks.push(op.clone()),
+            Op::Commit => {}
+            other => data.push(other.clone()),
+        }
+    }
+    let mut ops = locks;
+    ops.extend(data);
+    ops.extend(unlocks);
+    ops.push(Op::Commit);
+    let out = TransactionProgram::from_parts(ops, program.initial_vars().to_vec());
+    debug_assert!(crate::validate::is_valid(&out), "hoisting must preserve validity");
+    out
+}
+
+/// Whether `write` (a `Write { entity, expr }` op) may legally move one
+/// position earlier, across `prev`.
+fn write_may_cross(write: &Op, prev: &Op) -> bool {
+    let Op::Write { entity, expr } = write else {
+        return false;
+    };
+    match prev {
+        // Never cross an operation on the same entity: a read would see a
+        // different value; another write's order matters; the lock/unlock
+        // bound the entity's protected region.
+        Op::Read { entity: e, .. }
+        | Op::Write { entity: e, .. }
+        | Op::LockShared(e)
+        | Op::LockExclusive(e)
+        | Op::Unlock(e)
+            if e == entity =>
+        {
+            false
+        }
+        // Crossing an op that writes a variable our expression reads
+        // would change the written value.
+        Op::Read { into, .. } | Op::Assign { var: into, .. } => {
+            !expr.variables().contains(into)
+        }
+        Op::Commit => false,
+        // Other entities' locks/unlocks/writes, and pure computation, are
+        // independent.
+        _ => true,
+    }
+}
+
+/// Packs writes toward the previous operation on the same entity wherever
+/// data dependencies allow, minimising the lock states a re-write spans.
+pub fn cluster_writes(program: &TransactionProgram) -> TransactionProgram {
+    let mut ops: Vec<Op> = program.ops().to_vec();
+    // Repeatedly bubble writes one slot earlier while legal. The number
+    // of inversions is finite, so this terminates; programs are small.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 1..ops.len() {
+            if matches!(ops[i], Op::Write { .. }) && write_may_cross(&ops[i], &ops[i - 1]) {
+                ops.swap(i - 1, i);
+                changed = true;
+            }
+        }
+    }
+    let out = TransactionProgram::from_parts(ops, program.initial_vars().to_vec());
+    debug_assert!(crate::validate::is_valid(&out), "clustering must preserve validity");
+    out
+}
+
+/// Improvement report for one program.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RestructureReport {
+    /// Well-defined lock states before.
+    pub well_defined_before: usize,
+    /// Well-defined lock states after.
+    pub well_defined_after: usize,
+    /// Clustering penalty before.
+    pub penalty_before: u32,
+    /// Clustering penalty after.
+    pub penalty_after: u32,
+}
+
+/// Applies `pass` and reports the change in state-dependency structure.
+pub fn report(
+    program: &TransactionProgram,
+    pass: impl Fn(&TransactionProgram) -> TransactionProgram,
+) -> (TransactionProgram, RestructureReport) {
+    let before = analysis::analyze(program);
+    let out = pass(program);
+    let after = analysis::analyze(&out);
+    (
+        out,
+        RestructureReport {
+            well_defined_before: before.well_defined.len(),
+            well_defined_after: after.well_defined.len(),
+            penalty_before: before.clustering_penalty(),
+            penalty_after: after.clustering_penalty(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::ids::EntityId;
+    use crate::interpret::run_solo;
+    use crate::value::Value;
+    use std::collections::BTreeMap;
+
+    fn e(i: u32) -> EntityId {
+        EntityId::new(i)
+    }
+
+    /// The Figure 4 transaction: interleaved writes destroy every interior
+    /// lock state.
+    fn spread_program() -> TransactionProgram {
+        ProgramBuilder::new()
+            .lock_exclusive(e(0))
+            .write_const(e(0), 1)
+            .lock_exclusive(e(1))
+            .write_const(e(1), 1)
+            .lock_exclusive(e(2))
+            .write_const(e(0), 2)
+            .lock_exclusive(e(3))
+            .write_const(e(1), 2)
+            .write_const(e(3), 1)
+            .build_unchecked()
+    }
+
+    fn initial() -> BTreeMap<EntityId, Value> {
+        (0..6).map(|i| (e(i), Value::new(100 + i64::from(i)))).collect()
+    }
+
+    #[test]
+    fn hoist_locks_produces_three_phase() {
+        let (out, rep) = report(&spread_program(), hoist_locks);
+        let a = analysis::analyze(&out);
+        assert!(a.is_three_phase);
+        assert!(a.writes_after_last_lock);
+        assert_eq!(a.undefined_count(), 0, "every lock state is well-defined");
+        assert!(rep.well_defined_after > rep.well_defined_before);
+        assert_eq!(rep.penalty_after, 0);
+    }
+
+    #[test]
+    fn hoist_locks_preserves_semantics() {
+        let p = spread_program();
+        let out = hoist_locks(&p);
+        assert_eq!(run_solo(&p, &initial()), run_solo(&out, &initial()));
+    }
+
+    #[test]
+    fn cluster_writes_reduces_penalty() {
+        let (out, rep) = report(&spread_program(), cluster_writes);
+        assert!(
+            rep.penalty_after < rep.penalty_before,
+            "{} -> {}",
+            rep.penalty_before,
+            rep.penalty_after
+        );
+        assert_eq!(run_solo(&spread_program(), &initial()), run_solo(&out, &initial()));
+    }
+
+    #[test]
+    fn cluster_does_not_cross_dependent_reads() {
+        use crate::ids::VarId;
+        use crate::op::Expr;
+        let v = VarId::new(0);
+        // W(b, L0) must not move before the read that defines L0.
+        let p = ProgramBuilder::new()
+            .lock_exclusive(e(0))
+            .lock_exclusive(e(1))
+            .write_const(e(1), 9)
+            .read(e(0), v)
+            .write(e(1), Expr::var(v))
+            .build_unchecked();
+        let out = cluster_writes(&p);
+        assert_eq!(run_solo(&p, &initial()), run_solo(&out, &initial()));
+        // The dependent write stayed after the read.
+        let read_pos = out.ops().iter().position(|o| matches!(o, Op::Read { .. })).unwrap();
+        let dependent = out
+            .ops()
+            .iter()
+            .position(|o| matches!(o, Op::Write { expr, .. } if !expr.variables().is_empty()))
+            .unwrap();
+        assert!(dependent > read_pos);
+    }
+
+    #[test]
+    fn cluster_never_crosses_same_entity_reads() {
+        use crate::ids::VarId;
+        let v = VarId::new(0);
+        // Read of b between two writes of b pins their order.
+        let p = ProgramBuilder::new()
+            .lock_exclusive(e(1))
+            .write_const(e(1), 1)
+            .read(e(1), v)
+            .write_const(e(1), 2)
+            .build_unchecked();
+        let out = cluster_writes(&p);
+        assert_eq!(run_solo(&p, &initial()), run_solo(&out, &initial()));
+        assert_eq!(out.ops(), p.ops(), "nothing can move here");
+    }
+
+    #[test]
+    fn passes_keep_programs_valid() {
+        let p = spread_program();
+        assert!(crate::validate::is_valid(&hoist_locks(&p)));
+        assert!(crate::validate::is_valid(&cluster_writes(&p)));
+    }
+}

@@ -1,0 +1,30 @@
+//! # pr-sim — workloads, experiments, and the paper's figures
+//!
+//! This crate turns the `pr-core` engine into an experimental apparatus:
+//!
+//! * [`generator`] — seeded random two-phase program generators with the
+//!   knobs the paper's arguments turn on: lock count, write fraction,
+//!   shared-lock fraction, access skew (hotspot), **write clustering**
+//!   (§5 / Figure 5) and **three-phase** structure (§5);
+//! * [`runner`] — deterministic workload execution, including a seeded
+//!   random scheduler and a serializability oracle that checks a
+//!   concurrent run's final database against all serial orders;
+//! * [`scenarios`] — exact reproductions of the paper's Figures 1–5,
+//!   asserting the costs, victims, graph shapes, and well-defined state
+//!   sets the paper derives;
+//! * [`experiments`] — parameter sweeps behind every quantitative claim
+//!   (lost progress, storage overhead, victim-policy behaviour, cut-set
+//!   solver quality, concurrency scaling), shared by the Criterion benches
+//!   and the `experiments` binary that regenerates `EXPERIMENTS.md`'s
+//!   tables;
+//! * [`report`] — plain-text table and CSV rendering.
+
+pub mod experiments;
+pub mod generator;
+pub mod report;
+pub mod runner;
+pub mod scenarios;
+
+pub use generator::{Clustering, GeneratorConfig, ProgramGenerator};
+pub use report::Table;
+pub use runner::{run_workload, RandomScheduler, RunReport, SchedulerKind};

@@ -1,0 +1,134 @@
+//! Figure 2: potentially infinite mutual preemption, and Theorem 2's fix.
+//!
+//! The paper observes that after Figure 1's resolution, T3's later request
+//! of `f` (held by T2 since state 4) re-creates the very configuration
+//! that deadlocked before: "this phenomenon" can repeat indefinitely —
+//! each transaction in turn causes another to be rolled back.
+//!
+//! Our reproduction runs the actual engine on the paper's transactions:
+//! under unrestricted **min-cost** victim selection the system enters a
+//! genuine livelock — T2 and T3 alternate as victims forever while T4
+//! starves — while under the **partial-order** policy of Theorem 2 the
+//! same transactions, same interleaving, all commit.
+
+use super::{paper_t1, paper_t2, paper_t3, paper_t4};
+use pr_core::scheduler::RoundRobin;
+use pr_core::{EngineError, StrategyKind, System, SystemConfig, VictimPolicyKind};
+use pr_model::{TxnId, Value};
+use pr_storage::GlobalStore;
+
+/// Observation from one policy's run of the Figure 2 system.
+#[derive(Clone, Debug)]
+pub struct PolicyOutcome {
+    /// Whether every transaction committed before the step limit.
+    pub completed: bool,
+    /// Deadlocks resolved.
+    pub deadlocks: u64,
+    /// Rollbacks performed.
+    pub rollbacks: u64,
+    /// The highest preemption count suffered by one transaction.
+    pub max_preemptions: u32,
+    /// Preemptions of T2 and T3 — the mutual-preemption pair.
+    pub t2_preemptions: u32,
+    /// Preemptions of T3.
+    pub t3_preemptions: u32,
+}
+
+/// Runs the paper's four transactions under the given victim policy with
+/// a fair round-robin scheduler, stopping after `max_steps`.
+pub fn run_policy(policy: VictimPolicyKind, max_steps: u64) -> PolicyOutcome {
+    let store = GlobalStore::with_entities(16, Value::new(0));
+    let mut config = SystemConfig::new(StrategyKind::Mcs, policy);
+    config.max_steps = max_steps;
+    let mut sys = System::new(store, config);
+    let _t1 = sys.admit_unchecked(paper_t1());
+    let t2 = sys.admit_unchecked(paper_t2());
+    let t3 = sys.admit_unchecked(paper_t3());
+    let t4 = sys.admit_unchecked(paper_t4());
+
+    // Reach the Figure 1 configuration (same interleaving as figure1).
+    for _ in 0..12 {
+        sys.step(t2).unwrap();
+    }
+    for _ in 0..11 {
+        sys.step(t3).unwrap();
+    }
+    for _ in 0..15 {
+        sys.step(t4).unwrap();
+    }
+    for _ in 0..4 {
+        sys.step(TxnId::new(1)).unwrap();
+    }
+    sys.step(t3).unwrap(); // T3 requests b
+    sys.step(t4).unwrap(); // T4 requests c
+    sys.step(t2).unwrap(); // T2 requests e — first deadlock
+
+    // Fair scheduling from here on; min-cost livelocks, partial-order
+    // terminates.
+    let result = sys.run(&mut RoundRobin::new());
+    let completed = match result {
+        Ok(()) => sys.all_committed(),
+        Err(EngineError::StepLimitExceeded { .. }) => false,
+        Err(e) => panic!("unexpected engine error: {e}"),
+    };
+    let m = sys.metrics();
+    PolicyOutcome {
+        completed,
+        deadlocks: m.deadlocks,
+        rollbacks: m.rollbacks(),
+        max_preemptions: m.max_preemptions(),
+        t2_preemptions: m.preemptions.get(&t2).copied().unwrap_or(0),
+        t3_preemptions: m.preemptions.get(&t3).copied().unwrap_or(0),
+    }
+}
+
+/// Runs the full Figure 2 comparison.
+pub fn run(max_steps: u64) -> (PolicyOutcome, PolicyOutcome) {
+    let mincost = run_policy(VictimPolicyKind::MinCost, max_steps);
+    let partial = run_policy(VictimPolicyKind::PartialOrder, max_steps);
+    (mincost, partial)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_cost_enters_mutual_preemption() {
+        let out = run_policy(VictimPolicyKind::MinCost, 5_000);
+        assert!(!out.completed, "unrestricted min-cost must livelock here");
+        assert!(
+            out.t2_preemptions >= 10 && out.t3_preemptions >= 10,
+            "T2 and T3 alternate as victims: {} / {}",
+            out.t2_preemptions,
+            out.t3_preemptions
+        );
+        assert!(out.deadlocks >= 20);
+    }
+
+    #[test]
+    fn partial_order_terminates_with_bounded_preemptions() {
+        let out = run_policy(VictimPolicyKind::PartialOrder, 5_000);
+        assert!(out.completed, "Theorem 2's policy must terminate");
+        assert!(
+            out.max_preemptions <= 4,
+            "preemptions stay bounded, got {}",
+            out.max_preemptions
+        );
+    }
+
+    #[test]
+    fn youngest_policy_also_terminates_here() {
+        // Victimising the youngest is a fixed-order policy too (entry
+        // order is time-invariant), so Theorem 2 applies to it as well.
+        let out = run_policy(VictimPolicyKind::Youngest, 5_000);
+        assert!(out.completed);
+    }
+
+    #[test]
+    fn comparison_shape() {
+        let (mincost, partial) = run(5_000);
+        assert!(!mincost.completed && partial.completed);
+        assert!(mincost.rollbacks > partial.rollbacks * 5);
+    }
+}

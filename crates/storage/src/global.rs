@@ -1,0 +1,298 @@
+//! The global entity store — the "database" of §2.
+//!
+//! A database is "a set of global data entities" each with a value from its
+//! range, plus "a set of constraints defining the set of consistent states".
+//! Under the deferred-update discipline of §4 the store is only written at
+//! unlock time, which is why rollback-for-deadlock never needs to undo it.
+
+use crate::error::StorageError;
+use crate::snapshot::Snapshot;
+use bytes::Bytes;
+use parking_lot::RwLock;
+use pr_model::{EntityId, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An integrity constraint over the database, named for diagnostics.
+///
+/// The classic example is conservation: "the sum of all account balances is
+/// constant". Constraints are checked by [`GlobalStore::check_consistency`],
+/// which the test oracles call at every quiescent point.
+pub struct Constraint {
+    name: String,
+    predicate: Box<dyn Fn(&GlobalStore) -> bool + Send + Sync>,
+}
+
+impl Constraint {
+    /// Creates a named constraint from a predicate over the store.
+    pub fn new(
+        name: impl Into<String>,
+        predicate: impl Fn(&GlobalStore) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Constraint { name: name.into(), predicate: Box::new(predicate) }
+    }
+
+    /// The constraint's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Debug for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Constraint").field("name", &self.name).finish()
+    }
+}
+
+#[derive(Clone, Debug)]
+struct StoredEntity {
+    value: Value,
+    /// Optional opaque payload so storage-overhead experiments can measure
+    /// bytes, not just copy counts. Copied into workspaces alongside the
+    /// value.
+    payload: Option<Bytes>,
+}
+
+/// The database: a map from entity id to current (global) value.
+#[derive(Default)]
+pub struct GlobalStore {
+    entities: BTreeMap<EntityId, StoredEntity>,
+    constraints: Vec<Constraint>,
+    /// Monotone count of committed (published) writes, for metrics.
+    publishes: u64,
+}
+
+impl GlobalStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a store with entities `0..n`, all initialised to `init`.
+    pub fn with_entities(n: u32, init: Value) -> Self {
+        let mut s = Self::new();
+        for i in 0..n {
+            s.create(EntityId::new(i), init).expect("fresh ids cannot collide");
+        }
+        s
+    }
+
+    /// Adds a new entity with an initial value.
+    pub fn create(&mut self, id: EntityId, value: Value) -> Result<(), StorageError> {
+        if self.entities.contains_key(&id) {
+            return Err(StorageError::EntityExists(id));
+        }
+        self.entities.insert(id, StoredEntity { value, payload: None });
+        Ok(())
+    }
+
+    /// Adds a new entity carrying an opaque payload of `payload_len` bytes.
+    pub fn create_with_payload(
+        &mut self,
+        id: EntityId,
+        value: Value,
+        payload_len: usize,
+    ) -> Result<(), StorageError> {
+        self.create(id, value)?;
+        let bytes = Bytes::from(vec![0u8; payload_len]);
+        self.entities.get_mut(&id).expect("just inserted").payload = Some(bytes);
+        Ok(())
+    }
+
+    /// Ensures `id` exists, creating it with [`Value::ZERO`] if necessary.
+    pub fn ensure(&mut self, id: EntityId) {
+        self.entities.entry(id).or_insert(StoredEntity { value: Value::ZERO, payload: None });
+    }
+
+    /// Current global value of an entity.
+    pub fn read(&self, id: EntityId) -> Result<Value, StorageError> {
+        self.entities.get(&id).map(|e| e.value).ok_or(StorageError::NoSuchEntity(id))
+    }
+
+    /// The entity's payload, if it carries one. The returned [`Bytes`] is a
+    /// cheap reference-counted handle; cloning it models copying the record
+    /// into a workspace without actually duplicating memory.
+    pub fn payload(&self, id: EntityId) -> Option<Bytes> {
+        self.entities.get(&id).and_then(|e| e.payload.clone())
+    }
+
+    /// Publishes a new global value — the unlock-time copy-back of §4
+    /// ("the final value of the latest such copy becomes the new global
+    /// value when T_i unlocks A").
+    pub fn publish(&mut self, id: EntityId, value: Value) -> Result<(), StorageError> {
+        let ent = self.entities.get_mut(&id).ok_or(StorageError::NoSuchEntity(id))?;
+        ent.value = value;
+        self.publishes += 1;
+        Ok(())
+    }
+
+    /// Number of publish operations performed, for metrics.
+    pub fn publish_count(&self) -> u64 {
+        self.publishes
+    }
+
+    /// Number of entities.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Whether the store holds no entities.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// Iterates over `(id, value)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (EntityId, Value)> + '_ {
+        self.entities.iter().map(|(id, e)| (*id, e.value))
+    }
+
+    /// Sum of all entity values — convenient for conservation constraints.
+    pub fn total(&self) -> Value {
+        self.iter().fold(Value::ZERO, |acc, (_, v)| acc + v)
+    }
+
+    /// Registers an integrity constraint.
+    pub fn add_constraint(&mut self, c: Constraint) {
+        self.constraints.push(c);
+    }
+
+    /// Checks every registered constraint, reporting the first violation.
+    pub fn check_consistency(&self) -> Result<(), StorageError> {
+        for c in &self.constraints {
+            if !(c.predicate)(self) {
+                return Err(StorageError::ConstraintViolated { name: c.name.clone() });
+            }
+        }
+        Ok(())
+    }
+
+    /// Takes a snapshot of all values for later comparison.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::from_pairs(self.iter())
+    }
+
+    /// Restores all values from a snapshot (test-oracle use only; the
+    /// engine itself never rewinds the database).
+    pub fn restore(&mut self, snap: &Snapshot) {
+        for (id, value) in snap.iter() {
+            if let Some(e) = self.entities.get_mut(&id) {
+                e.value = value;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for GlobalStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter().map(|(id, v)| (id, v.raw()))).finish()
+    }
+}
+
+/// A thread-safe handle to a [`GlobalStore`], for the multi-threaded stress
+/// harness. The engine proper is deterministic and single-threaded; this
+/// wrapper exists so the same store type can back the `crossbeam` tests.
+#[derive(Clone, Default)]
+pub struct SharedGlobalStore(Arc<RwLock<GlobalStore>>);
+
+impl SharedGlobalStore {
+    /// Wraps a store.
+    pub fn new(store: GlobalStore) -> Self {
+        SharedGlobalStore(Arc::new(RwLock::new(store)))
+    }
+
+    /// Runs `f` with shared read access.
+    pub fn with_read<R>(&self, f: impl FnOnce(&GlobalStore) -> R) -> R {
+        f(&self.0.read())
+    }
+
+    /// Runs `f` with exclusive write access.
+    pub fn with_write<R>(&self, f: impl FnOnce(&mut GlobalStore) -> R) -> R {
+        f(&mut self.0.write())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> EntityId {
+        EntityId::new(i)
+    }
+
+    #[test]
+    fn create_read_publish_roundtrip() {
+        let mut s = GlobalStore::new();
+        s.create(e(0), Value::new(10)).unwrap();
+        assert_eq!(s.read(e(0)).unwrap(), Value::new(10));
+        s.publish(e(0), Value::new(20)).unwrap();
+        assert_eq!(s.read(e(0)).unwrap(), Value::new(20));
+        assert_eq!(s.publish_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_create_and_missing_reads_error() {
+        let mut s = GlobalStore::new();
+        s.create(e(0), Value::ZERO).unwrap();
+        assert_eq!(s.create(e(0), Value::ZERO), Err(StorageError::EntityExists(e(0))));
+        assert_eq!(s.read(e(1)), Err(StorageError::NoSuchEntity(e(1))));
+        assert_eq!(s.publish(e(1), Value::ZERO), Err(StorageError::NoSuchEntity(e(1))));
+    }
+
+    #[test]
+    fn with_entities_initialises_range() {
+        let s = GlobalStore::with_entities(5, Value::new(7));
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.total(), Value::new(35));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn ensure_is_idempotent() {
+        let mut s = GlobalStore::new();
+        s.ensure(e(3));
+        s.ensure(e(3));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.read(e(3)).unwrap(), Value::ZERO);
+    }
+
+    #[test]
+    fn constraints_detect_violation() {
+        let mut s = GlobalStore::with_entities(2, Value::new(50));
+        s.add_constraint(Constraint::new("conservation", |s| s.total() == Value::new(100)));
+        assert!(s.check_consistency().is_ok());
+        s.publish(e(0), Value::new(49)).unwrap();
+        let err = s.check_consistency().unwrap_err();
+        assert_eq!(err, StorageError::ConstraintViolated { name: "conservation".into() });
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut s = GlobalStore::with_entities(3, Value::new(1));
+        let snap = s.snapshot();
+        s.publish(e(1), Value::new(99)).unwrap();
+        assert_ne!(s.read(e(1)).unwrap(), Value::new(1));
+        s.restore(&snap);
+        assert_eq!(s.read(e(1)).unwrap(), Value::new(1));
+    }
+
+    #[test]
+    fn payloads_are_cheap_handles() {
+        let mut s = GlobalStore::new();
+        s.create_with_payload(e(0), Value::ZERO, 4096).unwrap();
+        let p1 = s.payload(e(0)).unwrap();
+        let p2 = s.payload(e(0)).unwrap();
+        assert_eq!(p1.len(), 4096);
+        assert_eq!(p1, p2);
+        assert!(s.payload(e(1)).is_none());
+    }
+
+    #[test]
+    fn shared_store_allows_concurrent_reads() {
+        let shared = SharedGlobalStore::new(GlobalStore::with_entities(4, Value::new(2)));
+        let total = shared.with_read(|s| s.total());
+        assert_eq!(total, Value::new(8));
+        shared.with_write(|s| s.publish(e(0), Value::new(10)).unwrap());
+        assert_eq!(shared.with_read(|s| s.total()), Value::new(16));
+    }
+}

@@ -1,0 +1,39 @@
+//! # pr-storage — storage substrate for partial-rollback deadlock removal
+//!
+//! Implements the storage machinery §4 of the paper requires:
+//!
+//! * [`GlobalStore`] — the database itself: global entities with values,
+//!   optional byte payloads (to make storage-overhead measurements concrete),
+//!   and integrity-constraint hooks. Under the paper's deferred-update model
+//!   the global value of a locked entity "does not change until the
+//!   transaction unlocks it", so rollback never has to undo the database —
+//!   it only discards local copies.
+//! * [`VersionStack`] — the per-(entity, lock state) value stack of the
+//!   **multi-lock copy strategy (MCS)**: each element has a value field and a
+//!   lock-index field; a write pushes a new element iff its lock index
+//!   exceeds the stack top's, otherwise it updates the top in place.
+//! * [`McsWorkspace`] — a transaction's full MCS bookkeeping: one stack per
+//!   exclusively locked entity (indexed by the lock state that locked it)
+//!   and one stack per local variable (index 0), with the copy accounting of
+//!   Theorem 3 (`n(n+1)/2` entity copies, `n·|L|` local copies worst case).
+//! * [`SingleCopyWorkspace`] — the one-copy-per-entity workspace used by
+//!   both total rollback and the state-dependency-graph (SDG) strategy; it
+//!   tracks each entity's and variable's *index of restorability* so the
+//!   engine can feed write edges to the SDG and restore values at any
+//!   well-defined lock state.
+//! * [`Snapshot`] — whole-database snapshots used by the serializability
+//!   and crash-consistency test oracles.
+
+pub mod error;
+pub mod global;
+pub mod mcs;
+pub mod single_copy;
+pub mod snapshot;
+pub mod version_stack;
+
+pub use error::StorageError;
+pub use global::{Constraint, GlobalStore, SharedGlobalStore};
+pub use mcs::{CopyCounts, McsWorkspace};
+pub use single_copy::SingleCopyWorkspace;
+pub use snapshot::Snapshot;
+pub use version_stack::{StackElement, VersionStack};

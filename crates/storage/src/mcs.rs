@@ -1,0 +1,371 @@
+//! The multi-lock copy strategy workspace (MCS, §4).
+//!
+//! A transaction's MCS workspace holds one [`VersionStack`] per exclusively
+//! locked entity — created at the entity's lock state and destroyed at
+//! unlock — plus one stack per local variable, created at transaction start
+//! with stack index 0. With this bookkeeping the transaction can be rolled
+//! back to **any** of its lock states, at a worst-case space cost of
+//! `n(n+1)/2` entity copies and `n·|L|` local-variable copies (Theorem 3).
+
+use crate::error::StorageError;
+use crate::version_stack::VersionStack;
+use pr_model::{EntityId, LockIndex, Value, VarId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Copy counts in the Theorem 3 sense (elements beyond each stack's base).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct CopyCounts {
+    /// Copies of global entities held in stacks.
+    pub entity_copies: usize,
+    /// Copies of local variables held in stacks.
+    pub var_copies: usize,
+}
+
+impl CopyCounts {
+    /// Total copies of both kinds.
+    pub fn total(self) -> usize {
+        self.entity_copies + self.var_copies
+    }
+
+    /// Theorem 3's worst-case bound for `n` locked entities and `l` local
+    /// variables: `n(n+1)/2 + n·l`.
+    pub fn theorem3_bound(n: usize, l: usize) -> usize {
+        n * (n + 1) / 2 + n * l
+    }
+}
+
+/// A transaction's multi-lock-copy workspace.
+///
+/// ```
+/// use pr_model::{EntityId, LockIndex, Value};
+/// use pr_storage::McsWorkspace;
+///
+/// let a = EntityId::new(0);
+/// let mut ws = McsWorkspace::new(&[]);
+/// ws.on_exclusive_lock(a, LockIndex::new(0), Value::new(10));
+/// ws.write_entity(a, LockIndex::new(1), Value::new(11)).unwrap();
+/// ws.write_entity(a, LockIndex::new(2), Value::new(12)).unwrap();
+/// // Every earlier lock state's value is reproducible…
+/// assert_eq!(ws.entity_value_at(a, LockIndex::new(1)), Some(Value::new(11)));
+/// // …and rollback restores it.
+/// ws.rollback_to(LockIndex::new(1));
+/// assert_eq!(ws.read_entity(a), Some(Value::new(11)));
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct McsWorkspace {
+    entity_stacks: BTreeMap<EntityId, VersionStack>,
+    var_stacks: Vec<VersionStack>,
+    /// Cache of each variable's current value, so expression evaluation can
+    /// borrow a slice without materialising one per operation.
+    current_vars: Vec<Value>,
+    peak: CopyCounts,
+    /// Optional per-stack copy budget (the bounded-storage extension of
+    /// §5's closing paragraph). `None` = unbounded MCS.
+    budget: Option<usize>,
+}
+
+impl McsWorkspace {
+    /// Creates a workspace for a transaction with the given initial local
+    /// variable values.
+    pub fn new(initial_vars: &[Value]) -> Self {
+        Self::with_budget(initial_vars, None)
+    }
+
+    /// Creates a workspace whose stacks each hold at most `budget` copies
+    /// beyond their base — the bounded-storage middle ground between
+    /// single-copy (budget 1) and full MCS (unbounded). Evictions trade
+    /// restorable states for space; the caller learns the destroyed
+    /// intervals from the write methods' return values.
+    pub fn with_budget(initial_vars: &[Value], budget: Option<usize>) -> Self {
+        McsWorkspace {
+            entity_stacks: BTreeMap::new(),
+            var_stacks: initial_vars
+                .iter()
+                .map(|&v| VersionStack::new(LockIndex::ZERO, v))
+                .collect(),
+            current_vars: initial_vars.to_vec(),
+            peak: CopyCounts::default(),
+            budget,
+        }
+    }
+
+    /// Called when an exclusive lock is granted at lock state `lock_state`:
+    /// "When A is locked by T_i, its global value is pushed onto the stack"
+    /// — the stack is created with the global value as its base element.
+    ///
+    /// Shared locks create no stack: a shared holder never writes, so the
+    /// global value in the database suffices.
+    pub fn on_exclusive_lock(&mut self, entity: EntityId, lock_state: LockIndex, global: Value) {
+        let prev = self.entity_stacks.insert(entity, VersionStack::new(lock_state, global));
+        debug_assert!(prev.is_none(), "entity {entity} locked twice");
+    }
+
+    /// Records a write of `value` to `entity` by an operation with lock
+    /// index `lock_index`. Under a copy budget the stack may evict its
+    /// oldest copy; the destroyed lock-index interval `[from, to)` is
+    /// returned so the caller can mark those states unreachable.
+    pub fn write_entity(
+        &mut self,
+        entity: EntityId,
+        lock_index: LockIndex,
+        value: Value,
+    ) -> Result<Option<(LockIndex, LockIndex)>, StorageError> {
+        let stack =
+            self.entity_stacks.get_mut(&entity).ok_or(StorageError::NoLocalCopy(entity))?;
+        stack.record_write(lock_index, value);
+        let evicted = self.budget.and_then(|b| stack.enforce_budget(b));
+        self.bump_peak();
+        Ok(evicted)
+    }
+
+    /// The transaction's current local view of `entity`, if it holds a
+    /// stack for it (i.e. holds it exclusively). Shared-locked entities are
+    /// read from the database directly.
+    pub fn read_entity(&self, entity: EntityId) -> Option<Value> {
+        self.entity_stacks.get(&entity).map(VersionStack::current)
+    }
+
+    /// Records an assignment to a local variable at `lock_index`, with the
+    /// same budget/eviction behaviour as [`Self::write_entity`].
+    pub fn assign_var(
+        &mut self,
+        var: VarId,
+        lock_index: LockIndex,
+        value: Value,
+    ) -> Result<Option<(LockIndex, LockIndex)>, StorageError> {
+        let stack =
+            self.var_stacks.get_mut(var.index()).ok_or(StorageError::NoSuchVariable(var))?;
+        stack.record_write(lock_index, value);
+        let evicted = self.budget.and_then(|b| stack.enforce_budget(b));
+        self.current_vars[var.index()] = value;
+        self.bump_peak();
+        Ok(evicted)
+    }
+
+    /// Current values of all local variables (for expression evaluation).
+    pub fn vars(&self) -> &[Value] {
+        &self.current_vars
+    }
+
+    /// Current value of one variable.
+    pub fn var(&self, var: VarId) -> Result<Value, StorageError> {
+        self.current_vars.get(var.index()).copied().ok_or(StorageError::NoSuchVariable(var))
+    }
+
+    /// Called at unlock: returns the final local value to publish as the
+    /// new global value ("the top of the stack is copied as the new global
+    /// value of A and the stack is returned to free storage"), or `None` if
+    /// the entity had no stack (shared lock — nothing to publish).
+    pub fn on_unlock(&mut self, entity: EntityId) -> Option<Value> {
+        self.entity_stacks.remove(&entity).map(|s| s.current())
+    }
+
+    /// Performs the workspace part of the §4 rollback procedure to lock
+    /// state `target`:
+    ///
+    /// 1. stacks with stack index `>= target` are deleted — their entities'
+    ///    locks will be released *without* publishing (returned here);
+    /// 2. remaining entity stacks pop every element with lock index
+    ///    `> target`;
+    /// 3. local-variable stacks do the same, and current values are
+    ///    restored from the new stack tops.
+    ///
+    /// Returns the entities whose stacks were deleted, in id order.
+    pub fn rollback_to(&mut self, target: LockIndex) -> Vec<EntityId> {
+        let released: Vec<EntityId> = self
+            .entity_stacks
+            .iter()
+            .filter(|(_, s)| s.stack_index() >= target)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &released {
+            self.entity_stacks.remove(id);
+        }
+        for stack in self.entity_stacks.values_mut() {
+            stack.pop_above(target);
+        }
+        for (i, stack) in self.var_stacks.iter_mut().enumerate() {
+            stack.pop_above(target);
+            self.current_vars[i] = stack.current();
+        }
+        released
+    }
+
+    /// Current copy counts (Theorem 3 accounting).
+    pub fn copy_counts(&self) -> CopyCounts {
+        CopyCounts {
+            entity_copies: self.entity_stacks.values().map(VersionStack::copies).sum(),
+            var_copies: self.var_stacks.iter().map(VersionStack::copies).sum(),
+        }
+    }
+
+    /// Highest copy counts ever observed.
+    pub fn peak_copy_counts(&self) -> CopyCounts {
+        self.peak
+    }
+
+    /// Number of entity stacks currently held (= exclusively locked
+    /// entities).
+    pub fn entity_stack_count(&self) -> usize {
+        self.entity_stacks.len()
+    }
+
+    /// The entity's value as it was at lock state `target`, if determinable
+    /// from the stacks (MCS can always answer this for held entities —
+    /// that is its whole point).
+    pub fn entity_value_at(&self, entity: EntityId, target: LockIndex) -> Option<Value> {
+        self.entity_stacks.get(&entity).and_then(|s| s.value_at(target))
+    }
+
+    fn bump_peak(&mut self) {
+        let now = self.copy_counts();
+        if now.entity_copies > self.peak.entity_copies {
+            self.peak.entity_copies = now.entity_copies;
+        }
+        if now.var_copies > self.peak.var_copies {
+            self.peak.var_copies = now.var_copies;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> EntityId {
+        EntityId::new(i)
+    }
+    fn li(i: u32) -> LockIndex {
+        LockIndex::new(i)
+    }
+    fn v(i: i64) -> Value {
+        Value::new(i)
+    }
+
+    #[test]
+    fn exclusive_lock_creates_stack_with_global_base() {
+        let mut w = McsWorkspace::new(&[]);
+        w.on_exclusive_lock(e(0), li(0), v(42));
+        assert_eq!(w.read_entity(e(0)), Some(v(42)));
+        assert_eq!(w.entity_stack_count(), 1);
+        assert_eq!(w.copy_counts().entity_copies, 0);
+    }
+
+    #[test]
+    fn writes_update_local_view_not_global() {
+        let mut w = McsWorkspace::new(&[]);
+        w.on_exclusive_lock(e(0), li(0), v(10));
+        w.write_entity(e(0), li(1), v(20)).unwrap();
+        assert_eq!(w.read_entity(e(0)), Some(v(20)));
+        assert_eq!(w.copy_counts().entity_copies, 1);
+    }
+
+    #[test]
+    fn write_without_stack_errors() {
+        let mut w = McsWorkspace::new(&[]);
+        assert_eq!(w.write_entity(e(0), li(1), v(1)), Err(StorageError::NoLocalCopy(e(0))));
+    }
+
+    #[test]
+    fn unlock_returns_final_value_and_frees_stack() {
+        let mut w = McsWorkspace::new(&[]);
+        w.on_exclusive_lock(e(0), li(0), v(10));
+        w.write_entity(e(0), li(1), v(15)).unwrap();
+        assert_eq!(w.on_unlock(e(0)), Some(v(15)));
+        assert_eq!(w.entity_stack_count(), 0);
+        assert_eq!(w.on_unlock(e(0)), None);
+    }
+
+    #[test]
+    fn rollback_deletes_late_stacks_and_pops_survivors() {
+        let mut w = McsWorkspace::new(&[v(0)]);
+        // Lock a at state 0, b at state 1, c at state 2.
+        w.on_exclusive_lock(e(0), li(0), v(100));
+        w.write_entity(e(0), li(1), v(101)).unwrap(); // before lock state 1
+        w.on_exclusive_lock(e(1), li(1), v(200));
+        w.write_entity(e(0), li(2), v(102)).unwrap();
+        w.on_exclusive_lock(e(2), li(2), v(300));
+        w.assign_var(VarId::new(0), li(3), v(7)).unwrap();
+
+        // Roll back to lock state 1: c's and b's stacks (indices 2, 1) are
+        // deleted; a's stack pops the lock-index-2 element.
+        let released = w.rollback_to(li(1));
+        assert_eq!(released, vec![e(1), e(2)]);
+        assert_eq!(w.read_entity(e(0)), Some(v(101)));
+        assert_eq!(w.var(VarId::new(0)).unwrap(), v(0));
+        assert_eq!(w.vars(), &[v(0)]);
+    }
+
+    #[test]
+    fn rollback_to_zero_is_total() {
+        let mut w = McsWorkspace::new(&[v(5)]);
+        w.on_exclusive_lock(e(0), li(0), v(1));
+        w.write_entity(e(0), li(1), v(2)).unwrap();
+        w.assign_var(VarId::new(0), li(1), v(50)).unwrap();
+        let released = w.rollback_to(LockIndex::ZERO);
+        assert_eq!(released, vec![e(0)]);
+        assert_eq!(w.entity_stack_count(), 0);
+        assert_eq!(w.vars(), &[v(5)]);
+        assert_eq!(w.copy_counts().total(), 0);
+    }
+
+    #[test]
+    fn value_at_past_lock_state_is_recoverable() {
+        let mut w = McsWorkspace::new(&[]);
+        w.on_exclusive_lock(e(0), li(0), v(10));
+        w.write_entity(e(0), li(1), v(11)).unwrap();
+        w.write_entity(e(0), li(3), v(13)).unwrap();
+        assert_eq!(w.entity_value_at(e(0), li(0)), Some(v(10)));
+        assert_eq!(w.entity_value_at(e(0), li(2)), Some(v(11)));
+        assert_eq!(w.entity_value_at(e(0), li(3)), Some(v(13)));
+        assert_eq!(w.entity_value_at(e(1), li(0)), None);
+    }
+
+    /// The adversarial program of Theorem 3: lock `E_j` at state `j`, then
+    /// write every held entity once before the next lock. Stacks fill to
+    /// exactly the `n(n+1)/2` bound.
+    #[test]
+    fn theorem3_worst_case_is_achieved_exactly() {
+        let n = 6u32;
+        let l = 2usize;
+        let mut w = McsWorkspace::new(&vec![v(0); l]);
+        for j in 0..n {
+            w.on_exclusive_lock(e(j), li(j), v(0));
+            // Operations between lock request j and j+1 have lock index j+1.
+            for i in 0..=j {
+                w.write_entity(e(i), li(j + 1), v((j * 10 + i) as i64)).unwrap();
+            }
+            for var in 0..l {
+                w.assign_var(VarId::new(var as u16), li(j + 1), v(j as i64)).unwrap();
+            }
+        }
+        let counts = w.copy_counts();
+        assert_eq!(counts.entity_copies, (n * (n + 1) / 2) as usize);
+        assert_eq!(counts.var_copies, n as usize * l);
+        assert_eq!(counts.total(), CopyCounts::theorem3_bound(n as usize, l));
+        assert_eq!(w.peak_copy_counts(), counts);
+    }
+
+    #[test]
+    fn peak_survives_rollback() {
+        let mut w = McsWorkspace::new(&[]);
+        w.on_exclusive_lock(e(0), li(0), v(0));
+        w.write_entity(e(0), li(1), v(1)).unwrap();
+        w.write_entity(e(0), li(2), v(2)).unwrap();
+        assert_eq!(w.peak_copy_counts().entity_copies, 2);
+        w.rollback_to(li(1));
+        assert_eq!(w.copy_counts().entity_copies, 1);
+        assert_eq!(w.peak_copy_counts().entity_copies, 2);
+    }
+
+    #[test]
+    fn assign_out_of_range_var_errors() {
+        let mut w = McsWorkspace::new(&[v(0)]);
+        assert_eq!(
+            w.assign_var(VarId::new(3), li(1), v(1)),
+            Err(StorageError::NoSuchVariable(VarId::new(3)))
+        );
+        assert!(w.var(VarId::new(3)).is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! The value stacks of the multi-lock copy strategy (MCS, §4).
+//!
+//! "Each stack element has two fields, a value field and an index field. …
+//! The system then pushes a new element onto the stack for a given lock
+//! state iff the lock index of the write operation producing the new value
+//! of the entity is greater than the lock index of the [top of the] stack.
+//! Otherwise the two indices must be equal, in which case the value field of
+//! the current top element in the stack is updated."
+//!
+//! Stacks for global entities are created at the entity's lock state and
+//! carry that lock index; stacks for local variables are created at
+//! transaction start with index 0 and an initial element holding the
+//! variable's initial value.
+
+use pr_model::{LockIndex, Value};
+use serde::{Deserialize, Serialize};
+
+/// One element of a version stack: a value and the lock index of the write
+/// (or initial load) that produced it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct StackElement {
+    /// The stored value.
+    pub value: Value,
+    /// Lock index of the operation that produced this value.
+    pub lock_index: LockIndex,
+}
+
+/// A per-entity (or per-local-variable) version stack.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct VersionStack {
+    /// The stack's own index: the lock index of the lock state it is
+    /// associated with (0 for local variables).
+    stack_index: LockIndex,
+    elements: Vec<StackElement>,
+}
+
+impl VersionStack {
+    /// Creates a stack at `stack_index` whose base element holds `base` —
+    /// the entity's global value at lock time, or a local variable's
+    /// initial value.
+    pub fn new(stack_index: LockIndex, base: Value) -> Self {
+        VersionStack {
+            stack_index,
+            elements: vec![StackElement { value: base, lock_index: stack_index }],
+        }
+    }
+
+    /// The stack's fixed index.
+    #[inline]
+    pub fn stack_index(&self) -> LockIndex {
+        self.stack_index
+    }
+
+    /// Records a write of `value` at `lock_index`, pushing or updating the
+    /// top per the MCS rule. `lock_index` must be monotone non-decreasing
+    /// across calls (writes arrive in program order).
+    pub fn record_write(&mut self, lock_index: LockIndex, value: Value) {
+        let top = self.elements.last_mut().expect("stack always has a base element");
+        debug_assert!(
+            lock_index >= top.lock_index,
+            "writes must arrive in lock-index order: {lock_index:?} < {:?}",
+            top.lock_index
+        );
+        if lock_index > top.lock_index {
+            self.elements.push(StackElement { value, lock_index });
+        } else {
+            top.value = value;
+        }
+    }
+
+    /// The current (most recent) value.
+    #[inline]
+    pub fn current(&self) -> Value {
+        self.elements.last().expect("stack always has a base element").value
+    }
+
+    /// The value the entity had at lock state `target` — the top element
+    /// with `lock_index <= target`. `None` if `target` precedes the stack's
+    /// creation (the entity was not locked yet).
+    pub fn value_at(&self, target: LockIndex) -> Option<Value> {
+        if target < self.stack_index {
+            return None;
+        }
+        self.elements.iter().rev().find(|el| el.lock_index <= target).map(|el| el.value)
+    }
+
+    /// Pops every element produced by a write *after* lock state `target`
+    /// (elements with `lock_index > target`) — step 3 of the §4 rollback
+    /// procedure. Returns how many copies were discarded.
+    pub fn pop_above(&mut self, target: LockIndex) -> usize {
+        let before = self.elements.len();
+        self.elements.retain(|el| el.lock_index <= target);
+        debug_assert!(!self.elements.is_empty(), "the base element is never popped");
+        before - self.elements.len()
+    }
+
+    /// Total number of elements held.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// A stack always holds at least its base element.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of *copies* in the Theorem 3 sense: elements beyond the base
+    /// element (the base duplicates a value available elsewhere — the
+    /// database's global value, or the program's initial variable value).
+    #[inline]
+    pub fn copies(&self) -> usize {
+        self.elements.len() - 1
+    }
+
+    /// Read-only view of the elements, base first.
+    pub fn elements(&self) -> &[StackElement] {
+        &self.elements
+    }
+
+    /// Enforces a bound on the number of copies (elements beyond the
+    /// base): if exceeded, evicts the *oldest non-base* element and
+    /// returns the lock-index interval `[evicted, successor)` whose
+    /// values can no longer be reproduced.
+    ///
+    /// The current value (stack top) is never evicted, so an effective
+    /// budget below 1 behaves as 1. This implements the paper's closing
+    /// suggestion of "allocat[ing] a bounded amount of extra storage to
+    /// the entities in order to maximize the number of well-defined
+    /// states".
+    pub fn enforce_budget(&mut self, budget: usize) -> Option<(LockIndex, LockIndex)> {
+        if self.copies() <= budget.max(1) {
+            return None;
+        }
+        // elements[0] is the base; elements[1] is the oldest copy, and a
+        // successor exists because copies() >= 2.
+        let evicted = self.elements.remove(1);
+        let successor = self.elements[1];
+        Some((evicted.lock_index, successor.lock_index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn li(i: u32) -> LockIndex {
+        LockIndex::new(i)
+    }
+    fn v(i: i64) -> Value {
+        Value::new(i)
+    }
+
+    #[test]
+    fn base_element_holds_global_value() {
+        let s = VersionStack::new(li(2), v(10));
+        assert_eq!(s.current(), v(10));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.copies(), 0);
+        assert_eq!(s.stack_index(), li(2));
+    }
+
+    #[test]
+    fn write_at_same_lock_index_updates_in_place() {
+        let mut s = VersionStack::new(li(1), v(0));
+        s.record_write(li(2), v(5));
+        s.record_write(li(2), v(6));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.current(), v(6));
+    }
+
+    #[test]
+    fn write_at_higher_lock_index_pushes() {
+        let mut s = VersionStack::new(li(0), v(0));
+        s.record_write(li(1), v(1));
+        s.record_write(li(3), v(3));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.copies(), 2);
+        assert_eq!(s.current(), v(3));
+    }
+
+    #[test]
+    fn value_at_returns_version_visible_at_lock_state() {
+        let mut s = VersionStack::new(li(0), v(100));
+        s.record_write(li(1), v(1)); // write before lock state 1
+        s.record_write(li(3), v(3)); // write before lock state 3
+        assert_eq!(s.value_at(li(0)), Some(v(100)));
+        assert_eq!(s.value_at(li(1)), Some(v(1)));
+        assert_eq!(s.value_at(li(2)), Some(v(1)));
+        assert_eq!(s.value_at(li(3)), Some(v(3)));
+        assert_eq!(s.value_at(li(9)), Some(v(3)));
+    }
+
+    #[test]
+    fn value_at_before_creation_is_none() {
+        let s = VersionStack::new(li(3), v(0));
+        assert_eq!(s.value_at(li(2)), None);
+        assert_eq!(s.value_at(li(3)), Some(v(0)));
+    }
+
+    #[test]
+    fn pop_above_discards_later_writes() {
+        let mut s = VersionStack::new(li(0), v(100));
+        s.record_write(li(1), v(1));
+        s.record_write(li(2), v(2));
+        s.record_write(li(4), v(4));
+        let popped = s.pop_above(li(2));
+        assert_eq!(popped, 1);
+        assert_eq!(s.current(), v(2));
+        let popped = s.pop_above(li(0));
+        assert_eq!(popped, 2);
+        assert_eq!(s.current(), v(100));
+        assert_eq!(s.copies(), 0);
+        // Base element survives even a rollback to the stack's own index.
+        assert_eq!(s.pop_above(li(0)), 0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "writes must arrive in lock-index order")]
+    fn out_of_order_writes_are_rejected_in_debug() {
+        let mut s = VersionStack::new(li(0), v(0));
+        s.record_write(li(3), v(3));
+        s.record_write(li(1), v(1));
+    }
+}

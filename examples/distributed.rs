@@ -1,0 +1,71 @@
+//! Distributed deadlock handling (§3.3): detection vs prevention across
+//! four sites, with partial rollback under every scheme.
+//!
+//! ```text
+//! cargo run --release --example distributed
+//! ```
+
+use partial_rollback::core::scheduler::RoundRobin;
+use partial_rollback::core::StrategyKind;
+use partial_rollback::dist::{CrossSiteScheme, DistConfig, DistributedSystem};
+use partial_rollback::prelude::*;
+use partial_rollback::sim::generator::{GeneratorConfig, ProgramGenerator};
+use partial_rollback::sim::report::{f2, Table};
+
+fn main() {
+    const SITES: u16 = 4;
+    const ENTITIES: u32 = 16;
+    const TXNS: usize = 24;
+
+    // One cross-site workload, run under every scheme × strategy.
+    let gen_cfg = GeneratorConfig {
+        num_entities: ENTITIES,
+        min_locks: 2,
+        max_locks: 4,
+        pad_between: 3,
+        ..Default::default()
+    };
+    let programs = ProgramGenerator::new(gen_cfg, 99).generate_workload(TXNS);
+
+    let mut table = Table::new([
+        "scheme",
+        "strategy",
+        "messages",
+        "detected deadlocks",
+        "wounds",
+        "order violations",
+        "states lost",
+    ])
+    .with_title(format!("{TXNS} transactions over {SITES} sites ({ENTITIES} entities)"));
+
+    for scheme in CrossSiteScheme::ALL {
+        for strategy in [StrategyKind::Total, StrategyKind::Mcs] {
+            let store = GlobalStore::with_entities(ENTITIES, Value::new(100));
+            let mut sys =
+                DistributedSystem::new(store, DistConfig::new(SITES, scheme, strategy));
+            for p in &programs {
+                sys.admit(p.clone()).unwrap();
+            }
+            sys.run(&mut RoundRobin::new()).expect("distributed system drains");
+            assert!(sys.all_committed());
+            let m = sys.metrics();
+            table.row([
+                scheme.name().to_string(),
+                strategy.name(),
+                m.messages.to_string(),
+                m.detected_deadlocks.to_string(),
+                m.wounds.to_string(),
+                m.order_violations.to_string(),
+                m.states_lost.to_string(),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!(
+        "Global detection spends messages maintaining the coordinator's graph but only\n\
+         rolls back genuine deadlocks; the prevention schemes (wound-wait, site order)\n\
+         skip that traffic and pay in pre-emptive rollbacks. Partial rollback (mcs)\n\
+         cuts the states lost under every scheme — §3.3's closing observation."
+    );
+    let _ = f2(0.0);
+}

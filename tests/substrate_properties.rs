@@ -1,0 +1,207 @@
+//! Property tests for the substrate crates: the lock table, the waits-for
+//! graph, the cut-set solvers, and the engine-vs-interpreter oracle.
+
+use partial_rollback::graph::{cutset, WaitsForGraph};
+use partial_rollback::lock::{LockTable, RequestOutcome};
+use partial_rollback::model::interpret::run_solo;
+use partial_rollback::prelude::*;
+use partial_rollback::sim::experiments::random_cut_instance;
+use partial_rollback::sim::generator::{GeneratorConfig, ProgramGenerator};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A random lock-table action.
+#[derive(Clone, Copy, Debug)]
+enum Action {
+    Request { txn: u32, entity: u32, exclusive: bool },
+    Release { txn: u32, entity: u32 },
+    Cancel { txn: u32, entity: u32 },
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0u32..6, 0u32..4, any::<bool>())
+            .prop_map(|(txn, entity, exclusive)| Action::Request { txn, entity, exclusive }),
+        (0u32..6, 0u32..4).prop_map(|(txn, entity)| Action::Release { txn, entity }),
+        (0u32..6, 0u32..4).prop_map(|(txn, entity)| Action::Cancel { txn, entity }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The lock table upholds its invariants under arbitrary action
+    /// sequences (invalid actions are simply rejected), and its grant
+    /// decisions match a naive reference model.
+    #[test]
+    fn lock_table_invariants_under_random_actions(actions in prop::collection::vec(action_strategy(), 1..60)) {
+        let mut table = LockTable::new();
+        // Reference: who holds what, in what mode.
+        let mut held: BTreeMap<(u32, u32), LockMode> = BTreeMap::new();
+        let mut waiting: BTreeSet<(u32, u32)> = BTreeSet::new();
+
+        for action in actions {
+            match action {
+                Action::Request { txn, entity, exclusive } => {
+                    let t = TxnId::new(txn);
+                    let e = EntityId::new(entity);
+                    let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+                    let already = held.contains_key(&(txn, entity))
+                        || waiting.contains(&(txn, entity));
+                    let result = table.request(t, e, mode, StateIndex::ZERO, LockIndex::ZERO);
+                    if already {
+                        prop_assert!(result.is_err());
+                        continue;
+                    }
+                    let compatible = held
+                        .iter()
+                        .filter(|((_, en), _)| *en == entity)
+                        .all(|((tx, _), m)| *tx == txn || mode.compatible_with(*m));
+                    match result.unwrap() {
+                        RequestOutcome::Granted => {
+                            prop_assert!(compatible, "grant must imply compatibility");
+                            held.insert((txn, entity), mode);
+                        }
+                        RequestOutcome::Wait { holders, .. } => {
+                            prop_assert!(!compatible, "wait must imply a conflict");
+                            prop_assert!(!holders.is_empty());
+                            waiting.insert((txn, entity));
+                        }
+                    }
+                }
+                Action::Release { txn, entity } => {
+                    let result = table.release(TxnId::new(txn), EntityId::new(entity));
+                    if held.remove(&(txn, entity)).is_some() {
+                        let granted = result.unwrap();
+                        for h in granted {
+                            let key = (h.txn.raw(), entity);
+                            prop_assert!(waiting.remove(&key), "grantee must have been waiting");
+                            held.insert(key, h.mode);
+                        }
+                    } else {
+                        prop_assert!(result.is_err());
+                    }
+                }
+                Action::Cancel { txn, entity } => {
+                    let result = table.cancel_wait(TxnId::new(txn), EntityId::new(entity));
+                    if waiting.remove(&(txn, entity)) {
+                        for h in result.unwrap() {
+                            let key = (h.txn.raw(), entity);
+                            prop_assert!(waiting.remove(&key));
+                            held.insert(key, h.mode);
+                        }
+                    } else {
+                        prop_assert!(result.is_err());
+                    }
+                }
+            }
+            table.check_invariants().map_err(TestCaseError::fail)?;
+        }
+    }
+
+    /// Waits-for graph bookkeeping matches a reference arc set under
+    /// random set/clear/remove sequences.
+    #[test]
+    fn waits_for_graph_matches_reference(ops in prop::collection::vec((0u32..8, 0u32..8, 0u32..4, any::<bool>()), 1..50)) {
+        let mut g = WaitsForGraph::new();
+        let mut reference: BTreeMap<u32, (u32, BTreeSet<u32>)> = BTreeMap::new(); // waiter -> (entity, holders)
+        for (waiter, holder, entity, clear) in ops {
+            if waiter == holder {
+                continue;
+            }
+            if clear {
+                g.clear_wait(TxnId::new(waiter));
+                reference.remove(&waiter);
+            } else {
+                // Waiting on two holders: holder and holder+1 (mod 8).
+                let h2 = (holder + 1) % 8;
+                let holders: Vec<TxnId> = [holder, h2]
+                    .iter()
+                    .filter(|&&h| h != waiter)
+                    .map(|&h| TxnId::new(h))
+                    .collect();
+                g.set_wait(TxnId::new(waiter), EntityId::new(entity), &holders);
+                reference.insert(
+                    waiter,
+                    (entity, holders.iter().map(|t| t.raw()).collect()),
+                );
+            }
+            // Cross-check arcs both ways.
+            for (w, (e, hs)) in &reference {
+                let (ge, gh) = g.wait_of(TxnId::new(*w)).expect("wait recorded");
+                prop_assert_eq!(ge, EntityId::new(*e));
+                let gh: BTreeSet<u32> = gh.iter().map(|t| t.raw()).collect();
+                prop_assert_eq!(&gh, hs);
+            }
+            let total: usize = reference.values().map(|(_, hs)| hs.len()).sum();
+            prop_assert_eq!(g.arc_count(), total);
+        }
+    }
+
+    /// On monotone instances the exact solver never costs more than
+    /// greedy, and both cover every cycle.
+    #[test]
+    fn cutset_exact_at_most_greedy(cycles in 1usize..8, members in 2usize..5, seed in 0u64..500) {
+        let instance = random_cut_instance(cycles, members, seed);
+        let greedy = cutset::solve_greedy(&instance);
+        if let Some(exact) = cutset::solve_exact(&instance, 500_000) {
+            prop_assert!(exact.total_cost <= greedy.total_cost,
+                "exact {} > greedy {}", exact.total_cost, greedy.total_cost);
+        }
+    }
+
+    /// The engine running a single transaction agrees exactly with the
+    /// reference interpreter — the end-to-end data-semantics oracle.
+    #[test]
+    fn engine_agrees_with_interpreter_for_solo_runs(seed in 0u64..2_000) {
+        let cfg = GeneratorConfig {
+            num_entities: 8,
+            min_locks: 2,
+            max_locks: 6,
+            writes_per_entity: 2,
+            ..Default::default()
+        };
+        let program = ProgramGenerator::new(cfg, seed).generate();
+
+        // Interpreter.
+        let initial: BTreeMap<EntityId, Value> = (0..8)
+            .map(|i| (EntityId::new(i), Value::new(10 * i64::from(i) + 3)))
+            .collect();
+        let expected = run_solo(&program, &initial);
+
+        // Engine, one strategy is enough for data semantics (they only
+        // differ under rollback, and a solo run never rolls back).
+        let mut store = GlobalStore::new();
+        for (&e, &v) in &initial {
+            store.create(e, v).unwrap();
+        }
+        let mut sys = System::new(store, SystemConfig::default());
+        let id = sys.admit(program.clone()).unwrap();
+        sys.run(&mut RoundRobin::new()).unwrap();
+        prop_assert!(sys.all_committed());
+        for (e, v) in &expected.entities {
+            prop_assert_eq!(sys.store().read(*e).unwrap(), *v, "entity {}", e);
+        }
+        let _ = id;
+    }
+
+    /// The restructuring passes preserve solo semantics on random
+    /// programs (the §5 compiler-optimization soundness property).
+    #[test]
+    fn restructuring_preserves_semantics(seed in 0u64..2_000) {
+        use partial_rollback::model::restructure::{cluster_writes, hoist_locks};
+        let cfg = GeneratorConfig {
+            num_entities: 6,
+            min_locks: 2,
+            max_locks: 5,
+            writes_per_entity: 2,
+            ..Default::default()
+        };
+        let program = ProgramGenerator::new(cfg, seed).generate();
+        let initial: BTreeMap<EntityId, Value> =
+            (0..6).map(|i| (EntityId::new(i), Value::new(7 * i64::from(i) - 3))).collect();
+        let want = run_solo(&program, &initial);
+        prop_assert_eq!(run_solo(&hoist_locks(&program), &initial), want.clone());
+        prop_assert_eq!(run_solo(&cluster_writes(&program), &initial), want);
+    }
+}
