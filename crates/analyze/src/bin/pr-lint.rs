@@ -1,0 +1,116 @@
+//! `pr-lint` — static deadlock and rollback-cost lint for partial-rollback
+//! workloads.
+//!
+//! ```text
+//! pr-lint [--json] [WORKLOAD...]
+//! ```
+//!
+//! With no arguments, lints every built-in workload. Built-ins cover the
+//! paper's figures plus two generator baselines:
+//!
+//! | name       | contents                                              |
+//! |------------|-------------------------------------------------------|
+//! | `figure1`  | the Figure 1 deadlock `T2 → T3 → T4`                  |
+//! | `figure2`  | the Figure 2 mutual-preemption variant                |
+//! | `figure3a` | shared-lock non-forest, no deadlock (must be clean)   |
+//! | `figure3b` | the two-cycles-per-wait workload                      |
+//! | `figure3c` | the one-cycle-per-shared-holder workload              |
+//! | `figure4`  | the spread-writes transaction (rollback-cost lint)    |
+//! | `figure5`  | spread- and clustered-write victims with the partner  |
+//! | `generated`| a random `ProgramGenerator` workload                  |
+//! | `ordered`  | the same generator with a global lock order (clean)   |
+//!
+//! Exit status is non-zero iff any workload produced an error-severity
+//! diagnostic, so the binary drops into CI pipelines directly.
+
+use pr_analyze::analyze_workload;
+use pr_model::TransactionProgram;
+use pr_sim::scenarios::{figure3, figure4, figure5};
+use pr_sim::{scenarios, GeneratorConfig, ProgramGenerator};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: pr-lint [--json] [WORKLOAD...]\n       \
+                     workloads: figure1 figure2 figure3a figure3b figure3c \
+                     figure4 figure5 generated ordered";
+
+const ALL: &[&str] = &[
+    "figure1",
+    "figure2",
+    "figure3a",
+    "figure3b",
+    "figure3c",
+    "figure4",
+    "figure5",
+    "generated",
+    "ordered",
+];
+
+fn workload(name: &str) -> Option<Vec<TransactionProgram>> {
+    match name {
+        "figure1" => Some(scenarios::figure1_workload()),
+        "figure2" => Some(scenarios::figure2_workload()),
+        "figure3a" => Some(figure3::workload_a()),
+        "figure3b" => Some(figure3::workload_b(2, 2)),
+        "figure3c" => Some(figure3::workload_c(1, 20)),
+        "figure4" => Some(vec![figure4::paper_t1_fig4(), figure4::paper_t1_fig4_modified()]),
+        "figure5" => {
+            Some(vec![figure5::victim_spread(), figure5::victim_clustered(), figure5::partner()])
+        }
+        "generated" => Some(generate(GeneratorConfig::default())),
+        "ordered" => {
+            Some(generate(GeneratorConfig { ordered_locks: true, ..GeneratorConfig::default() }))
+        }
+        _ => None,
+    }
+}
+
+fn generate(config: GeneratorConfig) -> Vec<TransactionProgram> {
+    let mut gen = ProgramGenerator::new(config, 42);
+    (0..12).map(|_| gen.generate()).collect()
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut names: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            name if !name.starts_with('-') => names.push(name.to_string()),
+            other => {
+                eprintln!("pr-lint: unknown option `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if names.is_empty() {
+        names = ALL.iter().map(|s| s.to_string()).collect();
+    }
+
+    let mut any_errors = false;
+    let mut json_reports: Vec<String> = Vec::new();
+    for name in &names {
+        let Some(programs) = workload(name) else {
+            eprintln!("pr-lint: unknown workload `{name}`\n{USAGE}");
+            return ExitCode::FAILURE;
+        };
+        let report = analyze_workload(name, &programs);
+        any_errors |= report.has_errors();
+        if json {
+            json_reports.push(report.to_json());
+        } else {
+            print!("{}", report.render_human());
+        }
+    }
+    if json {
+        println!("[{}]", json_reports.join(","));
+    }
+    if any_errors {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

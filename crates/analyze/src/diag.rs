@@ -1,0 +1,408 @@
+//! The diagnostic framework: stable lint codes, severities, per-op spans,
+//! and human- plus JSON-rendered reports.
+//!
+//! Lint codes are **stable identifiers**: tooling (CI greps, dashboards,
+//! suppression lists) may key on them, so a code is never renumbered or
+//! reused once shipped. The namespaces are
+//!
+//! * `PR-Dxxx` — cross-transaction **d**eadlock analysis,
+//! * `PR-Rxxx` — per-program **r**ollback-cost / state-dependency analysis,
+//! * `PR-Vxxx` — protocol **v**alidation.
+
+use pr_model::TransactionProgram;
+use std::fmt;
+
+/// Stable identifiers for every diagnostic the analyzer can emit.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LintCode {
+    /// `PR-D001`: a statically-possible deadlock cycle exists in the
+    /// workload's mode-aware lock-order graph.
+    DeadlockCycle,
+    /// `PR-R101`: the program has undefined lock states, so a partial
+    /// rollback may overshoot its ideal target (§4, Figure 4).
+    UndefinedStates,
+    /// `PR-R102`: writes are unclustered and `cluster_writes` would reduce
+    /// the §5 clustering penalty.
+    UnclusteredWrites,
+    /// `PR-R103`: the program is not three-phase and `hoist_locks` would
+    /// make every lock state well-defined (§5).
+    NotThreePhase,
+    /// `PR-V001`: the program violates the §2 protocol rules.
+    ProtocolViolation,
+}
+
+impl LintCode {
+    /// The stable code string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintCode::DeadlockCycle => "PR-D001",
+            LintCode::UndefinedStates => "PR-R101",
+            LintCode::UnclusteredWrites => "PR-R102",
+            LintCode::NotThreePhase => "PR-R103",
+            LintCode::ProtocolViolation => "PR-V001",
+        }
+    }
+
+    /// The severity this code always carries.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintCode::DeadlockCycle | LintCode::ProtocolViolation => Severity::Error,
+            LintCode::UndefinedStates => Severity::Warning,
+            LintCode::UnclusteredWrites | LintCode::NotThreePhase => Severity::Advice,
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Severity {
+    /// Optimisation opportunity; the workload is correct without it.
+    Advice,
+    /// Likely performance or robustness problem (e.g. rollback overshoot).
+    Warning,
+    /// Correctness problem: a possible deadlock or an invalid program.
+    Error,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Advice => "advice",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A location inside one program of the workload: the program's index (0
+/// = first admitted, conventionally labelled `T1`) and an op's `pc`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Span {
+    /// Index of the program in the workload.
+    pub txn: usize,
+    /// Program counter of the relevant operation.
+    pub pc: usize,
+    /// Rendered text of that operation, for human output.
+    pub op: String,
+}
+
+impl Span {
+    /// Builds a span for `programs[txn]` at `pc` (op text rendered if the
+    /// pc is in range).
+    pub fn at(programs: &[TransactionProgram], txn: usize, pc: usize) -> Span {
+        let op =
+            programs.get(txn).and_then(|p| p.op(pc)).map(|op| op.to_string()).unwrap_or_default();
+        Span { txn, pc, op }
+    }
+
+    /// The conventional transaction label (`T1` for index 0, matching the
+    /// engine's admission-order `TxnId`s and the paper's figures).
+    pub fn txn_label(&self) -> String {
+        format!("T{}", self.txn + 1)
+    }
+}
+
+/// One finding.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// The stable lint code.
+    pub code: LintCode,
+    /// Severity (always `code.severity()`).
+    pub severity: Severity,
+    /// Human-readable description of the finding.
+    pub message: String,
+    /// Workload indices of the transactions that witness the finding (for
+    /// `PR-D001`, the deadlock cycle's members in cycle order).
+    pub witness: Vec<usize>,
+    /// Precise op locations backing the finding.
+    pub spans: Vec<Span>,
+    /// Actionable fix, when the analyzer can compute one.
+    pub advice: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with the code's canonical severity.
+    pub fn new(code: LintCode, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            message: message.into(),
+            witness: Vec::new(),
+            spans: Vec::new(),
+            advice: None,
+        }
+    }
+
+    pub fn with_witness(mut self, witness: Vec<usize>) -> Diagnostic {
+        self.witness = witness;
+        self
+    }
+
+    pub fn with_spans(mut self, spans: Vec<Span>) -> Diagnostic {
+        self.spans = spans;
+        self
+    }
+
+    pub fn with_advice(mut self, advice: impl Into<String>) -> Diagnostic {
+        self.advice = Some(advice.into());
+        self
+    }
+}
+
+/// Everything the analyzer found for one workload.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Name of the analyzed workload (e.g. `figure1`).
+    pub workload: String,
+    /// Number of programs analyzed.
+    pub num_programs: usize,
+    /// All findings, deadlock diagnostics first, then by program.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Findings with the given code.
+    pub fn with_code(&self, code: LintCode) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.code == code).collect()
+    }
+
+    /// Number of statically-possible deadlock cycles reported.
+    pub fn deadlock_count(&self) -> usize {
+        self.with_code(LintCode::DeadlockCycle).len()
+    }
+
+    /// Count of findings at the given severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// Whether any error-severity finding exists (non-zero lint exit).
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// Multi-line human rendering.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "workload `{}` ({} programs): {} error(s), {} warning(s), {} advice\n",
+            self.workload,
+            self.num_programs,
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Advice),
+        ));
+        for d in &self.diagnostics {
+            out.push_str(&format!("  {} [{}] {}\n", d.severity, d.code, d.message));
+            for s in &d.spans {
+                out.push_str(&format!("      at {} pc {}: {}\n", s.txn_label(), s.pc, s.op));
+            }
+            if let Some(advice) = &d.advice {
+                out.push_str(&format!("      fix: {advice}\n"));
+            }
+        }
+        out
+    }
+
+    /// Machine-readable JSON rendering (hand-rolled: the build environment
+    /// has no serde_json, and the format below is part of the CLI contract).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.raw("{");
+        w.key("workload");
+        w.string(&self.workload);
+        w.raw(",");
+        w.key("programs");
+        w.raw(&self.num_programs.to_string());
+        w.raw(",");
+        w.key("summary");
+        w.raw(&format!(
+            "{{\"errors\":{},\"warnings\":{},\"advice\":{}}}",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Advice),
+        ));
+        w.raw(",");
+        w.key("diagnostics");
+        w.raw("[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                w.raw(",");
+            }
+            w.raw("{");
+            w.key("code");
+            w.string(d.code.as_str());
+            w.raw(",");
+            w.key("severity");
+            w.string(d.severity.as_str());
+            w.raw(",");
+            w.key("message");
+            w.string(&d.message);
+            w.raw(",");
+            w.key("witness");
+            w.raw(&format!(
+                "[{}]",
+                d.witness.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(",")
+            ));
+            w.raw(",");
+            w.key("spans");
+            w.raw("[");
+            for (j, s) in d.spans.iter().enumerate() {
+                if j > 0 {
+                    w.raw(",");
+                }
+                w.raw(&format!("{{\"txn\":{},\"pc\":{},\"op\":", s.txn, s.pc));
+                w.string(&s.op);
+                w.raw("}");
+            }
+            w.raw("]");
+            if let Some(advice) = &d.advice {
+                w.raw(",");
+                w.key("advice");
+                w.string(advice);
+            }
+            w.raw("}");
+        }
+        w.raw("]}");
+        w.finish()
+    }
+}
+
+/// Minimal JSON assembly with correct string escaping.
+struct JsonWriter {
+    buf: String,
+}
+
+impl JsonWriter {
+    fn new() -> JsonWriter {
+        JsonWriter { buf: String::new() }
+    }
+
+    fn raw(&mut self, s: &str) {
+        self.buf.push_str(s);
+    }
+
+    fn key(&mut self, k: &str) {
+        self.string(k);
+        self.buf.push(':');
+    }
+
+    fn string(&mut self, s: &str) {
+        self.buf.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\r' => self.buf.push_str("\\r"),
+                '\t' => self.buf.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.buf.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+
+    fn finish(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        Report {
+            workload: "unit".into(),
+            num_programs: 2,
+            diagnostics: vec![
+                Diagnostic::new(LintCode::DeadlockCycle, "cycle b -> e -> b")
+                    .with_witness(vec![0, 1])
+                    .with_spans(vec![Span { txn: 0, pc: 3, op: "LX(e)".into() }])
+                    .with_advice("acquire b before e in T2"),
+                Diagnostic::new(LintCode::NotThreePhase, "hoisting helps"),
+            ],
+        }
+    }
+
+    #[test]
+    fn codes_are_stable_strings() {
+        assert_eq!(LintCode::DeadlockCycle.as_str(), "PR-D001");
+        assert_eq!(LintCode::UndefinedStates.as_str(), "PR-R101");
+        assert_eq!(LintCode::UnclusteredWrites.as_str(), "PR-R102");
+        assert_eq!(LintCode::NotThreePhase.as_str(), "PR-R103");
+        assert_eq!(LintCode::ProtocolViolation.as_str(), "PR-V001");
+    }
+
+    #[test]
+    fn severity_ordering_puts_errors_on_top() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Advice);
+    }
+
+    #[test]
+    fn report_counts_and_lookup() {
+        let r = sample_report();
+        assert_eq!(r.deadlock_count(), 1);
+        assert_eq!(r.count(Severity::Error), 1);
+        assert_eq!(r.count(Severity::Advice), 1);
+        assert!(r.has_errors());
+        assert_eq!(r.with_code(LintCode::UndefinedStates).len(), 0);
+    }
+
+    #[test]
+    fn human_rendering_mentions_code_span_and_fix() {
+        let s = sample_report().render_human();
+        assert!(s.contains("PR-D001"));
+        assert!(s.contains("at T1 pc 3: LX(e)"));
+        assert!(s.contains("fix: acquire b before e in T2"));
+        assert!(s.contains("1 error(s)"));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut r = sample_report();
+        r.diagnostics[0].message = "quote \" backslash \\ newline \n done".into();
+        let json = r.to_json();
+        assert!(json.contains("\\\""));
+        assert!(json.contains("\\\\"));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\"code\":\"PR-D001\""));
+        assert!(json.contains("\"witness\":[0,1]"));
+        // Balanced braces/brackets outside strings = crude well-formedness.
+        let mut depth = 0i32;
+        let mut in_str = false;
+        let mut esc = false;
+        for c in json.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_str);
+    }
+}

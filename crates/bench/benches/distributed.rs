@@ -32,10 +32,8 @@ fn bench_schemes(c: &mut Criterion) {
             g.bench_with_input(BenchmarkId::from_parameter(label), &programs, |b, programs| {
                 b.iter(|| {
                     let store = GlobalStore::with_entities(16, Value::new(100));
-                    let mut sys = DistributedSystem::new(
-                        store,
-                        DistConfig::new(4, scheme, strategy),
-                    );
+                    let mut sys =
+                        DistributedSystem::new(store, DistConfig::new(4, scheme, strategy));
                     for p in programs {
                         sys.admit(p.clone()).unwrap();
                     }

@@ -42,9 +42,7 @@ fn bench_figure2(c: &mut Criterion) {
 fn bench_figure3(c: &mut Criterion) {
     let mut g = c.benchmark_group("figure3");
     g.bench_function("a-acyclic-non-forest", |b| b.iter(|| black_box(figure3::run_a())));
-    g.bench_function("b-two-cycles-one-victim", |b| {
-        b.iter(|| black_box(figure3::run_b(2, 2)))
-    });
+    g.bench_function("b-two-cycles-one-victim", |b| b.iter(|| black_box(figure3::run_b(2, 2))));
     g.bench_function("c-shared-holders-cut", |b| b.iter(|| black_box(figure3::run_c(25, 1))));
     g.finish();
 }

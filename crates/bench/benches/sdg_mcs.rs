@@ -42,11 +42,9 @@ fn bench_sdg_maintenance(c: &mut Criterion) {
             })
         });
         let edges: Vec<(u32, u32)> = sdg.edges().to_vec();
-        g.bench_with_input(
-            BenchmarkId::new("articulation-alternative", n),
-            &edges,
-            |b, edges| b.iter(|| black_box(well_defined_by_articulation(n, black_box(edges)))),
-        );
+        g.bench_with_input(BenchmarkId::new("articulation-alternative", n), &edges, |b, edges| {
+            b.iter(|| black_box(well_defined_by_articulation(n, black_box(edges))))
+        });
     }
     g.finish();
 }

@@ -32,8 +32,7 @@ fn bench_lost_progress(c: &mut Criterion) {
             &programs,
             |b, programs| {
                 b.iter(|| {
-                    let mut config =
-                        SystemConfig::new(strategy, VictimPolicyKind::PartialOrder);
+                    let mut config = SystemConfig::new(strategy, VictimPolicyKind::PartialOrder);
                     config.max_steps = 2_000_000;
                     let report = run_workload(
                         black_box(programs),
@@ -56,27 +55,23 @@ fn bench_victim_policies(c: &mut Criterion) {
     g.sample_size(20);
     let programs = contended_workload(5);
     for policy in VictimPolicyKind::ALL {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(policy.name()),
-            &programs,
-            |b, programs| {
-                b.iter(|| {
-                    let mut config = SystemConfig::new(StrategyKind::Mcs, policy);
-                    // Bounded: the unrestricted policies may livelock, in
-                    // which case the bench measures the bounded run.
-                    config.max_steps = 100_000;
-                    black_box(
-                        run_workload(
-                            black_box(programs),
-                            store_with(8, 100),
-                            config,
-                            SchedulerKind::Random { seed: 17 },
-                        )
-                        .unwrap(),
+        g.bench_with_input(BenchmarkId::from_parameter(policy.name()), &programs, |b, programs| {
+            b.iter(|| {
+                let mut config = SystemConfig::new(StrategyKind::Mcs, policy);
+                // Bounded: the unrestricted policies may livelock, in
+                // which case the bench measures the bounded run.
+                config.max_steps = 100_000;
+                black_box(
+                    run_workload(
+                        black_box(programs),
+                        store_with(8, 100),
+                        config,
+                        SchedulerKind::Random { seed: 17 },
                     )
-                })
-            },
-        );
+                    .unwrap(),
+                )
+            })
+        });
     }
     g.finish();
 }
@@ -99,8 +94,7 @@ fn bench_budget_sweep(c: &mut Criterion) {
             &programs,
             |b, programs| {
                 b.iter(|| {
-                    let mut config =
-                        SystemConfig::new(strategy, VictimPolicyKind::PartialOrder);
+                    let mut config = SystemConfig::new(strategy, VictimPolicyKind::PartialOrder);
                     config.max_steps = 2_000_000;
                     black_box(
                         run_workload(

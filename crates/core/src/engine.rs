@@ -63,6 +63,10 @@ pub struct System {
     /// transactions.
     copies_cache: BTreeMap<TxnId, usize>,
     copies_total: usize,
+    /// Runtime invariant sentinel (feature `invariants`): bounded event
+    /// trace plus workload facts for the Theorem 1 / ω-order checks.
+    #[cfg(feature = "invariants")]
+    sentinel: crate::sentinel::Sentinel,
 }
 
 impl System {
@@ -81,6 +85,8 @@ impl System {
             events: EventLog::new(),
             copies_cache: BTreeMap::new(),
             copies_total: 0,
+            #[cfg(feature = "invariants")]
+            sentinel: crate::sentinel::Sentinel::new(),
         }
     }
 
@@ -110,6 +116,14 @@ impl System {
         let entry = self.entry_counter;
         self.entry_counter += 1;
         self.txns.insert(id, TxnRuntime::new(id, Arc::new(program), entry, self.config.strategy));
+        #[cfg(feature = "invariants")]
+        {
+            if self.txns[&id].program.lock_requests().iter().any(|(_, _, m)| *m == LockMode::Shared)
+            {
+                self.sentinel.note_shared_mode();
+            }
+            self.sentinel.record(format!("{id} admitted (entry order {entry})"));
+        }
         self.events.record(self.metrics.steps, Event::Admitted { txn: id });
         Ok(id)
     }
@@ -121,20 +135,12 @@ impl System {
 
     /// Transactions currently ready to step, ascending by id.
     pub fn ready(&self) -> Vec<TxnId> {
-        self.txns
-            .values()
-            .filter(|rt| rt.phase == Phase::Running)
-            .map(|rt| rt.id)
-            .collect()
+        self.txns.values().filter(|rt| rt.phase == Phase::Running).map(|rt| rt.id).collect()
     }
 
     /// Transactions currently blocked, ascending by id.
     pub fn blocked(&self) -> Vec<TxnId> {
-        self.txns
-            .values()
-            .filter(|rt| rt.phase == Phase::Blocked)
-            .map(|rt| rt.id)
-            .collect()
+        self.txns.values().filter(|rt| rt.phase == Phase::Blocked).map(|rt| rt.id).collect()
     }
 
     /// Whether every admitted transaction has committed.
@@ -150,7 +156,7 @@ impl System {
             return Err(EngineError::NotRunnable(id));
         }
         let op = rt.program.op(rt.pc).cloned().ok_or(EngineError::NotRunnable(id))?;
-        match op {
+        let result = match op {
             Op::LockShared(entity) => self.do_lock(id, entity, LockMode::Shared),
             Op::LockExclusive(entity) => self.do_lock(id, entity, LockMode::Exclusive),
             Op::Unlock(entity) => self.do_unlock(id, entity),
@@ -186,7 +192,15 @@ impl System {
                 Ok(StepOutcome::Progressed)
             }
             Op::Commit => self.do_commit(id),
+        };
+        // Every successful step — in particular every wait response and
+        // every completed deadlock resolution — must leave the system in a
+        // state satisfying the structural invariants.
+        #[cfg(feature = "invariants")]
+        if result.is_ok() {
+            self.sentinel_verify("post-step check");
         }
+        result
     }
 
     /// Runs transactions under `scheduler` until all commit.
@@ -244,6 +258,9 @@ impl System {
                 );
                 self.wfg.set_wait(id, entity, &holders);
                 self.metrics.waits += 1;
+                #[cfg(feature = "invariants")]
+                self.sentinel
+                    .record(format!("{id} waits on {entity} held by {holders:?} ({mode:?})"));
                 let resolved = self.resolve_deadlocks(id)?;
                 match resolved {
                     Some((event, plan)) => Ok(StepOutcome::DeadlockResolved { event, plan }),
@@ -286,11 +303,30 @@ impl System {
                 .collect();
             // Detection runs on the graph without the causer's own arcs.
             self.wfg.clear_wait(causer);
-            let cycles =
-                cycles_on_wait(&self.wfg, causer, entity, &holders, self.config.cycle_cap);
+            let cycles = cycles_on_wait(&self.wfg, causer, entity, &holders, self.config.cycle_cap);
             self.wfg.set_wait(causer, entity, &holders);
             if cycles.is_empty() {
                 break;
+            }
+            #[cfg(feature = "invariants")]
+            {
+                self.sentinel.record(format!(
+                    "deadlock: {causer}'s wait on {entity} closes {} cycle(s)",
+                    cycles.len()
+                ));
+                // Theorem 1: with exclusive locks only, the graph was a
+                // forest before this wait, so the new arcs can close at
+                // most one cycle.
+                if self.sentinel.exclusive_only() && cycles.len() > 1 {
+                    self.sentinel.fail(
+                        "deadlock detection",
+                        &format!(
+                            "exclusive-only wait by {causer} closed {} cycles; \
+                             Theorem 1 allows at most one",
+                            cycles.len()
+                        ),
+                    );
+                }
             }
             self.metrics.deadlocks += 1;
             self.events.record(
@@ -309,6 +345,29 @@ impl System {
                 // rollbackable; surface as stuck rather than spinning.
                 return Err(EngineError::Stuck { blocked: self.blocked() });
             }
+            // Theorem 2 (ω-order legality): the partial-order policy may
+            // only preempt transactions strictly younger than the causer —
+            // or the causer itself when it is the youngest cycle member —
+            // which is what guarantees system-wide progress.
+            #[cfg(feature = "invariants")]
+            if self.config.victim == crate::config::VictimPolicyKind::PartialOrder {
+                let causer_entry =
+                    self.txns.get(&causer).map(|rt| rt.entry_order).unwrap_or(u64::MAX);
+                for rb in &plan.rollbacks {
+                    let legal = rb.txn == causer
+                        || self.txns.get(&rb.txn).is_some_and(|rt| rt.entry_order > causer_entry);
+                    if !legal {
+                        self.sentinel.fail(
+                            "victim selection",
+                            &format!(
+                                "partial-order policy chose {} (not younger than causer \
+                                 {causer}) as a victim",
+                                rb.txn
+                            ),
+                        );
+                    }
+                }
+            }
             for rb in &plan.rollbacks {
                 self.execute_rollback(*rb)?;
             }
@@ -326,9 +385,8 @@ impl System {
         // Step 1: halt the transaction — cancel its pending request if any.
         let blocked_entity = {
             let rt = self.txns.get(&victim).ok_or(EngineError::NoSuchTxn(victim))?;
-            (rt.phase == Phase::Blocked).then(|| {
-                rt.blocked_on.expect("blocked transactions record their entity")
-            })
+            (rt.phase == Phase::Blocked)
+                .then(|| rt.blocked_on.expect("blocked transactions record their entity"))
         };
         if let Some(entity) = blocked_entity {
             let granted = self.table.cancel_wait(victim, entity)?;
@@ -348,13 +406,11 @@ impl System {
         };
         self.events.record(
             self.metrics.steps,
-            Event::RolledBack {
-                victim,
-                target,
-                cost,
-                reason: RollbackReason::DeadlockVictim,
-            },
+            Event::RolledBack { victim, target, cost, reason: RollbackReason::DeadlockVictim },
         );
+        #[cfg(feature = "invariants")]
+        self.sentinel
+            .record(format!("{victim} rolled back to lock state {} (cost {cost})", target.raw()));
         self.metrics.states_lost += u64::from(cost);
         self.metrics.rollback_overshoot += u64::from(overshoot);
         if target == LockIndex::ZERO {
@@ -422,6 +478,8 @@ impl System {
         rt.advance();
         rt.phase = Phase::Committed;
         self.events.record(self.metrics.steps, Event::Committed { txn: id });
+        #[cfg(feature = "invariants")]
+        self.sentinel.record(format!("{id} committed"));
         self.update_peak_copies_for(id);
         self.metrics.ops_executed += 1;
         self.metrics.commits += 1;
@@ -442,6 +500,8 @@ impl System {
         let rt = self.txns.get_mut(&id).expect("grantee exists");
         rt.complete_lock(entity, mode, global);
         self.events.record(self.metrics.steps, Event::Granted { txn: id, entity, mode });
+        #[cfg(feature = "invariants")]
+        self.sentinel.record(format!("{id} granted {mode:?} lock on {entity}"));
         self.metrics.ops_executed += 1;
         self.update_peak_copies_for(id);
         Ok(())
@@ -548,8 +608,9 @@ impl System {
         for rt in self.txns.values() {
             match rt.phase {
                 Phase::Blocked => {
-                    let entity =
-                        rt.blocked_on.ok_or_else(|| format!("{}: blocked without entity", rt.id))?;
+                    let entity = rt
+                        .blocked_on
+                        .ok_or_else(|| format!("{}: blocked without entity", rt.id))?;
                     if self.table.waiting_on(rt.id, entity).is_none() {
                         return Err(format!("{}: blocked but not queued on {entity}", rt.id));
                     }
@@ -565,7 +626,10 @@ impl System {
             }
             for entity in &rt.held {
                 if self.table.held_by(rt.id, *entity).is_none() {
-                    return Err(format!("{}: believes it holds {entity} but table disagrees", rt.id));
+                    return Err(format!(
+                        "{}: believes it holds {entity} but table disagrees",
+                        rt.id
+                    ));
                 }
             }
         }
@@ -573,6 +637,45 @@ impl System {
             return Err("waits-for graph contains an unresolved cycle".into());
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Runtime invariant sentinel (feature `invariants`)
+    // ------------------------------------------------------------------
+
+    /// Re-proves the structural invariants at a quiet point; panics with
+    /// the recent event trace on violation. See [`crate::sentinel`].
+    #[cfg(feature = "invariants")]
+    fn sentinel_verify(&self, context: &str) {
+        if let Err(violation) = self.wfg.check_consistent() {
+            self.sentinel.fail(context, &violation);
+        }
+        if let Err(violation) = self.check_invariants() {
+            self.sentinel.fail(context, &violation);
+        }
+        // Theorem 1: an exclusive-only waits-for graph is a forest at
+        // every quiet point (all cycles already resolved).
+        if self.sentinel.exclusive_only() && !self.wfg.is_forest() {
+            self.sentinel
+                .fail(context, "exclusive-only waits-for graph is not a forest (Theorem 1)");
+        }
+    }
+
+    /// Runs the sentinel's full check on demand (test entry point).
+    ///
+    /// Panics with the recent event trace if any invariant is violated.
+    #[cfg(feature = "invariants")]
+    pub fn sentinel_assert(&self) {
+        self.sentinel_verify("explicit check");
+    }
+
+    /// Mutable access to the waits-for graph, bypassing the engine —
+    /// exists only so negative tests can corrupt the graph (e.g. with
+    /// [`WaitsForGraph::forge_arc_unchecked`]) and prove
+    /// [`Self::sentinel_assert`] catches it. Never use outside tests.
+    #[cfg(feature = "invariants")]
+    pub fn graph_mut_unchecked(&mut self) -> &mut WaitsForGraph {
+        &mut self.wfg
     }
 }
 
@@ -668,8 +771,11 @@ mod tests {
             assert_eq!(sys.metrics().deadlocks, 1, "{victim:?}");
             assert!(sys.metrics().rollbacks() >= 1);
             // Money is conserved regardless of policy.
-            assert_eq!(sys.store().read(e(0)).unwrap() + sys.store().read(e(1)).unwrap(),
-                Value::new(200), "{victim:?}");
+            assert_eq!(
+                sys.store().read(e(0)).unwrap() + sys.store().read(e(1)).unwrap(),
+                Value::new(200),
+                "{victim:?}"
+            );
             sys.check_invariants().unwrap();
         }
     }
@@ -725,8 +831,8 @@ mod tests {
         // T2 requests a → deadlock. T1 must release a (T2 wants a): roll
         // T1 to lock state 0, cost 2 (it waits from state 2). T2 must
         // release b: roll T2 to lock state 0, cost 7. T1 is cheaper.
-        let mut sched = Scripted::new(vec![t(1), t(1), t(2), t(2), t(2), t(2), t(2), t(2), t(2),
-            t(1), t(2)]);
+        let mut sched =
+            Scripted::new(vec![t(1), t(1), t(2), t(2), t(2), t(2), t(2), t(2), t(2), t(1), t(2)]);
         sys.run(&mut sched).unwrap();
         assert!(sys.all_committed());
         let (event, plan) = &sys.history()[0];
@@ -791,9 +897,18 @@ mod tests {
         // T3 locks f shared, pads, requests b → waits; T1 requests f →
         // two cycles close.
         let mut sched = Scripted::new(vec![
-            t(1), t(1), // a, b
-            t(2), t(2), t(2), t(2), // f, pads, request a
-            t(3), t(3), t(3), t(3), t(3), t(3), // f, pads, request b
+            t(1),
+            t(1), // a, b
+            t(2),
+            t(2),
+            t(2),
+            t(2), // f, pads, request a
+            t(3),
+            t(3),
+            t(3),
+            t(3),
+            t(3),
+            t(3), // f, pads, request b
             t(1), // request f → deadlock
         ]);
         sys.run(&mut sched).unwrap();
@@ -884,7 +999,8 @@ mod tests {
     #[test]
     fn bounded_strategy_resolves_deadlocks_and_tracks_overshoot() {
         for budget in [1u32, 2, 8] {
-            let mut sys = deadlocking_pair(StrategyKind::Bounded(budget), VictimPolicyKind::PartialOrder);
+            let mut sys =
+                deadlocking_pair(StrategyKind::Bounded(budget), VictimPolicyKind::PartialOrder);
             let mut sched = Scripted::new(vec![t(1), t(2), t(1), t(2)]);
             sys.run(&mut sched).unwrap_or_else(|e| panic!("budget {budget}: {e}"));
             assert!(sys.all_committed());
@@ -937,10 +1053,7 @@ mod tests {
             sys.events().events().iter().filter(|(_, e)| pred(e)).count() as u64
         };
         assert_eq!(count(|e| matches!(e, Event::Committed { .. })), sys.metrics().commits);
-        assert_eq!(
-            count(|e| matches!(e, Event::DeadlockDetected { .. })),
-            sys.metrics().deadlocks
-        );
+        assert_eq!(count(|e| matches!(e, Event::DeadlockDetected { .. })), sys.metrics().deadlocks);
         assert_eq!(count(|e| matches!(e, Event::RolledBack { .. })), sys.metrics().rollbacks());
     }
 
@@ -954,12 +1067,47 @@ mod tests {
 
     #[test]
     fn admit_rejects_invalid_programs() {
-        let bad = pr_model::TransactionProgram::from_parts(
-            vec![Op::Unlock(e(0))],
-            vec![],
-        );
+        let bad = pr_model::TransactionProgram::from_parts(vec![Op::Unlock(e(0))], vec![]);
         let mut sys = system(StrategyKind::Mcs, VictimPolicyKind::MinCost);
         assert!(sys.admit(bad).is_err());
+    }
+
+    /// The sentinel must stay quiet through every strategy/policy
+    /// combination on a genuinely deadlocking workload — the positive half
+    /// of the acceptance criterion.
+    #[cfg(feature = "invariants")]
+    #[test]
+    fn sentinel_stays_quiet_through_deadlock_resolution() {
+        for strategy in StrategyKind::ALL {
+            for victim in VictimPolicyKind::ALL {
+                let mut sys = deadlocking_pair(strategy, victim);
+                let mut sched = Scripted::new(vec![t(1), t(2), t(1), t(2)]);
+                sys.run(&mut sched).unwrap_or_else(|e| panic!("{strategy:?}/{victim:?}: {e}"));
+                assert!(sys.all_committed());
+                sys.sentinel_assert();
+            }
+        }
+    }
+
+    /// The negative half: a forged back-edge in the waits-for graph (an
+    /// arc with no matching wait record) must trip the sentinel, and the
+    /// panic must carry the event trace.
+    #[cfg(feature = "invariants")]
+    #[test]
+    fn sentinel_catches_a_forged_back_edge() {
+        let mut sys = deadlocking_pair(StrategyKind::Mcs, VictimPolicyKind::PartialOrder);
+        sys.step(t(1)).unwrap(); // T1 locks a
+        sys.step(t(2)).unwrap(); // T2 locks b
+        assert!(matches!(sys.step(t(1)).unwrap(), StepOutcome::Blocked { .. })); // T1 waits
+        sys.graph_mut_unchecked().forge_arc_unchecked(t(1), t(2));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sys.sentinel_assert();
+        }))
+        .expect_err("the forged arc must trip the sentinel");
+        let msg = err.downcast_ref::<String>().expect("panic carries the report");
+        assert!(msg.contains("invariant sentinel tripped"), "{msg}");
+        assert!(msg.contains("T1 -> T2"), "{msg}");
+        assert!(msg.contains("engine events"), "trace attached: {msg}");
     }
 
     #[test]

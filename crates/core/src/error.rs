@@ -68,8 +68,7 @@ mod tests {
 
     #[test]
     fn conversions_and_display() {
-        let e: EngineError =
-            StorageError::NoSuchEntity(EntityId::new(1)).into();
+        let e: EngineError = StorageError::NoSuchEntity(EntityId::new(1)).into();
         assert!(matches!(e, EngineError::Storage(_)));
         assert!(e.to_string().contains("storage error"));
         let e: EngineError =

@@ -112,7 +112,12 @@ impl EventLog {
 
     /// Creates a disabled log.
     pub fn new() -> Self {
-        EventLog { enabled: false, events: Vec::new(), capacity: Self::DEFAULT_CAPACITY, dropped: 0 }
+        EventLog {
+            enabled: false,
+            events: Vec::new(),
+            capacity: Self::DEFAULT_CAPACITY,
+            dropped: 0,
+        }
     }
 
     /// Enables recording with the given bound; events beyond it are
@@ -219,11 +224,8 @@ mod tests {
             reason: RollbackReason::DeadlockVictim,
         };
         assert_eq!(e.to_string(), "T2 rolled back to lock state 1 (cost 4)");
-        let e = Event::DeadlockDetected {
-            causer: TxnId::new(2),
-            entity: EntityId::new(4),
-            cycles: 1,
-        };
+        let e =
+            Event::DeadlockDetected { causer: TxnId::new(2), entity: EntityId::new(4), cycles: 1 };
         assert!(e.to_string().contains("closed 1 cycle"));
     }
 }

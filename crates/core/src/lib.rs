@@ -34,12 +34,14 @@
 
 pub mod config;
 pub mod deadlock;
-pub mod event;
 pub mod engine;
 pub mod error;
+pub mod event;
 pub mod metrics;
 pub mod runtime;
 pub mod scheduler;
+#[cfg(feature = "invariants")]
+pub mod sentinel;
 pub mod victim;
 
 pub use config::{StrategyKind, SystemConfig, VictimPolicyKind};

@@ -9,8 +9,8 @@
 
 use crate::config::StrategyKind;
 use pr_graph::StateDependencyGraph;
-use pr_model::{EntityId, LockIndex, LockMode, StateIndex, TransactionProgram, Value, VarId};
 use pr_model::TxnId;
+use pr_model::{EntityId, LockIndex, LockMode, StateIndex, TransactionProgram, Value, VarId};
 use pr_storage::{McsWorkspace, SingleCopyWorkspace, StorageError};
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -56,10 +56,9 @@ impl Workspace {
     fn for_strategy(strategy: StrategyKind, initial_vars: &[Value]) -> Workspace {
         match strategy {
             StrategyKind::Mcs => Workspace::Mcs(McsWorkspace::new(initial_vars)),
-            StrategyKind::Bounded(k) => Workspace::Mcs(McsWorkspace::with_budget(
-                initial_vars,
-                Some(k.max(1) as usize),
-            )),
+            StrategyKind::Bounded(k) => {
+                Workspace::Mcs(McsWorkspace::with_budget(initial_vars, Some(k.max(1) as usize)))
+            }
             StrategyKind::Total | StrategyKind::Sdg => {
                 Workspace::Single(SingleCopyWorkspace::new(initial_vars))
             }
@@ -165,10 +164,7 @@ impl TxnRuntime {
 
     /// The lock state at which `entity` was locked, if held.
     pub fn lock_state_for(&self, entity: EntityId) -> Option<LockIndex> {
-        self.lock_states
-            .iter()
-            .position(|ls| ls.entity == entity)
-            .map(|k| LockIndex::new(k as u32))
+        self.lock_states.iter().position(|ls| ls.entity == entity).map(|k| LockIndex::new(k as u32))
     }
 
     /// §3.1 rollback cost to reach lock state `target`: states lost.
@@ -199,18 +195,8 @@ impl TxnRuntime {
     /// Completes a granted lock request: records the lock state, advances
     /// past the request op, and (for exclusive locks) takes the local copy
     /// of the entity's global value.
-    pub fn complete_lock(
-        &mut self,
-        entity: EntityId,
-        mode: LockMode,
-        global: Value,
-    ) {
-        let info = LockStateInfo {
-            entity,
-            mode,
-            state_index: self.state,
-            pc: self.pc,
-        };
+    pub fn complete_lock(&mut self, entity: EntityId, mode: LockMode, global: Value) {
+        let info = LockStateInfo { entity, mode, state_index: self.state, pc: self.pc };
         let lock_state = self.lock_index();
         self.lock_states.push(info);
         self.held.insert(entity);
@@ -405,7 +391,7 @@ mod tests {
         rt.complete_lock(e(0), LockMode::Exclusive, Value::ZERO); // state 0→1
         rt.write_entity(e(0), Value::new(1)).unwrap(); // 1→2
         rt.complete_lock(e(1), LockMode::Exclusive, Value::ZERO); // 2→3
-        // Lock state 0 was at state 0; lock state 1 at state 2.
+                                                                  // Lock state 0 was at state 0; lock state 1 at state 2.
         assert_eq!(rt.cost_to_lock_state(LockIndex::new(0)), 3);
         assert_eq!(rt.cost_to_lock_state(LockIndex::new(1)), 1);
         assert_eq!(rt.cost_to_lock_state(LockIndex::new(2)), 0);
@@ -463,7 +449,7 @@ mod tests {
         rt.complete_lock(e(1), LockMode::Exclusive, Value::new(200));
         rt.complete_lock(e(2), LockMode::Exclusive, Value::new(300));
         rt.write_entity(e(0), Value::new(2)).unwrap(); // destroys k1, k2
-        // Ideal target 2 is undefined; reachable target is 0 (total).
+                                                       // Ideal target 2 is undefined; reachable target is 0 (total).
         let target = rt.reachable_target(StrategyKind::Sdg, LockIndex::new(2));
         assert_eq!(target, LockIndex::ZERO);
         let released = rt.rollback_to(target).unwrap();

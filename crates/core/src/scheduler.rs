@@ -30,11 +30,7 @@ impl RoundRobin {
 impl Scheduler for RoundRobin {
     fn pick(&mut self, ready: &[TxnId]) -> TxnId {
         let pick = match self.last {
-            Some(last) => ready
-                .iter()
-                .copied()
-                .find(|&t| t > last)
-                .unwrap_or(ready[0]),
+            Some(last) => ready.iter().copied().find(|&t| t > last).unwrap_or(ready[0]),
             None => ready[0],
         };
         self.last = Some(pick);

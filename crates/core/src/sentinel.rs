@@ -1,0 +1,124 @@
+//! The runtime invariant sentinel (feature `invariants`).
+//!
+//! A self-checking harness the engine threads through every state
+//! transition when built with `--features invariants`. After each step it
+//! re-proves the structural claims the paper's correctness argument rests
+//! on:
+//!
+//! - **Graph/table consistency** — the waits-for graph's two internal maps
+//!   agree with each other ([`pr_graph::WaitsForGraph::check_consistent`])
+//!   and with the lock table and runtime phases
+//!   ([`crate::System::check_invariants`]).
+//! - **Theorem 1 (forest property)** — while no transaction has requested
+//!   a *shared* lock, the waits-for graph must be a forest at every quiet
+//!   point, and any single exclusive wait can close at most **one** new
+//!   cycle.
+//! - **ω-order legality** — under the paper's partial-order victim policy
+//!   (Theorem 2), every preempted transaction must be strictly younger
+//!   (by entry order) than the transaction whose request closed the
+//!   cycle, or be that transaction itself.
+//!
+//! On violation the sentinel panics with the failed claim *and* a bounded
+//! trace of the most recent engine events, so the report alone reproduces
+//! the path into the broken state.
+
+use std::collections::VecDeque;
+
+/// How many recent events the panic report retains.
+const TRACE_CAP: usize = 64;
+
+/// Bounded event trace plus the workload facts the invariants depend on.
+#[derive(Debug, Clone)]
+pub struct Sentinel {
+    trace: VecDeque<String>,
+    /// Total events ever recorded (the trace keeps only the tail).
+    seen: u64,
+    /// True until some admitted program requests a shared lock; Theorem 1's
+    /// forest property and one-cycle-per-wait bound apply only while this
+    /// holds.
+    exclusive_only: bool,
+}
+
+impl Default for Sentinel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sentinel {
+    /// A fresh sentinel for an empty system.
+    pub fn new() -> Self {
+        Sentinel { trace: VecDeque::new(), seen: 0, exclusive_only: true }
+    }
+
+    /// Appends an event to the bounded trace.
+    pub fn record(&mut self, event: String) {
+        if self.trace.len() == TRACE_CAP {
+            self.trace.pop_front();
+        }
+        self.trace.push_back(event);
+        self.seen += 1;
+    }
+
+    /// Marks the workload as using shared locks, disabling the
+    /// exclusive-only (Theorem 1) checks.
+    pub fn note_shared_mode(&mut self) {
+        self.exclusive_only = false;
+    }
+
+    /// Whether every lock request admitted so far is exclusive.
+    pub fn exclusive_only(&self) -> bool {
+        self.exclusive_only
+    }
+
+    /// Panics with the violated claim and the recent event trace.
+    pub fn fail(&self, context: &str, violation: &str) -> ! {
+        let shown = self.trace.len();
+        let mut report = format!(
+            "invariant sentinel tripped at {context}: {violation}\n\
+             --- last {shown} of {} engine events ---\n",
+            self.seen
+        );
+        for (i, line) in self.trace.iter().enumerate() {
+            report.push_str(&format!("  {:>3}. {line}\n", self.seen as usize - shown + i + 1));
+        }
+        panic!("{report}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_bounded_but_counts_everything() {
+        let mut s = Sentinel::new();
+        for i in 0..(TRACE_CAP as u64 + 10) {
+            s.record(format!("event {i}"));
+        }
+        assert_eq!(s.seen, TRACE_CAP as u64 + 10);
+        assert_eq!(s.trace.len(), TRACE_CAP);
+        assert_eq!(s.trace.front().unwrap(), "event 10");
+    }
+
+    #[test]
+    fn fail_reports_context_and_trace() {
+        let mut s = Sentinel::new();
+        s.record("T1 admitted".into());
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.fail("unit test", "synthetic violation")
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("synthetic violation"), "{msg}");
+        assert!(msg.contains("T1 admitted"), "{msg}");
+    }
+
+    #[test]
+    fn shared_mode_latches() {
+        let mut s = Sentinel::new();
+        assert!(s.exclusive_only());
+        s.note_shared_mode();
+        assert!(!s.exclusive_only());
+    }
+}

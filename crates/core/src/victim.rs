@@ -153,13 +153,8 @@ mod tests {
     #[test]
     fn min_cost_keeps_all_members() {
         let (cycles, txns) = two_txn_cycle();
-        let inst = build_instance(
-            &cycles,
-            VictimPolicyKind::MinCost,
-            StrategyKind::Mcs,
-            t(1),
-            &txns,
-        );
+        let inst =
+            build_instance(&cycles, VictimPolicyKind::MinCost, StrategyKind::Mcs, t(1), &txns);
         assert_eq!(inst.len(), 1);
         assert_eq!(inst[0].len(), 2);
         // T1 rolling to release a (lock state 0) loses all 8 states;
@@ -175,13 +170,8 @@ mod tests {
     fn partial_order_prefers_strictly_younger_than_causer() {
         let (cycles, txns) = two_txn_cycle();
         // Causer T1 (entry 0): only T2 (entry 1) is younger.
-        let inst = build_instance(
-            &cycles,
-            VictimPolicyKind::PartialOrder,
-            StrategyKind::Mcs,
-            t(1),
-            &txns,
-        );
+        let inst =
+            build_instance(&cycles, VictimPolicyKind::PartialOrder, StrategyKind::Mcs, t(1), &txns);
         assert_eq!(inst[0].iter().map(|c| c.txn).collect::<Vec<_>>(), vec![t(2)]);
     }
 
@@ -190,26 +180,16 @@ mod tests {
         let (cycles, txns) = two_txn_cycle();
         // Causer T2 (entry 1) is the youngest member: it yields itself.
         // The oldest transaction is never chosen either way.
-        let inst = build_instance(
-            &cycles,
-            VictimPolicyKind::PartialOrder,
-            StrategyKind::Mcs,
-            t(2),
-            &txns,
-        );
+        let inst =
+            build_instance(&cycles, VictimPolicyKind::PartialOrder, StrategyKind::Mcs, t(2), &txns);
         assert_eq!(inst[0].iter().map(|c| c.txn).collect::<Vec<_>>(), vec![t(2)]);
     }
 
     #[test]
     fn youngest_picks_latest_entry() {
         let (cycles, txns) = two_txn_cycle();
-        let inst = build_instance(
-            &cycles,
-            VictimPolicyKind::Youngest,
-            StrategyKind::Mcs,
-            t(1),
-            &txns,
-        );
+        let inst =
+            build_instance(&cycles, VictimPolicyKind::Youngest, StrategyKind::Mcs, t(1), &txns);
         assert_eq!(inst[0].iter().map(|c| c.txn).collect::<Vec<_>>(), vec![t(2)]);
     }
 
@@ -229,13 +209,8 @@ mod tests {
     #[test]
     fn total_strategy_candidates_target_zero() {
         let (cycles, txns) = two_txn_cycle();
-        let inst = build_instance(
-            &cycles,
-            VictimPolicyKind::MinCost,
-            StrategyKind::Total,
-            t(1),
-            &txns,
-        );
+        let inst =
+            build_instance(&cycles, VictimPolicyKind::MinCost, StrategyKind::Total, t(1), &txns);
         for c in &inst[0] {
             assert_eq!(c.target, LockIndex::ZERO);
         }
@@ -246,9 +221,7 @@ mod tests {
 
     #[test]
     fn missing_txn_is_skipped() {
-        let cycle = Cycle {
-            members: vec![CycleMember { txn: t(9), holds: e(0) }],
-        };
+        let cycle = Cycle { members: vec![CycleMember { txn: t(9), holds: e(0) }] };
         let inst = build_instance(
             &[cycle],
             VictimPolicyKind::MinCost,

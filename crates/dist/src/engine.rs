@@ -307,9 +307,9 @@ impl DistributedSystem {
                             return Ok(());
                         }
                         let all_younger = blockers.iter().all(|t| {
-                            self.txns.get(t).is_some_and(|hrt| {
-                                hrt.entry_order > my_entry && hrt.rollbackable()
-                            })
+                            self.txns
+                                .get(t)
+                                .is_some_and(|hrt| hrt.entry_order > my_entry && hrt.rollbackable())
                         });
                         if !all_younger {
                             // Yield: release *everything*. Dropping only
@@ -333,8 +333,8 @@ impl DistributedSystem {
                         self.wound_younger_holders(id, entity, &blockers)?;
                     }
                 }
-                }
             }
+        }
 
         let (state, lock_index) = {
             let rt = self.txns.get(&id).expect("checked");
@@ -516,7 +516,12 @@ impl DistributedSystem {
         Ok(())
     }
 
-    fn finalize_grant(&mut self, id: TxnId, entity: EntityId, mode: LockMode) -> Result<(), EngineError> {
+    fn finalize_grant(
+        &mut self,
+        id: TxnId,
+        entity: EntityId,
+        mode: LockMode,
+    ) -> Result<(), EngineError> {
         let global = self.store.read(entity)?;
         let rt = self.txns.get_mut(&id).expect("grantee exists");
         rt.complete_lock(entity, mode, global);
@@ -524,7 +529,11 @@ impl DistributedSystem {
         Ok(())
     }
 
-    fn process_grants(&mut self, entity: EntityId, granted: Vec<HeldLock>) -> Result<(), EngineError> {
+    fn process_grants(
+        &mut self,
+        entity: EntityId,
+        granted: Vec<HeldLock>,
+    ) -> Result<(), EngineError> {
         let gi = self.graph_index(entity);
         for h in granted {
             self.graphs[gi].clear_wait(h.txn);
@@ -565,8 +574,7 @@ impl DistributedSystem {
                 }
             }
             let Some(rb) = wound else { return Ok(()) };
-            let ideal_cost =
-                self.txns.get(&rb.txn).expect("checked").cost_to_lock_state(rb.ideal);
+            let ideal_cost = self.txns.get(&rb.txn).expect("checked").cost_to_lock_state(rb.ideal);
             self.execute_rollback(rb)?;
             self.metrics.wounds += 1;
             self.metrics.rollback_overshoot += u64::from(rb.cost - ideal_cost);
@@ -692,8 +700,8 @@ mod tests {
         let t2 = s.admit(two_lock(1, 0, 2)).unwrap(); // younger
         s.step(t1).unwrap(); // T1 holds a
         s.step(t2).unwrap(); // T2 holds b
-        // T2 (younger) runs up to and including its request of a (held by
-        // the older T1): it waits.
+                             // T2 (younger) runs up to and including its request of a (held by
+                             // the older T1): it waits.
         for _ in 0..4 {
             s.step(t2).unwrap();
         }
@@ -756,8 +764,10 @@ mod tests {
 
         // Cross-site transaction pays for its remote lock.
         let store = GlobalStore::with_entities(8, Value::new(100));
-        let mut s =
-            DistributedSystem::new(store, DistConfig::new(2, CrossSiteScheme::WoundWait, StrategyKind::Mcs));
+        let mut s = DistributedSystem::new(
+            store,
+            DistConfig::new(2, CrossSiteScheme::WoundWait, StrategyKind::Mcs),
+        );
         s.admit(two_lock(0, 1, 0)).unwrap();
         s.run(&mut RoundRobin::new()).unwrap();
         assert!(s.metrics().messages >= 3, "remote lock + read + release");
@@ -823,8 +833,7 @@ mod tests {
         for scheme in CrossSiteScheme::ALL {
             let run = |strategy| {
                 let store = GlobalStore::with_entities(8, Value::new(100));
-                let mut s =
-                    DistributedSystem::new(store, DistConfig::new(2, scheme, strategy));
+                let mut s = DistributedSystem::new(store, DistConfig::new(2, scheme, strategy));
                 for i in 0..8 {
                     let (a, b) = if i % 2 == 0 { (0, 3) } else { (3, 0) };
                     s.admit(two_lock(a, b, 6)).unwrap();

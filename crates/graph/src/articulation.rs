@@ -120,10 +120,7 @@ mod tests {
 
     #[test]
     fn adjacent_chords_are_harmless() {
-        assert_eq!(
-            well_defined_by_articulation(3, &[(0, 1), (1, 2), (2, 3)]),
-            lis(&[0, 1, 2, 3])
-        );
+        assert_eq!(well_defined_by_articulation(3, &[(0, 1), (1, 2), (2, 3)]), lis(&[0, 1, 2, 3]));
     }
 
     #[test]

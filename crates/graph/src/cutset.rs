@@ -64,11 +64,9 @@ impl CutSolution {
 /// `chosen.target <= candidate.target` releases the entity that candidate
 /// releases).
 fn covers(choice: &BTreeMap<TxnId, CandidateRollback>, cycle: &[CandidateRollback]) -> bool {
-    cycle.iter().any(|cand| {
-        choice
-            .get(&cand.txn)
-            .is_some_and(|chosen| chosen.target <= cand.target)
-    })
+    cycle
+        .iter()
+        .any(|cand| choice.get(&cand.txn).is_some_and(|chosen| chosen.target <= cand.target))
 }
 
 /// Merges a candidate into a choice map, keeping the deeper target and the
@@ -122,11 +120,7 @@ pub fn solve_exact(cycles: &[Vec<CandidateRollback>], node_budget: u64) -> Optio
                 }
             }
             // Pick the uncovered cycle with the fewest candidates.
-            let next = self
-                .cycles
-                .iter()
-                .filter(|c| !covers(choice, c))
-                .min_by_key(|c| c.len());
+            let next = self.cycles.iter().filter(|c| !covers(choice, c)).min_by_key(|c| c.len());
             let Some(cycle) = next else {
                 self.best = Some(CutSolution::from_choice(choice, true));
                 return true;
@@ -248,10 +242,7 @@ mod tests {
     fn shared_vertex_is_cheaper_than_two_cuts() {
         // Two cycles sharing T1 (cost 5 each way); individual members cost 3.
         // Cutting T1 once (cost 5) beats cutting T2 and T3 (3 + 3 = 6).
-        let cycles = vec![
-            vec![cand(1, 2, 5), cand(2, 1, 3)],
-            vec![cand(1, 2, 5), cand(3, 1, 3)],
-        ];
+        let cycles = vec![vec![cand(1, 2, 5), cand(2, 1, 3)], vec![cand(1, 2, 5), cand(3, 1, 3)]];
         let s = solve(&cycles, 10_000);
         assert!(s.optimal);
         assert_eq!(s.total_cost, 5);
@@ -260,10 +251,7 @@ mod tests {
 
     #[test]
     fn separate_cheap_cuts_beat_expensive_shared_vertex() {
-        let cycles = vec![
-            vec![cand(1, 2, 50), cand(2, 1, 3)],
-            vec![cand(1, 2, 50), cand(3, 1, 4)],
-        ];
+        let cycles = vec![vec![cand(1, 2, 50), cand(2, 1, 3)], vec![cand(1, 2, 50), cand(3, 1, 4)]];
         let s = solve(&cycles, 10_000);
         assert!(s.optimal);
         assert_eq!(s.total_cost, 7);
@@ -274,10 +262,8 @@ mod tests {
     fn deeper_rollback_of_same_txn_merges_costs() {
         // T1 appears in both cycles with different depths: covering both
         // with T1 requires the deeper target (1) at the higher cost (9).
-        let cycles = vec![
-            vec![cand(1, 3, 2), cand(2, 1, 100)],
-            vec![cand(1, 1, 9), cand(3, 1, 100)],
-        ];
+        let cycles =
+            vec![vec![cand(1, 3, 2), cand(2, 1, 100)], vec![cand(1, 1, 9), cand(3, 1, 100)]];
         let s = solve(&cycles, 10_000);
         assert!(s.optimal);
         assert_eq!(s.total_cost, 9);
@@ -318,9 +304,8 @@ mod tests {
 
     #[test]
     fn exhausted_budget_falls_back_to_greedy() {
-        let cycles: Vec<Vec<CandidateRollback>> = (0..12)
-            .map(|i| (0..6).map(|j| cand(i * 6 + j, 1, i + j + 1)).collect())
-            .collect();
+        let cycles: Vec<Vec<CandidateRollback>> =
+            (0..12).map(|i| (0..6).map(|j| cand(i * 6 + j, 1, i + j + 1)).collect()).collect();
         assert!(solve_exact(&cycles, 10).is_none());
         let s = solve(&cycles, 10);
         assert!(!s.optimal);
@@ -346,9 +331,8 @@ mod tests {
     #[test]
     fn greedy_handles_many_cycles() {
         // 30 cycles all sharing txn 0 — greedy should pick the hub.
-        let cycles: Vec<Vec<CandidateRollback>> = (1..=30)
-            .map(|i| vec![cand(0, 1, 10), cand(i, 1, 8)])
-            .collect();
+        let cycles: Vec<Vec<CandidateRollback>> =
+            (1..=30).map(|i| vec![cand(0, 1, 10), cand(i, 1, 8)]).collect();
         let s = solve_greedy(&cycles);
         assert_eq!(s.total_cost, 10);
         assert_eq!(s.rollbacks, vec![cand(0, 1, 10)]);

@@ -192,15 +192,12 @@ mod tests {
     fn two_txn_direct_deadlock() {
         let mut g = WaitsForGraph::new();
         g.set_wait(t(2), e(0), &[t(1)]); // T2 waits for T1 on a
-        // T1 requests b held by T2.
+                                         // T1 requests b held by T2.
         let cycles = cycles_on_wait(&g, t(1), e(1), &[t(2)], 16);
         assert_eq!(cycles.len(), 1);
         assert_eq!(
             cycles[0].members,
-            vec![
-                CycleMember { txn: t(1), holds: e(0) },
-                CycleMember { txn: t(2), holds: e(1) },
-            ]
+            vec![CycleMember { txn: t(1), holds: e(0) }, CycleMember { txn: t(2), holds: e(1) },]
         );
     }
 

@@ -255,9 +255,7 @@ impl WaitsForGraph {
         }
         for (waiter, (entity, holders)) in &self.wait {
             for holder in holders {
-                out.push_str(&format!(
-                    "  \"{holder}\" -> \"{waiter}\" [label=\"{entity}\"];\n"
-                ));
+                out.push_str(&format!("  \"{holder}\" -> \"{waiter}\" [label=\"{entity}\"];\n"));
             }
         }
         out.push_str("}\n");
@@ -298,6 +296,68 @@ impl WaitsForGraph {
         }
         path.reverse();
         Some(path)
+    }
+
+    /// Structural self-check (feature `invariants`): the `out` arc map and
+    /// the `wait` request map must describe the same set of arcs, every
+    /// set must be non-empty, and no transaction may wait on itself. Any
+    /// divergence means an engine mutation went through one map but not
+    /// the other — exactly the corruption the runtime sentinel exists to
+    /// catch before it turns into a lost wakeup or a phantom deadlock.
+    #[cfg(feature = "invariants")]
+    pub fn check_consistent(&self) -> Result<(), String> {
+        for (holder, waiters) in &self.out {
+            if waiters.is_empty() {
+                return Err(format!("out[{holder}] is an empty set (should be pruned)"));
+            }
+            for waiter in waiters {
+                if waiter == holder {
+                    return Err(format!("self-arc {holder} -> {holder}"));
+                }
+                match self.wait.get(waiter) {
+                    None => {
+                        return Err(format!(
+                            "arc {holder} -> {waiter} has no wait record for {waiter}"
+                        ));
+                    }
+                    Some((entity, holders)) if !holders.contains(holder) => {
+                        return Err(format!(
+                            "arc {holder} -> {waiter} missing from {waiter}'s holder set \
+                             (waiting on {entity})"
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        for (waiter, (entity, holders)) in &self.wait {
+            if holders.is_empty() {
+                return Err(format!(
+                    "{waiter} waits on {entity} with an empty holder set (should be pruned)"
+                ));
+            }
+            for holder in holders {
+                if holder == waiter {
+                    return Err(format!("{waiter} records itself as a holder of {entity}"));
+                }
+                if !self.out.get(holder).is_some_and(|s| s.contains(waiter)) {
+                    return Err(format!(
+                        "{waiter} waits on {entity} held by {holder}, but the arc \
+                         {holder} -> {waiter} is missing"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deliberately inserts an arc into the `out` map *without* recording
+    /// the matching wait — corrupting the graph. Exists only so negative
+    /// tests can prove the sentinel catches a forged back-edge; never call
+    /// this from engine code.
+    #[cfg(feature = "invariants")]
+    pub fn forge_arc_unchecked(&mut self, holder: TxnId, waiter: TxnId) {
+        self.out.entry(holder).or_default().insert(waiter);
     }
 
     /// Renders the graph as `holder -entity-> waiter` lines, for test
@@ -452,6 +512,22 @@ mod tests {
         assert!(dot.starts_with("digraph waits_for {"));
         assert!(dot.contains("\"T1\" -> \"T2\" [label=\"b\"];"));
         assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[cfg(feature = "invariants")]
+    #[test]
+    fn consistency_check_accepts_normal_mutations_and_catches_forgery() {
+        let mut g = WaitsForGraph::new();
+        g.set_wait(t(2), e(0), &[t(1)]);
+        g.set_wait(t(3), e(1), &[t(1), t(2)]);
+        assert_eq!(g.check_consistent(), Ok(()));
+        g.remove_arc(t(1), t(3));
+        g.clear_wait(t(2));
+        assert_eq!(g.check_consistent(), Ok(()));
+        // A forged arc has no matching wait record — the check must name it.
+        g.forge_arc_unchecked(t(5), t(2));
+        let err = g.check_consistent().unwrap_err();
+        assert!(err.contains("T5 -> T2"), "{err}");
     }
 
     #[test]

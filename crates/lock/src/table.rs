@@ -138,29 +138,15 @@ impl LockTable {
         }
         let blockers = slot.incompatible_holders(txn, mode);
         if blockers.is_empty() {
-            slot.holders.push(HeldLock {
-                txn,
-                mode,
-                requested_from_state,
-                lock_state,
-            });
+            slot.holders.push(HeldLock { txn, mode, requested_from_state, lock_state });
             self.grants += 1;
             Ok(RequestOutcome::Granted)
         } else {
-            let holder_modes: Vec<LockMode> = slot
-                .holders
-                .iter()
-                .filter(|h| blockers.contains(&h.txn))
-                .map(|h| h.mode)
-                .collect();
+            let holder_modes: Vec<LockMode> =
+                slot.holders.iter().filter(|h| blockers.contains(&h.txn)).map(|h| h.mode).collect();
             let conflict = classify_conflict(mode, &holder_modes)
                 .expect("incompatible holders imply a conflict");
-            slot.queue.push_back(WaitingRequest {
-                txn,
-                mode,
-                requested_from_state,
-                lock_state,
-            });
+            slot.queue.push_back(WaitingRequest { txn, mode, requested_from_state, lock_state });
             self.waits += 1;
             Ok(RequestOutcome::Wait { holders: blockers, conflict })
         }
@@ -242,30 +228,17 @@ impl LockTable {
 
     /// The lock `txn` holds on `entity`, if any.
     pub fn held_by(&self, txn: TxnId, entity: EntityId) -> Option<HeldLock> {
-        self.entities
-            .get(&entity)?
-            .holders
-            .iter()
-            .find(|h| h.txn == txn)
-            .copied()
+        self.entities.get(&entity)?.holders.iter().find(|h| h.txn == txn).copied()
     }
 
     /// The pending request `txn` has on `entity`, if any.
     pub fn waiting_on(&self, txn: TxnId, entity: EntityId) -> Option<WaitingRequest> {
-        self.entities
-            .get(&entity)?
-            .queue
-            .iter()
-            .find(|w| w.txn == txn)
-            .copied()
+        self.entities.get(&entity)?.queue.iter().find(|w| w.txn == txn).copied()
     }
 
     /// All pending requests on `entity`, FIFO order.
     pub fn waiters_of(&self, entity: EntityId) -> Vec<WaitingRequest> {
-        self.entities
-            .get(&entity)
-            .map(|s| s.queue.iter().copied().collect())
-            .unwrap_or_default()
+        self.entities.get(&entity).map(|s| s.queue.iter().copied().collect()).unwrap_or_default()
     }
 
     /// Number of entities with at least one holder or waiter.
@@ -453,10 +426,7 @@ mod tests {
             req(&mut tbl, 2, 0, LockMode::Exclusive),
             Err(LockError::AlreadyWaiting { txn: t(2), entity: e(0) })
         );
-        assert_eq!(
-            tbl.release(t(3), e(0)),
-            Err(LockError::NotHeld { txn: t(3), entity: e(0) })
-        );
+        assert_eq!(tbl.release(t(3), e(0)), Err(LockError::NotHeld { txn: t(3), entity: e(0) }));
         assert_eq!(
             tbl.cancel_wait(t(3), e(0)),
             Err(LockError::NotWaiting { txn: t(3), entity: e(0) })

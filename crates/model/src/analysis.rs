@@ -307,10 +307,7 @@ mod tests {
 
     #[test]
     fn read_only_program_is_trivially_fine() {
-        let p = ProgramBuilder::new()
-            .lock_shared(e(0))
-            .lock_shared(e(1))
-            .build_unchecked();
+        let p = ProgramBuilder::new().lock_shared(e(0)).lock_shared(e(1)).build_unchecked();
         let a = analyze(&p);
         assert!(a.edges.is_empty());
         assert_eq!(a.well_defined, vec![0, 1, 2]);

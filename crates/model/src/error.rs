@@ -18,11 +18,25 @@ pub enum Violation {
         /// Entity whose lock was requested.
         entity: EntityId,
     },
-    /// A lock was requested on an entity already locked by this program.
+    /// A lock was requested on an entity already locked by this program in
+    /// the same or a stronger mode.
     DoubleLock {
         /// Offending operation's program counter.
         pc: usize,
         /// Entity locked twice.
+        entity: EntityId,
+    },
+    /// An exclusive lock was requested on an entity this program already
+    /// holds shared. The model does not support in-place lock upgrades:
+    /// an upgrade is a blocking re-acquisition whose wait semantics
+    /// (queueing against other shared holders, rollback target of the
+    /// original shared acquisition) the paper never defines, and naive
+    /// upgrades deadlock whenever two shared holders both try. Programs
+    /// must request `LX` up front when they will eventually write.
+    LockUpgrade {
+        /// Offending operation's program counter.
+        pc: usize,
+        /// Entity held shared and re-requested exclusively.
         entity: EntityId,
     },
     /// An unlock of an entity the program does not hold at that point.
@@ -71,6 +85,26 @@ pub enum Violation {
     MissingCommit,
 }
 
+impl Violation {
+    /// The offending operation's program counter, when the violation has
+    /// one ([`Violation::MissingCommit`] is a property of the whole
+    /// program).
+    pub fn pc(&self) -> Option<usize> {
+        match self {
+            Violation::LockAfterUnlock { pc, .. }
+            | Violation::DoubleLock { pc, .. }
+            | Violation::LockUpgrade { pc, .. }
+            | Violation::UnlockNotHeld { pc, .. }
+            | Violation::ReadWithoutLock { pc, .. }
+            | Violation::WriteWithoutExclusiveLock { pc, .. }
+            | Violation::WriteBeforeFirstLock { pc }
+            | Violation::VarOutOfRange { pc, .. }
+            | Violation::OpAfterCommit { pc } => Some(*pc),
+            Violation::MissingCommit => None,
+        }
+    }
+}
+
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -79,6 +113,13 @@ impl fmt::Display for Violation {
             }
             Violation::DoubleLock { pc, entity } => {
                 write!(f, "pc {pc}: entity {entity} locked while already held")
+            }
+            Violation::LockUpgrade { pc, entity } => {
+                write!(
+                    f,
+                    "pc {pc}: exclusive request upgrades the shared lock on {entity} \
+                     (upgrades are not supported; request LX first)"
+                )
             }
             Violation::UnlockNotHeld { pc, entity } => {
                 write!(f, "pc {pc}: unlock of {entity} which is not held")
@@ -133,6 +174,17 @@ mod tests {
         let v = Violation::DoubleLock { pc: 3, entity: EntityId::new(0) };
         assert!(v.to_string().contains("pc 3"));
         assert!(v.to_string().contains('a'));
+        let v = Violation::LockUpgrade { pc: 5, entity: EntityId::new(1) };
+        assert!(v.to_string().contains("pc 5"));
+        assert!(v.to_string().contains("upgrade"));
+    }
+
+    #[test]
+    fn pc_accessor_covers_every_variant() {
+        let e = EntityId::new(0);
+        assert_eq!(Violation::LockUpgrade { pc: 2, entity: e }.pc(), Some(2));
+        assert_eq!(Violation::UnlockNotHeld { pc: 4, entity: e }.pc(), Some(4));
+        assert_eq!(Violation::MissingCommit.pc(), None);
     }
 
     #[test]

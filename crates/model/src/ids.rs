@@ -123,9 +123,7 @@ impl fmt::Display for VarId {
 /// transaction has executed to reach it (§2).
 ///
 /// Rollback cost (§3.1) is `StateIndex − StateIndex`.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct StateIndex(pub u32);
 
 impl StateIndex {
@@ -181,9 +179,7 @@ impl fmt::Display for StateIndex {
 /// lock states preceding the operation, so an operation executed after the
 /// `k`-th lock request was granted and before the `(k+1)`-th was issued has
 /// lock index `k + 1`.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct LockIndex(pub u32);
 
 impl LockIndex {

@@ -28,10 +28,9 @@ pub fn run_solo(program: &TransactionProgram, initial: &BTreeMap<EntityId, Value
     let mut local_copy: BTreeMap<EntityId, Value> = BTreeMap::new();
     let mut exclusive: BTreeMap<EntityId, bool> = BTreeMap::new();
     let mut locals: Vec<Value> = program.initial_vars().to_vec();
-    let read_global =
-        |globals: &BTreeMap<EntityId, Value>, e: EntityId| -> Value {
-            globals.get(&e).or_else(|| initial.get(&e)).copied().unwrap_or(Value::ZERO)
-        };
+    let read_global = |globals: &BTreeMap<EntityId, Value>, e: EntityId| -> Value {
+        globals.get(&e).or_else(|| initial.get(&e)).copied().unwrap_or(Value::ZERO)
+    };
     for op in program.ops() {
         match op {
             Op::LockShared(e) => {
@@ -86,8 +85,8 @@ pub fn run_solo(program: &TransactionProgram, initial: &BTreeMap<EntityId, Value
 mod tests {
     use super::*;
     use crate::builder::ProgramBuilder;
-    use crate::op::Expr;
     use crate::ids::VarId;
+    use crate::op::Expr;
 
     fn e(i: u32) -> EntityId {
         EntityId::new(i)
@@ -117,10 +116,7 @@ mod tests {
 
     #[test]
     fn commit_publishes_unreleased_exclusive_locks() {
-        let p = ProgramBuilder::new()
-            .lock_exclusive(e(0))
-            .write_const(e(0), 7)
-            .build_unchecked();
+        let p = ProgramBuilder::new().lock_exclusive(e(0)).write_const(e(0), 7).build_unchecked();
         let out = run_solo(&p, &BTreeMap::new());
         assert_eq!(out.entities[&e(0)], v(7));
     }

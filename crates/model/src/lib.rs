@@ -31,10 +31,10 @@ pub mod validate;
 pub mod value;
 
 pub use analysis::{ProgramAnalysis, WriteEdge};
-pub use interpret::{run_solo, SoloOutcome};
 pub use builder::ProgramBuilder;
 pub use error::{ModelError, Violation};
 pub use ids::{EntityId, LockIndex, StateIndex, TxnId, VarId};
+pub use interpret::{run_solo, SoloOutcome};
 pub use op::{Expr, LockMode, Op};
 pub use program::TransactionProgram;
 pub use value::Value;

@@ -270,10 +270,8 @@ mod tests {
     #[test]
     fn expr_evaluation() {
         let locals = [Value::new(3), Value::new(4)];
-        let e = Expr::add(
-            Expr::mul(Expr::var(VarId::new(0)), Expr::var(VarId::new(1))),
-            Expr::lit(5),
-        );
+        let e =
+            Expr::add(Expr::mul(Expr::var(VarId::new(0)), Expr::var(VarId::new(1))), Expr::lit(5));
         assert_eq!(e.eval(&locals), Value::new(17));
         let d = Expr::sub(Expr::var(VarId::new(1)), Expr::var(VarId::new(0)));
         assert_eq!(d.eval(&locals), Value::new(1));

@@ -87,10 +87,7 @@ impl TransactionProgram {
     /// and before the `(k+1)`-th has lock index `k + 1`: `k + 1` lock states
     /// precede it.
     pub fn lock_index_of_pc(&self, pc: usize) -> LockIndex {
-        let n = self.ops[..pc.min(self.ops.len())]
-            .iter()
-            .filter(|op| op.is_lock_request())
-            .count();
+        let n = self.ops[..pc.min(self.ops.len())].iter().filter(|op| op.is_lock_request()).count();
         LockIndex::new(n as u32)
     }
 

@@ -91,9 +91,7 @@ fn write_may_cross(write: &Op, prev: &Op) -> bool {
         }
         // Crossing an op that writes a variable our expression reads
         // would change the written value.
-        Op::Read { into, .. } | Op::Assign { var: into, .. } => {
-            !expr.variables().contains(into)
-        }
+        Op::Read { into, .. } | Op::Assign { var: into, .. } => !expr.variables().contains(into),
         Op::Commit => false,
         // Other entities' locks/unlocks/writes, and pure computation, are
         // independent.

@@ -38,15 +38,32 @@ pub fn violations(program: &TransactionProgram) -> Vec<Violation> {
                 if unlocked_any {
                     out.push(Violation::LockAfterUnlock { pc, entity: *e });
                 }
-                if held.contains_key(e) {
-                    out.push(Violation::DoubleLock { pc, entity: *e });
+                let mode = if matches!(op, Op::LockExclusive(_)) {
+                    LockMode::Exclusive
                 } else {
-                    let mode = if matches!(op, Op::LockExclusive(_)) {
-                        LockMode::Exclusive
-                    } else {
-                        LockMode::Shared
-                    };
-                    held.insert(*e, mode);
+                    LockMode::Shared
+                };
+                match held.get(e) {
+                    // `LS` then `LX`: an upgrade, which the model
+                    // deliberately rejects — the paper defines neither
+                    // the wait semantics nor the rollback target of an
+                    // in-place strengthening, and two upgrading shared
+                    // holders deadlock on each other. The held mode is
+                    // still strengthened so follow-on diagnostics (e.g.
+                    // writes under the would-be exclusive lock) don't
+                    // cascade.
+                    Some(LockMode::Shared) if mode == LockMode::Exclusive => {
+                        out.push(Violation::LockUpgrade { pc, entity: *e });
+                        held.insert(*e, LockMode::Exclusive);
+                    }
+                    // Re-request in the same or a weaker mode: plain
+                    // double lock.
+                    Some(_) => {
+                        out.push(Violation::DoubleLock { pc, entity: *e });
+                    }
+                    None => {
+                        held.insert(*e, mode);
+                    }
                 }
                 locked_any = true;
             }
@@ -163,21 +180,69 @@ mod tests {
 
     #[test]
     fn double_lock_is_rejected() {
+        // Same mode twice (both directions) and the downgrade LX→LS are
+        // all plain double locks.
+        for ops in [
+            vec![Op::LockShared(EntityId::new(0)), Op::LockShared(EntityId::new(0)), Op::Commit],
+            vec![
+                Op::LockExclusive(EntityId::new(0)),
+                Op::LockExclusive(EntityId::new(0)),
+                Op::Commit,
+            ],
+            vec![Op::LockExclusive(EntityId::new(0)), Op::LockShared(EntityId::new(0)), Op::Commit],
+        ] {
+            let p = prog(ops, 0);
+            assert!(
+                violations(&p).iter().any(|v| matches!(v, Violation::DoubleLock { pc: 1, .. })),
+                "{:?}",
+                violations(&p)
+            );
+        }
+    }
+
+    #[test]
+    fn shared_to_exclusive_upgrade_is_rejected_as_upgrade() {
         let p = prog(
             vec![
                 Op::LockShared(EntityId::new(0)),
                 Op::LockExclusive(EntityId::new(0)),
+                Op::Write { entity: EntityId::new(0), expr: Expr::lit(1) },
                 Op::Commit,
             ],
             0,
         );
-        assert!(violations(&p).iter().any(|v| matches!(v, Violation::DoubleLock { pc: 1, .. })));
+        let vs = violations(&p);
+        assert!(vs.iter().any(|v| matches!(v, Violation::LockUpgrade { pc: 1, .. })), "{vs:?}");
+        // The upgrade is the only violation: the held mode is treated as
+        // strengthened afterwards, so the write does not also fire.
+        assert_eq!(vs.len(), 1, "{vs:?}");
     }
 
     #[test]
     fn unlock_not_held_is_rejected() {
-        let p = prog(vec![Op::LockShared(EntityId::new(0)), Op::Unlock(EntityId::new(1)), Op::Commit], 0);
-        assert!(violations(&p).iter().any(|v| matches!(v, Violation::UnlockNotHeld { .. })));
+        // Unlock of a never-locked entity.
+        let p = prog(
+            vec![Op::LockShared(EntityId::new(0)), Op::Unlock(EntityId::new(1)), Op::Commit],
+            0,
+        );
+        let vs = violations(&p);
+        assert!(
+            vs.iter().any(|v| matches!(v, Violation::UnlockNotHeld { pc: 1, entity: EntityId(1) })),
+            "{vs:?}"
+        );
+        // Unlock of an entity already released.
+        let p2 = prog(
+            vec![
+                Op::LockShared(EntityId::new(0)),
+                Op::Unlock(EntityId::new(0)),
+                Op::Unlock(EntityId::new(0)),
+                Op::Commit,
+            ],
+            0,
+        );
+        assert!(violations(&p2)
+            .iter()
+            .any(|v| matches!(v, Violation::UnlockNotHeld { pc: 2, .. })));
     }
 
     #[test]
@@ -234,7 +299,9 @@ mod tests {
             ],
             1,
         );
-        assert!(violations(&p).iter().any(|v| matches!(v, Violation::WriteBeforeFirstLock { pc: 0 })));
+        assert!(violations(&p)
+            .iter()
+            .any(|v| matches!(v, Violation::WriteBeforeFirstLock { pc: 0 })));
     }
 
     #[test]

@@ -13,9 +13,7 @@ use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
 /// A value held by a global entity or a local variable.
 ///
 /// All arithmetic wraps, so no workload can panic the engine via overflow.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Value(pub i64);
 
 impl Value {

@@ -69,7 +69,10 @@ fn main() {
 
     let a = figure3::run_a();
     println!("F3a — Figure 3(a): acyclic non-forest without deadlock");
-    println!("  forest: {}  directed cycle: {}  deadlocks: {}", a.is_forest, a.has_cycle, a.deadlocks);
+    println!(
+        "  forest: {}  directed cycle: {}  deadlocks: {}",
+        a.is_forest, a.has_cycle, a.deadlocks
+    );
     println!("{}\n", a.graph.lines().map(|l| format!("    {l}")).collect::<Vec<_>>().join("\n"));
 
     let b = figure3::run_b(2, 2);
@@ -111,8 +114,15 @@ fn main() {
     let seeds = exp::default_seeds();
 
     let rows = exp::lost_progress_sweep(&exp::default_entity_counts(), seeds);
-    let mut t = Table::new(["entities", "strategy", "deadlocks", "states lost", "cost/deadlock", "waste ratio"])
-        .with_title("Q1 — lost progress: partial vs total rollback");
+    let mut t = Table::new([
+        "entities",
+        "strategy",
+        "deadlocks",
+        "states lost",
+        "cost/deadlock",
+        "waste ratio",
+    ])
+    .with_title("Q1 — lost progress: partial vs total rollback");
     for r in &rows {
         t.row([
             r.num_entities.to_string(),
@@ -157,12 +167,7 @@ fn main() {
     let mut t = Table::new(["write placement", "well-defined states", "overshoot", "states lost"])
         .with_title("Q4 — write clustering and three-phase structure (§5)");
     for r in &rows {
-        t.row([
-            r.clustering.clone(),
-            f2(r.well_defined),
-            f2(r.overshoot),
-            f2(r.states_lost),
-        ]);
+        t.row([r.clustering.clone(), f2(r.well_defined), f2(r.overshoot), f2(r.states_lost)]);
     }
     emit(&t, "q4-clustering", csv);
 

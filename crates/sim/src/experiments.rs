@@ -10,9 +10,9 @@ use crate::runner::{run_workload, store_with, SchedulerKind};
 use pr_core::scheduler::RoundRobin;
 use pr_core::{StrategyKind, SystemConfig, VictimPolicyKind};
 use pr_dist::{CrossSiteScheme, DistConfig, DistributedSystem};
-use pr_storage::GlobalStore;
 use pr_graph::{cutset, CandidateRollback};
 use pr_model::{LockIndex, TxnId};
+use pr_storage::GlobalStore;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -732,10 +732,7 @@ mod tests {
     fn distributed_shapes_hold() {
         let rows = distributed_comparison(4, 2);
         let get = |scheme: &str, strategy: &str| {
-            rows.iter()
-                .find(|r| r.scheme == scheme && r.strategy == strategy)
-                .unwrap()
-                .clone()
+            rows.iter().find(|r| r.scheme == scheme && r.strategy == strategy).unwrap().clone()
         };
         // Prevention rolls back more often than detection.
         let gd = get("global-detection", "mcs");

@@ -59,6 +59,11 @@ pub struct GeneratorConfig {
     /// Whether to emit explicit `U(...)` unlock operations (otherwise
     /// commit releases everything).
     pub explicit_unlocks: bool,
+    /// Whether each program acquires its locks in ascending entity order.
+    /// A workload whose every transaction respects one global lock order
+    /// cannot deadlock, so this produces the deadlock-free baseline the
+    /// static lint (`pr-analyze`) and the experiments compare against.
+    pub ordered_locks: bool,
 }
 
 impl Default for GeneratorConfig {
@@ -73,6 +78,7 @@ impl Default for GeneratorConfig {
             skew_centi: 0,
             clustering: Clustering::Spread { spread_per_mille: 400 },
             explicit_unlocks: true,
+            ordered_locks: false,
         }
     }
 }
@@ -139,6 +145,9 @@ impl ProgramGenerator {
             if !chosen.contains(&e) {
                 chosen.push(e);
             }
+        }
+        if self.config.ordered_locks {
+            chosen.sort_unstable();
         }
         chosen
     }
@@ -312,13 +321,9 @@ mod tests {
         // Reads into locals still create edges, but entity writes are
         // clustered. Compare penalty against the spread generator.
         let base = GeneratorConfig { pad_between: 0, writes_per_entity: 2, ..Default::default() };
-        let mut clustered =
-            gen(GeneratorConfig { clustering: Clustering::Clustered, ..base }, 3);
+        let mut clustered = gen(GeneratorConfig { clustering: Clustering::Clustered, ..base }, 3);
         let mut spread = gen(
-            GeneratorConfig {
-                clustering: Clustering::Spread { spread_per_mille: 1000 },
-                ..base
-            },
+            GeneratorConfig { clustering: Clustering::Spread { spread_per_mille: 1000 }, ..base },
             3,
         );
         let pc: u32 = clustered
@@ -339,14 +344,23 @@ mod tests {
         let mut uniform = gen(GeneratorConfig { skew_centi: 0, ..Default::default() }, 4);
         let mut skewed = gen(GeneratorConfig { skew_centi: 90, ..Default::default() }, 4);
         let hot = |g: &mut ProgramGenerator| -> usize {
-            (0..200)
-                .flat_map(|_| g.generate().locked_entities())
-                .filter(|e| e.raw() < 4)
-                .count()
+            (0..200).flat_map(|_| g.generate().locked_entities()).filter(|e| e.raw() < 4).count()
         };
         let hu = hot(&mut uniform);
         let hs = hot(&mut skewed);
         assert!(hs > hu * 2, "skewed hot accesses {hs} vs uniform {hu}");
+    }
+
+    #[test]
+    fn ordered_locks_acquire_in_ascending_entity_order() {
+        let cfg = GeneratorConfig { ordered_locks: true, ..Default::default() };
+        let mut g = gen(cfg, 11);
+        for p in g.generate_workload(30) {
+            let order: Vec<u32> = p.lock_requests().iter().map(|(_, e, _)| e.raw()).collect();
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(order, sorted, "{}", p.render());
+        }
     }
 
     #[test]

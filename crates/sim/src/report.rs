@@ -71,10 +71,7 @@ impl Table {
             out.push_str(&format!("**{t}**\n\n"));
         }
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            self.headers.iter().map(|_| "---|").collect::<String>()
-        ));
+        out.push_str(&format!("|{}\n", self.headers.iter().map(|_| "---|").collect::<String>()));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }
@@ -94,11 +91,8 @@ impl fmt::Display for Table {
             writeln!(f, "{t}")?;
         }
         let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
-            let parts: Vec<String> = cells
-                .iter()
-                .enumerate()
-                .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
-                .collect();
+            let parts: Vec<String> =
+                cells.iter().enumerate().map(|(i, c)| format!("{:w$}", c, w = widths[i])).collect();
             writeln!(f, "  {}", parts.join("  "))
         };
         line(f, &self.headers)?;

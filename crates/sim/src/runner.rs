@@ -87,11 +87,7 @@ pub fn run_workload(
         Err(EngineError::StepLimitExceeded { .. }) => false,
         Err(e) => return Err(e),
     };
-    Ok(RunReport {
-        metrics: sys.metrics().clone(),
-        completed,
-        snapshot: sys.store().snapshot(),
-    })
+    Ok(RunReport { metrics: sys.metrics().clone(), completed, snapshot: sys.store().snapshot() })
 }
 
 /// Runs `programs` serially (one at a time) in the given order and
@@ -229,8 +225,7 @@ mod tests {
         let mut g = ProgramGenerator::new(GeneratorConfig::default(), 2);
         let programs = g.generate_workload(3);
         let config = SystemConfig::default();
-        let snap =
-            run_serial(&programs, &[0, 1, 2], store_with(32, 10), config).unwrap();
+        let snap = run_serial(&programs, &[0, 1, 2], store_with(32, 10), config).unwrap();
         assert!(is_serializable(&programs, &store_with(32, 10), config, &snap).unwrap());
     }
 }

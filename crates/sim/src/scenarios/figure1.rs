@@ -91,15 +91,7 @@ pub fn run(strategy: StrategyKind) -> Figure1Outcome {
     let t1_unblocked = sys.txn(t1).unwrap().phase == Phase::Running;
 
     let completed = sys.run(&mut RoundRobin::new()).is_ok() && sys.all_committed();
-    Figure1Outcome {
-        costs,
-        victim,
-        victim_cost,
-        cycle,
-        graph_before,
-        t1_unblocked,
-        completed,
-    }
+    Figure1Outcome { costs, victim, victim_cost, cycle, graph_before, t1_unblocked, completed }
 }
 
 #[cfg(test)]

@@ -110,11 +110,7 @@ mod tests {
     fn partial_order_terminates_with_bounded_preemptions() {
         let out = run_policy(VictimPolicyKind::PartialOrder, 5_000);
         assert!(out.completed, "Theorem 2's policy must terminate");
-        assert!(
-            out.max_preemptions <= 4,
-            "preemptions stay bounded, got {}",
-            out.max_preemptions
-        );
+        assert!(out.max_preemptions <= 4, "preemptions stay bounded, got {}", out.max_preemptions);
     }
 
     #[test]

@@ -13,8 +13,8 @@
 //!   both T2 and T3 — the minimum-cost vertex cut decides.
 
 use super::entity;
-use pr_core::{StepOutcome, StrategyKind, System, SystemConfig, VictimPolicyKind};
 use pr_core::scheduler::RoundRobin;
+use pr_core::{StepOutcome, StrategyKind, System, SystemConfig, VictimPolicyKind};
 use pr_model::{ProgramBuilder, TransactionProgram, TxnId, Value};
 use pr_storage::GlobalStore;
 
@@ -38,10 +38,11 @@ pub struct Figure3a {
     pub completed: bool,
 }
 
-/// Scenario (a): T3 requests an exclusive lock on `c` held shared by T1
-/// and T2, while T2 also waits for T1 at `a` — an acyclic non-forest.
-pub fn run_a() -> Figure3a {
-    let t1: TransactionProgram = ProgramBuilder::new()
+/// The scenario (a) programs in admission order: T3 requests an exclusive
+/// lock on `c` held shared by T1 and T2, while T2 also waits for T1 at
+/// `a`. No deadlock is possible — the static lint must stay silent here.
+pub fn workload_a() -> Vec<TransactionProgram> {
+    let t1 = ProgramBuilder::new()
         .lock_shared(entity('c'))
         .lock_exclusive(entity('a'))
         .pad(2)
@@ -55,6 +56,13 @@ pub fn run_a() -> Figure3a {
         .lock_exclusive(entity('c')) // waits on T1 and T2
         .pad(1)
         .build_unchecked();
+    vec![t1, t2, t3]
+}
+
+/// Scenario (a): T3 requests an exclusive lock on `c` held shared by T1
+/// and T2, while T2 also waits for T1 at `a` — an acyclic non-forest.
+pub fn run_a() -> Figure3a {
+    let [t1, t2, t3]: [TransactionProgram; 3] = workload_a().try_into().expect("three programs");
     let mut sys = fresh_system();
     let a = sys.admit_unchecked(t1);
     let b = sys.admit_unchecked(t2);
@@ -90,11 +98,9 @@ pub struct MultiCycleOutcome {
     pub completed: bool,
 }
 
-/// Scenario (b): T1 holds `a` (shared with T3) and `b`; T3 waits for `b`;
-/// T2 holds `e` and waits for `a`. T1's request of `e` closes two cycles,
-/// both containing T1 and T2. `t1_pads` tunes how expensive rolling T1
-/// back is, steering the min-cost choice between T1 and T2.
-pub fn run_b(t1_pads: usize, t2_pads: usize) -> MultiCycleOutcome {
+/// The scenario (b) programs in admission order, parameterised by the pad
+/// counts that steer the min-cost victim choice.
+pub fn workload_b(t1_pads: usize, t2_pads: usize) -> Vec<TransactionProgram> {
     let p1 = ProgramBuilder::new()
         .lock_shared(entity('a'))
         .lock_exclusive(entity('b'))
@@ -114,6 +120,16 @@ pub fn run_b(t1_pads: usize, t2_pads: usize) -> MultiCycleOutcome {
         .lock_shared(entity('b')) // waits on T1
         .pad(1)
         .build_unchecked();
+    vec![p1, p2, p3]
+}
+
+/// Scenario (b): T1 holds `a` (shared with T3) and `b`; T3 waits for `b`;
+/// T2 holds `e` and waits for `a`. T1's request of `e` closes two cycles,
+/// both containing T1 and T2. `t1_pads` tunes how expensive rolling T1
+/// back is, steering the min-cost choice between T1 and T2.
+pub fn run_b(t1_pads: usize, t2_pads: usize) -> MultiCycleOutcome {
+    let [p1, p2, p3]: [TransactionProgram; 3] =
+        workload_b(t1_pads, t2_pads).try_into().expect("three programs");
     let mut sys = fresh_system();
     let t1 = sys.admit_unchecked(p1);
     let t2 = sys.admit_unchecked(p2);
@@ -139,11 +155,9 @@ pub fn run_b(t1_pads: usize, t2_pads: usize) -> MultiCycleOutcome {
     finish(sys, out)
 }
 
-/// Scenario (c): T1 holds `a` and `b` exclusively; T2 and T3 hold `f`
-/// shared and wait on T1; T1's exclusive request of `f` closes one cycle
-/// per shared holder. Pads tune whether cutting T1 alone beats cutting
-/// both T2 and T3.
-pub fn run_c(t1_pads: usize, holder_pads: usize) -> MultiCycleOutcome {
+/// The scenario (c) programs in admission order, parameterised by the pad
+/// counts that decide whether cutting T1 alone beats cutting both holders.
+pub fn workload_c(t1_pads: usize, holder_pads: usize) -> Vec<TransactionProgram> {
     let p1 = ProgramBuilder::new()
         .lock_exclusive(entity('a'))
         .lock_exclusive(entity('b'))
@@ -163,6 +177,16 @@ pub fn run_c(t1_pads: usize, holder_pads: usize) -> MultiCycleOutcome {
         .lock_shared(entity('b')) // waits on T1
         .pad(1)
         .build_unchecked();
+    vec![p1, p2, p3]
+}
+
+/// Scenario (c): T1 holds `a` and `b` exclusively; T2 and T3 hold `f`
+/// shared and wait on T1; T1's exclusive request of `f` closes one cycle
+/// per shared holder. Pads tune whether cutting T1 alone beats cutting
+/// both T2 and T3.
+pub fn run_c(t1_pads: usize, holder_pads: usize) -> MultiCycleOutcome {
+    let [p1, p2, p3]: [TransactionProgram; 3] =
+        workload_c(t1_pads, holder_pads).try_into().expect("three programs");
     let mut sys = fresh_system();
     let t1 = sys.admit_unchecked(p1);
     let t2 = sys.admit_unchecked(p2);

@@ -127,10 +127,8 @@ mod tests {
         // The MCS stacks can reproduce every lock state of the original
         // T1 — the storage-for-precision tradeoff of §4 in one assertion.
         let store = GlobalStore::with_entities(8, Value::new(0));
-        let mut sys = System::new(
-            store,
-            SystemConfig::new(StrategyKind::Mcs, VictimPolicyKind::MinCost),
-        );
+        let mut sys =
+            System::new(store, SystemConfig::new(StrategyKind::Mcs, VictimPolicyKind::MinCost));
         let program = paper_t1_fig4();
         let id = sys.admit_unchecked(program.clone());
         for _ in 0..program.len() - 1 {

@@ -49,7 +49,7 @@ pub fn victim_clustered() -> TransactionProgram {
 
 /// The partner transaction: holds `d`, then wants `c` — expensive enough
 /// that the victim above is always the min-cost choice.
-fn partner() -> TransactionProgram {
+pub fn partner() -> TransactionProgram {
     ProgramBuilder::new()
         .lock_exclusive(entity('d'))
         .pad(30)

@@ -111,6 +111,18 @@ pub fn paper_t1() -> TransactionProgram {
         .build_unchecked()
 }
 
+/// The Figure 1 workload in admission order (`T1`–`T4`), as handed to the
+/// engine by [`figure1::run`] and to the static lint by `pr-lint`.
+pub fn figure1_workload() -> Vec<TransactionProgram> {
+    vec![paper_t1(), paper_t2(), paper_t3_fig1(), paper_t4()]
+}
+
+/// The Figure 2 workload in admission order (`T1`–`T4`): the variant whose
+/// `T3` re-requests `f`, powering the mutual-preemption loop.
+pub fn figure2_workload() -> Vec<TransactionProgram> {
+    vec![paper_t1(), paper_t2(), paper_t3(), paper_t4()]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -69,10 +69,7 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = StorageError::NotRestorable {
-            entity: EntityId::new(0),
-            target: LockIndex::new(2),
-        };
+        let e = StorageError::NotRestorable { entity: EntityId::new(0), target: LockIndex::new(2) };
         assert!(e.to_string().contains("not restorable"));
         assert!(StorageError::NoSuchEntity(EntityId::new(3)).to_string().contains("no such"));
     }

@@ -111,8 +111,7 @@ impl McsWorkspace {
         lock_index: LockIndex,
         value: Value,
     ) -> Result<Option<(LockIndex, LockIndex)>, StorageError> {
-        let stack =
-            self.entity_stacks.get_mut(&entity).ok_or(StorageError::NoLocalCopy(entity))?;
+        let stack = self.entity_stacks.get_mut(&entity).ok_or(StorageError::NoLocalCopy(entity))?;
         stack.record_write(lock_index, value);
         let evicted = self.budget.and_then(|b| stack.enforce_budget(b));
         self.bump_peak();

@@ -66,12 +66,7 @@ impl SingleCopyWorkspace {
             entities: BTreeMap::new(),
             vars: initial_vars
                 .iter()
-                .map(|&v| VarCopy {
-                    initial: v,
-                    current: v,
-                    first_write: None,
-                    last_write: None,
-                })
+                .map(|&v| VarCopy { initial: v, current: v, first_write: None, last_write: None })
                 .collect(),
             current_vars: initial_vars.to_vec(),
             peak_entity_copies: 0,
@@ -83,13 +78,7 @@ impl SingleCopyWorkspace {
     pub fn on_exclusive_lock(&mut self, entity: EntityId, lock_state: LockIndex, global: Value) {
         let prev = self.entities.insert(
             entity,
-            EntityCopy {
-                lock_state,
-                global,
-                current: global,
-                first_write: None,
-                last_write: None,
-            },
+            EntityCopy { lock_state, global, current: global, first_write: None, last_write: None },
         );
         debug_assert!(prev.is_none(), "entity {entity} locked twice");
         self.peak_entity_copies = self.peak_entity_copies.max(self.entities.len());
@@ -175,10 +164,8 @@ impl SingleCopyWorkspace {
         // the workspace intact.
         for (id, copy) in &self.entities {
             if copy.lock_state < target {
-                self.entity_value_at(*id, target).map_err(|_| StorageError::NotRestorable {
-                    entity: *id,
-                    target,
-                })?;
+                self.entity_value_at(*id, target)
+                    .map_err(|_| StorageError::NotRestorable { entity: *id, target })?;
             }
         }
         for (i, copy) in self.vars.iter().enumerate() {
@@ -189,10 +176,7 @@ impl SingleCopyWorkspace {
                 _ => false,
             };
             if !restorable {
-                return Err(StorageError::VarNotRestorable {
-                    var: VarId::new(i as u16),
-                    target,
-                });
+                return Err(StorageError::VarNotRestorable { var: VarId::new(i as u16), target });
             }
         }
 
@@ -348,10 +332,7 @@ mod tests {
         w.on_exclusive_lock(e(1), li(1), v(0));
         w.on_exclusive_lock(e(2), li(2), v(0));
         w.assign_var(VarId::new(0), li(3), v(3)).unwrap(); // destroys 1, 2
-        assert!(matches!(
-            w.rollback_to(li(2)),
-            Err(StorageError::VarNotRestorable { .. })
-        ));
+        assert!(matches!(w.rollback_to(li(2)), Err(StorageError::VarNotRestorable { .. })));
         // Total rollback always works.
         let released = w.rollback_to(LockIndex::ZERO).unwrap();
         assert_eq!(released.len(), 3);

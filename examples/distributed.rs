@@ -41,8 +41,7 @@ fn main() {
     for scheme in CrossSiteScheme::ALL {
         for strategy in [StrategyKind::Total, StrategyKind::Mcs] {
             let store = GlobalStore::with_entities(ENTITIES, Value::new(100));
-            let mut sys =
-                DistributedSystem::new(store, DistConfig::new(SITES, scheme, strategy));
+            let mut sys = DistributedSystem::new(store, DistConfig::new(SITES, scheme, strategy));
             for p in &programs {
                 sys.admit(p.clone()).unwrap();
             }

@@ -15,10 +15,7 @@ fn main() {
     println!("concurrency graph at the deadlock:\n{}", f1.graph_before);
     println!("cycle: {:?} (paper: T2 → T3 → T4)", f1.cycle);
     for (txn, paper) in [(2u32, 4u32), (3, 6), (4, 5)] {
-        println!(
-            "  cost of rolling back T{txn}: {} (paper: {paper})",
-            f1.costs[&TxnId::new(txn)]
-        );
+        println!("  cost of rolling back T{txn}: {} (paper: {paper})", f1.costs[&TxnId::new(txn)]);
     }
     println!("victim: {} at cost {} (paper: T2 at cost 4)", f1.victim, f1.victim_cost);
     println!("T1 no longer waits for T2: {}", f1.t1_unblocked);

@@ -114,10 +114,6 @@ fn main() {
     }
 
     // Stock + ledger conservation.
-    assert_eq!(
-        system.store().total(),
-        Value::new(i64::from(2 * ITEMS) * 100),
-        "units conserved"
-    );
+    assert_eq!(system.store().total(), Value::new(i64::from(2 * ITEMS) * 100), "units conserved");
     println!("units conserved: total = {}", system.store().total());
 }

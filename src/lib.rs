@@ -59,7 +59,9 @@
 //! | [`core`] | the execution engine: strategies, victim policies, metrics |
 //! | [`sim`] | workload generators, experiment sweeps, the paper's figures |
 //! | [`dist`] | the §3.3 multi-site extension: schemes, message accounting |
+//! | [`analyze`] | static workload lint: deadlock-cycle detection, rollback-cost diagnostics, the `pr-lint` CLI |
 
+pub use pr_analyze as analyze;
 pub use pr_core as core;
 pub use pr_dist as dist;
 pub use pr_graph as graph;

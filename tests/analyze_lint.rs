@@ -1,0 +1,87 @@
+//! Acceptance tests for the static workload lint (the ISSUE criteria):
+//! the paper's deadlock-bearing figures must each produce at least one
+//! `PR-D001` with witness transactions, and a workload that respects one
+//! global lock order must produce none.
+
+use partial_rollback::analyze::{analyze_workload, LintCode};
+use partial_rollback::sim::scenarios::{self, figure3};
+use partial_rollback::sim::{GeneratorConfig, ProgramGenerator};
+
+#[test]
+fn figure1_workload_has_the_paper_deadlock_cycle() {
+    let report = analyze_workload("figure1", &scenarios::figure1_workload());
+    assert!(report.deadlock_count() >= 1, "{}", report.render_human());
+    // The witness is the paper's cycle: T2, T3, T4 (workload indices
+    // 1, 2, 3) — T1 is a bystander.
+    let d = &report.with_code(LintCode::DeadlockCycle)[0];
+    let mut witness = d.witness.clone();
+    witness.sort_unstable();
+    assert_eq!(witness, vec![1, 2, 3], "{}", d.message);
+    // Every span points at a real lock request of the named program.
+    let programs = scenarios::figure1_workload();
+    for s in &d.spans {
+        let op = programs[s.txn].op(s.pc).expect("span pc in range");
+        assert_eq!(op.to_string(), s.op);
+        assert!(s.op.starts_with("LX") || s.op.starts_with("LS"), "{}", s.op);
+    }
+    assert!(d.advice.is_some(), "a minimal reordering fix is attached");
+}
+
+#[test]
+fn figure3_workloads_flag_their_cycles_and_3a_is_clean() {
+    // (a) has no deadlock — shared holders make the graph a non-forest,
+    // but no hold-and-wait cycle exists; the lint must stay silent.
+    let report = analyze_workload("figure3a", &figure3::workload_a());
+    assert_eq!(report.deadlock_count(), 0, "{}", report.render_human());
+
+    // (b) and (c) each deadlock; (b)'s two cycles both involve T1 and T2.
+    let report = analyze_workload("figure3b", &figure3::workload_b(2, 2));
+    assert!(report.deadlock_count() >= 1, "{}", report.render_human());
+    for d in report.with_code(LintCode::DeadlockCycle) {
+        assert!(d.witness.contains(&0) && d.witness.contains(&1), "{}", d.message);
+    }
+
+    let report = analyze_workload("figure3c", &figure3::workload_c(1, 20));
+    assert!(report.deadlock_count() >= 1, "{}", report.render_human());
+    for d in report.with_code(LintCode::DeadlockCycle) {
+        assert!(d.witness.contains(&0), "every cycle passes through T1: {}", d.message);
+    }
+}
+
+#[test]
+fn entity_ordered_workload_is_statically_deadlock_free() {
+    let config = GeneratorConfig { ordered_locks: true, ..GeneratorConfig::default() };
+    for seed in [7, 42, 1234] {
+        let mut gen = ProgramGenerator::new(config, seed);
+        let programs: Vec<_> = (0..20).map(|_| gen.generate()).collect();
+        let report = analyze_workload("ordered", &programs);
+        assert_eq!(
+            report.deadlock_count(),
+            0,
+            "a globally ordered workload cannot deadlock (seed {seed}):\n{}",
+            report.render_human()
+        );
+    }
+}
+
+#[test]
+fn unordered_generator_workloads_are_flagged_when_cycles_exist() {
+    // The default generator freely inverts lock orders; across a few
+    // seeds at this contention level, at least one workload must contain
+    // a statically-possible cycle (sanity that the lint has teeth on
+    // generated inputs, not just hand-built figures).
+    let any_flagged = [7u64, 42, 1234].iter().any(|&seed| {
+        let mut gen = ProgramGenerator::new(GeneratorConfig::default(), seed);
+        let programs: Vec<_> = (0..20).map(|_| gen.generate()).collect();
+        analyze_workload("generated", &programs).deadlock_count() > 0
+    });
+    assert!(any_flagged);
+}
+
+#[test]
+fn json_report_round_trips_the_figure1_findings() {
+    let json = analyze_workload("figure1", &scenarios::figure1_workload()).to_json();
+    assert!(json.contains("\"workload\":\"figure1\""));
+    assert!(json.contains("\"code\":\"PR-D001\""));
+    assert!(json.contains("\"severity\":\"error\""));
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the analysis layer.
+//!
+//! Three claims, each over randomly generated workloads:
+//!
+//! 1. Any workload of *valid* programs analyzes without panicking, and the
+//!    resulting report is internally consistent (every span indexes a real
+//!    operation, severities agree with codes).
+//! 2. A `WriteEdge`'s `width()` agrees with its `spans()` predicate, and
+//!    the analysis' well-defined state list is exactly the set of states
+//!    no edge spans.
+//! 3. (feature `invariants`) The engine survives random contended
+//!    workloads with the runtime sentinel armed.
+
+use partial_rollback::analyze::analyze_workload;
+use partial_rollback::model::{analysis, validate};
+use partial_rollback::sim::generator::{Clustering, GeneratorConfig, ProgramGenerator};
+use proptest::prelude::*;
+
+fn workload_strategy() -> impl Strategy<Value = (u64, u16, bool)> {
+    (0u64..5_000, 0u16..=1000, any::<bool>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Claim 1: the lint never panics on valid input and its spans always
+    /// point at real operations.
+    #[test]
+    fn valid_workloads_analyze_without_panic((seed, spread, ordered) in workload_strategy()) {
+        let cfg = GeneratorConfig {
+            num_entities: 6,
+            min_locks: 2,
+            max_locks: 5,
+            clustering: Clustering::Spread { spread_per_mille: spread },
+            ordered_locks: ordered,
+            ..Default::default()
+        };
+        let programs = ProgramGenerator::new(cfg, seed).generate_workload(8);
+        for p in &programs {
+            prop_assert!(validate::validate(p).is_ok(), "generator emits valid programs");
+        }
+        let report = analyze_workload("prop", &programs);
+        prop_assert_eq!(report.num_programs, programs.len());
+        for d in &report.diagnostics {
+            prop_assert_eq!(d.severity, d.code.severity());
+            for s in &d.spans {
+                let op = programs[s.txn].op(s.pc);
+                prop_assert!(op.is_some(), "span {}:{} out of range", s.txn, s.pc);
+                prop_assert_eq!(&op.unwrap().to_string(), &s.op);
+            }
+            for &w in &d.witness {
+                prop_assert!(w < programs.len());
+            }
+        }
+        // An entity-ordered workload can never carry a deadlock diagnostic.
+        if ordered {
+            prop_assert_eq!(report.deadlock_count(), 0);
+        }
+    }
+
+    /// Claim 2: `width()` counts exactly the states `spans()` admits, and
+    /// `well_defined` is the complement of the union of spans.
+    #[test]
+    fn write_edge_width_and_spans_agree((seed, spread, _) in workload_strategy()) {
+        let cfg = GeneratorConfig {
+            num_entities: 8,
+            min_locks: 2,
+            max_locks: 6,
+            writes_per_entity: 2,
+            clustering: Clustering::Spread { spread_per_mille: spread },
+            ..Default::default()
+        };
+        let program = ProgramGenerator::new(cfg, seed).generate();
+        let a = analysis::analyze(&program);
+        let n = a.num_lock_states;
+        for e in &a.edges {
+            prop_assert!(e.u < e.w, "edge {{u: {}, w: {}}} is not forward", e.u, e.w);
+            // Over all integers, exactly (w - u) - 1 states satisfy
+            // u < q < w; clipping to the program's 0..=n range can only
+            // lose the tail beyond n.
+            let in_range = (0..=n).filter(|&q| e.spans(q)).count() as u32;
+            let expected = e.w.min(n + 1).saturating_sub(e.u).saturating_sub(1);
+            prop_assert_eq!(in_range, expected);
+            prop_assert!(e.width() >= in_range);
+        }
+        for q in 0..=n {
+            let spanned = a.edges.iter().any(|e| e.spans(q));
+            prop_assert_eq!(
+                !spanned,
+                a.well_defined.contains(&q),
+                "state {} misclassified", q
+            );
+        }
+    }
+}
+
+#[cfg(feature = "invariants")]
+mod sentinel {
+    use super::*;
+    use partial_rollback::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Claim 3: random contended workloads drain to commit with every
+        /// post-step sentinel check passing.
+        #[test]
+        fn engine_survives_random_workloads_under_sentinel(
+            (seed, spread, _) in workload_strategy()
+        ) {
+            let cfg = GeneratorConfig {
+                num_entities: 4, // few entities = heavy contention
+                min_locks: 2,
+                max_locks: 4,
+                clustering: Clustering::Spread { spread_per_mille: spread },
+                ..Default::default()
+            };
+            let programs = ProgramGenerator::new(cfg, seed).generate_workload(6);
+            let store = GlobalStore::with_entities(8, Value::new(100));
+            let mut sys = System::new(
+                store,
+                SystemConfig::new(StrategyKind::Mcs, VictimPolicyKind::PartialOrder),
+            );
+            for p in programs {
+                sys.admit(p).unwrap();
+            }
+            sys.run(&mut RoundRobin::new()).unwrap();
+            prop_assert!(sys.all_committed());
+            sys.sentinel_assert();
+        }
+    }
+}

@@ -89,8 +89,7 @@ fn concurrent_outcomes_are_serializable_for_every_strategy() {
             .unwrap();
             assert!(report.completed);
             assert!(
-                is_serializable(&programs, &store_with(4, 100), config, &report.snapshot)
-                    .unwrap(),
+                is_serializable(&programs, &store_with(4, 100), config, &report.snapshot).unwrap(),
                 "{strategy:?} seed {seed}: outcome not serializable"
             );
         }
@@ -157,10 +156,8 @@ fn shared_lock_heavy_workloads_drain() {
 #[test]
 fn deadlock_history_is_consistent_with_metrics() {
     let store = GlobalStore::with_entities(2, Value::new(100));
-    let mut sys = System::new(
-        store,
-        SystemConfig::new(StrategyKind::Mcs, VictimPolicyKind::PartialOrder),
-    );
+    let mut sys =
+        System::new(store, SystemConfig::new(StrategyKind::Mcs, VictimPolicyKind::PartialOrder));
     let t1 = sys.admit(transfer(0, 1, 10)).unwrap();
     let t2 = sys.admit(transfer(1, 0, 5)).unwrap();
     sys.step(t1).unwrap();

@@ -58,7 +58,10 @@ fn execute_range(rt: &mut TxnRuntime, program: &TransactionProgram, from: usize,
 
 /// Snapshot of a runtime's observable data state: every held entity's
 /// local view plus all locals.
-fn observable(rt: &TxnRuntime, program: &TransactionProgram) -> (Vec<(EntityId, Value)>, Vec<Value>) {
+fn observable(
+    rt: &TxnRuntime,
+    program: &TransactionProgram,
+) -> (Vec<(EntityId, Value)>, Vec<Value>) {
     let mut entities = Vec::new();
     for e in program.locked_entities() {
         if rt.held.contains(&e) {

@@ -3,8 +3,9 @@
 //!
 //! The engine itself is deliberately single-threaded and deterministic
 //! (concurrency in the paper's model is interleaving); these tests drive
-//! many engines in parallel OS threads via `crossbeam` to shake out any
-//! accidental shared state, and hammer the `SharedGlobalStore` wrapper.
+//! many engines in parallel OS threads via `std::thread::scope` to shake
+//! out any accidental shared state, and hammer the `SharedGlobalStore`
+//! wrapper.
 
 use partial_rollback::prelude::*;
 use partial_rollback::sim::generator::{GeneratorConfig, ProgramGenerator};
@@ -53,12 +54,10 @@ fn parallel_engines_agree_with_serial_reruns() {
 
     let serial: Vec<_> = seeds.iter().map(|&s| run_one(s)).collect();
 
-    let parallel: Vec<_> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> =
-            seeds.iter().map(|&s| scope.spawn(move |_| run_one(s))).collect();
+    let parallel: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = seeds.iter().map(|&s| scope.spawn(move || run_one(s))).collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .unwrap();
+    });
 
     for (s, p) in serial.iter().zip(&parallel) {
         assert_eq!(s.metrics, p.metrics);
@@ -69,10 +68,10 @@ fn parallel_engines_agree_with_serial_reruns() {
 #[test]
 fn shared_store_survives_concurrent_readers_and_writers() {
     let shared = SharedGlobalStore::new(GlobalStore::with_entities(16, Value::new(1_000)));
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for t in 0..4 {
             let store = shared.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for i in 0..1_000 {
                     let id = EntityId::new((t * 4 + i % 4) as u32 % 16);
                     if i % 3 == 0 {
@@ -88,8 +87,7 @@ fn shared_store_survives_concurrent_readers_and_writers() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
     // Each of 4 threads performed ⌈1000/3⌉ = 334 increments.
     let total = shared.with_read(|s| s.total());
     assert_eq!(total, Value::new(16_000 + 4 * 334));

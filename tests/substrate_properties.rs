@@ -20,8 +20,11 @@ enum Action {
 
 fn action_strategy() -> impl Strategy<Value = Action> {
     prop_oneof![
-        (0u32..6, 0u32..4, any::<bool>())
-            .prop_map(|(txn, entity, exclusive)| Action::Request { txn, entity, exclusive }),
+        (0u32..6, 0u32..4, any::<bool>()).prop_map(|(txn, entity, exclusive)| Action::Request {
+            txn,
+            entity,
+            exclusive
+        }),
         (0u32..6, 0u32..4).prop_map(|(txn, entity)| Action::Release { txn, entity }),
         (0u32..6, 0u32..4).prop_map(|(txn, entity)| Action::Cancel { txn, entity }),
     ]

@@ -1,0 +1,493 @@
+//! Offline stand-in for `proptest`: a deterministic property-based testing
+//! harness implementing the subset of the proptest API this workspace uses.
+//!
+//! Covered surface:
+//! * `proptest! { #![proptest_config(ProptestConfig::with_cases(n))] #[test] fn f(pat in strategy) { .. } }`
+//! * `Strategy` (with `.prop_map`, `.boxed`), range strategies over the
+//!   primitive integers, tuple strategies (2–6), `any::<T>()`, `Just`,
+//!   `prop_oneof!`, `prop::collection::vec`
+//! * `prop_assert!`, `prop_assert_eq!`, `TestCaseError::fail`
+//!
+//! Differences from the real crate: no shrinking (a failure reports the
+//! case's seed so it can be replayed by re-running the test — generation is
+//! fully deterministic per test name), and no persistence of regression
+//! seeds (`*.proptest-regressions` files are ignored).
+
+/// Runner plumbing: the deterministic RNG, config, and error type.
+pub mod test_runner {
+    /// Deterministic xorshift64* RNG used for all value generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from a test name, so every test owns a distinct but
+        /// reproducible stream.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            Self::from_seed(h)
+        }
+
+        pub fn from_seed(seed: u64) -> Self {
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            TestRng { state: (z ^ (z >> 31)) | 1 }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Derives an independent seed for one test case.
+        pub fn fork_seed(&mut self) -> u64 {
+            self.next_u64()
+        }
+    }
+
+    /// Per-test configuration (only the case count is honoured).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A property failure (`prop_assert!` or an explicit `fail`).
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        pub fn fail<S: Into<String>>(msg: S) -> Self {
+            TestCaseError(msg.into())
+        }
+
+        /// Alias kept for API parity; rejections are treated as failures.
+        pub fn reject<S: Into<String>>(msg: S) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Object-safe (only `sample` is required), so `Box<dyn Strategy>`
+    /// works; the combinators are `Self: Sized`.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.sample(rng)
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!alternatives.is_empty(), "prop_oneof! needs at least one arm");
+            Union(alternatives)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() % self.0.len() as u64) as usize;
+            self.0[i].sample(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let lo = self.start as i128;
+                    let hi = self.end as i128;
+                    assert!(lo < hi, "empty strategy range");
+                    (lo + (rng.next_u64() as i128).rem_euclid(hi - lo)) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let lo = *self.start() as i128;
+                    let hi = *self.end() as i128;
+                    assert!(lo <= hi, "empty strategy range");
+                    (lo + (rng.next_u64() as i128).rem_euclid(hi - lo + 1)) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        type Strategy: Strategy<Value = Self>;
+
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Strategy produced by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// The canonical strategy for `T` (`any::<bool>()` etc.).
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = Any<bool>;
+
+        fn arbitrary() -> Any<bool> {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                type Strategy = Any<$t>;
+
+                fn arbitrary() -> Any<$t> {
+                    Any(std::marker::PhantomData)
+                }
+            }
+
+            impl Strategy for Any<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Acceptable size arguments for [`vec`].
+    pub trait SizeRange {
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl SizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy for vectors whose length falls in `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.max - self.min) as u64 + 1;
+            let len = self.min + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                let mut runner_rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    let case_seed = runner_rng.fork_seed();
+                    let mut case_rng = $crate::test_runner::TestRng::from_seed(case_seed);
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut case_rng);)+
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(err) = result {
+                        panic!(
+                            "proptest {} failed at case {}/{} (case seed {:#018x}): {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            case_seed,
+                            err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left != right, "assertion failed: `{:?}` == `{:?}`", left, right);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds((a, b) in (0u32..10, 5i64..=9)) {
+            prop_assert!(a < 10);
+            prop_assert!((5..=9).contains(&b), "b = {}", b);
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(0u8..3, 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() <= 5);
+            for x in v {
+                prop_assert!(x < 3);
+            }
+        }
+
+        #[test]
+        fn oneof_and_map_compose(x in prop_oneof![
+            (0u32..4).prop_map(|v| v * 2),
+            (10u32..12).prop_map(|v| v + 1),
+        ]) {
+            prop_assert!(x == 0 || x == 2 || x == 4 || x == 6 || x == 11 || x == 12, "x = {}", x);
+        }
+
+        #[test]
+        fn any_bool_and_question_mark(flag in any::<bool>()) {
+            let r: Result<(), String> = Ok(());
+            r.map_err(TestCaseError::fail)?;
+            prop_assert_eq!(flag, flag);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = (0u64..1000, 0u64..1000);
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        for _ in 0..50 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes `Serialize` / `Deserialize` as marker traits (blanket-implemented
+//! for every type) and re-exports the no-op derive macros. Traits and derive
+//! macros live in separate namespaces, so `use serde::{Serialize,
+//! Deserialize}` imports both the trait and the macro, exactly like the real
+//! crate. Nothing in this workspace drives serde's data model at runtime —
+//! structured output is hand-rendered (see `pr-analyze`'s JSON writer).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

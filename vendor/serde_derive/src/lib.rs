@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as a
+//! marker (no code actually serialises through serde's data model in the
+//! build environment), so the derives expand to nothing. Keeping them as
+//! real proc-macro derives means the source code is byte-identical to
+//! what would compile against the real serde.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts (and ignores) `#[serde(...)]` attrs.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts (and ignores) `#[serde(...)]` attrs.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
