@@ -19,6 +19,7 @@
 //! | `figure5`  | spread- and clustered-write victims with the partner  |
 //! | `generated`| a random `ProgramGenerator` workload                  |
 //! | `ordered`  | the same generator with a global lock order (clean)   |
+//! | `stress`   | the stress harness's Zipf-hot generator output        |
 //!
 //! Exit status is non-zero iff any workload produced an error-severity
 //! diagnostic, so the binary drops into CI pipelines directly.
@@ -31,7 +32,7 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: pr-lint [--json] [WORKLOAD...]\n       \
                      workloads: figure1 figure2 figure3a figure3b figure3c \
-                     figure4 figure5 generated ordered";
+                     figure4 figure5 generated ordered stress";
 
 const ALL: &[&str] = &[
     "figure1",
@@ -43,6 +44,7 @@ const ALL: &[&str] = &[
     "figure5",
     "generated",
     "ordered",
+    "stress",
 ];
 
 fn workload(name: &str) -> Option<Vec<TransactionProgram>> {
@@ -60,6 +62,17 @@ fn workload(name: &str) -> Option<Vec<TransactionProgram>> {
         "ordered" => {
             Some(generate(GeneratorConfig { ordered_locks: true, ..GeneratorConfig::default() }))
         }
+        // What `pr_sim::stress::run_stress` feeds the engine: Zipf-hot,
+        // write-heavy, unordered — the lint should flag its deadlock risk.
+        "stress" => Some(generate(GeneratorConfig {
+            num_entities: 32,
+            min_locks: 2,
+            max_locks: 4,
+            exclusive_per_mille: 700,
+            pad_between: 1,
+            skew_centi: 120,
+            ..GeneratorConfig::default()
+        })),
         _ => None,
     }
 }

@@ -1,0 +1,66 @@
+//! Benchmarks the high-contention stress harness: closed-loop throughput
+//! across Zipf skew levels and both grant policies. The companion binary
+//! (`cargo run -p pr-sim --release --bin throughput`) runs the full grid
+//! and records `BENCH_throughput.json`; this bench times representative
+//! cells so regressions in the hot engine paths (lock grants, waits-for
+//! refresh, deadlock resolution) show up as wall-clock deltas.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pr_core::{GrantPolicy, StrategyKind, SystemConfig, VictimPolicyKind};
+use pr_sim::stress::{run_stress, StressConfig};
+use std::hint::black_box;
+
+fn bench_zipf_skew(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1-throughput-zipf");
+    g.sample_size(10);
+    for &zipf_centi in &[0u16, 80, 120] {
+        g.bench_with_input(BenchmarkId::from_parameter(zipf_centi), &zipf_centi, |b, &zipf| {
+            b.iter(|| {
+                let mut system =
+                    SystemConfig::new(StrategyKind::Mcs, VictimPolicyKind::PartialOrder);
+                system.max_steps = 2_000_000;
+                let cfg = StressConfig {
+                    total_txns: 48,
+                    concurrency: 16,
+                    zipf_centi: zipf,
+                    system,
+                    ..StressConfig::default()
+                };
+                let report = run_stress(black_box(&cfg)).unwrap();
+                assert!(report.completed);
+                black_box(report)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_grant_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t2-throughput-policy");
+    g.sample_size(10);
+    for policy in GrantPolicy::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(policy.name()), &policy, |b, &policy| {
+            b.iter(|| {
+                let mut system =
+                    SystemConfig::new(StrategyKind::Mcs, VictimPolicyKind::PartialOrder)
+                        .with_grant_policy(policy);
+                system.max_steps = 2_000_000;
+                let cfg = StressConfig {
+                    total_txns: 48,
+                    concurrency: 16,
+                    zipf_centi: 120,
+                    exclusive_per_mille: 300,
+                    system,
+                    ..StressConfig::default()
+                };
+                let report = run_stress(black_box(&cfg)).unwrap();
+                assert!(report.completed);
+                black_box(report)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_zipf_skew, bench_grant_policy);
+criterion_main!(benches);

@@ -1,5 +1,7 @@
-//! Engine configuration: rollback strategy, victim policy, limits.
+//! Engine configuration: rollback strategy, victim policy, grant policy,
+//! limits.
 
+use pr_lock::GrantPolicy;
 use serde::{Deserialize, Serialize};
 
 /// Which §4 rollback implementation the system runs.
@@ -92,6 +94,9 @@ pub struct SystemConfig {
     pub strategy: StrategyKind,
     /// Victim selection policy.
     pub victim: VictimPolicyKind,
+    /// Lock-grant policy: paper-faithful barging (default) or the
+    /// anti-starvation fair queue. See [`GrantPolicy`].
+    pub grant_policy: GrantPolicy,
     /// Maximum cycles enumerated per deadlock (multi-cycle deadlocks
     /// beyond the cap are still broken: every cycle passes through the
     /// causer, and unresolved cycles resurface on the next blocked step).
@@ -108,6 +113,7 @@ impl Default for SystemConfig {
         SystemConfig {
             strategy: StrategyKind::Mcs,
             victim: VictimPolicyKind::PartialOrder,
+            grant_policy: GrantPolicy::default(),
             cycle_cap: 64,
             cutset_node_budget: 200_000,
             max_steps: 10_000_000,
@@ -120,6 +126,12 @@ impl SystemConfig {
     pub fn new(strategy: StrategyKind, victim: VictimPolicyKind) -> Self {
         SystemConfig { strategy, victim, ..Default::default() }
     }
+
+    /// The same configuration with the given grant policy.
+    pub fn with_grant_policy(mut self, grant_policy: GrantPolicy) -> Self {
+        self.grant_policy = grant_policy;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -131,8 +143,18 @@ mod tests {
         let c = SystemConfig::default();
         assert_eq!(c.strategy, StrategyKind::Mcs);
         assert_eq!(c.victim, VictimPolicyKind::PartialOrder);
+        assert_eq!(c.grant_policy, GrantPolicy::Barging, "paper-faithful default");
         assert!(c.cycle_cap > 0);
         assert!(c.max_steps > 0);
+    }
+
+    #[test]
+    fn grant_policy_builder_overrides_only_that_field() {
+        let c = SystemConfig::new(StrategyKind::Total, VictimPolicyKind::Youngest)
+            .with_grant_policy(GrantPolicy::FairQueue);
+        assert_eq!(c.grant_policy, GrantPolicy::FairQueue);
+        assert_eq!(c.strategy, StrategyKind::Total);
+        assert_eq!(c.victim, VictimPolicyKind::Youngest);
     }
 
     #[test]

@@ -9,6 +9,8 @@ use crate::runtime::{Phase, TxnRuntime};
 use crate::scheduler::Scheduler;
 use pr_graph::cycles::cycles_on_wait;
 use pr_graph::{CandidateRollback, WaitsForGraph};
+#[cfg(feature = "invariants")]
+use pr_lock::GrantPolicy;
 use pr_lock::{HeldLock, LockTable, RequestOutcome};
 use pr_model::{EntityId, LockIndex, LockMode, Op, TransactionProgram, TxnId};
 use pr_storage::GlobalStore;
@@ -58,6 +60,9 @@ pub struct System {
     history: Vec<(DeadlockEvent, ResolutionPlan)>,
     /// Optional structured event log (off by default).
     events: EventLog,
+    /// Step at which each currently blocked transaction blocked, for the
+    /// grant-latency histogram.
+    blocked_since: BTreeMap<TxnId, u64>,
     /// Incrementally maintained total of live local copies, so the peak
     /// metric costs O(1) per operation instead of a scan over all
     /// transactions.
@@ -74,7 +79,7 @@ impl System {
     pub fn new(store: GlobalStore, config: SystemConfig) -> Self {
         System {
             store,
-            table: LockTable::new(),
+            table: LockTable::with_policy(config.grant_policy),
             wfg: WaitsForGraph::new(),
             txns: BTreeMap::new(),
             config,
@@ -83,6 +88,7 @@ impl System {
             entry_counter: 0,
             history: Vec::new(),
             events: EventLog::new(),
+            blocked_since: BTreeMap::new(),
             copies_cache: BTreeMap::new(),
             copies_total: 0,
             #[cfg(feature = "invariants")]
@@ -258,6 +264,8 @@ impl System {
                 );
                 self.wfg.set_wait(id, entity, &holders);
                 self.metrics.waits += 1;
+                self.metrics.note_queue_depth(entity, self.table.queue_depth(entity));
+                self.blocked_since.insert(id, self.metrics.steps);
                 #[cfg(feature = "invariants")]
                 self.sentinel
                     .record(format!("{id} waits on {entity} held by {holders:?} ({mode:?})"));
@@ -288,19 +296,14 @@ impl System {
                 break; // granted (or rolled back) during a previous round
             }
             let entity = rt.blocked_on.expect("blocked transactions record their entity");
-            // Recompute the (possibly changed) incompatible holders.
-            let mode = self
-                .table
-                .waiting_on(causer, entity)
-                .map(|w| w.mode)
-                .expect("blocked transaction has a queued request");
-            let holders: Vec<TxnId> = self
-                .table
-                .holder_records(entity)
-                .into_iter()
-                .filter(|h| h.txn != causer && !mode.compatible_with(h.mode))
-                .map(|h| h.txn)
-                .collect();
+            // Recompute the (possibly changed) blocker set under the
+            // table's grant policy: the incompatible holders, plus — fair
+            // queue — incompatible requests queued ahead of the causer.
+            debug_assert!(
+                self.table.waiting_on(causer, entity).is_some(),
+                "blocked transaction has a queued request"
+            );
+            let holders = self.table.blockers_of(causer, entity);
             // Detection runs on the graph without the causer's own arcs.
             self.wfg.clear_wait(causer);
             let cycles = cycles_on_wait(&self.wfg, causer, entity, &holders, self.config.cycle_cap);
@@ -314,10 +317,16 @@ impl System {
                     "deadlock: {causer}'s wait on {entity} closes {} cycle(s)",
                     cycles.len()
                 ));
-                // Theorem 1: with exclusive locks only, the graph was a
-                // forest before this wait, so the new arcs can close at
-                // most one cycle.
-                if self.sentinel.exclusive_only() && cycles.len() > 1 {
+                // Theorem 1: with exclusive locks only and the paper's
+                // grant rule, the graph was a forest before this wait, so
+                // the new arcs can close at most one cycle. The fair queue
+                // deviates from that grant rule (a waiter may have arcs to
+                // both a holder and a queued predecessor), so the theorem's
+                // premise — and the check — only applies under barging.
+                if self.sentinel.exclusive_only()
+                    && self.config.grant_policy == GrantPolicy::Barging
+                    && cycles.len() > 1
+                {
                     self.sentinel.fail(
                         "deadlock detection",
                         &format!(
@@ -368,6 +377,7 @@ impl System {
                     }
                 }
             }
+            self.metrics.resolution_cost.record(plan.total_cost);
             for rb in &plan.rollbacks {
                 self.execute_rollback(*rb)?;
             }
@@ -391,6 +401,7 @@ impl System {
         if let Some(entity) = blocked_entity {
             let granted = self.table.cancel_wait(victim, entity)?;
             self.wfg.clear_wait(victim);
+            self.blocked_since.remove(&victim);
             self.process_grants(entity, granted)?;
             self.refresh_waiters(entity);
         }
@@ -515,27 +526,29 @@ impl System {
     ) -> Result<(), EngineError> {
         for h in granted {
             self.wfg.clear_wait(h.txn);
+            if let Some(since) = self.blocked_since.remove(&h.txn) {
+                self.metrics.grant_latency.record(self.metrics.steps.saturating_sub(since));
+            }
             self.finalize_grant(h.txn, entity, h.mode)?;
         }
         Ok(())
     }
 
     /// Re-points the waits-for arcs of every transaction still queued on
-    /// `entity` at the *current* incompatible holders. Holder sets change
-    /// at every release, cancellation, and grant; a stale arc would make
-    /// deadlock detection miss cycles through the new holders.
+    /// `entity` at its *current* blockers under the grant policy. Blocker
+    /// sets change at every release, cancellation, and grant; a stale arc
+    /// would make deadlock detection miss cycles through the new holders
+    /// (the DESIGN §7 hazard: a shared lock barging past a blocked
+    /// exclusive waiter becomes one of that waiter's blockers).
     ///
-    /// Refreshing can only retarget arcs at freshly *granted* (hence
-    /// running, non-waiting) transactions, so it never closes a cycle
-    /// itself.
+    /// Refreshing never closes a cycle itself: under barging it can only
+    /// retarget arcs at freshly *granted* (hence running, non-waiting)
+    /// transactions, and under the fair queue a waiter's blocker set only
+    /// ever shrinks (new requests join behind it, and a grant compatible
+    /// with every queued waiter cannot be an incompatible holder of one).
     fn refresh_waiters(&mut self, entity: EntityId) {
-        let holders = self.table.holder_records(entity);
         for w in self.table.waiters_of(entity) {
-            let blockers: Vec<TxnId> = holders
-                .iter()
-                .filter(|h| h.txn != w.txn && !w.mode.compatible_with(h.mode))
-                .map(|h| h.txn)
-                .collect();
+            let blockers = self.table.blockers_of(w.txn, entity);
             debug_assert!(!blockers.is_empty(), "grantable waiter left in queue");
             self.wfg.set_wait(w.txn, entity, &blockers);
         }
@@ -654,8 +667,14 @@ impl System {
             self.sentinel.fail(context, &violation);
         }
         // Theorem 1: an exclusive-only waits-for graph is a forest at
-        // every quiet point (all cycles already resolved).
-        if self.sentinel.exclusive_only() && !self.wfg.is_forest() {
+        // every quiet point (all cycles already resolved). Holds only
+        // under the paper's grant rule: the fair queue gives waiters arcs
+        // to queued predecessors as well as holders, so a chain of
+        // exclusive waiters is legitimately not a forest there.
+        if self.sentinel.exclusive_only()
+            && self.config.grant_policy == GrantPolicy::Barging
+            && !self.wfg.is_forest()
+        {
             self.sentinel
                 .fail(context, "exclusive-only waits-for graph is not a forest (Theorem 1)");
         }
@@ -672,8 +691,9 @@ impl System {
     /// Mutable access to the waits-for graph, bypassing the engine —
     /// exists only so negative tests can corrupt the graph (e.g. with
     /// [`WaitsForGraph::forge_arc_unchecked`]) and prove
-    /// [`Self::sentinel_assert`] catches it. Never use outside tests.
-    #[cfg(feature = "invariants")]
+    /// [`Self::sentinel_assert`] catches it. Compiled out of production
+    /// builds: only tests and `invariants` builds can reach it.
+    #[cfg(any(test, feature = "invariants"))]
     pub fn graph_mut_unchecked(&mut self) -> &mut WaitsForGraph {
         &mut self.wfg
     }
@@ -1118,5 +1138,98 @@ mod tests {
         sys.step(t(2)).unwrap(); // T2 locks b
         assert!(matches!(sys.step(t(1)).unwrap(), StepOutcome::Blocked { .. }));
         assert!(matches!(sys.step(t(1)), Err(EngineError::NotRunnable(_))));
+    }
+
+    /// A reader, a blocked writer, then a late reader. The per-policy
+    /// systems used by the grant-policy tests below.
+    fn reader_writer_reader(policy: pr_lock::GrantPolicy) -> System {
+        let a = e(0);
+        let reader = || ProgramBuilder::new().lock_shared(a).pad(2).unlock(a).build_unchecked();
+        let writer = ProgramBuilder::new().lock_exclusive(a).pad(1).unlock(a).build_unchecked();
+        let store = GlobalStore::with_entities(1, Value::new(0));
+        let config = SystemConfig::default().with_grant_policy(policy);
+        let mut sys = System::new(store, config);
+        sys.admit_unchecked(reader()); // T1
+        sys.admit_unchecked(writer); // T2
+        sys.admit_unchecked(reader()); // T3
+        sys.step(t(1)).unwrap(); // S-lock granted
+        assert!(matches!(sys.step(t(2)).unwrap(), StepOutcome::Blocked { .. }));
+        sys
+    }
+
+    /// Regression for the DESIGN §7 stale-arc hazard: when a shared
+    /// request barges past a blocked exclusive waiter, the waiter's arcs
+    /// must be refreshed to include the new holder.
+    #[test]
+    fn barging_grant_refreshes_blocked_writer_arcs() {
+        let mut sys = reader_writer_reader(pr_lock::GrantPolicy::Barging);
+        let (entity, blockers) = sys.graph().wait_of(t(2)).expect("writer waits");
+        assert_eq!((entity, blockers), (e(0), vec![t(1)]));
+        // T3's shared request barges past the blocked writer…
+        assert!(matches!(sys.step(t(3)).unwrap(), StepOutcome::Progressed));
+        assert!(sys.table().held_by(t(3), e(0)).is_some());
+        // …and the writer's arcs now include the new holder.
+        let (_, blockers) = sys.graph().wait_of(t(2)).expect("writer still waits");
+        assert_eq!(blockers, vec![t(1), t(3)]);
+        sys.check_invariants().unwrap();
+        sys.run(&mut RoundRobin::new()).unwrap();
+        assert!(sys.all_committed());
+    }
+
+    /// Under the fair queue the late reader queues behind the writer
+    /// instead of barging, with its arc pointing at the queued writer.
+    #[test]
+    fn fair_queue_blocks_late_reader_behind_writer() {
+        let mut sys = reader_writer_reader(pr_lock::GrantPolicy::FairQueue);
+        assert!(matches!(sys.step(t(3)).unwrap(), StepOutcome::Blocked { .. }));
+        assert!(sys.table().held_by(t(3), e(0)).is_none());
+        let (entity, blockers) = sys.graph().wait_of(t(3)).expect("reader waits");
+        assert_eq!((entity, blockers), (e(0), vec![t(2)]));
+        sys.check_invariants().unwrap();
+        sys.run(&mut RoundRobin::new()).unwrap();
+        assert!(sys.all_committed());
+        // The writer was promoted alone, ahead of the late reader.
+        assert!(sys.metrics().grant_latency.count() >= 2);
+        sys.check_invariants().unwrap();
+    }
+
+    /// Deadlocks still resolve under the fair queue, across strategies.
+    #[test]
+    fn deadlock_resolution_works_under_fair_queue() {
+        for strategy in StrategyKind::ALL {
+            let store = GlobalStore::with_entities(8, Value::new(100));
+            let config = SystemConfig::new(strategy, VictimPolicyKind::PartialOrder)
+                .with_grant_policy(pr_lock::GrantPolicy::FairQueue);
+            let mut sys = System::new(store, config);
+            sys.admit_unchecked(transfer(0, 1, 10));
+            sys.admit_unchecked(transfer(1, 0, 5));
+            let mut sched = Scripted::new(vec![t(1), t(2), t(1), t(2)]);
+            sys.run(&mut sched).unwrap_or_else(|e| panic!("{strategy:?}: {e}"));
+            assert!(sys.all_committed(), "{strategy:?}");
+            assert_eq!(sys.metrics().deadlocks, 1, "{strategy:?}");
+            assert_eq!(
+                sys.store().read(e(0)).unwrap() + sys.store().read(e(1)).unwrap(),
+                Value::new(200),
+                "{strategy:?}"
+            );
+            sys.check_invariants().unwrap();
+        }
+    }
+
+    /// The latency/contention instrumentation populates on a contended run.
+    #[test]
+    fn contention_metrics_populate() {
+        let mut sys = deadlocking_pair(StrategyKind::Mcs, VictimPolicyKind::PartialOrder);
+        let mut sched = Scripted::new(vec![t(1), t(2), t(1), t(2)]);
+        sys.run(&mut sched).unwrap();
+        assert!(sys.all_committed());
+        let m = sys.metrics();
+        assert!(m.grant_latency.count() >= 1, "a promoted waiter was recorded");
+        assert!(m.grant_latency.max() >= 1);
+        assert_eq!(m.resolution_cost.count(), m.deadlocks);
+        assert!(m.resolution_cost.sum() >= 1, "the deadlock cost something");
+        assert_eq!(m.max_queue_depth(), 1);
+        let json = m.snapshot().to_json();
+        assert!(json.contains("\"deadlocks\":1"), "{json}");
     }
 }

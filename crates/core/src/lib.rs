@@ -49,5 +49,6 @@ pub use deadlock::{DeadlockEvent, ResolutionPlan};
 pub use engine::{StepOutcome, System};
 pub use error::EngineError;
 pub use event::{Event, EventLog};
-pub use metrics::Metrics;
+pub use metrics::{HistogramSummary, LogHistogram, Metrics, MetricsSnapshot};
+pub use pr_lock::GrantPolicy;
 pub use scheduler::{RoundRobin, Scheduler};

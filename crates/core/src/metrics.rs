@@ -1,8 +1,119 @@
-//! Engine metrics — the quantities the paper's arguments are about.
+//! Engine metrics — the quantities the paper's arguments are about, plus
+//! the latency/contention instrumentation behind the throughput harness:
+//! a log-bucket histogram ([`LogHistogram`]), per-entity wait-queue
+//! high-water marks, and a JSON-serialisable [`MetricsSnapshot`].
 
-use pr_model::TxnId;
+use pr_model::{EntityId, TxnId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A histogram with power-of-two ("log") buckets: bucket 0 counts the
+/// value 0 and bucket *i* ≥ 1 counts values in `[2^(i−1), 2^i)`. Records
+/// are O(1), storage is O(log max), and quantiles are read back as the
+/// upper bound of the containing bucket (clamped to the observed max) —
+/// exact enough for p50/p95/p99 in engine steps without storing samples.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// Bucket index for `value`: its bit length.
+    fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let b = Self::bucket_of(value);
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Folds another histogram into this one (used to aggregate runs).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &n) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += n;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `q`-quantile (`q` in [0, 1]) as the upper bound of the bucket
+    /// containing the target rank, clamped to the observed maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target {
+                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
 
 /// Counters accumulated by a [`crate::System`] over its lifetime.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -38,6 +149,13 @@ pub struct Metrics {
     pub peak_copies: usize,
     /// Times each transaction was chosen as a rollback victim.
     pub preemptions: BTreeMap<TxnId, u32>,
+    /// Steps each promoted waiter spent blocked before its lock was
+    /// granted (grant latency; immediate grants are not recorded).
+    pub grant_latency: LogHistogram,
+    /// Total rollback cost (states lost) per resolved deadlock.
+    pub resolution_cost: LogHistogram,
+    /// Per-entity high-water mark of the wait-queue depth.
+    pub queue_depth_high_water: BTreeMap<EntityId, usize>,
 }
 
 impl Metrics {
@@ -65,6 +183,135 @@ impl Metrics {
     /// Records a victimisation of `txn`.
     pub fn record_preemption(&mut self, txn: TxnId) {
         *self.preemptions.entry(txn).or_insert(0) += 1;
+    }
+
+    /// Raises `entity`'s queue-depth high-water mark to `depth` if deeper.
+    pub fn note_queue_depth(&mut self, entity: EntityId, depth: usize) {
+        let hw = self.queue_depth_high_water.entry(entity).or_insert(0);
+        *hw = (*hw).max(depth);
+    }
+
+    /// Deepest wait queue observed on any entity.
+    pub fn max_queue_depth(&self) -> usize {
+        self.queue_depth_high_water.values().copied().max().unwrap_or(0)
+    }
+
+    /// A flat, JSON-serialisable summary of these metrics.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            steps: self.steps,
+            ops_executed: self.ops_executed,
+            commits: self.commits,
+            waits: self.waits,
+            deadlocks: self.deadlocks,
+            partial_rollbacks: self.partial_rollbacks,
+            total_rollbacks: self.total_rollbacks,
+            states_lost: self.states_lost,
+            max_preemptions: self.max_preemptions(),
+            max_queue_depth: self.max_queue_depth(),
+            grant_latency: HistogramSummary::of(&self.grant_latency),
+            resolution_cost: HistogramSummary::of(&self.resolution_cost),
+        }
+    }
+}
+
+/// Summary statistics of one [`LogHistogram`], for reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Median (bucket upper bound).
+    pub p50: u64,
+    /// 95th percentile (bucket upper bound).
+    pub p95: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl HistogramSummary {
+    /// Summarises `h`.
+    pub fn of(h: &LogHistogram) -> Self {
+        HistogramSummary {
+            count: h.count(),
+            mean: h.mean(),
+            p50: h.p50(),
+            p95: h.p95(),
+            p99: h.p99(),
+            max: h.max(),
+        }
+    }
+
+    fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"count\":{},\"mean\":{:.3},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+            self.count, self.mean, self.p50, self.p95, self.p99, self.max
+        );
+    }
+}
+
+/// A flat summary of [`Metrics`] with hand-rolled JSON serialisation —
+/// like `pr-analyze`, the workspace deliberately has no serde_json, so
+/// machine-readable output is written by hand from static keys and
+/// numeric values (nothing needs escaping).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Scheduler steps taken.
+    pub steps: u64,
+    /// Atomic operations completed.
+    pub ops_executed: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Wait responses issued.
+    pub waits: u64,
+    /// Deadlocks detected.
+    pub deadlocks: u64,
+    /// Partial (lock state > 0) rollbacks.
+    pub partial_rollbacks: u64,
+    /// Total rollbacks (restarts).
+    pub total_rollbacks: u64,
+    /// States lost to rollbacks.
+    pub states_lost: u64,
+    /// Largest preemption count of any transaction.
+    pub max_preemptions: u32,
+    /// Deepest wait queue observed on any entity.
+    pub max_queue_depth: usize,
+    /// Grant-latency distribution, in steps.
+    pub grant_latency: HistogramSummary,
+    /// Per-deadlock resolution-cost distribution, in states lost.
+    pub resolution_cost: HistogramSummary,
+}
+
+impl MetricsSnapshot {
+    /// Serialises the snapshot as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"steps\":{},\"ops_executed\":{},\"commits\":{},\"waits\":{},\
+             \"deadlocks\":{},\"partial_rollbacks\":{},\"total_rollbacks\":{},\
+             \"states_lost\":{},\"max_preemptions\":{},\"max_queue_depth\":{},",
+            self.steps,
+            self.ops_executed,
+            self.commits,
+            self.waits,
+            self.deadlocks,
+            self.partial_rollbacks,
+            self.total_rollbacks,
+            self.states_lost,
+            self.max_preemptions,
+            self.max_queue_depth
+        );
+        out.push_str("\"grant_latency\":");
+        self.grant_latency.write_json(&mut out);
+        out.push_str(",\"resolution_cost\":");
+        self.resolution_cost.write_json(&mut out);
+        out.push('}');
+        out
     }
 }
 
@@ -95,5 +342,89 @@ mod tests {
         assert_eq!(m.rollbacks(), 5);
         assert!((m.waste_ratio() - 0.25).abs() < 1e-12);
         assert_eq!(Metrics::default().waste_ratio(), 0.0);
+    }
+
+    #[test]
+    fn log_histogram_buckets_and_quantiles() {
+        let mut h = LogHistogram::default();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), 0);
+        for v in [0u64, 1, 1, 2, 3, 4, 7, 8, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.sum(), 126);
+        assert_eq!(h.max(), 100);
+        // Rank 5 of 9 falls in the [2,4) bucket, upper bound 3.
+        assert_eq!(h.p50(), 3);
+        // p99 rank is the final sample; its bucket upper bound (127) is
+        // clamped to the observed max.
+        assert_eq!(h.p99(), 100);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 100);
+        assert!((h.mean() - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_histogram_merge_matches_recording_everything_in_one() {
+        let mut a = LogHistogram::default();
+        let mut b = LogHistogram::default();
+        let mut all = LogHistogram::default();
+        for v in [1u64, 5, 9] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [0u64, 300] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn log_histogram_is_exact_on_zero_and_one() {
+        let mut h = LogHistogram::default();
+        h.record(0);
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.quantile(1.0), 1);
+    }
+
+    #[test]
+    fn queue_depth_high_water_is_monotone() {
+        let mut m = Metrics::default();
+        let a = EntityId::new(0);
+        m.note_queue_depth(a, 2);
+        m.note_queue_depth(a, 5);
+        m.note_queue_depth(a, 3);
+        m.note_queue_depth(EntityId::new(1), 1);
+        assert_eq!(m.queue_depth_high_water[&a], 5);
+        assert_eq!(m.max_queue_depth(), 5);
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed_and_complete() {
+        let mut m = Metrics { steps: 10, commits: 3, deadlocks: 1, ..Default::default() };
+        m.grant_latency.record(4);
+        m.grant_latency.record(9);
+        m.resolution_cost.record(12);
+        m.note_queue_depth(EntityId::new(7), 4);
+        let json = m.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for key in [
+            "\"steps\":10",
+            "\"commits\":3",
+            "\"deadlocks\":1",
+            "\"max_queue_depth\":4",
+            "\"grant_latency\":{\"count\":2",
+            "\"resolution_cost\":{\"count\":1",
+            "\"p95\":",
+            "\"p99\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 }

@@ -83,11 +83,63 @@ pub fn cycles_on_wait(
     let mut path: Vec<TxnId> = vec![requester];
     let mut on_path: Vec<TxnId> = vec![requester];
     // Simple-path enumeration is exponential in pathological graphs; the
-    // node budget bounds a single detection pass. Cycles beyond the budget
-    // are still broken eventually: every resolution round re-detects.
+    // node budget bounds a single detection pass. Exhausting it is safe
+    // only because of the fallback below: detection runs exclusively at
+    // block time, so a cycle missed here would otherwise never be seen
+    // again — every member is already blocked — and the system would
+    // silently lose liveness.
     let mut budget: u64 = 200_000;
     dfs(graph, requester, entity, holders, cap, &mut path, &mut on_path, &mut cycles, &mut budget);
+    if cycles.is_empty() && budget == 0 {
+        // The enumeration ran out of budget without either completing or
+        // finding a single cycle (dense graphs — e.g. fair-queue arcs on a
+        // long queue — have exponentially many simple paths). Fall back to
+        // a linear-time reachability search that returns one cycle iff any
+        // exists; the engine's resolution loop re-detects after each
+        // rollback, so breaking one cycle per round still drains them all.
+        cycles.extend(reachability_cycle(graph, requester, entity, holders));
+    }
     cycles
+}
+
+/// Finds one path `requester → … → h` with `h ∈ holders` by visited-set
+/// DFS (linear in arcs), and closes it into a cycle. Complete for cycle
+/// *existence*, unlike the budgeted simple-path enumeration above.
+fn reachability_cycle(
+    graph: &WaitsForGraph,
+    requester: TxnId,
+    entity: EntityId,
+    holders: &[TxnId],
+) -> Option<Cycle> {
+    let mut parent: std::collections::BTreeMap<TxnId, TxnId> = std::collections::BTreeMap::new();
+    let mut stack = vec![requester];
+    while let Some(current) = stack.pop() {
+        for next in graph.successors(current) {
+            if next == requester || parent.contains_key(&next) {
+                continue;
+            }
+            parent.insert(next, current);
+            if holders.contains(&next) {
+                let mut path = vec![next];
+                let mut at = next;
+                while at != requester {
+                    at = parent[&at];
+                    path.push(at);
+                }
+                path.reverse();
+                let mut members = Vec::with_capacity(path.len());
+                for window in path.windows(2) {
+                    let (from, to) = (window[0], window[1]);
+                    let (ent, _) = graph.wait_of(to).expect("path follows wait arcs");
+                    members.push(CycleMember { txn: from, holds: ent });
+                }
+                members.push(CycleMember { txn: next, holds: entity });
+                return Some(Cycle { members });
+            }
+            stack.push(next);
+        }
+    }
+    None
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -242,6 +294,34 @@ mod tests {
         assert_eq!(cycles[0].txns(), vec![t(1), t(2), t(3), t(4)]);
         assert_eq!(cycles[0].len(), 4);
         assert!(!cycles[0].is_empty());
+    }
+
+    /// Regression: the budgeted enumeration must never report "no cycle"
+    /// when one exists. Transactions 2..=20 form a complete DAG hanging
+    /// off T1 (each waits on all lower-numbered ones — the shape fair-queue
+    /// arcs produce on a long queue), giving ~2^19 simple paths from T1,
+    /// far past the node budget. The only holder, T100, sits on a spur the
+    /// depth-first enumeration reaches last — so it exhausts its budget
+    /// inside the dense region and finds nothing, and only the
+    /// reachability fallback reports the T1 ⇄ T100 deadlock.
+    #[test]
+    fn budget_exhaustion_still_finds_an_existing_cycle() {
+        let mut g = WaitsForGraph::new();
+        for i in 2..=20 {
+            let lower: Vec<TxnId> = (1..i).map(t).collect();
+            g.set_wait(t(i), e(i), &lower);
+        }
+        g.set_wait(t(100), e(50), &[t(1)]); // T100 waits for T1 on e50
+                                            // T1 requests e60 held by T100.
+        let cycles = cycles_on_wait(&g, t(1), e(60), &[t(100)], 16);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(
+            cycles[0].members,
+            vec![
+                CycleMember { txn: t(1), holds: e(50) },
+                CycleMember { txn: t(100), holds: e(60) }
+            ]
+        );
     }
 
     #[test]

@@ -11,11 +11,16 @@
 //!    `pr-core` consults `pr-graph` and rolls somebody back.
 //!
 //! Waiters are kept in FIFO order per entity and re-examined at every
-//! release or wait-cancellation; a waiter is granted as soon as it is
-//! compatible with the then-current holders. Like the paper (§3.1, which
-//! explicitly leaves "unfair scheduling" out of scope) the table does not
-//! attempt anti-starvation queue-jump prevention — a shared request may be
-//! granted past a blocked exclusive waiter.
+//! release or wait-cancellation. Granting is governed by a
+//! [`GrantPolicy`]: under the default [`GrantPolicy::Barging`] a waiter is
+//! granted as soon as it is compatible with the then-current holders —
+//! like the paper (§3.1, which explicitly leaves "unfair scheduling" out
+//! of scope), a shared request may be granted past a blocked exclusive
+//! waiter, so a steady reader stream starves writers.
+//! [`GrantPolicy::FairQueue`] closes that hole: a request is refused while
+//! any incompatible request is queued ahead of it, and promotion proceeds
+//! strictly from the queue front, bounding every waiter's wait by the
+//! queue ahead of it.
 //!
 //! Each held lock remembers the state index from which it was requested and
 //! the lock index of its lock state: precisely the bookkeeping §3.1 needs
@@ -29,4 +34,4 @@ pub mod table;
 
 pub use conflict::{classify_conflict, ConflictType};
 pub use error::LockError;
-pub use table::{HeldLock, LockTable, RequestOutcome, WaitingRequest};
+pub use table::{GrantPolicy, HeldLock, LockTable, RequestOutcome, WaitingRequest};

@@ -6,6 +6,41 @@ use pr_model::{EntityId, LockIndex, LockMode, StateIndex, TxnId};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 
+/// Grant policy: what happens to a *compatible* request while incompatible
+/// waiters are queued.
+///
+/// The paper's response rules (§2) grant any request compatible with the
+/// current holders — queue order never defers a grant. That is
+/// [`GrantPolicy::Barging`], the default. Under a steady stream of shared
+/// requesters it starves exclusive waiters indefinitely;
+/// [`GrantPolicy::FairQueue`] trades a little concurrency for bounded
+/// waits by refusing new grants that would overtake an incompatible
+/// queued waiter.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum GrantPolicy {
+    /// Paper-faithful (§2): a request compatible with the holders is
+    /// granted immediately, even past blocked incompatible waiters.
+    #[default]
+    Barging,
+    /// Anti-starvation: a request is granted only if it is compatible with
+    /// the holders *and* no incompatible request is queued ahead of it;
+    /// promotion proceeds strictly from the queue front.
+    FairQueue,
+}
+
+impl GrantPolicy {
+    /// Both policies, for sweeps.
+    pub const ALL: [GrantPolicy; 2] = [GrantPolicy::Barging, GrantPolicy::FairQueue];
+
+    /// Stable lowercase name for reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            GrantPolicy::Barging => "barging",
+            GrantPolicy::FairQueue => "fair-queue",
+        }
+    }
+}
+
 /// A granted lock, with the §3.1 cost-bookkeeping metadata: the state index
 /// from which the transaction issued the request ("the last state … in
 /// which T does not hold a lock on A") and the lock index of the lock state
@@ -55,10 +90,14 @@ impl WaitingRequest {
 pub enum RequestOutcome {
     /// Rule 1: no conflicting holder; the lock is granted immediately.
     Granted,
-    /// Rule 2: the requester must wait on the listed (incompatible)
-    /// holders. These are exactly the new arcs of the concurrency graph.
+    /// Rule 2: the requester must wait on the listed blockers. Under
+    /// [`GrantPolicy::Barging`] these are exactly the incompatible holders
+    /// — the new arcs of the concurrency graph; under
+    /// [`GrantPolicy::FairQueue`] they additionally include incompatible
+    /// requests queued ahead.
     Wait {
-        /// Holders the requester now waits for.
+        /// Transactions the requester now waits for (incompatible holders
+        /// first, then — fair queue only — incompatible queued waiters).
         holders: Vec<TxnId>,
         /// §3.2 classification of the conflict.
         conflict: ConflictType,
@@ -81,6 +120,17 @@ impl EntityLock {
             .iter()
             .filter(|h| h.txn != txn && !mode.compatible_with(h.mode))
             .map(|h| h.txn)
+            .collect()
+    }
+
+    /// Incompatible requests queued ahead of position `before` (fair-queue
+    /// blockers beyond the holders).
+    fn incompatible_queued(&self, mode: LockMode, before: usize) -> Vec<TxnId> {
+        self.queue
+            .iter()
+            .take(before)
+            .filter(|w| !mode.compatible_with(w.mode))
+            .map(|w| w.txn)
             .collect()
     }
 }
@@ -106,6 +156,8 @@ impl EntityLock {
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct LockTable {
     entities: BTreeMap<EntityId, EntityLock>,
+    /// Grant policy (fixed at construction).
+    policy: GrantPolicy,
     /// Grants performed, for metrics.
     grants: u64,
     /// Wait responses issued, for metrics.
@@ -113,14 +165,26 @@ pub struct LockTable {
 }
 
 impl LockTable {
-    /// Creates an empty lock table.
+    /// Creates an empty lock table with the paper-faithful
+    /// [`GrantPolicy::Barging`] policy.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an empty lock table with an explicit grant policy.
+    pub fn with_policy(policy: GrantPolicy) -> Self {
+        LockTable { policy, ..Self::default() }
+    }
+
+    /// The table's grant policy.
+    pub fn policy(&self) -> GrantPolicy {
+        self.policy
+    }
+
     /// Processes a lock request per §2: grants it if no conflicting lock is
-    /// held, otherwise enqueues the requester and reports the holders it
-    /// must wait for.
+    /// held (and — under [`GrantPolicy::FairQueue`] — no incompatible
+    /// request is queued), otherwise enqueues the requester and reports the
+    /// blockers it must wait for.
     pub fn request(
         &mut self,
         txn: TxnId,
@@ -129,6 +193,7 @@ impl LockTable {
         requested_from_state: StateIndex,
         lock_state: LockIndex,
     ) -> Result<RequestOutcome, LockError> {
+        let policy = self.policy;
         let slot = self.entities.entry(entity).or_default();
         if slot.holders.iter().any(|h| h.txn == txn) {
             return Err(LockError::AlreadyHeld { txn, entity });
@@ -136,16 +201,27 @@ impl LockTable {
         if slot.queue.iter().any(|w| w.txn == txn) {
             return Err(LockError::AlreadyWaiting { txn, entity });
         }
-        let blockers = slot.incompatible_holders(txn, mode);
+        let mut blockers = Vec::new();
+        let mut blocker_modes = Vec::new();
+        for h in slot.holders.iter().filter(|h| h.txn != txn && !mode.compatible_with(h.mode)) {
+            blockers.push(h.txn);
+            blocker_modes.push(h.mode);
+        }
+        if policy == GrantPolicy::FairQueue {
+            // The new request joins the back, so every incompatible queued
+            // request is ahead of it and blocks it.
+            for w in slot.queue.iter().filter(|w| !mode.compatible_with(w.mode)) {
+                blockers.push(w.txn);
+                blocker_modes.push(w.mode);
+            }
+        }
         if blockers.is_empty() {
             slot.holders.push(HeldLock { txn, mode, requested_from_state, lock_state });
             self.grants += 1;
             Ok(RequestOutcome::Granted)
         } else {
-            let holder_modes: Vec<LockMode> =
-                slot.holders.iter().filter(|h| blockers.contains(&h.txn)).map(|h| h.mode).collect();
-            let conflict = classify_conflict(mode, &holder_modes)
-                .expect("incompatible holders imply a conflict");
+            let conflict =
+                classify_conflict(mode, &blocker_modes).expect("blockers imply a conflict");
             slot.queue.push_back(WaitingRequest { txn, mode, requested_from_state, lock_state });
             self.waits += 1;
             Ok(RequestOutcome::Wait { holders: blockers, conflict })
@@ -162,7 +238,7 @@ impl LockTable {
         if slot.holders.len() == before {
             return Err(LockError::NotHeld { txn, entity });
         }
-        let granted = Self::drain_grantable(slot);
+        let granted = Self::drain_grantable(slot, self.policy);
         self.grants += granted.len() as u64;
         if self.entities.get(&entity).is_some_and(EntityLock::is_idle) {
             self.entities.remove(&entity);
@@ -172,8 +248,9 @@ impl LockTable {
 
     /// Cancels `txn`'s pending request on `entity` (used when a waiter is
     /// chosen as a rollback victim). Other waiters may become grantable —
-    /// removing an exclusive waiter can unblock nothing under holder-only
-    /// granting, but the re-scan keeps the invariant simple and future-proof.
+    /// removing an exclusive waiter can unblock nothing under barging
+    /// holder-only granting, but it routinely unblocks successors under
+    /// the fair queue, and the re-scan keeps the invariant simple.
     pub fn cancel_wait(
         &mut self,
         txn: TxnId,
@@ -185,7 +262,7 @@ impl LockTable {
         if slot.queue.len() == before {
             return Err(LockError::NotWaiting { txn, entity });
         }
-        let granted = Self::drain_grantable(slot);
+        let granted = Self::drain_grantable(slot, self.policy);
         self.grants += granted.len() as u64;
         if self.entities.get(&entity).is_some_and(EntityLock::is_idle) {
             self.entities.remove(&entity);
@@ -194,10 +271,12 @@ impl LockTable {
     }
 
     /// Grants queued requests that are compatible with the current holders,
-    /// scanning in FIFO order. Per the paper's rules a compatible request
-    /// never waits, so a shared waiter may be promoted past a blocked
-    /// exclusive one.
-    fn drain_grantable(slot: &mut EntityLock) -> Vec<HeldLock> {
+    /// scanning in FIFO order. Under [`GrantPolicy::Barging`] the whole
+    /// queue is scanned — per the paper's rules a compatible request never
+    /// waits, so a shared waiter may be promoted past a blocked exclusive
+    /// one. Under [`GrantPolicy::FairQueue`] the scan stops at the first
+    /// still-blocked waiter: nobody overtakes it.
+    fn drain_grantable(slot: &mut EntityLock, policy: GrantPolicy) -> Vec<HeldLock> {
         let mut granted = Vec::new();
         let mut i = 0;
         while i < slot.queue.len() {
@@ -206,6 +285,8 @@ impl LockTable {
                 let held = slot.queue.remove(i).expect("index in range").into_held();
                 slot.holders.push(held);
                 granted.push(held);
+            } else if policy == GrantPolicy::FairQueue {
+                break;
             } else {
                 i += 1;
             }
@@ -241,6 +322,31 @@ impl LockTable {
         self.entities.get(&entity).map(|s| s.queue.iter().copied().collect()).unwrap_or_default()
     }
 
+    /// Current wait-queue depth for `entity`.
+    pub fn queue_depth(&self, entity: EntityId) -> usize {
+        self.entities.get(&entity).map(|s| s.queue.len()).unwrap_or(0)
+    }
+
+    /// The transactions currently blocking `txn`'s queued request on
+    /// `entity` under the table's grant policy: the incompatible holders,
+    /// plus — fair queue only — incompatible requests queued ahead of it.
+    /// Empty if `txn` has no pending request there. This is the arc set
+    /// the waits-for graph must carry for `txn`.
+    pub fn blockers_of(&self, txn: TxnId, entity: EntityId) -> Vec<TxnId> {
+        let Some(slot) = self.entities.get(&entity) else {
+            return Vec::new();
+        };
+        let Some(pos) = slot.queue.iter().position(|w| w.txn == txn) else {
+            return Vec::new();
+        };
+        let mode = slot.queue[pos].mode;
+        let mut blockers = slot.incompatible_holders(txn, mode);
+        if self.policy == GrantPolicy::FairQueue {
+            blockers.extend(slot.incompatible_queued(mode, pos));
+        }
+        blockers
+    }
+
     /// Number of entities with at least one holder or waiter.
     pub fn active_entities(&self) -> usize {
         self.entities.len()
@@ -267,11 +373,15 @@ impl LockTable {
             if exclusive == 1 && slot.holders.len() > 1 {
                 return Err(format!("{entity}: exclusive holder coexists with others"));
             }
-            for w in &slot.queue {
+            for (pos, w) in slot.queue.iter().enumerate() {
                 if slot.holders.iter().any(|h| h.txn == w.txn) {
                     return Err(format!("{entity}: {} both holds and waits", w.txn));
                 }
-                if slot.incompatible_holders(w.txn, w.mode).is_empty() {
+                // A waiter must be blocked by a holder — or, fair queue
+                // only, by an incompatible request queued ahead of it.
+                let queue_blocked = self.policy == GrantPolicy::FairQueue
+                    && !slot.incompatible_queued(w.mode, pos).is_empty();
+                if slot.incompatible_holders(w.txn, w.mode).is_empty() && !queue_blocked {
                     return Err(format!("{entity}: grantable request left waiting"));
                 }
             }
@@ -471,5 +581,106 @@ mod tests {
         tbl.release(t(1), e(0)).unwrap();
         tbl.release(t(1), e(1)).unwrap();
         assert_eq!(tbl.active_entities(), 0);
+    }
+
+    #[test]
+    fn fair_queue_refuses_shared_grant_behind_exclusive_waiter() {
+        // Mirror of `shared_waiter_passes_blocked_exclusive_waiter`: with
+        // the fair queue, S4 queues behind X3 instead of barging, and its
+        // wait arcs point at the queued X3, not at any holder.
+        let mut tbl = LockTable::with_policy(GrantPolicy::FairQueue);
+        req(&mut tbl, 2, 0, LockMode::Shared).unwrap();
+        assert!(matches!(
+            req(&mut tbl, 3, 0, LockMode::Exclusive).unwrap(),
+            RequestOutcome::Wait { .. }
+        ));
+        match req(&mut tbl, 4, 0, LockMode::Shared).unwrap() {
+            RequestOutcome::Wait { holders, conflict } => {
+                assert_eq!(holders, vec![t(3)]);
+                assert_eq!(conflict, ConflictType::Type1);
+            }
+            other => panic!("expected wait, got {other:?}"),
+        }
+        assert_eq!(tbl.blockers_of(t(4), e(0)), vec![t(3)]);
+        assert_eq!(tbl.blockers_of(t(3), e(0)), vec![t(2)]);
+        assert_eq!(tbl.queue_depth(e(0)), 2);
+        tbl.check_invariants().unwrap();
+        // S2 releases: X3 is promoted alone; S4 stays queued behind it.
+        let granted = tbl.release(t(2), e(0)).unwrap();
+        assert_eq!(granted.iter().map(|h| h.txn).collect::<Vec<_>>(), vec![t(3)]);
+        assert_eq!(tbl.blockers_of(t(4), e(0)), vec![t(3)]);
+        tbl.check_invariants().unwrap();
+        // X3 releases: now S4 gets the lock.
+        let granted = tbl.release(t(3), e(0)).unwrap();
+        assert_eq!(granted.iter().map(|h| h.txn).collect::<Vec<_>>(), vec![t(4)]);
+    }
+
+    #[test]
+    fn fair_queue_drain_stops_at_blocked_front_waiter() {
+        // Queue [X2, S3] behind holder X1: releasing X1 promotes only X2;
+        // the drain stops at S3, which is incompatible with new holder X2.
+        let mut tbl = LockTable::with_policy(GrantPolicy::FairQueue);
+        req(&mut tbl, 1, 0, LockMode::Exclusive).unwrap();
+        req(&mut tbl, 2, 0, LockMode::Exclusive).unwrap();
+        req(&mut tbl, 3, 0, LockMode::Shared).unwrap();
+        let granted = tbl.release(t(1), e(0)).unwrap();
+        assert_eq!(granted.iter().map(|h| h.txn).collect::<Vec<_>>(), vec![t(2)]);
+        assert!(tbl.waiting_on(t(3), e(0)).is_some());
+        tbl.check_invariants().unwrap();
+    }
+
+    /// Regression for the writer-starvation bug: a continuous stream of
+    /// overlapping shared requesters starves one exclusive waiter forever
+    /// under `Barging`, but the waiter is granted within a small bounded
+    /// number of rounds under `FairQueue`.
+    #[test]
+    fn continuous_shared_stream_starves_writer_only_under_barging() {
+        // One round = a fresh shared requester arrives, then the oldest
+        // shared holder releases. The reader population never drops to
+        // zero, so under barging the exclusive waiter never sees an empty
+        // holder set.
+        let writer = 1000u32;
+        let rounds = 200u32;
+        let run = |policy: GrantPolicy| -> Option<u32> {
+            let mut tbl = LockTable::with_policy(policy);
+            req(&mut tbl, 1, 0, LockMode::Shared).unwrap();
+            assert!(matches!(
+                req(&mut tbl, writer, 0, LockMode::Exclusive).unwrap(),
+                RequestOutcome::Wait { .. }
+            ));
+            let mut live: VecDeque<u32> = VecDeque::from([1]);
+            for round in 0..rounds {
+                let newcomer = 2 + round;
+                let _ = req(&mut tbl, newcomer, 0, LockMode::Shared).unwrap();
+                if tbl.held_by(t(newcomer), e(0)).is_some() {
+                    live.push_back(newcomer);
+                }
+                let oldest = live.pop_front().expect("stream keeps at least one reader");
+                for h in tbl.release(t(oldest), e(0)).unwrap() {
+                    if h.txn == t(writer) {
+                        return Some(round);
+                    }
+                    live.push_back(h.txn.raw());
+                }
+                tbl.check_invariants().unwrap();
+            }
+            None
+        };
+        assert_eq!(run(GrantPolicy::Barging), None, "barging must starve the writer");
+        let granted_at = run(GrantPolicy::FairQueue).expect("fair queue must grant the writer");
+        assert!(granted_at <= 1, "writer granted in round {granted_at}, expected ≤ 1");
+    }
+
+    #[test]
+    fn fair_queue_cancel_of_blocking_waiter_unblocks_successors() {
+        // Holder S1, queue [X2, S3]: cancelling X2 must promote S3 even
+        // though no lock was released.
+        let mut tbl = LockTable::with_policy(GrantPolicy::FairQueue);
+        req(&mut tbl, 1, 0, LockMode::Shared).unwrap();
+        req(&mut tbl, 2, 0, LockMode::Exclusive).unwrap();
+        req(&mut tbl, 3, 0, LockMode::Shared).unwrap();
+        let granted = tbl.cancel_wait(t(2), e(0)).unwrap();
+        assert_eq!(granted.iter().map(|h| h.txn).collect::<Vec<_>>(), vec![t(3)]);
+        tbl.check_invariants().unwrap();
     }
 }

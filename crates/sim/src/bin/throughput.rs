@@ -1,0 +1,68 @@
+//! Runs the high-contention throughput sweep and writes
+//! `BENCH_throughput.json`.
+//!
+//! ```text
+//! cargo run -p pr-sim --release --bin throughput [-- --quick] [-- --out <path>]
+//! ```
+//!
+//! The full sweep covers Zipf s ∈ {0, 0.8, 1.2} × 4–64 concurrent
+//! transactions × both grant policies × all three rollback strategies,
+//! three seeds per cell. `--quick` shrinks the grid to a CI smoke run.
+
+use pr_sim::report::Table;
+use pr_sim::stress::{throughput_json, throughput_sweep};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out: std::path::PathBuf = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_throughput.json"));
+
+    let rows = if quick {
+        throughput_sweep(&[0, 120], &[8], 16, 1)
+    } else {
+        throughput_sweep(&[0, 80, 120], &[4, 16, 64], 96, 3)
+    };
+
+    let mut t = Table::new([
+        "zipf",
+        "conc",
+        "policy",
+        "strategy",
+        "commits",
+        "steps",
+        "thr/kstep",
+        "p50",
+        "p95",
+        "p99",
+        "grant p99",
+        "deadlocks",
+        "maxq",
+    ])
+    .with_title("Throughput under contention (latency in engine steps)");
+    for r in &rows {
+        t.row([
+            format!("{:.2}", f64::from(r.zipf_centi) / 100.0),
+            r.concurrency.to_string(),
+            r.policy.clone(),
+            r.strategy.clone(),
+            r.commits.to_string(),
+            r.steps.to_string(),
+            format!("{:.3}", r.throughput_kilo),
+            r.latency_p50.to_string(),
+            r.latency_p95.to_string(),
+            r.latency_p99.to_string(),
+            r.grant_p99.to_string(),
+            r.deadlocks.to_string(),
+            r.max_queue_depth.to_string(),
+        ]);
+    }
+    println!("{t}");
+
+    std::fs::write(&out, throughput_json(&rows)).expect("write throughput JSON");
+    println!("wrote {} ({} rows)", out.display(), rows.len());
+}

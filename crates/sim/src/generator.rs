@@ -51,8 +51,10 @@ pub struct GeneratorConfig {
     /// Padding computations between a lock and the next operation,
     /// inflating state indices so rollback costs differ.
     pub pad_between: usize,
-    /// Zipf-like skew exponent ×100 (0 = uniform). Higher values focus
-    /// accesses on low-numbered entities, raising contention.
+    /// Zipf exponent *s* ×100 (0 = uniform): entity rank `k` is drawn
+    /// with probability ∝ `(k+1)^(−s)`. Higher values focus accesses on
+    /// low-numbered entities, raising contention; values ≥ 100 (s ≥ 1)
+    /// give the heavy hotspot regime the throughput harness sweeps.
     pub skew_centi: u16,
     /// Write placement.
     pub clustering: Clustering,
@@ -97,12 +99,29 @@ impl Default for GeneratorConfig {
 pub struct ProgramGenerator {
     config: GeneratorConfig,
     rng: SmallRng,
+    /// Cumulative Zipf weights (`rank k ↦ Σ_{j≤k} (j+1)^(−s)`), built at
+    /// construction when `skew_centi > 0`. Exact inverse-CDF sampling for
+    /// any exponent, including s ≥ 1 where the old continuous power-law
+    /// approximation saturated.
+    zipf_cdf: Vec<f64>,
 }
 
 impl ProgramGenerator {
     /// Creates a generator with the given configuration and seed.
     pub fn new(config: GeneratorConfig, seed: u64) -> Self {
-        ProgramGenerator { config, rng: SmallRng::seed_from_u64(seed) }
+        let zipf_cdf = if config.skew_centi > 0 {
+            let s = f64::from(config.skew_centi) / 100.0;
+            let mut acc = 0.0;
+            (1..=config.num_entities.max(1))
+                .map(|k| {
+                    acc += f64::from(k).powf(-s);
+                    acc
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        ProgramGenerator { config, rng: SmallRng::seed_from_u64(seed), zipf_cdf }
     }
 
     /// The configuration in use.
@@ -110,20 +129,17 @@ impl ProgramGenerator {
         &self.config
     }
 
-    /// Samples an entity id with the configured skew: entity ranks are
-    /// drawn from a power-law so low ids are hot when `skew_centi > 0`.
+    /// Samples an entity id with the configured skew: Zipf-distributed
+    /// ranks when `skew_centi > 0`, uniform otherwise.
     fn sample_entity(&mut self) -> EntityId {
         let n = self.config.num_entities.max(1);
-        if self.config.skew_centi == 0 {
+        if self.zipf_cdf.is_empty() {
             return EntityId::new(self.rng.gen_range(0..n));
         }
-        let theta = f64::from(self.config.skew_centi) / 100.0;
-        // Inverse-CDF power-law sampling: rank ∝ u^(1/(1-θ)) for θ < 1,
-        // clamped to a heavy-tail approximation above.
-        let u: f64 = self.rng.gen_range(0.0f64..1.0);
-        let exponent = 1.0 / (1.0 - theta.min(0.99));
-        let rank = (u.powf(exponent) * f64::from(n)) as u32;
-        EntityId::new(rank.min(n - 1))
+        let total = *self.zipf_cdf.last().expect("non-empty table");
+        let u: f64 = self.rng.gen_range(0.0f64..total);
+        let rank = self.zipf_cdf.partition_point(|&c| c <= u);
+        EntityId::new((rank as u32).min(n - 1))
     }
 
     /// Picks `k` distinct entities in random lock order.
@@ -349,6 +365,19 @@ mod tests {
         let hu = hot(&mut uniform);
         let hs = hot(&mut skewed);
         assert!(hs > hu * 2, "skewed hot accesses {hs} vs uniform {hu}");
+    }
+
+    #[test]
+    fn zipf_exponents_at_and_above_one_keep_sharpening() {
+        // The exact sampler must distinguish s = 0.8 from s = 1.2 (the old
+        // continuous approximation clamped everything at s ≈ 1).
+        let hot = |centi: u16| -> usize {
+            let mut g = gen(GeneratorConfig { skew_centi: centi, ..Default::default() }, 9);
+            (0..300).flat_map(|_| g.generate().locked_entities()).filter(|e| e.raw() < 2).count()
+        };
+        let h80 = hot(80);
+        let h120 = hot(120);
+        assert!(h120 > h80, "s=1.2 hot accesses {h120} vs s=0.8 {h80}");
     }
 
     #[test]

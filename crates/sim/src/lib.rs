@@ -17,14 +17,22 @@
 //!   solver quality, concurrency scaling), shared by the Criterion benches
 //!   and the `experiments` binary that regenerates `EXPERIMENTS.md`'s
 //!   tables;
-//! * [`report`] — plain-text table and CSV rendering.
+//! * [`report`] — plain-text table and CSV rendering;
+//! * [`stress`] — open/closed-loop high-contention drivers with
+//!   Zipf-skewed access, transaction-latency histograms, and the
+//!   throughput sweep behind `BENCH_throughput.json`.
 
 pub mod experiments;
 pub mod generator;
 pub mod report;
 pub mod runner;
 pub mod scenarios;
+pub mod stress;
 
 pub use generator::{Clustering, GeneratorConfig, ProgramGenerator};
 pub use report::Table;
 pub use runner::{run_workload, RandomScheduler, RunReport, SchedulerKind};
+pub use stress::{
+    run_stress, throughput_json, throughput_sweep, Arrival, StressConfig, StressReport,
+    ThroughputRow,
+};

@@ -1,0 +1,476 @@
+//! High-contention stress harness: open/closed-loop workload drivers
+//! with Zipf-skewed entity selection, a configurable read/write mix, and
+//! end-to-end transaction-latency histograms (p50/p95/p99 in engine
+//! steps).
+//!
+//! Unlike [`crate::runner::run_workload`], which admits a fixed batch up
+//! front and drains it, the stress driver models *sustained* load: a
+//! closed loop keeps a fixed population of live transactions (each commit
+//! admits a replacement), an open loop admits on a fixed step cadence
+//! regardless of completions. Sustained load is what exposes the barging
+//! starvation pathology: under a steady stream of shared requesters an
+//! exclusive waiter's grant latency is unbounded under
+//! [`GrantPolicy::Barging`] and bounded under [`GrantPolicy::FairQueue`].
+//!
+//! [`throughput_sweep`] runs the grid behind `BENCH_throughput.json`
+//! (contention × grant policy × rollback strategy), and
+//! [`throughput_json`] serialises it by hand — the workspace deliberately
+//! carries no serde_json.
+
+use crate::generator::{GeneratorConfig, ProgramGenerator};
+use crate::runner::store_with;
+use pr_core::{
+    EngineError, GrantPolicy, LogHistogram, Metrics, StepOutcome, StrategyKind, System,
+    SystemConfig, VictimPolicyKind,
+};
+use pr_model::TxnId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// How new transactions arrive.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Arrival {
+    /// Closed loop: a fixed population of `concurrency` live transactions;
+    /// every commit admits a replacement until `total_txns` have entered.
+    Closed,
+    /// Open loop: one admission every `every_steps` engine steps,
+    /// regardless of completions (subject to `concurrency` as a cap on
+    /// the live population so a saturated system queues arrivals).
+    Open {
+        /// Steps between admissions.
+        every_steps: u64,
+    },
+}
+
+/// Knobs for one stress run.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct StressConfig {
+    /// Transactions to admit over the whole run.
+    pub total_txns: usize,
+    /// Live-transaction population (closed loop) or cap (open loop).
+    pub concurrency: usize,
+    /// Arrival process.
+    pub arrival: Arrival,
+    /// Number of entities in the database.
+    pub num_entities: u32,
+    /// Zipf exponent ×100 for entity selection (0 = uniform).
+    pub zipf_centi: u16,
+    /// Per-mille of locks taken exclusively — the write mix.
+    pub exclusive_per_mille: u16,
+    /// Minimum locks per transaction.
+    pub min_locks: usize,
+    /// Maximum locks per transaction.
+    pub max_locks: usize,
+    /// Padding computations after each lock.
+    pub pad_between: usize,
+    /// Seed for both program generation and scheduling.
+    pub seed: u64,
+    /// Engine configuration (strategy, victim policy, grant policy).
+    pub system: SystemConfig,
+}
+
+impl Default for StressConfig {
+    fn default() -> Self {
+        StressConfig {
+            total_txns: 48,
+            concurrency: 16,
+            arrival: Arrival::Closed,
+            num_entities: 32,
+            zipf_centi: 0,
+            exclusive_per_mille: 700,
+            min_locks: 2,
+            max_locks: 4,
+            pad_between: 1,
+            seed: 1,
+            system: SystemConfig::new(StrategyKind::Mcs, VictimPolicyKind::PartialOrder),
+        }
+    }
+}
+
+/// Outcome of one stress run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StressReport {
+    /// Transactions committed.
+    pub commits: u64,
+    /// Engine steps taken.
+    pub steps: u64,
+    /// False if the run hit the step limit before completing.
+    pub completed: bool,
+    /// Admission-to-commit latency per transaction, in engine steps
+    /// (includes time lost to rollbacks and re-execution).
+    pub txn_latency: LogHistogram,
+    /// Final engine metrics (grant latency, queue depths, resolution
+    /// costs, rollback counters).
+    pub metrics: Metrics,
+}
+
+impl StressReport {
+    /// Commits per 1000 engine steps — the harness's throughput measure.
+    pub fn throughput_kilo(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.commits as f64 * 1000.0 / self.steps as f64
+        }
+    }
+}
+
+/// Drives one stress run to completion (or the step limit).
+pub fn run_stress(cfg: &StressConfig) -> Result<StressReport, EngineError> {
+    let gen_cfg = GeneratorConfig {
+        num_entities: cfg.num_entities,
+        min_locks: cfg.min_locks,
+        max_locks: cfg.max_locks,
+        exclusive_per_mille: cfg.exclusive_per_mille,
+        pad_between: cfg.pad_between,
+        skew_centi: cfg.zipf_centi,
+        ..GeneratorConfig::default()
+    };
+    let mut generator = ProgramGenerator::new(gen_cfg, cfg.seed);
+    let mut sys = System::new(store_with(cfg.num_entities, 100), cfg.system);
+    let mut rng =
+        SmallRng::seed_from_u64(cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1));
+    let total = cfg.total_txns;
+    let concurrency = cfg.concurrency.max(1);
+    let mut admitted = 0usize;
+    let mut commits = 0u64;
+    let mut started: BTreeMap<TxnId, u64> = BTreeMap::new();
+    let mut latency = LogHistogram::default();
+    let mut next_arrival = 0u64;
+    let mut completed = true;
+
+    fn admit_one(
+        sys: &mut System,
+        generator: &mut ProgramGenerator,
+        started: &mut BTreeMap<TxnId, u64>,
+        admitted: &mut usize,
+    ) -> Result<(), EngineError> {
+        let id = sys.admit(generator.generate())?;
+        started.insert(id, sys.metrics().steps);
+        *admitted += 1;
+        Ok(())
+    }
+
+    loop {
+        // Arrivals.
+        let live = admitted - commits as usize;
+        match cfg.arrival {
+            Arrival::Closed => {
+                for _ in live..concurrency.min(total - admitted + live) {
+                    admit_one(&mut sys, &mut generator, &mut started, &mut admitted)?;
+                }
+            }
+            Arrival::Open { every_steps } => {
+                while admitted < total
+                    && (admitted - commits as usize) < concurrency
+                    && sys.metrics().steps >= next_arrival
+                {
+                    admit_one(&mut sys, &mut generator, &mut started, &mut admitted)?;
+                    next_arrival = sys.metrics().steps + every_steps.max(1);
+                }
+            }
+        }
+        if commits as usize >= total {
+            break;
+        }
+        if sys.metrics().steps >= cfg.system.max_steps {
+            completed = false;
+            break;
+        }
+        let ready = sys.ready();
+        if ready.is_empty() {
+            if admitted < total {
+                // Open loop with everything drained before the next
+                // arrival is due: admit immediately (idle fast-forward).
+                admit_one(&mut sys, &mut generator, &mut started, &mut admitted)?;
+                continue;
+            }
+            // Nothing runnable and nothing left to admit: the engine
+            // resolves deadlocks at block time, so this is unreachable
+            // short of an engine bug — surface it.
+            return Err(EngineError::Stuck { blocked: sys.blocked() });
+        }
+        let id = ready[rng.gen_range(0..ready.len())];
+        if let StepOutcome::Committed = sys.step(id)? {
+            commits += 1;
+            if let Some(s0) = started.remove(&id) {
+                latency.record(sys.metrics().steps.saturating_sub(s0));
+            }
+        }
+    }
+
+    Ok(StressReport {
+        commits,
+        steps: sys.metrics().steps,
+        completed,
+        txn_latency: latency,
+        metrics: sys.metrics().clone(),
+    })
+}
+
+/// One cell of the throughput grid: a (contention, concurrency, grant
+/// policy, strategy) combination aggregated over seeds.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ThroughputRow {
+    /// Zipf exponent ×100.
+    pub zipf_centi: u16,
+    /// Closed-loop concurrency.
+    pub concurrency: usize,
+    /// Grant policy name.
+    pub policy: String,
+    /// Rollback strategy name.
+    pub strategy: String,
+    /// Total commits across seeds.
+    pub commits: u64,
+    /// Total engine steps across seeds.
+    pub steps: u64,
+    /// Commits per 1000 steps.
+    pub throughput_kilo: f64,
+    /// Median transaction latency (steps).
+    pub latency_p50: u64,
+    /// 95th-percentile transaction latency (steps).
+    pub latency_p95: u64,
+    /// 99th-percentile transaction latency (steps).
+    pub latency_p99: u64,
+    /// Worst transaction latency (steps).
+    pub latency_max: u64,
+    /// 99th-percentile lock grant latency (steps).
+    pub grant_p99: u64,
+    /// Deadlocks across seeds.
+    pub deadlocks: u64,
+    /// Deepest wait queue observed.
+    pub max_queue_depth: usize,
+}
+
+/// Runs the contention grid: every Zipf level × concurrency × grant
+/// policy × rollback strategy, `seeds` runs each, closed loop.
+pub fn throughput_sweep(
+    zipf_centis: &[u16],
+    concurrencies: &[usize],
+    txns_per_run: usize,
+    seeds: u64,
+) -> Vec<ThroughputRow> {
+    let mut rows = Vec::new();
+    for &zipf in zipf_centis {
+        for &concurrency in concurrencies {
+            for policy in GrantPolicy::ALL {
+                for strategy in StrategyKind::ALL {
+                    let mut latency = LogHistogram::default();
+                    let mut grant = LogHistogram::default();
+                    let (mut commits, mut steps, mut deadlocks) = (0u64, 0u64, 0u64);
+                    let mut max_queue_depth = 0usize;
+                    for seed in 0..seeds {
+                        let mut system =
+                            SystemConfig::new(strategy, VictimPolicyKind::PartialOrder)
+                                .with_grant_policy(policy);
+                        system.max_steps = 2_000_000;
+                        let cfg = StressConfig {
+                            total_txns: txns_per_run,
+                            concurrency,
+                            zipf_centi: zipf,
+                            seed: seed * 7 + 1,
+                            system,
+                            ..StressConfig::default()
+                        };
+                        let report = run_stress(&cfg).expect("stress run must not get stuck");
+                        assert!(report.completed, "partial-order policy always drains");
+                        latency.merge(&report.txn_latency);
+                        grant.merge(&report.metrics.grant_latency);
+                        commits += report.commits;
+                        steps += report.steps;
+                        deadlocks += report.metrics.deadlocks;
+                        max_queue_depth = max_queue_depth.max(report.metrics.max_queue_depth());
+                    }
+                    rows.push(ThroughputRow {
+                        zipf_centi: zipf,
+                        concurrency,
+                        policy: policy.name().to_string(),
+                        strategy: strategy.name(),
+                        commits,
+                        steps,
+                        throughput_kilo: if steps == 0 {
+                            0.0
+                        } else {
+                            commits as f64 * 1000.0 / steps as f64
+                        },
+                        latency_p50: latency.p50(),
+                        latency_p95: latency.p95(),
+                        latency_p99: latency.p99(),
+                        latency_max: latency.max(),
+                        grant_p99: grant.p99(),
+                        deadlocks,
+                        max_queue_depth,
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Serialises the grid as `BENCH_throughput.json` (hand-rolled JSON; all
+/// keys are static and all values numeric or fixed identifiers, so
+/// nothing needs escaping).
+///
+/// Schema: `{"schema": "bench-throughput-v1", "units": {...},
+/// "rows": [{zipf_centi, concurrency, policy, strategy, commits, steps,
+/// throughput_kilo, latency_p50, latency_p95, latency_p99, latency_max,
+/// grant_p99, deadlocks, max_queue_depth}, ...]}`.
+pub fn throughput_json(rows: &[ThroughputRow]) -> String {
+    let mut out = String::from(
+        "{\n  \"schema\": \"bench-throughput-v1\",\n  \"units\": {\
+         \"throughput_kilo\": \"commits per 1000 engine steps\", \
+         \"latency\": \"engine steps, admission to commit\", \
+         \"grant\": \"engine steps, block to grant\"},\n  \"rows\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"zipf_centi\":{},\"concurrency\":{},\"policy\":\"{}\",\
+             \"strategy\":\"{}\",\"commits\":{},\"steps\":{},\
+             \"throughput_kilo\":{:.3},\"latency_p50\":{},\"latency_p95\":{},\
+             \"latency_p99\":{},\"latency_max\":{},\"grant_p99\":{},\
+             \"deadlocks\":{},\"max_queue_depth\":{}}}{}",
+            r.zipf_centi,
+            r.concurrency,
+            r.policy,
+            r.strategy,
+            r.commits,
+            r.steps,
+            r.throughput_kilo,
+            r.latency_p50,
+            r.latency_p95,
+            r.latency_p99,
+            r.latency_max,
+            r.grant_p99,
+            r.deadlocks,
+            r.max_queue_depth,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_loop_completes_and_is_deterministic() {
+        let cfg = StressConfig { total_txns: 24, concurrency: 8, ..Default::default() };
+        let a = run_stress(&cfg).unwrap();
+        let b = run_stress(&cfg).unwrap();
+        assert!(a.completed);
+        assert_eq!(a.commits, 24);
+        assert_eq!(a.txn_latency.count(), 24);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.txn_latency, b.txn_latency);
+        assert!(a.throughput_kilo() > 0.0);
+    }
+
+    #[test]
+    fn open_loop_admits_on_cadence() {
+        let cfg = StressConfig {
+            total_txns: 12,
+            concurrency: 6,
+            arrival: Arrival::Open { every_steps: 5 },
+            ..Default::default()
+        };
+        let report = run_stress(&cfg).unwrap();
+        assert!(report.completed);
+        assert_eq!(report.commits, 12);
+        // A paced system takes at least the arrival spacing per txn.
+        assert!(report.steps >= 5 * 11, "steps {} too few for the cadence", report.steps);
+    }
+
+    #[test]
+    fn contention_raises_latency_and_deadlocks() {
+        let quiet = StressConfig {
+            total_txns: 32,
+            concurrency: 4,
+            num_entities: 64,
+            zipf_centi: 0,
+            ..Default::default()
+        };
+        let hot = StressConfig {
+            total_txns: 32,
+            concurrency: 16,
+            num_entities: 8,
+            zipf_centi: 120,
+            ..Default::default()
+        };
+        let q = run_stress(&quiet).unwrap();
+        let h = run_stress(&hot).unwrap();
+        assert!(q.completed && h.completed);
+        assert!(
+            h.metrics.waits > q.metrics.waits,
+            "hot workload must wait more: {} vs {}",
+            h.metrics.waits,
+            q.metrics.waits
+        );
+        assert!(h.txn_latency.p95() >= q.txn_latency.p95());
+    }
+
+    #[test]
+    fn both_grant_policies_complete_the_same_hot_workload() {
+        for policy in GrantPolicy::ALL {
+            let cfg = StressConfig {
+                total_txns: 32,
+                concurrency: 12,
+                num_entities: 8,
+                zipf_centi: 120,
+                exclusive_per_mille: 300,
+                system: SystemConfig::new(StrategyKind::Sdg, VictimPolicyKind::PartialOrder)
+                    .with_grant_policy(policy),
+                ..Default::default()
+            };
+            let report = run_stress(&cfg).unwrap();
+            assert!(report.completed, "{policy:?}");
+            assert_eq!(report.commits, 32, "{policy:?}");
+        }
+    }
+
+    /// Regression for an undetected-deadlock hang: at high concurrency the
+    /// fair queue's full blocker sets make the waits-for graph dense
+    /// enough that the budgeted cycle enumeration can exhaust itself
+    /// without finding the (real) cycle, and since detection only runs at
+    /// block time the deadlock was never seen again — the whole system
+    /// wedged with every transaction blocked. The reachability fallback in
+    /// `pr_graph::cycles` now guarantees at least one cycle is found.
+    /// This configuration (64-deep closed loop, Zipf 0.8, fair queue)
+    /// reproduced the hang deterministically.
+    #[test]
+    fn dense_fair_queue_waits_still_resolve() {
+        let mut system = SystemConfig::new(StrategyKind::Total, VictimPolicyKind::PartialOrder)
+            .with_grant_policy(GrantPolicy::FairQueue);
+        system.max_steps = 2_000_000;
+        let cfg = StressConfig {
+            total_txns: 96,
+            concurrency: 64,
+            zipf_centi: 80,
+            seed: 1,
+            system,
+            ..StressConfig::default()
+        };
+        let report = run_stress(&cfg).unwrap();
+        assert!(report.completed);
+        assert_eq!(report.commits, 96);
+        assert!(report.metrics.deadlocks > 0, "the hot cell must actually hit deadlocks");
+    }
+
+    #[test]
+    fn sweep_covers_the_grid_and_serialises() {
+        let rows = throughput_sweep(&[0, 120], &[4], 8, 1);
+        assert_eq!(rows.len(), 2 * 2 * 3); // zipf × policy × strategy
+        let json = throughput_json(&rows);
+        assert!(json.contains("\"schema\": \"bench-throughput-v1\""));
+        assert!(json.contains("\"policy\":\"barging\""));
+        assert!(json.contains("\"policy\":\"fair-queue\""));
+        assert!(json.contains("\"strategy\":\"sdg\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -74,7 +74,8 @@ pub use pr_storage as storage;
 pub mod prelude {
     pub use pr_core::scheduler::{RoundRobin, Scheduler, Scripted};
     pub use pr_core::{
-        EngineError, Metrics, StepOutcome, StrategyKind, System, SystemConfig, VictimPolicyKind,
+        EngineError, GrantPolicy, Metrics, MetricsSnapshot, StepOutcome, StrategyKind, System,
+        SystemConfig, VictimPolicyKind,
     };
     pub use pr_model::{
         EntityId, Expr, LockIndex, LockMode, Op, ProgramBuilder, StateIndex, TransactionProgram,

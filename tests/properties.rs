@@ -286,36 +286,41 @@ proptest! {
 
 /// Deterministic (non-proptest) check that the engine keeps the waits-for
 /// graph acyclic at every step of a hot workload — deadlocks are resolved
-/// the moment they form.
+/// the moment they form — under both grant policies. (The fair queue adds
+/// waiter→waiter arcs; the invariant that no cycle survives a step is
+/// policy-independent.)
 #[test]
 fn graph_stays_acyclic_between_steps() {
     let cfg = GeneratorConfig { num_entities: 5, min_locks: 2, max_locks: 4, ..Default::default() };
-    for seed in 0..5u64 {
-        let mut g = ProgramGenerator::new(cfg, seed);
-        let programs = g.generate_workload(10);
-        let store = GlobalStore::with_entities(5, Value::new(10));
-        let mut sys = System::new(
-            store,
-            SystemConfig::new(StrategyKind::Mcs, VictimPolicyKind::PartialOrder),
-        );
-        let mut ids = Vec::new();
-        for p in programs {
-            ids.push(sys.admit(p).unwrap());
-        }
-        let mut order = BTreeMap::new();
-        for (i, id) in ids.iter().enumerate() {
-            order.insert(*id, i);
-        }
-        let mut rr = RoundRobin::new();
-        for _ in 0..100_000 {
-            let ready = sys.ready();
-            if ready.is_empty() {
-                break;
+    for policy in GrantPolicy::ALL {
+        for seed in 0..5u64 {
+            let mut g = ProgramGenerator::new(cfg, seed);
+            let programs = g.generate_workload(10);
+            let store = GlobalStore::with_entities(5, Value::new(10));
+            let mut sys = System::new(
+                store,
+                SystemConfig::new(StrategyKind::Mcs, VictimPolicyKind::PartialOrder)
+                    .with_grant_policy(policy),
+            );
+            let mut ids = Vec::new();
+            for p in programs {
+                ids.push(sys.admit(p).unwrap());
             }
-            let pick = rr.pick(&ready);
-            sys.step(pick).unwrap();
-            sys.check_invariants().unwrap();
+            let mut order = BTreeMap::new();
+            for (i, id) in ids.iter().enumerate() {
+                order.insert(*id, i);
+            }
+            let mut rr = RoundRobin::new();
+            for _ in 0..100_000 {
+                let ready = sys.ready();
+                if ready.is_empty() {
+                    break;
+                }
+                let pick = rr.pick(&ready);
+                sys.step(pick).unwrap();
+                sys.check_invariants().unwrap();
+            }
+            assert!(sys.all_committed(), "policy {policy:?} seed {seed}");
         }
-        assert!(sys.all_committed(), "seed {seed}");
     }
 }
