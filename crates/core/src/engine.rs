@@ -154,6 +154,13 @@ impl System {
         self.txns.values().all(|rt| rt.phase == Phase::Committed)
     }
 
+    /// Whether every admitted transaction has terminated — committed or
+    /// cleanly aborted. This is the no-wedge invariant the chaos harness
+    /// asserts: no transaction may be left running or blocked forever.
+    pub fn all_settled(&self) -> bool {
+        self.txns.values().all(|rt| matches!(rt.phase, Phase::Committed | Phase::Aborted))
+    }
+
     /// Executes one atomic operation of `id`.
     pub fn step(&mut self, id: TxnId) -> Result<StepOutcome, EngineError> {
         self.metrics.steps += 1;
@@ -215,7 +222,7 @@ impl System {
         loop {
             let ready = self.ready();
             if ready.is_empty() {
-                if self.all_committed() {
+                if self.all_settled() {
                     return Ok(());
                 }
                 return Err(EngineError::Stuck { blocked: self.blocked() });
@@ -379,7 +386,7 @@ impl System {
             }
             self.metrics.resolution_cost.record(plan.total_cost);
             for rb in &plan.rollbacks {
-                self.execute_rollback(*rb)?;
+                self.execute_rollback(*rb, RollbackReason::DeadlockVictim)?;
             }
             self.history.push((event.clone(), plan.clone()));
             if first.is_none() {
@@ -390,7 +397,11 @@ impl System {
     }
 
     /// Performs one planned rollback: §4's procedure, engine side.
-    fn execute_rollback(&mut self, rb: CandidateRollback) -> Result<(), EngineError> {
+    fn execute_rollback(
+        &mut self,
+        rb: CandidateRollback,
+        reason: RollbackReason,
+    ) -> Result<(), EngineError> {
         let CandidateRollback { txn: victim, target, ideal, .. } = rb;
         // Step 1: halt the transaction — cancel its pending request if any.
         let blocked_entity = {
@@ -415,10 +426,7 @@ impl System {
             let released = rt.rollback_to(target)?;
             (released, cost, cost - ideal_cost)
         };
-        self.events.record(
-            self.metrics.steps,
-            Event::RolledBack { victim, target, cost, reason: RollbackReason::DeadlockVictim },
-        );
+        self.events.record(self.metrics.steps, Event::RolledBack { victim, target, cost, reason });
         #[cfg(feature = "invariants")]
         self.sentinel
             .record(format!("{victim} rolled back to lock state {} (cost {cost})", target.raw()));
@@ -495,6 +503,92 @@ impl System {
         self.metrics.ops_executed += 1;
         self.metrics.commits += 1;
         Ok(StepOutcome::Committed)
+    }
+
+    // ------------------------------------------------------------------
+    // Crash-recovery hooks (used by the distributed layer's fault
+    // injection; see `pr-dist` and DESIGN §9)
+    // ------------------------------------------------------------------
+
+    /// Forcibly expires `txn`'s granted lock on `entity`, as when the site
+    /// holding the lock state crashes and its volatile lock table is lost.
+    ///
+    /// A still-growing holder is partially rolled back just past the lost
+    /// lock state — the §4 machinery and the version stacks make this a
+    /// partial rollback, not a restart. A shrinking holder cannot be
+    /// rolled back (two-phase rule); it merely loses the table record, and
+    /// any unpublished update to `entity` is lost with the site.
+    ///
+    /// Returns the states lost to the recovery rollback (0 for shrinking
+    /// holders).
+    pub fn expire_grant(&mut self, txn: TxnId, entity: EntityId) -> Result<u32, EngineError> {
+        let rt = self.txns.get(&txn).ok_or(EngineError::NoSuchTxn(txn))?;
+        if self.table.held_by(txn, entity).is_none() {
+            return Err(pr_lock::LockError::NotHeld { txn, entity }.into());
+        }
+        self.events.record(self.metrics.steps, Event::GrantExpired { txn, entity });
+        #[cfg(feature = "invariants")]
+        self.sentinel.record(format!("{txn}'s grant on {entity} expired (site crash)"));
+        self.metrics.expired_grants += 1;
+        let cost = if rt.rollbackable() {
+            let ideal = rt.lock_state_for(entity).expect("held entities have a lock state");
+            let target = rt.reachable_target(self.config.strategy, ideal);
+            let cost = rt.cost_to_lock_state(target);
+            self.execute_rollback(
+                CandidateRollback { txn, target, ideal, cost },
+                RollbackReason::GrantExpired,
+            )?;
+            cost
+        } else {
+            let granted = self.table.release(txn, entity)?;
+            self.txns.get_mut(&txn).expect("checked above").held.remove(&entity);
+            self.process_grants(entity, granted)?;
+            self.refresh_waiters(entity);
+            0
+        };
+        #[cfg(feature = "invariants")]
+        self.sentinel_verify("post-expiry check");
+        Ok(cost)
+    }
+
+    /// Terminates `txn` without commit: cancels its pending request,
+    /// releases every held lock *without* publishing (uncommitted local
+    /// values die with the workspace), and marks it [`Phase::Aborted`].
+    /// Used when a transaction's home site crashes and its volatile
+    /// execution state is unrecoverable.
+    pub fn abort(&mut self, txn: TxnId) -> Result<(), EngineError> {
+        let rt = self.txns.get(&txn).ok_or(EngineError::NoSuchTxn(txn))?;
+        if matches!(rt.phase, Phase::Committed | Phase::Aborted) {
+            return Err(EngineError::NotRunnable(txn));
+        }
+        let blocked_entity = (rt.phase == Phase::Blocked)
+            .then(|| rt.blocked_on.expect("blocked transactions record their entity"));
+        if let Some(entity) = blocked_entity {
+            let granted = self.table.cancel_wait(txn, entity)?;
+            self.wfg.clear_wait(txn);
+            self.blocked_since.remove(&txn);
+            self.process_grants(entity, granted)?;
+            self.refresh_waiters(entity);
+        }
+        let held: Vec<EntityId> = self.txns[&txn].held.iter().copied().collect();
+        for entity in held {
+            let granted = self.table.release(txn, entity)?;
+            self.process_grants(entity, granted)?;
+            self.refresh_waiters(entity);
+        }
+        let rt = self.txns.get_mut(&txn).expect("checked above");
+        rt.held.clear();
+        rt.blocked_on = None;
+        rt.phase = Phase::Aborted;
+        self.metrics.aborts += 1;
+        self.events.record(self.metrics.steps, Event::Aborted { txn });
+        self.update_peak_copies_for(txn);
+        #[cfg(feature = "invariants")]
+        {
+            self.sentinel.record(format!("{txn} aborted"));
+            self.sentinel_verify("post-abort check");
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -634,6 +728,14 @@ impl System {
                 Phase::Running | Phase::Committed => {
                     if self.wfg.is_waiting(rt.id) {
                         return Err(format!("{}: not blocked but waits in graph", rt.id));
+                    }
+                }
+                Phase::Aborted => {
+                    if self.wfg.is_waiting(rt.id) {
+                        return Err(format!("{}: aborted but waits in graph", rt.id));
+                    }
+                    if !rt.held.is_empty() {
+                        return Err(format!("{}: aborted but still holds locks", rt.id));
                     }
                 }
             }

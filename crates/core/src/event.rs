@@ -13,6 +13,9 @@ use std::fmt;
 pub enum RollbackReason {
     /// Chosen as a deadlock victim.
     DeadlockVictim,
+    /// A held grant expired — the site holding the lock state crashed and
+    /// the survivor was rolled back past the lost state.
+    GrantExpired,
 }
 
 /// One engine event.
@@ -73,6 +76,20 @@ pub enum Event {
         /// The transaction.
         txn: TxnId,
     },
+    /// A held grant was forcibly expired (crash recovery): the lock is
+    /// gone from the table without an unlock by its holder.
+    GrantExpired {
+        /// The (former) holder.
+        txn: TxnId,
+        /// Entity whose lock state was lost.
+        entity: EntityId,
+    },
+    /// A transaction was aborted by an upper layer (e.g. its home site
+    /// crashed); all its locks were released without publishing.
+    Aborted {
+        /// The transaction.
+        txn: TxnId,
+    },
 }
 
 impl fmt::Display for Event {
@@ -93,6 +110,10 @@ impl fmt::Display for Event {
             }
             Event::Published { txn, entity } => write!(f, "{txn} published {entity}"),
             Event::Committed { txn } => write!(f, "{txn} committed"),
+            Event::GrantExpired { txn, entity } => {
+                write!(f, "{txn}'s lock on {entity} expired (site crash)")
+            }
+            Event::Aborted { txn } => write!(f, "{txn} aborted"),
         }
     }
 }

@@ -17,7 +17,7 @@
 //! deadlock is resolved by the configured combination of:
 //!
 //! * a rollback strategy ([`config::StrategyKind`]) — **Total** (restart
-//!   from scratch, the baseline of the paper's refs [7,10]), **MCS**
+//!   from scratch, the baseline of the paper's refs \[7,10\]), **MCS**
 //!   (multi-lock copy stacks, §4, rollback to *any* lock state), or **SDG**
 //!   (single-copy workspace + state-dependency graph, §4, rollback to the
 //!   deepest *well-defined* lock state at or below the ideal target), and

@@ -156,6 +156,10 @@ pub struct Metrics {
     pub resolution_cost: LogHistogram,
     /// Per-entity high-water mark of the wait-queue depth.
     pub queue_depth_high_water: BTreeMap<EntityId, usize>,
+    /// Grants forcibly expired by crash recovery ([`crate::System::expire_grant`]).
+    pub expired_grants: u64,
+    /// Transactions aborted by an upper layer ([`crate::System::abort`]).
+    pub aborts: u64,
 }
 
 impl Metrics {

@@ -24,6 +24,10 @@ pub enum Phase {
     Blocked,
     /// Finished; locks released.
     Committed,
+    /// Terminated without committing — its site crashed or an upper layer
+    /// aborted it. Locks are released, uncommitted local state is
+    /// discarded, and the transaction never runs again.
+    Aborted,
 }
 
 /// One granted lock request — the transaction-side record of a lock state.
@@ -80,6 +84,16 @@ impl Workspace {
         match self {
             Workspace::Mcs(w) => w.copy_counts().total(),
             Workspace::Single(w) => w.entity_copies(),
+        }
+    }
+
+    /// Structural self-check of the underlying storage (stack ordering,
+    /// cached-value coherence). Used by the fault-injection invariant
+    /// sweeps after crash recovery.
+    pub fn check_integrity(&self) -> Result<(), String> {
+        match self {
+            Workspace::Mcs(w) => w.check_integrity(),
+            Workspace::Single(w) => w.check_integrity(),
         }
     }
 }
@@ -345,7 +359,7 @@ impl TxnRuntime {
 
     /// Whether this transaction may still be rolled back.
     pub fn rollbackable(&self) -> bool {
-        !self.shrinking && self.phase != Phase::Committed
+        !self.shrinking && matches!(self.phase, Phase::Running | Phase::Blocked)
     }
 
     /// Local copies currently held.

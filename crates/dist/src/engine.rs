@@ -5,7 +5,9 @@
 //! entities live at sites, remote interactions cost messages, and the
 //! cross-site scheme decides between detection and prevention.
 
+use crate::fault::FaultPlan;
 use crate::metrics::DistMetrics;
+use crate::net::{AsyncOutcome, GraphUpdate, Network, Transition};
 use crate::site::{Partition, SiteId};
 use pr_core::deadlock::{plan_resolution, DeadlockEvent};
 use pr_core::runtime::{Phase, TxnRuntime};
@@ -95,36 +97,70 @@ impl DistConfig {
 
 /// A multi-site database system.
 pub struct DistributedSystem {
-    store: GlobalStore,
-    table: LockTable,
+    pub(crate) store: GlobalStore,
+    pub(crate) table: LockTable,
     /// One graph per site under `SiteOrdered` (indexed by entity site);
     /// `graphs[0]` is the coordinator's graph otherwise.
-    graphs: Vec<WaitsForGraph>,
-    txns: BTreeMap<TxnId, TxnRuntime>,
-    home: BTreeMap<TxnId, SiteId>,
-    config: DistConfig,
-    metrics: DistMetrics,
+    pub(crate) graphs: Vec<WaitsForGraph>,
+    /// Per-site fallback graphs for `GlobalDetection` while the
+    /// coordinator is unreachable. Rebuilt from lock-table truth right
+    /// before each use, so they never carry stale arcs.
+    pub(crate) fallback: Vec<WaitsForGraph>,
+    pub(crate) txns: BTreeMap<TxnId, TxnRuntime>,
+    pub(crate) home: BTreeMap<TxnId, SiteId>,
+    pub(crate) config: DistConfig,
+    pub(crate) metrics: DistMetrics,
+    pub(crate) net: Network,
+    /// `GlobalDetection` only: the coordinator is down and waits are being
+    /// tracked site-locally until it returns.
+    pub(crate) degraded: bool,
+    /// Next tick at which the coordinator refreshes its graph from
+    /// lock-table truth (fault injection + `GlobalDetection` only).
+    next_reconcile_at: u64,
     next_txn: u32,
     entry_counter: u64,
 }
 
+/// Anti-entropy cadence for the coordinator graph under fault injection.
+/// Dropped graph-maintenance messages can hide a cycle from the
+/// coordinator indefinitely while unrelated transactions keep the system
+/// busy (so the quiescence backstop never fires); a periodic rebuild from
+/// lock-table truth bounds how long any cycle stays invisible.
+const RECONCILE_INTERVAL_TICKS: u64 = 512;
+
 impl DistributedSystem {
-    /// Creates a system over `store`.
+    /// Creates a system over `store` with a perfect network and immortal
+    /// sites.
     pub fn new(store: GlobalStore, config: DistConfig) -> Self {
+        Self::with_faults(store, config, FaultPlan::none())
+    }
+
+    /// Creates a system whose network and sites fail per `plan`. An
+    /// inactive plan (no faults) is exactly [`DistributedSystem::new`].
+    pub fn with_faults(store: GlobalStore, config: DistConfig, plan: FaultPlan) -> Self {
+        let sites = config.partition.sites() as usize;
         let graphs = match config.scheme {
-            CrossSiteScheme::SiteOrdered => {
-                vec![WaitsForGraph::new(); config.partition.sites() as usize]
-            }
+            CrossSiteScheme::SiteOrdered => vec![WaitsForGraph::new(); sites],
             _ => vec![WaitsForGraph::new()],
+        };
+        let net = Network::new(plan);
+        let fallback = if net.active() && config.scheme == CrossSiteScheme::GlobalDetection {
+            vec![WaitsForGraph::new(); sites]
+        } else {
+            Vec::new()
         };
         DistributedSystem {
             store,
             table: LockTable::new(),
             graphs,
+            fallback,
             txns: BTreeMap::new(),
             home: BTreeMap::new(),
             config,
             metrics: DistMetrics::default(),
+            net,
+            degraded: false,
+            next_reconcile_at: RECONCILE_INTERVAL_TICKS,
             next_txn: 1,
             entry_counter: 0,
         }
@@ -152,25 +188,39 @@ impl DistributedSystem {
         Ok(id)
     }
 
-    fn site_of(&self, entity: EntityId) -> SiteId {
+    pub(crate) fn site_of(&self, entity: EntityId) -> SiteId {
         self.config.partition.site_of(entity)
     }
 
-    fn home_of(&self, txn: TxnId) -> SiteId {
+    pub(crate) fn home_of(&self, txn: TxnId) -> SiteId {
         self.home.get(&txn).copied().unwrap_or(SiteId::COORDINATOR)
     }
 
-    fn graph_index(&self, entity: EntityId) -> usize {
+    pub(crate) fn graph_index(&self, entity: EntityId) -> usize {
         match self.config.scheme {
             CrossSiteScheme::SiteOrdered => usize::from(self.site_of(entity).raw()),
             _ => 0,
         }
     }
 
-    fn charge_remote(&mut self, txn: TxnId, entity: EntityId, msgs: u64) {
+    pub(crate) fn charge_remote(&mut self, txn: TxnId, entity: EntityId, msgs: u64) {
         if self.site_of(entity) != self.home_of(txn) {
             self.metrics.messages += msgs;
         }
+    }
+
+    /// A request/response exchange between `txn`'s home site and
+    /// `entity`'s site. `true` means it got through (always, without a
+    /// fault plan); `false` means the caller must stall without advancing
+    /// the transaction — the operation is retried the next time the
+    /// transaction is scheduled.
+    fn remote_rpc(&mut self, txn: TxnId, entity: EntityId) -> bool {
+        let from = self.home_of(txn);
+        let to = self.site_of(entity);
+        if from == to && !self.net.is_down(to) {
+            return true;
+        }
+        self.net.rpc(from, to, &mut self.metrics)
     }
 
     /// Ready transactions.
@@ -183,14 +233,42 @@ impl DistributedSystem {
         self.txns.values().all(|rt| rt.phase == Phase::Committed)
     }
 
-    /// Runs under `scheduler` until all commit.
+    /// Whether every transaction reached a terminal phase — committed, or
+    /// cleanly aborted by crash recovery. This is the no-wedge invariant's
+    /// success condition under fault injection.
+    pub fn all_settled(&self) -> bool {
+        self.txns.values().all(|rt| matches!(rt.phase, Phase::Committed | Phase::Aborted))
+    }
+
+    /// Runs under `scheduler` until every transaction settles.
     pub fn run<S: Scheduler>(&mut self, scheduler: &mut S) -> Result<(), EngineError> {
         let mut steps = 0u64;
+        // Whether a reconcile has been tried since the last real progress;
+        // a second consecutive fruitless reconcile means a genuine wedge.
+        let mut reconciled = false;
         loop {
             let ready = self.ready();
             if ready.is_empty() {
-                if self.all_committed() {
+                if self.all_settled() {
                     return Ok(());
+                }
+                if self.net.active() {
+                    // Nothing is runnable but the network still owes us
+                    // events (a restart, a delayed delivery): fast-forward
+                    // the virtual clock to the next one.
+                    if let Some(tick) = self.net.next_event_tick() {
+                        self.net.advance_to(tick);
+                        self.process_network_events()?;
+                        continue;
+                    }
+                    // No future events either: lost messages may have left
+                    // a graph blind to a real cycle. Rebuild from lock-
+                    // table truth and re-run detection once.
+                    if !reconciled {
+                        reconciled = true;
+                        self.reconcile_graphs()?;
+                        continue;
+                    }
                 }
                 return Err(EngineError::Stuck {
                     blocked: self
@@ -201,6 +279,7 @@ impl DistributedSystem {
                         .collect(),
                 });
             }
+            reconciled = false;
             steps += 1;
             if steps > self.config.max_steps {
                 return Err(EngineError::StepLimitExceeded { limit: self.config.max_steps });
@@ -211,9 +290,21 @@ impl DistributedSystem {
     }
 
     /// Executes one atomic operation of `id`.
+    ///
+    /// Under a fault plan each step is also one tick of the virtual clock:
+    /// due crashes, restarts, and delayed deliveries are processed first,
+    /// and may abort or roll back the picked transaction — in that case
+    /// the step is consumed as a no-op rather than an error.
     pub fn step(&mut self, id: TxnId) -> Result<(), EngineError> {
+        if self.net.active() {
+            self.net.tick();
+            self.process_network_events()?;
+        }
         let rt = self.txns.get(&id).ok_or(EngineError::NoSuchTxn(id))?;
         if rt.phase != Phase::Running {
+            if self.net.active() {
+                return Ok(()); // consumed by a fault processed this tick
+            }
             return Err(EngineError::NotRunnable(id));
         }
         let op = rt.program.op(rt.pc).cloned().ok_or(EngineError::NotRunnable(id))?;
@@ -222,6 +313,9 @@ impl DistributedSystem {
             Op::LockExclusive(e) => self.do_lock(id, e, LockMode::Exclusive),
             Op::Unlock(e) => self.do_unlock(id, e),
             Op::Read { entity, into } => {
+                if self.net.active() && !self.remote_rpc(id, entity) {
+                    return Ok(()); // fetch timed out; retry when rescheduled
+                }
                 let global = self.store.read(entity)?;
                 let rt = self.txns.get_mut(&id).expect("checked");
                 let value = rt.read_entity(entity, global);
@@ -256,6 +350,12 @@ impl DistributedSystem {
     }
 
     fn do_lock(&mut self, id: TxnId, entity: EntityId, mode: LockMode) -> Result<(), EngineError> {
+        // The request must first reach the entity's site at all: a dead
+        // site or an exhausted retry budget stalls the requester (it
+        // re-issues the request on its next scheduling slot).
+        if self.net.active() && !self.remote_rpc(id, entity) {
+            return Ok(());
+        }
         // Site-order rule is checked before the request is even sent.
         if self.config.scheme == CrossSiteScheme::SiteOrdered {
             let s = self.site_of(entity);
@@ -279,7 +379,7 @@ impl DistributedSystem {
                     // is needed because each wound's releases may promote
                     // queued waiters into fresh holders.
                     self.metrics.order_violations += 1;
-                    let my_entry = rt.entry_order;
+                    let my_key = self.wound_key(rt);
                     let ideal = LockIndex::new(first_bad as u32);
                     loop {
                         let blockers: Vec<TxnId> = self
@@ -306,10 +406,14 @@ impl DistributedSystem {
                             }
                             return Ok(());
                         }
+                        // "Younger" must mean the same thing here as in
+                        // the wound routine (the *skewed* key), or a
+                        // holder judged woundable would be skipped by the
+                        // wound and this loop would never terminate.
                         let all_younger = blockers.iter().all(|t| {
-                            self.txns
-                                .get(t)
-                                .is_some_and(|hrt| hrt.entry_order > my_entry && hrt.rollbackable())
+                            self.txns.get(t).is_some_and(|hrt| {
+                                self.wound_key(hrt) > my_key && hrt.rollbackable()
+                            })
                         });
                         if !all_younger {
                             // Yield: release *everything*. Dropping only
@@ -354,6 +458,31 @@ impl DistributedSystem {
                     rt.phase = Phase::Blocked;
                     rt.blocked_on = Some(entity);
                 }
+                self.metrics.waits += 1;
+                if self.config.scheme == CrossSiteScheme::WoundWait {
+                    let gi = self.graph_index(entity);
+                    self.graphs[gi].set_wait(id, entity, &holders);
+                    return self.wound_younger_holders(id, entity, &holders);
+                }
+                if self.config.scheme == CrossSiteScheme::GlobalDetection
+                    && self.net.active()
+                    && self.home_of(id) != SiteId::COORDINATOR
+                {
+                    // The coordinator learns of this wait by message; the
+                    // message is subject to the fault plan.
+                    self.metrics.messages += 1;
+                    let update = GraphUpdate { waiter: id, entity };
+                    let (from, to) = (self.home_of(id), SiteId::COORDINATOR);
+                    return match self.net.send_async(from, to, update, &mut self.metrics) {
+                        AsyncOutcome::Applied => {
+                            self.graphs[0].set_wait(id, entity, &holders);
+                            self.resolve_cycles_in(0, id, entity)
+                        }
+                        AsyncOutcome::Deferred => Ok(()), // arrives via poll
+                        AsyncOutcome::Dropped => Ok(()),  // reconcile repairs
+                        AsyncOutcome::DestinationDown => self.local_fallback(id, entity),
+                    };
+                }
                 let gi = self.graph_index(entity);
                 self.graphs[gi].set_wait(id, entity, &holders);
                 if self.config.scheme == CrossSiteScheme::GlobalDetection
@@ -361,13 +490,19 @@ impl DistributedSystem {
                 {
                     self.metrics.messages += 1; // graph maintenance
                 }
-                self.metrics.waits += 1;
-                match self.config.scheme {
-                    CrossSiteScheme::WoundWait => self.wound_younger_holders(id, entity, &holders),
-                    _ => self.resolve_cycles(id, entity),
-                }
+                self.resolve_cycles_in(gi, id, entity)
             }
         }
+    }
+
+    /// The WoundWait age key of a transaction: its admission timestamp
+    /// shifted by its home site's clock skew, with the true entry order as
+    /// a tie-break. The skewed values remain a *total* order, so Theorem
+    /// 2's liveness argument survives arbitrary skew — what skew changes
+    /// is *which* transaction looks older, i.e. who gets wounded.
+    pub(crate) fn wound_key(&self, rt: &TxnRuntime) -> (i64, u64) {
+        let skew = self.net.plan().skew_of(self.home_of(rt.id));
+        (rt.entry_order as i64 + skew, rt.entry_order)
     }
 
     /// Wound-wait: partially roll back every incompatible holder younger
@@ -378,10 +513,10 @@ impl DistributedSystem {
         entity: EntityId,
         holders: &[TxnId],
     ) -> Result<(), EngineError> {
-        let my_entry = self.txns.get(&requester).expect("checked").entry_order;
+        let my_key = self.wound_key(self.txns.get(&requester).expect("checked"));
         for &h in holders {
             let Some(hrt) = self.txns.get(&h) else { continue };
-            if hrt.entry_order <= my_entry || !hrt.rollbackable() {
+            if self.wound_key(hrt) <= my_key || !hrt.rollbackable() {
                 continue; // older (or unwoundable) holder: we wait
             }
             let Some(ideal) = hrt.lock_state_for(entity) else { continue };
@@ -392,14 +527,23 @@ impl DistributedSystem {
             self.metrics.wounds += 1;
             self.metrics.rollback_overshoot += u64::from(cost - ideal_cost);
             self.charge_remote(h, entity, 1); // wound notification
+            if self.net.active() {
+                let (from, to) = (self.site_of(entity), self.home_of(h));
+                self.net.send_reliable(from, to, "wound", &mut self.metrics);
+            }
         }
         Ok(())
     }
 
-    /// Detection-based resolution (global or per-site graph), mirroring
-    /// the single-site engine's loop.
-    fn resolve_cycles(&mut self, causer: TxnId, entity: EntityId) -> Result<(), EngineError> {
-        let gi = self.graph_index(entity);
+    /// Detection-based resolution in graph `gi` (the global graph, a
+    /// per-site graph under `SiteOrdered`, or a coordinator-outage
+    /// fallback graph), mirroring the single-site engine's loop.
+    pub(crate) fn resolve_cycles_in(
+        &mut self,
+        gi: usize,
+        causer: TxnId,
+        entity: EntityId,
+    ) -> Result<(), EngineError> {
         for round in 0..1024 {
             let rt = self.txns.get(&causer).expect("checked");
             if rt.phase != Phase::Blocked {
@@ -436,7 +580,7 @@ impl DistributedSystem {
         Err(EngineError::Stuck { blocked: vec![causer] })
     }
 
-    fn execute_rollback(&mut self, rb: CandidateRollback) -> Result<(), EngineError> {
+    pub(crate) fn execute_rollback(&mut self, rb: CandidateRollback) -> Result<(), EngineError> {
         let victim = rb.txn;
         let blocked_entity = {
             let rt = self.txns.get(&victim).ok_or(EngineError::NoSuchTxn(victim))?;
@@ -472,6 +616,9 @@ impl DistributedSystem {
     }
 
     fn do_unlock(&mut self, id: TxnId, entity: EntityId) -> Result<(), EngineError> {
+        if self.net.active() && !self.remote_rpc(id, entity) {
+            return Ok(()); // unlock could not reach the entity's site yet
+        }
         let published = {
             let rt = self.txns.get_mut(&id).expect("checked");
             rt.complete_unlock(entity)
@@ -493,6 +640,13 @@ impl DistributedSystem {
             rt.held.iter().copied().collect()
         };
         for entity in held {
+            // Commit releases one entity per iteration and is re-entrant:
+            // if a site is unreachable the step returns with the remaining
+            // entities still held, and the next scheduling slot resumes
+            // exactly here.
+            if self.net.active() && !self.remote_rpc(id, entity) {
+                return Ok(());
+            }
             let published = {
                 let rt = self.txns.get_mut(&id).expect("checked");
                 let v = rt.complete_unlock(entity);
@@ -529,7 +683,7 @@ impl DistributedSystem {
         Ok(())
     }
 
-    fn process_grants(
+    pub(crate) fn process_grants(
         &mut self,
         entity: EntityId,
         granted: Vec<HeldLock>,
@@ -538,6 +692,15 @@ impl DistributedSystem {
         for h in granted {
             self.graphs[gi].clear_wait(h.txn);
             self.finalize_grant(h.txn, entity, h.mode)?;
+            // A remote grantee learns of its grant by a reliable (possibly
+            // duplicated, dedup-suppressed) notification.
+            if self.net.active() {
+                let (from, to) = (self.site_of(entity), self.home_of(h.txn));
+                if from != to {
+                    self.metrics.messages += 1;
+                    self.net.send_reliable(from, to, "grant", &mut self.metrics);
+                }
+            }
         }
         Ok(())
     }
@@ -546,7 +709,7 @@ impl DistributedSystem {
     /// granted *younger* holder must not keep an older waiter waiting, or
     /// the timestamp invariant (waits only run young → old) breaks and an
     /// undetectable cycle could form.
-    fn sync_entity(&mut self, entity: EntityId) -> Result<(), EngineError> {
+    pub(crate) fn sync_entity(&mut self, entity: EntityId) -> Result<(), EngineError> {
         self.refresh_waiters(entity);
         if self.config.scheme != CrossSiteScheme::WoundWait {
             return Ok(());
@@ -555,8 +718,8 @@ impl DistributedSystem {
             let holders = self.table.holder_records(entity);
             let mut wound: Option<CandidateRollback> = None;
             'outer: for w in self.table.waiters_of(entity) {
-                let w_entry = match self.txns.get(&w.txn) {
-                    Some(rt) => rt.entry_order,
+                let w_key = match self.txns.get(&w.txn) {
+                    Some(rt) => self.wound_key(rt),
                     None => continue,
                 };
                 for h in &holders {
@@ -564,7 +727,7 @@ impl DistributedSystem {
                         continue;
                     }
                     let Some(hrt) = self.txns.get(&h.txn) else { continue };
-                    if hrt.entry_order > w_entry && hrt.rollbackable() {
+                    if self.wound_key(hrt) > w_key && hrt.rollbackable() {
                         let Some(ideal) = hrt.lock_state_for(entity) else { continue };
                         let target = hrt.reachable_target(self.config.strategy, ideal);
                         let cost = hrt.cost_to_lock_state(target);
@@ -583,7 +746,7 @@ impl DistributedSystem {
         }
     }
 
-    fn refresh_waiters(&mut self, entity: EntityId) {
+    pub(crate) fn refresh_waiters(&mut self, entity: EntityId) {
         let gi = self.graph_index(entity);
         let holders = self.table.holder_records(entity);
         for w in self.table.waiters_of(entity) {
@@ -596,9 +759,203 @@ impl DistributedSystem {
         }
     }
 
+    /// Processes every network event due at the current tick: site
+    /// crashes (run recovery), restarts (reconcile), and delayed graph
+    /// updates (apply + detect).
+    pub(crate) fn process_network_events(&mut self) -> Result<(), EngineError> {
+        for t in self.net.due_transitions() {
+            match t {
+                Transition::Down(site) => self.handle_crash(site)?,
+                Transition::Up(site, outage) => self.handle_restart(site, outage)?,
+            }
+        }
+        for update in self.net.poll(&mut self.metrics) {
+            self.apply_graph_update(update)?;
+        }
+        if self.config.scheme == CrossSiteScheme::GlobalDetection
+            && !self.degraded
+            && self.net.now() >= self.next_reconcile_at
+        {
+            self.next_reconcile_at = self.net.now() + RECONCILE_INTERVAL_TICKS;
+            self.reconcile_graphs()?;
+        }
+        Ok(())
+    }
+
+    /// Applies a (possibly late, possibly reordered) waits-for update at
+    /// the coordinator. The carried snapshot is ignored in favour of
+    /// current lock-table truth — together with per-channel sequence
+    /// numbers this is what makes reordered updates harmless; an update
+    /// whose waiter has since moved on is discarded as stale.
+    fn apply_graph_update(&mut self, u: GraphUpdate) -> Result<(), EngineError> {
+        let still_blocked = self
+            .txns
+            .get(&u.waiter)
+            .is_some_and(|rt| rt.phase == Phase::Blocked && rt.blocked_on == Some(u.entity));
+        if !still_blocked {
+            self.metrics.stale_updates_discarded += 1;
+            return Ok(());
+        }
+        let blockers = self.table.blockers_of(u.waiter, u.entity);
+        self.graphs[0].set_wait(u.waiter, u.entity, &blockers);
+        self.resolve_cycles_in(0, u.waiter, u.entity)
+    }
+
+    /// `GlobalDetection` with the coordinator unreachable: track the wait
+    /// in the entity's site-local fallback graph and resolve same-site
+    /// cycles locally. Cross-site cycles stay invisible until the
+    /// coordinator restarts and [`Self::reconcile_graphs`] runs.
+    pub(crate) fn local_fallback(
+        &mut self,
+        causer: TxnId,
+        entity: EntityId,
+    ) -> Result<(), EngineError> {
+        self.degraded = true;
+        let site = usize::from(self.site_of(entity).raw());
+        for _round in 0..1024 {
+            let rt = self.txns.get(&causer).expect("checked");
+            if rt.phase != Phase::Blocked {
+                return Ok(());
+            }
+            let Some(mode) = self.table.waiting_on(causer, entity).map(|w| w.mode) else {
+                return Ok(());
+            };
+            let holders: Vec<TxnId> = self
+                .table
+                .holder_records(entity)
+                .into_iter()
+                .filter(|h| h.txn != causer && !mode.compatible_with(h.mode))
+                .map(|h| h.txn)
+                .collect();
+            self.rebuild_fallback_graph(site);
+            self.fallback[site].clear_wait(causer);
+            let cycles = cycles_on_wait(&self.fallback[site], causer, entity, &holders, 64);
+            if cycles.is_empty() {
+                return Ok(());
+            }
+            self.metrics.detected_deadlocks += 1;
+            self.metrics.local_fallback_detections += 1;
+            let event = DeadlockEvent { causer, entity, cycles };
+            let plan = plan_resolution(&event, &self.config.engine_config(), &self.txns);
+            if plan.rollbacks.is_empty() {
+                break;
+            }
+            for rb in &plan.rollbacks {
+                self.execute_rollback(*rb)?;
+                self.metrics.detection_rollbacks += 1;
+            }
+        }
+        Err(EngineError::Stuck { blocked: vec![causer] })
+    }
+
+    /// Rebuilds one site's fallback graph from lock-table truth,
+    /// restricted to entities homed at that site.
+    fn rebuild_fallback_graph(&mut self, site: usize) {
+        let mut g = WaitsForGraph::new();
+        for entity in self.table.entities() {
+            if usize::from(self.site_of(entity).raw()) != site {
+                continue;
+            }
+            for w in self.table.waiters_of(entity) {
+                let blockers = self.table.blockers_of(w.txn, entity);
+                g.set_wait(w.txn, entity, &blockers);
+            }
+        }
+        self.fallback[site] = g;
+    }
+
+    /// Rebuilds every maintained waits-for graph from lock-table truth
+    /// and re-runs detection for each blocked transaction — the repair
+    /// step after lost graph-maintenance messages or a coordinator
+    /// outage. Costs one message per blocked transaction (each site
+    /// re-reports its waits).
+    pub(crate) fn reconcile_graphs(&mut self) -> Result<(), EngineError> {
+        self.metrics.reconciliations += 1;
+        let now = self.net.now();
+        self.net.log(format!("[{now}] reconcile graphs from lock-table truth"));
+        for g in &mut self.graphs {
+            *g = WaitsForGraph::new();
+        }
+        for entity in self.table.entities() {
+            let gi = self.graph_index(entity);
+            for w in self.table.waiters_of(entity) {
+                let blockers = self.table.blockers_of(w.txn, entity);
+                self.graphs[gi].set_wait(w.txn, entity, &blockers);
+            }
+        }
+        let blocked: Vec<(TxnId, EntityId)> = self
+            .txns
+            .values()
+            .filter(|rt| rt.phase == Phase::Blocked)
+            .map(|rt| (rt.id, rt.blocked_on.expect("blocked transactions record their entity")))
+            .collect();
+        self.metrics.messages += blocked.len() as u64;
+        if self.config.scheme == CrossSiteScheme::WoundWait {
+            return Ok(()); // prevention: wounds happen at request time
+        }
+        for (txn, entity) in blocked {
+            // An earlier iteration's resolution may have already rolled
+            // this transaction back to Running.
+            if self.txns.get(&txn).is_some_and(|rt| rt.phase == Phase::Blocked) {
+                let gi = self.graph_index(entity);
+                self.resolve_cycles_in(gi, txn, entity)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Cross-layer consistency sweep used by the chaos harness and the
+    /// fault tests: lock-table invariants, per-transaction workspace
+    /// integrity, phase/lock coherence, and store consistency.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.table.check_invariants()?;
+        self.store.check_consistency().map_err(|e| format!("store: {e}"))?;
+        for rt in self.txns.values() {
+            rt.workspace.check_integrity().map_err(|e| format!("{}: {e}", rt.id))?;
+            match rt.phase {
+                Phase::Committed | Phase::Aborted => {
+                    if !rt.held.is_empty() {
+                        return Err(format!("{} settled but still holds locks", rt.id));
+                    }
+                }
+                Phase::Blocked => {
+                    let Some(entity) = rt.blocked_on else {
+                        return Err(format!("{} blocked without an entity", rt.id));
+                    };
+                    if self.table.waiting_on(rt.id, entity).is_none() {
+                        return Err(format!(
+                            "{} blocked on {entity} without a queued request",
+                            rt.id
+                        ));
+                    }
+                }
+                Phase::Running => {}
+            }
+        }
+        for entity in self.table.entities() {
+            for h in self.table.holders_of(entity) {
+                let Some(rt) = self.txns.get(&h) else {
+                    return Err(format!("{entity}: holder {h} has no runtime"));
+                };
+                if matches!(rt.phase, Phase::Committed | Phase::Aborted) {
+                    return Err(format!("{entity}: settled transaction {h} still holds it"));
+                }
+                if !rt.held.contains(&entity) {
+                    return Err(format!("{entity}: holder {h} does not track it as held"));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// The database.
     pub fn store(&self) -> &GlobalStore {
         &self.store
+    }
+
+    /// The simulated network (fault trace, virtual clock, liveness).
+    pub fn network(&self) -> &Network {
+        &self.net
     }
 
     /// Accumulated metrics.

@@ -34,9 +34,14 @@
 //! shrinks the damage of every rollback under *every* scheme.
 
 pub mod engine;
+pub mod fault;
 pub mod metrics;
+pub mod net;
+pub mod recovery;
 pub mod site;
 
 pub use engine::{CrossSiteScheme, DistConfig, DistributedSystem};
+pub use fault::{CrashEvent, FaultPlan};
 pub use metrics::DistMetrics;
+pub use net::Network;
 pub use site::{Partition, SiteId};

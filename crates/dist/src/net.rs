@@ -1,0 +1,581 @@
+//! The simulated inter-site network: sequence numbers, dedup windows,
+//! in-flight delays, drops, duplicates, and site liveness.
+//!
+//! The engine drives everything synchronously, so the network's job is to
+//! decide — deterministically, from the [`FaultPlan`]'s seeded PRNG — what
+//! *would* have happened to each message and to surface the consequences:
+//!
+//! * **Requests** ([`Network::rpc`]) retry with bounded exponential
+//!   backoff; exhausting the retry budget (or addressing a dead site)
+//!   reports a timeout and the caller stalls without advancing, retrying
+//!   on its next scheduling slot.
+//! * **Reliable notifications** ([`Network::send_reliable`]) — wounds and
+//!   grants — are retried until delivered, but the network may *duplicate*
+//!   them; every message carries a per-channel sequence number and the
+//!   receiving site's dedup window suppresses replays.
+//! * **Asynchronous updates** ([`Network::send_async`]) — coordinator
+//!   graph maintenance — can be dropped outright, delayed (which reorders
+//!   them against later sends), or duplicated; delivery happens when the
+//!   engine polls the in-flight queue.
+//!
+//! Every decision is appended to a bounded textual trace, which is the
+//! artifact the determinism proptest compares across replays and the chaos
+//! harness uploads for failing seeds.
+
+use crate::fault::{CrashEvent, FaultPlan};
+use crate::metrics::DistMetrics;
+use crate::site::SiteId;
+use pr_model::{EntityId, TxnId};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A site liveness transition surfaced by [`Network::due_transitions`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Transition {
+    /// The site crashed: its lock grants are lost and recovery must run.
+    Down(SiteId),
+    /// The site restarted after the given outage length.
+    Up(SiteId, u64),
+}
+
+/// Outcome of sending an asynchronous (droppable) message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AsyncOutcome {
+    /// Delivered immediately (the engine should apply it now).
+    Applied,
+    /// In flight; it will surface from [`Network::poll`] at a later tick.
+    Deferred,
+    /// Lost. The reconcile path repairs the resulting staleness.
+    Dropped,
+    /// The destination site is down; the message cannot be sent at all.
+    DestinationDown,
+}
+
+/// An asynchronous payload: a waits-for arc update bound for a graph
+/// maintained at another site.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GraphUpdate {
+    /// The waiting transaction.
+    pub waiter: TxnId,
+    /// The contested entity.
+    pub entity: EntityId,
+}
+
+#[derive(Clone, Debug)]
+struct InFlight {
+    deliver_at: u64,
+    /// Global send order; ties on `deliver_at` deliver in send order.
+    order: u64,
+    channel: (u16, u16),
+    seq: u64,
+    payload: GraphUpdate,
+}
+
+/// Bound on retained trace lines (chaos runs are long; traces must not be
+/// the thing that runs the host out of memory).
+const TRACE_CAP: usize = 20_000;
+/// Dedup window pruning thresholds per channel.
+const SEEN_HIGH: usize = 2_048;
+const SEEN_LOW: usize = 1_024;
+/// Cap on reliable-send attempts; with drop ≤ 999‰ the probability of
+/// hitting it is ≤ 0.999^64 ≈ 1.6%, and the send succeeds anyway (the
+/// model treats the final attempt as delivered) — the cap only bounds the
+/// accounting loop.
+const RELIABLE_ATTEMPT_CAP: u32 = 64;
+
+/// The simulated network fabric shared by all sites.
+#[derive(Clone, Debug)]
+pub struct Network {
+    plan: FaultPlan,
+    rng: SmallRng,
+    active: bool,
+    now: u64,
+    /// Crashes not yet triggered, sorted by `at_tick`.
+    pending_crashes: Vec<CrashEvent>,
+    /// Down sites → (restart tick, crash tick).
+    down: BTreeMap<u16, (u64, u64)>,
+    next_seq: BTreeMap<(u16, u16), u64>,
+    seen: BTreeMap<(u16, u16), BTreeSet<u64>>,
+    queue: Vec<InFlight>,
+    send_order: u64,
+    trace: Vec<String>,
+    trace_dropped: u64,
+}
+
+impl Network {
+    /// A network with no fault plan: every call takes the zero-overhead
+    /// fast path and the engine behaves exactly as without this module.
+    pub fn inactive() -> Self {
+        Self::build(FaultPlan::none())
+    }
+
+    /// A network executing `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self::build(plan)
+    }
+
+    fn build(plan: FaultPlan) -> Self {
+        let mut pending = plan.crashes.clone();
+        pending.sort_by_key(|c| (c.at_tick, c.site.raw()));
+        let active = plan.is_active();
+        Network {
+            rng: SmallRng::seed_from_u64(plan.seed),
+            plan,
+            active,
+            now: 0,
+            pending_crashes: pending,
+            down: BTreeMap::new(),
+            next_seq: BTreeMap::new(),
+            seen: BTreeMap::new(),
+            queue: Vec::new(),
+            send_order: 0,
+            trace: Vec::new(),
+            trace_dropped: 0,
+        }
+    }
+
+    /// Whether fault injection is on.
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// The fault plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances the virtual clock by one tick (one engine step).
+    pub fn tick(&mut self) {
+        self.now += 1;
+    }
+
+    /// Jumps the clock forward to `tick` (used when no transaction is
+    /// runnable and the system is waiting for the next network event).
+    pub fn advance_to(&mut self, tick: u64) {
+        if tick > self.now {
+            self.now = tick;
+        }
+    }
+
+    /// Whether `site` is currently crashed.
+    pub fn is_down(&self, site: SiteId) -> bool {
+        self.down.contains_key(&site.raw())
+    }
+
+    /// The earliest tick strictly in the future at which something is
+    /// scheduled to happen: a crash, a restart, or an in-flight delivery.
+    pub fn next_event_tick(&self) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let mut consider = |t: u64| {
+            if t > self.now && next.is_none_or(|n| t < n) {
+                next = Some(t);
+            }
+        };
+        if let Some(c) = self.pending_crashes.first() {
+            consider(c.at_tick.max(self.now + 1));
+        }
+        for &(up_at, _) in self.down.values() {
+            consider(up_at.max(self.now + 1));
+        }
+        for m in &self.queue {
+            consider(m.deliver_at.max(self.now + 1));
+        }
+        next
+    }
+
+    /// Site liveness transitions due at or before the current tick, in
+    /// deterministic order (crashes before restarts, each by site id).
+    pub fn due_transitions(&mut self) -> Vec<Transition> {
+        let mut out = Vec::new();
+        while self.pending_crashes.first().is_some_and(|c| c.at_tick <= self.now) {
+            let c = self.pending_crashes.remove(0);
+            // A crash of an already-down site just extends the outage.
+            let up_at = self.now + c.down_ticks.max(1);
+            let entry = self.down.entry(c.site.raw()).or_insert((up_at, self.now));
+            entry.0 = entry.0.max(up_at);
+            self.log(format!("[{}] crash {} (down {} ticks)", self.now, c.site, c.down_ticks));
+            out.push(Transition::Down(c.site));
+        }
+        let restarts: Vec<u16> = self
+            .down
+            .iter()
+            .filter(|(_, &(up_at, _))| up_at <= self.now)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in restarts {
+            let (_, crashed_at) = self.down.remove(&s).expect("present");
+            let outage = self.now - crashed_at;
+            self.log(format!("[{}] restart site{s} (outage {outage} ticks)", self.now));
+            out.push(Transition::Up(SiteId::new(s), outage));
+        }
+        out
+    }
+
+    /// A synchronous request/response exchange from `from` to `to`:
+    /// returns `true` if a request got through within the retry budget.
+    /// On `false` the caller must stall (retry on its next slot); the
+    /// attempt cost is recorded in `m`.
+    pub fn rpc(&mut self, from: SiteId, to: SiteId, m: &mut DistMetrics) -> bool {
+        if !self.active {
+            return true;
+        }
+        if self.is_down(to) || self.is_down(from) {
+            m.timeouts += 1;
+            m.stall_steps += 1;
+            self.log(format!("[{}] rpc {from}->{to} timeout (site down)", self.now));
+            return false;
+        }
+        let drop_p = f64::from(self.plan.effective_drop_per_mille()) / 1000.0;
+        let limit = self.plan.rpc_retry_limit.max(1);
+        for attempt in 0..limit {
+            if attempt > 0 {
+                m.retries += 1;
+                m.messages += 1; // the retried request itself
+                let backoff = (self.plan.backoff_base_ticks.max(1) << attempt.min(16)).min(1 << 16);
+                m.backoff_ticks += backoff;
+            }
+            if drop_p == 0.0 || !self.rng.gen_bool(drop_p) {
+                if attempt > 0 {
+                    self.log(format!(
+                        "[{}] rpc {from}->{to} ok after {} retries",
+                        self.now, attempt
+                    ));
+                }
+                return true;
+            }
+            m.dropped_messages += 1;
+        }
+        m.timeouts += 1;
+        m.stall_steps += 1;
+        self.log(format!("[{}] rpc {from}->{to} timeout ({limit} attempts)", self.now));
+        false
+    }
+
+    /// A notification that is retried until it lands (the receiver is
+    /// known to be up): wounds and grants. The network may duplicate it;
+    /// the duplicate is enqueued and suppressed by the receiver's dedup
+    /// window when it arrives.
+    pub fn send_reliable(&mut self, from: SiteId, to: SiteId, label: &str, m: &mut DistMetrics) {
+        if !self.active {
+            return;
+        }
+        let seq = self.assign_seq(from, to);
+        let drop_p = f64::from(self.plan.effective_drop_per_mille()) / 1000.0;
+        let mut attempt = 0;
+        while drop_p > 0.0 && attempt < RELIABLE_ATTEMPT_CAP && self.rng.gen_bool(drop_p) {
+            attempt += 1;
+            m.retries += 1;
+            m.messages += 1;
+            m.dropped_messages += 1;
+        }
+        self.mark_seen(from, to, seq);
+        self.log(format!("[{}] {label} {from}->{to} seq {seq} delivered", self.now));
+        if self.roll_dup() {
+            // The duplicate carries a dummy payload; the dedup window will
+            // suppress it before the payload is ever looked at.
+            let deliver_at = self.now + 1 + self.roll_delay();
+            self.enqueue(
+                from,
+                to,
+                seq,
+                deliver_at,
+                GraphUpdate { waiter: TxnId::new(0), entity: EntityId::new(0) },
+            );
+            self.log(format!("[{}] {label} {from}->{to} seq {seq} duplicated", self.now));
+        }
+    }
+
+    /// A droppable, delayable, duplicable one-way message carrying a
+    /// waits-for update. `Applied` means the caller should apply it
+    /// synchronously; `Deferred` copies surface later from [`Network::poll`].
+    pub fn send_async(
+        &mut self,
+        from: SiteId,
+        to: SiteId,
+        payload: GraphUpdate,
+        m: &mut DistMetrics,
+    ) -> AsyncOutcome {
+        if !self.active {
+            return AsyncOutcome::Applied;
+        }
+        if self.is_down(to) {
+            self.log(format!("[{}] async {from}->{to} undeliverable (site down)", self.now));
+            return AsyncOutcome::DestinationDown;
+        }
+        let seq = self.assign_seq(from, to);
+        let drop_p = f64::from(self.plan.effective_drop_per_mille()) / 1000.0;
+        if drop_p > 0.0 && self.rng.gen_bool(drop_p) {
+            m.dropped_messages += 1;
+            self.log(format!("[{}] async {from}->{to} seq {seq} dropped", self.now));
+            return AsyncOutcome::Dropped;
+        }
+        let delay = self.roll_delay();
+        let dup = self.roll_dup();
+        let outcome = if delay == 0 {
+            self.mark_seen(from, to, seq);
+            self.log(format!("[{}] async {from}->{to} seq {seq} applied", self.now));
+            AsyncOutcome::Applied
+        } else {
+            self.enqueue(from, to, seq, self.now + delay, payload);
+            self.log(format!("[{}] async {from}->{to} seq {seq} delayed {delay} ticks", self.now));
+            AsyncOutcome::Deferred
+        };
+        if dup {
+            let extra_delay = 1 + self.roll_delay();
+            self.enqueue(from, to, seq, self.now + extra_delay, payload);
+            self.log(format!("[{}] async {from}->{to} seq {seq} duplicated", self.now));
+        }
+        outcome
+    }
+
+    /// Drains every in-flight message due at or before the current tick,
+    /// in `(deliver_at, send order)` order, after dedup filtering.
+    /// Messages addressed to a currently-down site are discarded (the
+    /// crash lost them; reconcile repairs the staleness).
+    pub fn poll(&mut self, m: &mut DistMetrics) -> Vec<GraphUpdate> {
+        if !self.active || self.queue.is_empty() {
+            return Vec::new();
+        }
+        let now = self.now;
+        let mut due: Vec<InFlight> = Vec::new();
+        let mut rest: Vec<InFlight> = Vec::new();
+        for msg in self.queue.drain(..) {
+            if msg.deliver_at <= now {
+                due.push(msg);
+            } else {
+                rest.push(msg);
+            }
+        }
+        self.queue = rest;
+        due.sort_by_key(|msg| (msg.deliver_at, msg.order));
+        let mut out = Vec::new();
+        for msg in due {
+            if self.down.contains_key(&msg.channel.1) {
+                m.dropped_messages += 1;
+                self.log(format!(
+                    "[{now}] deliver seq {} to site{} lost (site down)",
+                    msg.seq, msg.channel.1
+                ));
+                continue;
+            }
+            let seen = self.seen.entry(msg.channel).or_default();
+            if !seen.insert(msg.seq) {
+                m.dups_suppressed += 1;
+                self.log(format!(
+                    "[{now}] deliver seq {} to site{} suppressed (duplicate)",
+                    msg.seq, msg.channel.1
+                ));
+                continue;
+            }
+            Self::prune_seen(seen);
+            self.log(format!("[{now}] deliver seq {} to site{}", msg.seq, msg.channel.1));
+            out.push(msg.payload);
+        }
+        out
+    }
+
+    /// Appends a line to the bounded event trace.
+    pub fn log(&mut self, line: String) {
+        if self.trace.len() >= TRACE_CAP {
+            self.trace_dropped += 1;
+            return;
+        }
+        self.trace.push(line);
+    }
+
+    /// The retained event trace (the determinism artifact).
+    pub fn trace(&self) -> &[String] {
+        &self.trace
+    }
+
+    /// Trace lines discarded beyond the retention cap.
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace_dropped
+    }
+
+    fn assign_seq(&mut self, from: SiteId, to: SiteId) -> u64 {
+        let c = self.next_seq.entry((from.raw(), to.raw())).or_insert(0);
+        let seq = *c;
+        *c += 1;
+        seq
+    }
+
+    fn mark_seen(&mut self, from: SiteId, to: SiteId, seq: u64) {
+        let seen = self.seen.entry((from.raw(), to.raw())).or_default();
+        seen.insert(seq);
+        Self::prune_seen(seen);
+    }
+
+    fn prune_seen(seen: &mut BTreeSet<u64>) {
+        if seen.len() > SEEN_HIGH {
+            while seen.len() > SEEN_LOW {
+                let oldest = *seen.iter().next().expect("non-empty");
+                seen.remove(&oldest);
+            }
+        }
+    }
+
+    fn enqueue(&mut self, from: SiteId, to: SiteId, seq: u64, deliver_at: u64, p: GraphUpdate) {
+        let order = self.send_order;
+        self.send_order += 1;
+        self.queue.push(InFlight {
+            deliver_at,
+            order,
+            channel: (from.raw(), to.raw()),
+            seq,
+            payload: p,
+        });
+    }
+
+    fn roll_delay(&mut self) -> u64 {
+        if self.plan.delay_per_mille == 0 || self.plan.max_delay_ticks == 0 {
+            return 0;
+        }
+        let p = f64::from(self.plan.delay_per_mille.min(1000)) / 1000.0;
+        if self.rng.gen_bool(p) {
+            self.rng.gen_range(1..=self.plan.max_delay_ticks)
+        } else {
+            0
+        }
+    }
+
+    fn roll_dup(&mut self) -> bool {
+        if self.plan.dup_per_mille == 0 {
+            return false;
+        }
+        let p = f64::from(self.plan.dup_per_mille.min(1000)) / 1000.0;
+        self.rng.gen_bool(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(i: u16) -> SiteId {
+        SiteId::new(i)
+    }
+
+    #[test]
+    fn inactive_network_is_transparent() {
+        let mut net = Network::inactive();
+        let mut m = DistMetrics::default();
+        assert!(!net.active());
+        assert!(net.rpc(site(0), site(1), &mut m));
+        net.send_reliable(site(0), site(1), "grant", &mut m);
+        assert_eq!(net.send_async(site(0), site(1), gu(1, 0), &mut m), AsyncOutcome::Applied);
+        assert_eq!(m, DistMetrics::default(), "no counters move without a plan");
+        assert!(net.trace().is_empty());
+    }
+
+    fn gu(txn: u32, entity: u32) -> GraphUpdate {
+        GraphUpdate { waiter: TxnId::new(txn), entity: EntityId::new(entity) }
+    }
+
+    #[test]
+    fn certain_duplication_is_suppressed_by_the_dedup_window() {
+        let mut plan = FaultPlan::none();
+        plan.dup_per_mille = 1000;
+        plan.delay_per_mille = 0;
+        let mut net = Network::new(plan);
+        let mut m = DistMetrics::default();
+        // A reliably-sent grant is duplicated; the copy arrives next tick
+        // and is suppressed by its sequence number.
+        net.send_reliable(site(1), site(0), "grant", &mut m);
+        net.tick();
+        let delivered = net.poll(&mut m);
+        assert!(delivered.is_empty());
+        assert_eq!(m.dups_suppressed, 1);
+    }
+
+    #[test]
+    fn delayed_messages_reorder_but_replay_identically() {
+        let mut plan = FaultPlan::none();
+        plan.delay_per_mille = 1000;
+        plan.max_delay_ticks = 5;
+        plan.seed = 7;
+        let run = || {
+            let mut net = Network::new(plan.clone());
+            let mut m = DistMetrics::default();
+            for i in 0..10 {
+                let _ = net.send_async(site(1), site(0), gu(i, i), &mut m);
+            }
+            let mut order = Vec::new();
+            for _ in 0..10 {
+                net.tick();
+                order.extend(net.poll(&mut m).into_iter().map(|p| p.waiter.raw()));
+            }
+            (order, net.trace().to_vec())
+        };
+        let (a_order, a_trace) = run();
+        let (b_order, b_trace) = run();
+        assert_eq!(a_order, b_order);
+        assert_eq!(a_trace, b_trace, "same seed must replay byte-identically");
+        assert_eq!(a_order.len(), 10, "delayed messages all arrive");
+    }
+
+    #[test]
+    fn crash_and_restart_transitions_fire_in_order() {
+        let mut plan = FaultPlan::none();
+        plan.crashes = vec![CrashEvent { site: site(1), at_tick: 3, down_ticks: 4 }];
+        let mut net = Network::new(plan);
+        let mut m = DistMetrics::default();
+        for _ in 0..2 {
+            net.tick();
+            assert!(net.due_transitions().is_empty());
+        }
+        net.tick(); // now = 3
+        assert_eq!(net.due_transitions(), vec![Transition::Down(site(1))]);
+        assert!(net.is_down(site(1)));
+        assert!(!net.rpc(site(0), site(1), &mut m), "rpc to a dead site times out");
+        assert_eq!(m.timeouts, 1);
+        assert_eq!(net.next_event_tick(), Some(7));
+        net.advance_to(7);
+        assert_eq!(net.due_transitions(), vec![Transition::Up(site(1), 4)]);
+        assert!(!net.is_down(site(1)));
+        assert!(net.rpc(site(0), site(1), &mut m));
+    }
+
+    #[test]
+    fn rpc_retries_then_times_out_under_heavy_loss() {
+        let mut plan = FaultPlan::none();
+        plan.drop_per_mille = 999;
+        plan.rpc_retry_limit = 4;
+        plan.seed = 1;
+        let mut net = Network::new(plan);
+        let mut m = DistMetrics::default();
+        let mut timed_out = false;
+        for _ in 0..50 {
+            if !net.rpc(site(0), site(1), &mut m) {
+                timed_out = true;
+                break;
+            }
+        }
+        assert!(timed_out, "999-permille loss must exhaust a 4-attempt budget quickly");
+        assert!(m.retries > 0 && m.backoff_ticks > 0 && m.dropped_messages > 0);
+    }
+
+    #[test]
+    fn messages_to_down_sites_are_lost_in_flight() {
+        let mut plan = FaultPlan::none();
+        plan.delay_per_mille = 1000;
+        plan.max_delay_ticks = 3;
+        plan.crashes = vec![CrashEvent { site: site(0), at_tick: 1, down_ticks: 10 }];
+        let mut net = Network::new(plan);
+        let mut m = DistMetrics::default();
+        let out = net.send_async(site(1), site(0), gu(1, 0), &mut m);
+        assert_eq!(out, AsyncOutcome::Deferred);
+        net.tick();
+        let _ = net.due_transitions(); // site 0 crashes
+        for _ in 0..4 {
+            net.tick();
+            assert!(net.poll(&mut m).is_empty());
+        }
+        assert!(m.dropped_messages >= 1, "in-flight message died with the site");
+    }
+}

@@ -1,0 +1,194 @@
+//! Fault-injection and recovery regression tests: message duplication
+//! dedup, coordinator-outage fallback, crash recovery via partial
+//! rollback, crash aborts, and clock-skewed wound-wait.
+
+use pr_core::runtime::Phase;
+use pr_core::scheduler::RoundRobin;
+use pr_core::StrategyKind;
+use pr_dist::{CrashEvent, CrossSiteScheme, DistConfig, DistributedSystem, FaultPlan, SiteId};
+use pr_model::{EntityId, ProgramBuilder, TransactionProgram, Value};
+use pr_storage::GlobalStore;
+
+fn e(i: u32) -> EntityId {
+    EntityId::new(i)
+}
+
+fn store(n: u32) -> GlobalStore {
+    GlobalStore::with_entities(n, Value::new(100))
+}
+
+fn sys_with(
+    sites: u16,
+    scheme: CrossSiteScheme,
+    strategy: StrategyKind,
+    plan: FaultPlan,
+) -> DistributedSystem {
+    DistributedSystem::with_faults(store(8), DistConfig::new(sites, scheme, strategy), plan)
+}
+
+/// Lock `a` then `b` with padding in between (2-site round-robin: even
+/// entity ids live at site 0, odd ids at site 1).
+fn two_lock(a: u32, b: u32, pads: usize) -> TransactionProgram {
+    ProgramBuilder::new()
+        .lock_exclusive(e(a))
+        .write_const(e(a), 1)
+        .pad(pads)
+        .lock_exclusive(e(b))
+        .write_const(e(b), 2)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn duplicated_grant_messages_are_suppressed_and_harmless() {
+    let mut plan = FaultPlan::none();
+    plan.seed = 3;
+    plan.dup_per_mille = 1000; // every reliable notification is duplicated
+    let mut s = sys_with(2, CrossSiteScheme::GlobalDetection, StrategyKind::Mcs, plan);
+    // t2 (home site 1) takes e1 first; t1 (home site 0) must wait for it,
+    // so its eventual grant crosses sites — and is duplicated.
+    let t2 = s
+        .admit(
+            ProgramBuilder::new().lock_exclusive(e(1)).write_const(e(1), 7).pad(2).build().unwrap(),
+        )
+        .unwrap();
+    let t1 = s.admit(two_lock(0, 1, 1)).unwrap();
+    s.step(t2).unwrap();
+    s.step(t1).unwrap();
+    s.run(&mut RoundRobin::new()).unwrap();
+    assert!(s.all_committed());
+    assert!(
+        s.metrics().dups_suppressed >= 1,
+        "certain duplication must produce suppressed deliveries: {:?}",
+        s.metrics()
+    );
+    // The duplicate grant changed nothing: t1 wrote e1 last.
+    assert_eq!(s.store().read(e(1)).unwrap(), Value::new(2));
+    s.check_invariants().unwrap();
+}
+
+#[test]
+fn coordinator_outage_falls_back_locally_and_reconciles_on_restart() {
+    let mut plan = FaultPlan::none();
+    plan.crashes = vec![CrashEvent { site: SiteId::new(0), at_tick: 1, down_ticks: 300 }];
+    let mut s = sys_with(3, CrossSiteScheme::GlobalDetection, StrategyKind::Mcs, plan);
+    // A cross-site cycle between sites 1 and 2, formed while the
+    // coordinator (site 0) is down: site-local fallback graphs cannot see
+    // it; the restart reconcile must.
+    let t1 = s.admit(two_lock(1, 2, 1)).unwrap();
+    let t2 = s.admit(two_lock(2, 1, 1)).unwrap();
+    s.step(t1).unwrap(); // tick 1: coordinator crashes, then t1 takes e1
+    s.step(t2).unwrap();
+    s.run(&mut RoundRobin::new()).unwrap();
+    assert!(s.all_committed());
+    let m = s.metrics();
+    assert_eq!(m.coordinator_outages, 1);
+    assert_eq!(m.crashes, 1);
+    assert_eq!(m.recoveries, 1);
+    assert!(m.reconciliations >= 1, "restart must rebuild the coordinator graph");
+    assert!(m.detected_deadlocks >= 1, "the hidden cross-site cycle must be found");
+    s.check_invariants().unwrap();
+}
+
+/// Runs one transaction spanning both sites into a crash of site 1 while
+/// it holds a lock there, and returns the recovery rollback cost.
+fn recovery_cost(strategy: StrategyKind) -> (u64, DistributedSystem) {
+    let mut plan = FaultPlan::none();
+    plan.crashes = vec![CrashEvent { site: SiteId::new(1), at_tick: 8, down_ticks: 20 }];
+    let mut s = sys_with(2, CrossSiteScheme::GlobalDetection, strategy, plan);
+    let t1 = s
+        .admit(
+            ProgramBuilder::new()
+                .lock_exclusive(e(0))
+                .write_const(e(0), 1)
+                .pad(3)
+                .lock_exclusive(e(1))
+                .write_const(e(1), 2)
+                .pad(3)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    s.run(&mut RoundRobin::new()).unwrap();
+    assert!(s.all_committed(), "{strategy:?}");
+    let m = s.metrics();
+    assert_eq!(m.crashes, 1, "{strategy:?}");
+    assert_eq!(m.expired_grants, 1, "{strategy:?}: the e1 grant dies with site 1");
+    assert_eq!(m.recovery_rollbacks, 1, "{strategy:?}");
+    assert_eq!(m.recoveries, 1, "{strategy:?}");
+    assert_eq!(m.ttr_ticks, 20, "{strategy:?}");
+    assert_eq!(s.txn(t1).unwrap().phase, Phase::Committed);
+    s.check_invariants().unwrap();
+    (m.recovery_states_lost, s)
+}
+
+#[test]
+fn crash_recovery_rolls_survivors_back_partially_not_totally() {
+    let (mcs_cost, _) = recovery_cost(StrategyKind::Mcs);
+    let (total_cost, _) = recovery_cost(StrategyKind::Total);
+    assert!(mcs_cost >= 1, "losing the e1 grant must cost something");
+    assert!(
+        mcs_cost < total_cost,
+        "partial rollback must save recovery work: mcs {mcs_cost} vs total {total_cost}"
+    );
+}
+
+#[test]
+fn crash_aborts_home_transactions_and_unblocks_their_waiters() {
+    let mut plan = FaultPlan::none();
+    plan.crashes = vec![CrashEvent { site: SiteId::new(1), at_tick: 6, down_ticks: 5 }];
+    let mut s = sys_with(2, CrossSiteScheme::GlobalDetection, StrategyKind::Mcs, plan);
+    // t1 is homed at the doomed site and holds e1 there; t2 waits for e1.
+    let t1 = s
+        .admit(
+            ProgramBuilder::new().lock_exclusive(e(1)).write_const(e(1), 9).pad(8).build().unwrap(),
+        )
+        .unwrap();
+    let t2 = s.admit(two_lock(0, 1, 1)).unwrap();
+    s.step(t1).unwrap();
+    s.run(&mut RoundRobin::new()).unwrap();
+    assert!(s.all_settled());
+    assert!(!s.all_committed());
+    assert_eq!(s.txn(t1).unwrap().phase, Phase::Aborted, "t1's home site died");
+    assert_eq!(s.txn(t2).unwrap().phase, Phase::Committed, "t2 must survive the crash");
+    let m = s.metrics();
+    assert_eq!(m.crash_aborts, 1);
+    assert_eq!(m.commits, 1);
+    // Nothing t1 wrote was published: e1 carries t2's write.
+    assert_eq!(s.store().read(e(1)).unwrap(), Value::new(2));
+    s.check_invariants().unwrap();
+}
+
+#[test]
+fn clock_skew_reverses_wound_wait_age() {
+    // t1 enters first (entry order 0) and holds e1; t2 enters second.
+    // Without skew t2 is younger and waits. With +100 ticks of skew on
+    // t1's home site, t2 looks older and wounds t1 instead.
+    let run = |skew: Vec<i64>| {
+        let mut plan = FaultPlan::none();
+        plan.clock_skew_ticks = skew;
+        let mut s = sys_with(2, CrossSiteScheme::WoundWait, StrategyKind::Mcs, plan);
+        let t1 = s.admit(two_lock(0, 1, 2)).unwrap();
+        let t2 = s
+            .admit(
+                ProgramBuilder::new()
+                    .lock_exclusive(e(1))
+                    .write_const(e(1), 5)
+                    .pad(2)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        for _ in 0..5 {
+            s.step(t1).unwrap(); // lock e0, write, 2 pads, take e1
+        }
+        s.step(t2).unwrap(); // t2 requests e1 while t1 holds it
+        let wounds = s.metrics().wounds;
+        s.run(&mut RoundRobin::new()).unwrap();
+        assert!(s.all_committed());
+        s.check_invariants().unwrap();
+        wounds
+    };
+    assert_eq!(run(vec![0, 0]), 0, "unskewed: the younger requester waits");
+    assert!(run(vec![100, 0]) >= 1, "skewed: the requester looks older and wounds");
+}

@@ -7,7 +7,7 @@
 //!   states preceding the given one" (§2). The rollback **cost** of §3.1 is a
 //!   difference of state indices.
 //! * A **lock index** counts *lock states*: "the lock index of an entity or
-//!   an operation [is] equal to the number of lock states preceding it in the
+//!   an operation \[is\] equal to the number of lock states preceding it in the
 //!   transaction" (§4). Rollback targets, MCS stacks, and the
 //!   state-dependency graph all live in lock-index space.
 //!

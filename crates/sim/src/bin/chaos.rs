@@ -1,0 +1,266 @@
+//! Seeded chaos soak for the distributed engine.
+//!
+//! ```text
+//! cargo run -p pr-sim --release --bin chaos -- --seeds 0..64
+//! ```
+//!
+//! Every seed deterministically derives a workload, a scheduler, and a
+//! fault schedule (drops, duplications, delays, site crashes, clock
+//! skew), runs all three cross-site schemes against it, and asserts the
+//! no-wedge invariant: every transaction commits or is crash-aborted,
+//! the lock table drains, and the cross-layer consistency sweep passes.
+//! Failing seeds are reported (and, with `--artifacts`, written out with
+//! their full network event trace); re-running a failing seed reproduces
+//! the identical failure history.
+
+use pr_core::StrategyKind;
+use pr_dist::CrossSiteScheme;
+use pr_sim::chaos::{fault_rate_grid, run_chaos, ChaosConfig};
+use pr_sim::report::Table;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: chaos [OPTIONS]
+  --seeds A..B      seed range to soak (default 0..20)
+  --scheme NAME     global-detection | wound-wait | site-ordered | all (default all)
+  --strategy NAME   mcs | sdg | total (default mcs)
+  --sites N         number of sites (default 3)
+  --txns N          transactions per run (default 16)
+  --entities N      entities in the database (default 24)
+  --drop PM         override drop probability (per mille)
+  --dup PM          override duplication probability (per mille)
+  --delay PM        override delay probability (per mille)
+  --skew T          override clock skew to alternating +/-T ticks
+  --no-crashes      strip site crashes from the derived plans
+  --trace SEED      print one seed's full event trace and exit
+  --artifacts DIR   write failing seeds' plans + traces into DIR
+  --table           print the scheme x fault-level grid (EXPERIMENTS T2)
+  --quick           small smoke soak (seeds 0..5, 12 txns)";
+
+struct Options {
+    lo: u64,
+    hi: u64,
+    schemes: Vec<CrossSiteScheme>,
+    strategy: StrategyKind,
+    sites: u16,
+    txns: usize,
+    entities: u32,
+    drop: Option<u16>,
+    dup: Option<u16>,
+    delay: Option<u16>,
+    skew: Option<i64>,
+    no_crashes: bool,
+    trace: Option<u64>,
+    artifacts: Option<std::path::PathBuf>,
+    table: bool,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        lo: 0,
+        hi: 20,
+        schemes: CrossSiteScheme::ALL.to_vec(),
+        strategy: StrategyKind::Mcs,
+        sites: 3,
+        txns: 16,
+        entities: 24,
+        drop: None,
+        dup: None,
+        delay: None,
+        skew: None,
+        no_crashes: false,
+        trace: None,
+        artifacts: None,
+        table: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().map(String::as_str).ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--seeds" => {
+                let v = value("--seeds")?;
+                let (a, b) =
+                    v.split_once("..").ok_or_else(|| format!("bad seed range {v:?}, want A..B"))?;
+                o.lo = a.parse().map_err(|_| format!("bad seed {a:?}"))?;
+                o.hi = b.parse().map_err(|_| format!("bad seed {b:?}"))?;
+                if o.lo >= o.hi {
+                    return Err(format!("empty seed range {v:?}"));
+                }
+            }
+            "--scheme" => {
+                o.schemes = match value("--scheme")? {
+                    "all" => CrossSiteScheme::ALL.to_vec(),
+                    "global-detection" => vec![CrossSiteScheme::GlobalDetection],
+                    "wound-wait" => vec![CrossSiteScheme::WoundWait],
+                    "site-ordered" => vec![CrossSiteScheme::SiteOrdered],
+                    other => return Err(format!("unknown scheme {other:?}")),
+                };
+            }
+            "--strategy" => {
+                o.strategy = match value("--strategy")? {
+                    "mcs" => StrategyKind::Mcs,
+                    "sdg" => StrategyKind::Sdg,
+                    "total" => StrategyKind::Total,
+                    other => return Err(format!("unknown strategy {other:?}")),
+                };
+            }
+            "--sites" => {
+                o.sites = parse_num(value("--sites")?, "--sites")?;
+                if o.sites == 0 {
+                    return Err("--sites must be positive".into());
+                }
+            }
+            "--txns" => o.txns = parse_num(value("--txns")?, "--txns")?,
+            "--entities" => o.entities = parse_num(value("--entities")?, "--entities")?,
+            "--drop" => o.drop = Some(parse_num(value("--drop")?, "--drop")?),
+            "--dup" => o.dup = Some(parse_num(value("--dup")?, "--dup")?),
+            "--delay" => o.delay = Some(parse_num(value("--delay")?, "--delay")?),
+            "--skew" => o.skew = Some(parse_num(value("--skew")?, "--skew")?),
+            "--no-crashes" => o.no_crashes = true,
+            "--trace" => o.trace = Some(parse_num(value("--trace")?, "--trace")?),
+            "--artifacts" => o.artifacts = Some(value("--artifacts")?.into()),
+            "--table" => o.table = true,
+            "--quick" => {
+                o.hi = o.lo + 5;
+                o.txns = 12;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(o)
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str, name: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("{name}: bad number {v:?}"))
+}
+
+fn config_for(o: &Options, seed: u64, scheme: CrossSiteScheme) -> ChaosConfig {
+    let mut cfg = ChaosConfig::seeded(seed, o.sites, scheme, o.strategy, o.txns, o.entities);
+    if let Some(v) = o.drop {
+        cfg.plan.drop_per_mille = v;
+    }
+    if let Some(v) = o.dup {
+        cfg.plan.dup_per_mille = v;
+    }
+    if let Some(v) = o.delay {
+        cfg.plan.delay_per_mille = v;
+    }
+    if let Some(t) = o.skew {
+        cfg.plan.clock_skew_ticks = (0..o.sites).map(|s| if s % 2 == 0 { t } else { -t }).collect();
+    }
+    if o.no_crashes {
+        cfg.plan.crashes.clear();
+    }
+    cfg
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let o = match parse_options(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("chaos: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if o.table {
+        let rows = fault_rate_grid(3, o.sites, o.txns);
+        let mut t = Table::new([
+            "scheme",
+            "faults",
+            "txns",
+            "commits",
+            "crash-aborts",
+            "expired",
+            "rec-rollbacks",
+            "rec-lost",
+            "messages",
+            "retries",
+            "dups",
+            "mean-ttr",
+        ])
+        .with_title("Commit and recovery cost by scheme and fault level");
+        for r in &rows {
+            t.row([
+                r.scheme.clone(),
+                r.level.clone(),
+                r.txns.to_string(),
+                r.commits.to_string(),
+                r.crash_aborts.to_string(),
+                r.expired_grants.to_string(),
+                r.recovery_rollbacks.to_string(),
+                r.recovery_states_lost.to_string(),
+                r.messages.to_string(),
+                r.retries.to_string(),
+                r.dups_suppressed.to_string(),
+                format!("{:.1}", r.mean_ttr),
+            ]);
+        }
+        println!("{t}");
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(seed) = o.trace {
+        let mut ok = true;
+        for &scheme in &o.schemes {
+            let cfg = config_for(&o, seed, scheme);
+            let report = run_chaos(&cfg);
+            println!("seed {seed} {}: {}", scheme.name(), report.summary());
+            println!("plan: {:?}", cfg.plan);
+            for line in &report.trace {
+                println!("  {line}");
+            }
+            ok &= report.verdict.ok();
+        }
+        return if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    let mut failures = 0u64;
+    let mut runs = 0u64;
+    for seed in o.lo..o.hi {
+        for &scheme in &o.schemes {
+            let cfg = config_for(&o, seed, scheme);
+            let report = run_chaos(&cfg);
+            runs += 1;
+            if report.verdict.ok() {
+                continue;
+            }
+            failures += 1;
+            eprintln!("FAIL seed {seed} {}: {}", scheme.name(), report.summary());
+            if let Some(dir) = &o.artifacts {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("chaos: cannot create {}: {e}", dir.display());
+                } else {
+                    let path = dir.join(format!("seed-{seed}-{}.log", scheme.name()));
+                    let mut body = String::new();
+                    body.push_str(&format!("seed: {seed}\nscheme: {}\n", scheme.name()));
+                    body.push_str(&format!("plan: {:#?}\n", cfg.plan));
+                    body.push_str(&format!("outcome: {}\n\ntrace:\n", report.summary()));
+                    for line in &report.trace {
+                        body.push_str(line);
+                        body.push('\n');
+                    }
+                    if let Err(e) = std::fs::write(&path, body) {
+                        eprintln!("chaos: cannot write {}: {e}", path.display());
+                    } else {
+                        eprintln!("  wrote {}", path.display());
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "chaos soak: {runs} runs over seeds {}..{} ({} schemes), {failures} failures",
+        o.lo,
+        o.hi,
+        o.schemes.len()
+    );
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,28 +1,76 @@
-//! Runs the high-contention throughput sweep and writes
-//! `BENCH_throughput.json`.
+//! Runs the high-contention throughput sweep, writes
+//! `BENCH_throughput.json`, and (with `--gate`) enforces the perf
+//! regression gate against a committed baseline.
 //!
 //! ```text
 //! cargo run -p pr-sim --release --bin throughput [-- --quick] [-- --out <path>]
+//! cargo run -p pr-sim --release --bin throughput -- --gate BENCH_throughput.json
 //! ```
 //!
 //! The full sweep covers Zipf s ∈ {0, 0.8, 1.2} × 4–64 concurrent
 //! transactions × both grant policies × all three rollback strategies,
 //! three seeds per cell. `--quick` shrinks the grid to a CI smoke run.
+//! `--gate` re-measures only the gate point (s = 1.2, 64-way — the
+//! contention cell the paper's argument lives on) and exits non-zero if
+//! any policy × strategy cell lost more than 20% commit throughput
+//! against the baseline.
 
 use pr_sim::report::Table;
-use pr_sim::stress::{throughput_json, throughput_sweep};
+use pr_sim::stress::{
+    gate_against_baseline, parse_throughput_json, throughput_json, throughput_sweep,
+    GATE_CONCURRENCY, GATE_MAX_DROP, GATE_ZIPF_CENTI,
+};
+use std::process::ExitCode;
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let out: std::path::PathBuf = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map(std::path::PathBuf::from)
-        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_throughput.json"));
+const USAGE: &str = "\
+usage: throughput [OPTIONS]
+  --quick            small smoke sweep for CI
+  --out PATH         where to write the JSON grid (default BENCH_throughput.json)
+  --gate BASELINE    compare against a committed BENCH_throughput.json and
+                     fail on a >20% throughput drop at the s=1.2/64-way point";
 
-    let rows = if quick {
+struct Options {
+    quick: bool,
+    out: std::path::PathBuf,
+    gate: Option<std::path::PathBuf>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        quick: false,
+        out: std::path::PathBuf::from("BENCH_throughput.json"),
+        gate: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().map(String::as_str).ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--quick" => o.quick = true,
+            "--out" => o.out = value("--out")?.into(),
+            "--gate" => o.gate = Some(value("--gate")?.into()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(o)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let o = match parse_options(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("throughput: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(baseline_path) = &o.gate {
+        return run_gate(baseline_path);
+    }
+
+    let rows = if o.quick {
         throughput_sweep(&[0, 120], &[8], 16, 1)
     } else {
         throughput_sweep(&[0, 80, 120], &[4, 16, 64], 96, 3)
@@ -63,6 +111,65 @@ fn main() {
     }
     println!("{t}");
 
-    std::fs::write(&out, throughput_json(&rows)).expect("write throughput JSON");
-    println!("wrote {} ({} rows)", out.display(), rows.len());
+    if let Err(e) = std::fs::write(&o.out, throughput_json(&rows)) {
+        eprintln!("throughput: cannot write {}: {e}", o.out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {} ({} rows)", o.out.display(), rows.len());
+    ExitCode::SUCCESS
+}
+
+fn run_gate(baseline_path: &std::path::Path) -> ExitCode {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("throughput: cannot read baseline {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match parse_throughput_json(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("throughput: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // Re-measure only the gate cell, at the baseline's full resolution
+    // (96 txns × 3 seeds), so noise stays well under the 20% threshold.
+    let current = throughput_sweep(&[GATE_ZIPF_CENTI], &[GATE_CONCURRENCY], 96, 3);
+    let results = match gate_against_baseline(&baseline, &current) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("throughput: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut t = Table::new(["policy", "strategy", "baseline", "current", "delta", "gate"])
+        .with_title(format!(
+            "Perf gate at zipf {:.1} / {}-way (fail below -{:.0}%)",
+            f64::from(GATE_ZIPF_CENTI) / 100.0,
+            GATE_CONCURRENCY,
+            GATE_MAX_DROP * 100.0
+        ));
+    let mut failed = false;
+    for r in &results {
+        failed |= r.failed;
+        t.row([
+            r.policy.clone(),
+            r.strategy.clone(),
+            format!("{:.3}", r.baseline_kilo),
+            format!("{:.3}", r.current_kilo),
+            format!("{:+.1}%", r.delta * 100.0),
+            if r.failed { "FAIL".into() } else { "ok".into() },
+        ]);
+    }
+    println!("{t}");
+    if failed {
+        eprintln!("throughput: perf gate FAILED — commit throughput regressed >20%");
+        ExitCode::FAILURE
+    } else {
+        println!("perf gate passed ({} cells)", results.len());
+        ExitCode::SUCCESS
+    }
 }

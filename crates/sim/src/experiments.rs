@@ -517,7 +517,7 @@ pub struct DistRow {
 /// site-ordering) save messages but roll transactions back on conflicts
 /// that were not deadlocks. Partial rollback reduces the damage under
 /// *every* scheme — the paper's point that distribution "in no way
-/// invalidate[s] the advantages" of partial rollback.
+/// invalidate\[s\] the advantages" of partial rollback.
 pub fn distributed_comparison(sites: u16, seeds: u64) -> Vec<DistRow> {
     let mut rows = Vec::new();
     for scheme in CrossSiteScheme::ALL {

@@ -22,6 +22,7 @@
 //!   Zipf-skewed access, transaction-latency histograms, and the
 //!   throughput sweep behind `BENCH_throughput.json`.
 
+pub mod chaos;
 pub mod experiments;
 pub mod generator;
 pub mod report;
@@ -29,10 +30,11 @@ pub mod runner;
 pub mod scenarios;
 pub mod stress;
 
+pub use chaos::{chaos_sweep, fault_rate_grid, run_chaos, ChaosConfig, ChaosReport, ChaosVerdict};
 pub use generator::{Clustering, GeneratorConfig, ProgramGenerator};
 pub use report::Table;
 pub use runner::{run_workload, RandomScheduler, RunReport, SchedulerKind};
 pub use stress::{
-    run_stress, throughput_json, throughput_sweep, Arrival, StressConfig, StressReport,
-    ThroughputRow,
+    gate_against_baseline, parse_throughput_json, run_stress, throughput_json, throughput_sweep,
+    Arrival, BaselineRow, GateResult, StressConfig, StressReport, ThroughputRow,
 };

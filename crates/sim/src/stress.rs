@@ -355,6 +355,129 @@ pub fn throughput_json(rows: &[ThroughputRow]) -> String {
     out
 }
 
+/// One baseline measurement decoded from `BENCH_throughput.json` — just
+/// the cell identity and the number the perf gate compares.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BaselineRow {
+    pub zipf_centi: u16,
+    pub concurrency: usize,
+    pub policy: String,
+    pub strategy: String,
+    pub throughput_kilo: f64,
+}
+
+/// Decodes the output of [`throughput_json`]. This is not a general JSON
+/// parser: it relies on the writer's one-row-per-line layout and flat
+/// `"key":value` pairs, which is exactly what we commit as the baseline.
+pub fn parse_throughput_json(text: &str) -> Result<Vec<BaselineRow>, String> {
+    if !text.contains("\"schema\": \"bench-throughput-v1\"") {
+        return Err("baseline is missing the bench-throughput-v1 schema marker".into());
+    }
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        if !line.trim_start().starts_with('{') || !line.contains("\"zipf_centi\"") {
+            continue;
+        }
+        rows.push(BaselineRow {
+            zipf_centi: json_num(line, "zipf_centi")?.parse().map_err(|_| bad(line))?,
+            concurrency: json_num(line, "concurrency")?.parse().map_err(|_| bad(line))?,
+            policy: json_str(line, "policy")?,
+            strategy: json_str(line, "strategy")?,
+            throughput_kilo: json_num(line, "throughput_kilo")?.parse().map_err(|_| bad(line))?,
+        });
+    }
+    if rows.is_empty() {
+        return Err("baseline contains no rows".into());
+    }
+    Ok(rows)
+}
+
+fn bad(line: &str) -> String {
+    format!("malformed baseline row: {line}")
+}
+
+/// The raw text of `"key":<number>` in a flat one-line JSON object.
+fn json_num<'a>(line: &'a str, key: &str) -> Result<&'a str, String> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag).ok_or_else(|| format!("missing {key:?} in: {line}"))? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).ok_or_else(|| bad(line))?;
+    Ok(rest[..end].trim())
+}
+
+fn json_str(line: &str, key: &str) -> Result<String, String> {
+    let raw = json_num(line, key)?;
+    raw.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(String::from)
+        .ok_or_else(|| bad(line))
+}
+
+/// A perf-gate comparison for one (policy, strategy) cell at the gate
+/// point.
+#[derive(Clone, Debug)]
+pub struct GateResult {
+    pub policy: String,
+    pub strategy: String,
+    pub baseline_kilo: f64,
+    pub current_kilo: f64,
+    /// Negative = slower than baseline (e.g. -0.25 = 25% drop).
+    pub delta: f64,
+    pub failed: bool,
+}
+
+/// The contention point the perf gate compares: Zipf s = 1.2, 64-way.
+pub const GATE_ZIPF_CENTI: u16 = 120;
+pub const GATE_CONCURRENCY: usize = 64;
+/// Fail the gate when commit throughput drops by more than 20%.
+pub const GATE_MAX_DROP: f64 = 0.20;
+
+/// Compares fresh measurements against the committed baseline at the
+/// gate point. Every baseline cell at that point must be present in
+/// `current` and within [`GATE_MAX_DROP`] of its baseline throughput;
+/// a missing cell is a failure (it means the sweep grid drifted).
+pub fn gate_against_baseline(
+    baseline: &[BaselineRow],
+    current: &[ThroughputRow],
+) -> Result<Vec<GateResult>, String> {
+    let at_point = |z: u16, c: usize| z == GATE_ZIPF_CENTI && c == GATE_CONCURRENCY;
+    let base: Vec<&BaselineRow> =
+        baseline.iter().filter(|r| at_point(r.zipf_centi, r.concurrency)).collect();
+    if base.is_empty() {
+        return Err(format!(
+            "baseline has no rows at the gate point (zipf_centi={GATE_ZIPF_CENTI}, \
+             concurrency={GATE_CONCURRENCY}) — regenerate BENCH_throughput.json"
+        ));
+    }
+    let mut results = Vec::new();
+    for b in base {
+        let cur = current
+            .iter()
+            .find(|r| {
+                at_point(r.zipf_centi, r.concurrency)
+                    && r.policy == b.policy
+                    && r.strategy == b.strategy
+            })
+            .ok_or_else(|| {
+                format!("current sweep is missing gate cell {}/{}", b.policy, b.strategy)
+            })?;
+        let delta = if b.throughput_kilo > 0.0 {
+            (cur.throughput_kilo - b.throughput_kilo) / b.throughput_kilo
+        } else {
+            0.0
+        };
+        results.push(GateResult {
+            policy: b.policy.clone(),
+            strategy: b.strategy.clone(),
+            baseline_kilo: b.throughput_kilo,
+            current_kilo: cur.throughput_kilo,
+            delta,
+            failed: delta < -GATE_MAX_DROP,
+        });
+    }
+    Ok(results)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -472,5 +595,64 @@ mod tests {
         assert!(json.contains("\"policy\":\"fair-queue\""));
         assert!(json.contains("\"strategy\":\"sdg\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn baseline_round_trips_through_the_parser() {
+        let rows = throughput_sweep(&[120], &[4], 8, 1);
+        let parsed = parse_throughput_json(&throughput_json(&rows)).unwrap();
+        assert_eq!(parsed.len(), rows.len());
+        for (p, r) in parsed.iter().zip(&rows) {
+            assert_eq!(p.zipf_centi, r.zipf_centi);
+            assert_eq!(p.concurrency, r.concurrency);
+            assert_eq!(p.policy, r.policy);
+            assert_eq!(p.strategy, r.strategy);
+            // The writer rounds to 3 decimals; the parser must agree with
+            // what was written, not the pre-rounding value.
+            assert!((p.throughput_kilo - r.throughput_kilo).abs() < 0.001);
+        }
+        assert!(parse_throughput_json("{}").is_err());
+        assert!(parse_throughput_json("not json at all").is_err());
+    }
+
+    #[test]
+    fn perf_gate_trips_only_on_large_drops() {
+        let cell = |policy: &str, strategy: &str, thr: f64| BaselineRow {
+            zipf_centi: GATE_ZIPF_CENTI,
+            concurrency: GATE_CONCURRENCY,
+            policy: policy.into(),
+            strategy: strategy.into(),
+            throughput_kilo: thr,
+        };
+        let current = |thr: f64| ThroughputRow {
+            zipf_centi: GATE_ZIPF_CENTI,
+            concurrency: GATE_CONCURRENCY,
+            policy: "barging".into(),
+            strategy: "mcs".into(),
+            commits: 96,
+            steps: 1000,
+            throughput_kilo: thr,
+            latency_p50: 1,
+            latency_p95: 1,
+            latency_p99: 1,
+            latency_max: 1,
+            grant_p99: 1,
+            deadlocks: 0,
+            max_queue_depth: 1,
+        };
+        let base = vec![cell("barging", "mcs", 10.0)];
+        // 10% down: fine. 25% down: gate failure. Faster: fine.
+        let ok = gate_against_baseline(&base, &[current(9.0)]).unwrap();
+        assert!(!ok[0].failed, "{ok:?}");
+        let slow = gate_against_baseline(&base, &[current(7.5)]).unwrap();
+        assert!(slow[0].failed, "{slow:?}");
+        assert!((slow[0].delta + 0.25).abs() < 1e-9);
+        let fast = gate_against_baseline(&base, &[current(12.0)]).unwrap();
+        assert!(!fast[0].failed);
+        // Missing cell and missing gate point are hard errors.
+        assert!(gate_against_baseline(&base, &[]).is_err());
+        assert!(gate_against_baseline(&[cell("barging", "mcs", 0.0)], &[]).is_err());
+        let off_point = vec![BaselineRow { zipf_centi: 0, ..cell("barging", "mcs", 10.0) }];
+        assert!(gate_against_baseline(&off_point, &[current(9.0)]).is_err());
     }
 }

@@ -217,6 +217,38 @@ impl McsWorkspace {
         self.entity_stacks.get(&entity).and_then(|s| s.value_at(target))
     }
 
+    /// Structural self-check used by the crash-recovery invariant sweep:
+    /// every stack is internally consistent, the cached variable values
+    /// mirror their stack tops, any copy budget is respected, and the peak
+    /// counters dominate the current counts.
+    pub fn check_integrity(&self) -> Result<(), String> {
+        for (id, stack) in &self.entity_stacks {
+            stack.check_integrity().map_err(|e| format!("{id}: {e}"))?;
+            if let Some(b) = self.budget {
+                if stack.copies() > b.max(1) {
+                    return Err(format!("{id}: {} copies exceed budget {b}", stack.copies()));
+                }
+            }
+        }
+        if self.var_stacks.len() != self.current_vars.len() {
+            return Err("variable stack count diverged from cached values".into());
+        }
+        for (i, stack) in self.var_stacks.iter().enumerate() {
+            stack.check_integrity().map_err(|e| format!("v{i}: {e}"))?;
+            if stack.stack_index() != LockIndex::ZERO {
+                return Err(format!("v{i}: variable stack created at {:?}", stack.stack_index()));
+            }
+            if stack.current() != self.current_vars[i] {
+                return Err(format!("v{i}: cached value diverged from stack top"));
+            }
+        }
+        let now = self.copy_counts();
+        if now.entity_copies > self.peak.entity_copies || now.var_copies > self.peak.var_copies {
+            return Err("peak copy counts fell below current counts".into());
+        }
+        Ok(())
+    }
+
     fn bump_peak(&mut self) {
         let now = self.copy_counts();
         if now.entity_copies > self.peak.entity_copies {

@@ -212,6 +212,58 @@ impl SingleCopyWorkspace {
         Ok(released)
     }
 
+    /// Structural self-check used by the crash-recovery invariant sweep:
+    /// write bookkeeping is internally ordered, unwritten copies still
+    /// match their captured global value, cached variable values mirror
+    /// their copies, and the peak counter dominates the current count.
+    pub fn check_integrity(&self) -> Result<(), String> {
+        for (id, copy) in &self.entities {
+            match (copy.first_write, copy.last_write) {
+                (None, None) => {
+                    if copy.current != copy.global {
+                        return Err(format!("{id}: unwritten copy diverged from global value"));
+                    }
+                }
+                (Some(first), Some(last)) => {
+                    if first > last {
+                        return Err(format!("{id}: first write {first:?} after last {last:?}"));
+                    }
+                    if first < copy.lock_state {
+                        return Err(format!(
+                            "{id}: write at {first:?} precedes lock state {:?}",
+                            copy.lock_state
+                        ));
+                    }
+                }
+                _ => return Err(format!("{id}: first/last write bookkeeping out of sync")),
+            }
+        }
+        if self.vars.len() != self.current_vars.len() {
+            return Err("variable copy count diverged from cached values".into());
+        }
+        for (i, copy) in self.vars.iter().enumerate() {
+            match (copy.first_write, copy.last_write) {
+                (None, None) => {
+                    if copy.current != copy.initial {
+                        return Err(format!("v{i}: unwritten variable diverged from initial"));
+                    }
+                }
+                (Some(first), Some(last)) if first > last => {
+                    return Err(format!("v{i}: first write {first:?} after last {last:?}"));
+                }
+                (Some(_), Some(_)) => {}
+                _ => return Err(format!("v{i}: first/last write bookkeeping out of sync")),
+            }
+            if copy.current != self.current_vars[i] {
+                return Err(format!("v{i}: cached value diverged from copy"));
+            }
+        }
+        if self.entities.len() > self.peak_entity_copies {
+            return Err("peak entity copies fell below current count".into());
+        }
+        Ok(())
+    }
+
     /// Number of entity copies currently held (one per exclusive lock).
     pub fn entity_copies(&self) -> usize {
         self.entities.len()

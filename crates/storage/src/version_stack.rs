@@ -119,6 +119,31 @@ impl VersionStack {
         &self.elements
     }
 
+    /// Structural self-check: the base element carries the stack's own
+    /// index and lock indices are strictly increasing above it. Violations
+    /// indicate engine bookkeeping bugs (used by the crash-recovery
+    /// invariant sweep).
+    pub fn check_integrity(&self) -> Result<(), String> {
+        let Some(base) = self.elements.first() else {
+            return Err("stack lost its base element".into());
+        };
+        if base.lock_index != self.stack_index {
+            return Err(format!(
+                "base lock index {:?} differs from stack index {:?}",
+                base.lock_index, self.stack_index
+            ));
+        }
+        for pair in self.elements.windows(2) {
+            if pair[1].lock_index <= pair[0].lock_index {
+                return Err(format!(
+                    "lock indices not strictly increasing: {:?} then {:?}",
+                    pair[0].lock_index, pair[1].lock_index
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Enforces a bound on the number of copies (elements beyond the
     /// base): if exceeded, evicts the *oldest non-base* element and
     /// returns the lock-index interval `[evicted, successor)` whose
@@ -126,7 +151,7 @@ impl VersionStack {
     ///
     /// The current value (stack top) is never evicted, so an effective
     /// budget below 1 behaves as 1. This implements the paper's closing
-    /// suggestion of "allocat[ing] a bounded amount of extra storage to
+    /// suggestion of "allocat\[ing\] a bounded amount of extra storage to
     /// the entities in order to maximize the number of well-defined
     /// states".
     pub fn enforce_budget(&mut self, budget: usize) -> Option<(LockIndex, LockIndex)> {

@@ -292,7 +292,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Acceptable size arguments for [`vec`].
+    /// Acceptable size arguments for [`vec()`].
     pub trait SizeRange {
         fn bounds(&self) -> (usize, usize);
     }
