@@ -1,12 +1,11 @@
 //! Deadlock events and resolution planning (§3's rule 3).
 
 use crate::config::SystemConfig;
-use crate::runtime::TxnRuntime;
+use crate::runtime::RuntimeView;
 use crate::victim;
 use pr_graph::{cutset, CandidateRollback, Cycle};
 use pr_model::{EntityId, TxnId};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// A detected deadlock: the request that would close cycle(s) in the
 /// concurrency graph.
@@ -39,10 +38,10 @@ pub struct ResolutionPlan {
 ///
 /// For the exclusive-only case the instance has a single cycle and this
 /// reduces to §3.1's "traverse the cycle, pick the cheapest legal victim".
-pub fn plan_resolution(
+pub fn plan_resolution<V: RuntimeView>(
     event: &DeadlockEvent,
     config: &SystemConfig,
-    txns: &BTreeMap<TxnId, TxnRuntime>,
+    txns: &V,
 ) -> ResolutionPlan {
     let instance =
         victim::build_instance(&event.cycles, config.victim, config.strategy, event.causer, txns);
@@ -65,6 +64,7 @@ mod tests {
     use crate::runtime::TxnRuntime;
     use pr_graph::CycleMember;
     use pr_model::{LockMode, ProgramBuilder, Value};
+    use std::collections::BTreeMap;
     use std::sync::Arc;
 
     fn t(i: u32) -> TxnId {
@@ -126,7 +126,7 @@ mod tests {
     fn empty_event_plans_nothing() {
         let event = DeadlockEvent { causer: t(1), entity: e(0), cycles: vec![] };
         let config = SystemConfig::default();
-        let plan = plan_resolution(&event, &config, &BTreeMap::new());
+        let plan = plan_resolution(&event, &config, &BTreeMap::<TxnId, TxnRuntime>::new());
         assert!(plan.rollbacks.is_empty());
         assert_eq!(plan.total_cost, 0);
     }

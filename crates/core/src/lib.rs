@@ -51,4 +51,5 @@ pub use error::EngineError;
 pub use event::{Event, EventLog};
 pub use metrics::{HistogramSummary, LogHistogram, Metrics, MetricsSnapshot};
 pub use pr_lock::GrantPolicy;
+pub use runtime::RuntimeView;
 pub use scheduler::{RoundRobin, Scheduler};

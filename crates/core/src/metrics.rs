@@ -200,6 +200,37 @@ impl Metrics {
         self.queue_depth_high_water.values().copied().max().unwrap_or(0)
     }
 
+    /// Folds another metrics record into this one — used by the parallel
+    /// engine to aggregate per-worker metrics into a run-level total.
+    /// Counters and histograms add; high-water marks take the maximum of
+    /// the per-worker maxima (`peak_copies` is therefore a lower bound on
+    /// the true cross-worker concurrent peak, which no single worker can
+    /// observe).
+    pub fn merge(&mut self, other: &Metrics) {
+        self.steps += other.steps;
+        self.ops_executed += other.ops_executed;
+        self.deadlocks += other.deadlocks;
+        self.partial_rollbacks += other.partial_rollbacks;
+        self.total_rollbacks += other.total_rollbacks;
+        self.states_lost += other.states_lost;
+        self.rollback_overshoot += other.rollback_overshoot;
+        self.waits += other.waits;
+        self.commits += other.commits;
+        self.cutset_optimal += other.cutset_optimal;
+        self.cutset_greedy += other.cutset_greedy;
+        self.peak_copies = self.peak_copies.max(other.peak_copies);
+        for (txn, n) in &other.preemptions {
+            *self.preemptions.entry(*txn).or_insert(0) += n;
+        }
+        self.grant_latency.merge(&other.grant_latency);
+        self.resolution_cost.merge(&other.resolution_cost);
+        for (entity, depth) in &other.queue_depth_high_water {
+            self.note_queue_depth(*entity, *depth);
+        }
+        self.expired_grants += other.expired_grants;
+        self.aborts += other.aborts;
+    }
+
     /// A flat, JSON-serialisable summary of these metrics.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -394,6 +425,31 @@ mod tests {
         h.record(1);
         assert_eq!(h.p50(), 0);
         assert_eq!(h.quantile(1.0), 1);
+    }
+
+    #[test]
+    fn metrics_merge_adds_counters_and_maxes_high_water_marks() {
+        let mut a =
+            Metrics { steps: 5, commits: 2, states_lost: 7, peak_copies: 3, ..Default::default() };
+        a.record_preemption(TxnId::new(1));
+        a.note_queue_depth(EntityId::new(0), 4);
+        a.grant_latency.record(8);
+        let mut b =
+            Metrics { steps: 3, commits: 1, states_lost: 2, peak_copies: 9, ..Default::default() };
+        b.record_preemption(TxnId::new(1));
+        b.record_preemption(TxnId::new(2));
+        b.note_queue_depth(EntityId::new(0), 2);
+        b.grant_latency.record(16);
+        a.merge(&b);
+        assert_eq!(a.steps, 8);
+        assert_eq!(a.commits, 3);
+        assert_eq!(a.states_lost, 9);
+        assert_eq!(a.peak_copies, 9);
+        assert_eq!(a.preemptions[&TxnId::new(1)], 2);
+        assert_eq!(a.preemptions[&TxnId::new(2)], 1);
+        assert_eq!(a.queue_depth_high_water[&EntityId::new(0)], 4);
+        assert_eq!(a.grant_latency.count(), 2);
+        assert_eq!(a.grant_latency.sum(), 24);
     }
 
     #[test]

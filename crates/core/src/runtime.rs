@@ -12,8 +12,32 @@ use pr_graph::StateDependencyGraph;
 use pr_model::TxnId;
 use pr_model::{EntityId, LockIndex, LockMode, StateIndex, TransactionProgram, Value, VarId};
 use pr_storage::{McsWorkspace, SingleCopyWorkspace, StorageError};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+
+/// Read-only access to transaction runtimes by id.
+///
+/// The deterministic [`crate::System`] owns its runtimes in a
+/// `BTreeMap<TxnId, TxnRuntime>`; the parallel engine keeps each runtime
+/// behind its own slot mutex and can only assemble a map of *references*
+/// while it holds the guards. Victim selection and resolution planning
+/// are generic over this trait so both engines share one §3 planner.
+pub trait RuntimeView {
+    /// The runtime for `txn`, if it is live in this view.
+    fn runtime(&self, txn: TxnId) -> Option<&TxnRuntime>;
+}
+
+impl RuntimeView for BTreeMap<TxnId, TxnRuntime> {
+    fn runtime(&self, txn: TxnId) -> Option<&TxnRuntime> {
+        self.get(&txn)
+    }
+}
+
+impl RuntimeView for BTreeMap<TxnId, &TxnRuntime> {
+    fn runtime(&self, txn: TxnId) -> Option<&TxnRuntime> {
+        self.get(&txn).copied()
+    }
+}
 
 /// Execution phase of a transaction.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

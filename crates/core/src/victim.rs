@@ -10,25 +10,34 @@
 //! livelock-freedom of Theorem 2.
 
 use crate::config::{StrategyKind, VictimPolicyKind};
-use crate::runtime::TxnRuntime;
+use crate::runtime::RuntimeView;
 use pr_graph::{CandidateRollback, Cycle};
 use pr_model::TxnId;
-use std::collections::BTreeMap;
 
 /// Builds the candidate for one cycle member under the given strategy, or
 /// `None` if the member cannot be rolled back (shrinking transactions —
 /// which, being unblockable, should never appear on a cycle).
-fn candidate_for(
-    txns: &BTreeMap<TxnId, TxnRuntime>,
+fn candidate_for<V: RuntimeView>(
+    txns: &V,
     strategy: StrategyKind,
     txn: TxnId,
     holds: pr_model::EntityId,
 ) -> Option<CandidateRollback> {
-    let rt = txns.get(&txn)?;
+    let rt = txns.runtime(txn)?;
     if !rt.rollbackable() {
         return None;
     }
-    let ideal = rt.lock_state_for(holds)?;
+    let ideal = match rt.lock_state_for(holds) {
+        Some(ls) => ls,
+        // A fair-queue arc may point at a member *queued ahead* on the
+        // contended entity rather than holding it; the member is then
+        // blocked on that same entity. Cancelling its pending request —
+        // a rollback to its current lock state — re-enqueues it at the
+        // tail, which breaks the arc without losing any states (the
+        // strategy may still deepen the target, e.g. total restarts).
+        None if rt.blocked_on == Some(holds) => rt.lock_index(),
+        None => return None,
+    };
     let target = rt.reachable_target(strategy, ideal);
     let cost = rt.cost_to_lock_state(target);
     Some(CandidateRollback { txn, target, ideal, cost })
@@ -40,14 +49,14 @@ fn candidate_for(
 /// Every returned list is non-empty: the conflict causer is a member of
 /// every cycle (§3.2) and serves as the fallback candidate whenever a
 /// policy's preferred set is empty on some cycle.
-pub fn build_instance(
+pub fn build_instance<V: RuntimeView>(
     cycles: &[Cycle],
     policy: VictimPolicyKind,
     strategy: StrategyKind,
     causer: TxnId,
-    txns: &BTreeMap<TxnId, TxnRuntime>,
+    txns: &V,
 ) -> Vec<Vec<CandidateRollback>> {
-    let causer_entry = txns.get(&causer).map(|rt| rt.entry_order).unwrap_or(u64::MAX);
+    let causer_entry = txns.runtime(causer).map(|rt| rt.entry_order).unwrap_or(u64::MAX);
     cycles
         .iter()
         .map(|cycle| {
@@ -56,7 +65,7 @@ pub fn build_instance(
                 .iter()
                 .filter_map(|m| {
                     let cand = candidate_for(txns, strategy, m.txn, m.holds)?;
-                    let entry = txns.get(&m.txn).map(|rt| rt.entry_order).unwrap_or(u64::MAX);
+                    let entry = txns.runtime(m.txn).map(|rt| rt.entry_order).unwrap_or(u64::MAX);
                     Some((m.txn, cand, entry))
                 })
                 .collect();
@@ -106,8 +115,10 @@ pub fn build_instance(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runtime::TxnRuntime;
     use pr_graph::CycleMember;
     use pr_model::{EntityId, LockIndex, LockMode, ProgramBuilder, Value};
+    use std::collections::BTreeMap;
     use std::sync::Arc;
 
     fn t(i: u32) -> TxnId {
@@ -227,8 +238,63 @@ mod tests {
             VictimPolicyKind::MinCost,
             StrategyKind::Mcs,
             t(9),
-            &BTreeMap::new(),
+            &BTreeMap::<TxnId, TxnRuntime>::new(),
         );
         assert!(inst[0].is_empty());
+    }
+
+    /// A fair-queue arc can point at a member that is merely *queued
+    /// ahead* on the contended entity, not holding it. Such a member must
+    /// still be a candidate — cancelling its pending request (rollback to
+    /// its current lock state, zero states lost under MCS) re-enqueues it
+    /// at the tail and breaks the arc.
+    #[test]
+    fn queued_ahead_member_yields_a_requeue_candidate() {
+        use crate::runtime::Phase;
+        let cycle = Cycle {
+            members: vec![
+                CycleMember { txn: t(1), holds: e(0) },
+                // T2 does not hold e(5); it is queued ahead of T1's
+                // successor on it, blocked on that same entity.
+                CycleMember { txn: t(2), holds: e(5) },
+            ],
+        };
+        let mut txns = BTreeMap::new();
+        txns.insert(t(1), rt_with_locks(1, 0, &[0, 1], 3));
+        let mut rt2 = rt_with_locks(2, 1, &[2], 1);
+        rt2.phase = Phase::Blocked;
+        rt2.blocked_on = Some(e(5));
+        let current = rt2.lock_index();
+        txns.insert(t(2), rt2);
+
+        let inst = build_instance(
+            &cycle_vec(cycle.clone()),
+            VictimPolicyKind::MinCost,
+            StrategyKind::Mcs,
+            t(1),
+            &txns,
+        );
+        let c2 =
+            inst[0].iter().find(|c| c.txn == t(2)).expect("queued-ahead member is a candidate");
+        assert_eq!(c2.ideal, current);
+        assert_eq!(c2.target, current);
+        assert_eq!(c2.cost, 0, "cancel-and-requeue loses no states under MCS");
+
+        // Under the partial-order policy the queued-ahead member (younger
+        // than the causer) must be selectable — previously the candidate
+        // list came back empty and resolution failed outright.
+        let inst = build_instance(
+            &cycle_vec(cycle),
+            VictimPolicyKind::PartialOrder,
+            StrategyKind::Total,
+            t(1),
+            &txns,
+        );
+        assert_eq!(inst[0].iter().map(|c| c.txn).collect::<Vec<_>>(), vec![t(2)]);
+        assert_eq!(inst[0][0].target, LockIndex::ZERO, "total strategy still restarts");
+    }
+
+    fn cycle_vec(c: Cycle) -> Vec<Cycle> {
+        vec![c]
     }
 }

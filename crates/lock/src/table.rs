@@ -133,6 +133,26 @@ impl EntityLock {
             .map(|w| w.txn)
             .collect()
     }
+
+    /// Position of `txn`'s pending request in the FIFO queue, if any — the
+    /// single source of truth for queue-position lookups (`blockers_of`,
+    /// `waiting_on`, and the invariant check all go through here).
+    fn queue_position(&self, txn: TxnId) -> Option<usize> {
+        self.queue.iter().position(|w| w.txn == txn)
+    }
+
+    /// The transactions blocking the request queued at `pos` under
+    /// `policy`: the incompatible holders, plus — fair queue only — the
+    /// incompatible requests queued ahead of it. An empty result means the
+    /// request is grantable.
+    fn blockers_at(&self, pos: usize, policy: GrantPolicy) -> Vec<TxnId> {
+        let w = &self.queue[pos];
+        let mut blockers = self.incompatible_holders(w.txn, w.mode);
+        if policy == GrantPolicy::FairQueue {
+            blockers.extend(self.incompatible_queued(w.mode, pos));
+        }
+        blockers
+    }
 }
 
 /// The lock manager.
@@ -314,7 +334,9 @@ impl LockTable {
 
     /// The pending request `txn` has on `entity`, if any.
     pub fn waiting_on(&self, txn: TxnId, entity: EntityId) -> Option<WaitingRequest> {
-        self.entities.get(&entity)?.queue.iter().find(|w| w.txn == txn).copied()
+        let slot = self.entities.get(&entity)?;
+        let pos = slot.queue_position(txn)?;
+        slot.queue.get(pos).copied()
     }
 
     /// All pending requests on `entity`, FIFO order.
@@ -336,15 +358,10 @@ impl LockTable {
         let Some(slot) = self.entities.get(&entity) else {
             return Vec::new();
         };
-        let Some(pos) = slot.queue.iter().position(|w| w.txn == txn) else {
+        let Some(pos) = slot.queue_position(txn) else {
             return Vec::new();
         };
-        let mode = slot.queue[pos].mode;
-        let mut blockers = slot.incompatible_holders(txn, mode);
-        if self.policy == GrantPolicy::FairQueue {
-            blockers.extend(slot.incompatible_queued(mode, pos));
-        }
-        blockers
+        slot.blockers_at(pos, self.policy)
     }
 
     /// Number of entities with at least one holder or waiter.
@@ -414,9 +431,7 @@ impl LockTable {
                 }
                 // A waiter must be blocked by a holder — or, fair queue
                 // only, by an incompatible request queued ahead of it.
-                let queue_blocked = self.policy == GrantPolicy::FairQueue
-                    && !slot.incompatible_queued(w.mode, pos).is_empty();
-                if slot.incompatible_holders(w.txn, w.mode).is_empty() && !queue_blocked {
+                if slot.blockers_at(pos, self.policy).is_empty() {
                     return Err(format!("{entity}: grantable request left waiting"));
                 }
             }
@@ -723,6 +738,46 @@ mod tests {
         // Idempotent on a missing entity.
         let (h2, w2) = tbl.evict_entity(e(0));
         assert!(h2.is_empty() && w2.is_empty());
+    }
+
+    /// FIFO order must survive a mid-queue abort: with holder X1 and
+    /// queue [X2, X3, X4], cancelling X3 (a rollback victim) must leave
+    /// the survivors' relative order intact — X2 is promoted first, then
+    /// X4 — under both grant policies. Pins the behaviour of the shared
+    /// queue-position helper after a `retain` reshuffles indices.
+    #[test]
+    fn fifo_order_survives_mid_queue_abort() {
+        for policy in GrantPolicy::ALL {
+            let mut tbl = LockTable::with_policy(policy);
+            req(&mut tbl, 1, 0, LockMode::Exclusive).unwrap();
+            req(&mut tbl, 2, 0, LockMode::Exclusive).unwrap();
+            req(&mut tbl, 3, 0, LockMode::Exclusive).unwrap();
+            req(&mut tbl, 4, 0, LockMode::Exclusive).unwrap();
+            // Mid-queue abort: X3 is cancelled; nothing becomes grantable
+            // (X1 still holds), and the survivors close ranks.
+            assert!(tbl.cancel_wait(t(3), e(0)).unwrap().is_empty());
+            assert_eq!(
+                tbl.waiters_of(e(0)).iter().map(|w| w.txn).collect::<Vec<_>>(),
+                vec![t(2), t(4)],
+                "{policy:?}: survivors must keep FIFO order"
+            );
+            // The blocker sets reflect the compacted queue: X2 waits only
+            // on the holder; X4 waits on the holder (barging) or on the
+            // holder *and* X2 (fair queue).
+            assert_eq!(tbl.blockers_of(t(2), e(0)), vec![t(1)]);
+            let x4_blockers = tbl.blockers_of(t(4), e(0));
+            match policy {
+                GrantPolicy::Barging => assert_eq!(x4_blockers, vec![t(1)]),
+                GrantPolicy::FairQueue => assert_eq!(x4_blockers, vec![t(1), t(2)]),
+            }
+            tbl.check_invariants().unwrap();
+            // Promotions proceed strictly in surviving FIFO order.
+            let granted = tbl.release(t(1), e(0)).unwrap();
+            assert_eq!(granted.iter().map(|h| h.txn).collect::<Vec<_>>(), vec![t(2)]);
+            let granted = tbl.release(t(2), e(0)).unwrap();
+            assert_eq!(granted.iter().map(|h| h.txn).collect::<Vec<_>>(), vec![t(4)]);
+            tbl.check_invariants().unwrap();
+        }
     }
 
     #[test]

@@ -1,0 +1,761 @@
+//! The multi-threaded executor: worker-per-transaction over the sharded
+//! lock table, with concurrent deadlock detection and partial rollback.
+//!
+//! ## Execution model
+//!
+//! `threads` workers drain the admission queue; each claims a
+//! transaction, holds its slot mutex, and executes its operations exactly
+//! as the deterministic engine does — same runtime calls, same lock-table
+//! calls, same §4 rollback procedure — so the two engines are
+//! behaviourally interchangeable and the differential oracle can compare
+//! them. In-flight transactions never exceed the worker count, so every
+//! lock holder and waiter always has a live thread behind it.
+//!
+//! ## Blocking and waking
+//!
+//! A blocked worker registers its waits-for arcs and detects cycles
+//! *atomically* (see [`EpochGraph`]), then parks on its slot's condvar.
+//! Wakes are best-effort hints: releasers `try_wake` promoted waiters,
+//! and every parked worker re-polls the authoritative shard state on a
+//! short timeout, so a lost hint costs milliseconds, never liveness. A
+//! worker that stays blocked past the watchdog limit fails the run with
+//! [`ParError::Stuck`] rather than hanging.
+//!
+//! ## Resolution
+//!
+//! The worker whose wait closed a cycle resolves it: it try-locks every
+//! member's slot (ascending id, full back-off on failure — try-locks
+//! cannot deadlock), re-validates the detection epoch, plans victims with
+//! the same `plan_resolution` the deterministic engine uses (over a
+//! borrowed [`RuntimeView`](pr_core::RuntimeView) assembled from the held
+//! guards), and executes
+//! the rollbacks. Holding every member's slot freezes the cycle: member
+//! promotions would need a member's release, which only the members'
+//! own (captured) threads or this resolver could perform.
+
+use crate::history::{AccessHistory, CommittedAccess};
+use crate::outcome::{ParConfig, ParError, ParOutcome, TxnStats};
+use crate::shard::Shards;
+use crate::slot::{SlotState, TxnSlot};
+use crate::wfg::EpochGraph;
+use pr_core::deadlock::{plan_resolution, DeadlockEvent};
+use pr_core::runtime::{Phase, TxnRuntime};
+use pr_core::Metrics;
+use pr_graph::{CandidateRollback, Cycle};
+use pr_lock::RequestOutcome;
+use pr_model::{EntityId, LockIndex, LockMode, Op, StateIndex, TransactionProgram, TxnId};
+use pr_storage::GlobalStore;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Park timeout: the cadence at which blocked workers re-poll the shard
+/// and re-run detection, bounding the cost of any lost wake hint.
+const POLL: Duration = Duration::from_millis(2);
+
+/// Consecutive empty polls before a blocked worker declares the run
+/// stuck (~10 s) — converts any liveness bug into a failed run instead
+/// of a hang.
+const STUCK_POLLS: u32 = 5_000;
+
+/// Outcome of one resolution attempt.
+enum Round {
+    /// A plan was executed; at least one victim rolled back.
+    Resolved,
+    /// The epoch moved between detection and slot capture — the cycle
+    /// may no longer exist; re-detect.
+    Stale,
+    /// A member's slot was held elsewhere; back off and re-detect.
+    Busy,
+}
+
+struct Core {
+    shards: Shards,
+    slots: Vec<TxnSlot>,
+    wfg: EpochGraph,
+    history: AccessHistory,
+    shared: Mutex<Metrics>,
+    config: ParConfig,
+    abort: AtomicBool,
+    error: Mutex<Option<ParError>>,
+    next: AtomicUsize,
+}
+
+impl Core {
+    fn slot_of(&self, txn: TxnId) -> &TxnSlot {
+        &self.slots[(txn.raw() - 1) as usize]
+    }
+
+    fn fail(&self, e: ParError) {
+        self.abort.store(true, Ordering::Release);
+        self.error.lock().expect("error mutex poisoned").get_or_insert(e);
+    }
+
+    fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Acquire)
+    }
+
+    /// Worker main loop: claim transactions until the queue drains or the
+    /// run aborts.
+    fn worker(&self, local: &mut Metrics) {
+        loop {
+            if self.aborted() {
+                return;
+            }
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.slots.len() {
+                return;
+            }
+            if let Err(e) = self.run_txn(i, local) {
+                self.fail(e);
+                return;
+            }
+        }
+    }
+
+    /// Executes transaction `idx` to commit (or returns early on abort).
+    fn run_txn(&self, idx: usize, local: &mut Metrics) -> Result<(), ParError> {
+        let slot = &self.slots[idx];
+        let id = TxnId::new(idx as u32 + 1);
+        let mut g = slot.lock();
+        loop {
+            if self.aborted() {
+                return Ok(());
+            }
+            match g.rt.phase {
+                Phase::Committed => return Ok(()),
+                Phase::Running => {}
+                Phase::Blocked | Phase::Aborted => {
+                    return Err(ParError::Inconsistent(format!(
+                        "{id} re-entered the step loop in phase {:?}",
+                        g.rt.phase
+                    )));
+                }
+            }
+            let pc = g.rt.pc;
+            let Some(op) = g.rt.program.op(pc).cloned() else {
+                return Err(ParError::MissingOp { txn: id, pc });
+            };
+            local.steps += 1;
+            match op {
+                Op::LockShared(entity) => {
+                    g = self.op_lock(slot, g, id, entity, LockMode::Shared, local)?;
+                }
+                Op::LockExclusive(entity) => {
+                    g = self.op_lock(slot, g, id, entity, LockMode::Exclusive, local)?;
+                }
+                Op::Unlock(entity) => g = self.op_unlock(slot, g, id, entity, local)?,
+                Op::Read { entity, into } => {
+                    let global = self.shards.guard(entity).store.read(entity)?;
+                    let value = g.rt.read_entity(entity, global);
+                    g.rt.assign_var(into, value)?;
+                    local.ops_executed += 1;
+                }
+                Op::Write { entity, expr } => {
+                    let value = expr.eval(g.rt.workspace.vars());
+                    g.rt.write_entity(entity, value)?;
+                    local.ops_executed += 1;
+                    local.peak_copies = local.peak_copies.max(g.rt.copies());
+                }
+                Op::Assign { var, expr } => {
+                    let value = expr.eval(g.rt.workspace.vars());
+                    g.rt.assign_var(var, value)?;
+                    local.ops_executed += 1;
+                }
+                Op::Compute(expr) => {
+                    let _ = expr.eval(g.rt.workspace.vars());
+                    g.rt.advance();
+                    local.ops_executed += 1;
+                }
+                Op::Commit => {
+                    self.op_commit(g, id, local)?;
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Completes a granted lock on the worker's own runtime.
+    fn finish_grant(
+        &self,
+        g: &mut SlotState,
+        entity: EntityId,
+        mode: LockMode,
+        global: pr_model::Value,
+        local: &mut Metrics,
+    ) {
+        let stamp = self.history.next_stamp();
+        g.rt.complete_lock(entity, mode, global);
+        g.stamps.insert(entity, stamp);
+        if let Some(since) = g.blocked_since.take() {
+            local.grant_latency.record(since.elapsed().as_micros() as u64);
+        }
+        local.ops_executed += 1;
+        local.peak_copies = local.peak_copies.max(g.rt.copies());
+    }
+
+    /// One lock-request operation: request under the entity's shard,
+    /// then — if blocked — alternate resolution attempts with parking
+    /// until granted or rolled back.
+    fn op_lock<'a>(
+        &'a self,
+        slot: &'a TxnSlot,
+        mut g: MutexGuard<'a, SlotState>,
+        id: TxnId,
+        entity: EntityId,
+        mode: LockMode,
+        local: &mut Metrics,
+    ) -> Result<MutexGuard<'a, SlotState>, ParError> {
+        let cap = self.config.system.cycle_cap;
+        let (mut cycles, mut epoch);
+        {
+            let mut shard = self.shards.guard(entity);
+            match shard.table.request(id, entity, mode, g.rt.state, g.rt.lock_index())? {
+                RequestOutcome::Granted => {
+                    let global = shard.store.read(entity)?;
+                    // A barging grant can newly block queued waiters on
+                    // this holder; re-point their arcs.
+                    self.wfg.queue_changed(&shard.table, entity, None, &[]);
+                    drop(shard);
+                    self.finish_grant(&mut g, entity, mode, global, local);
+                    return Ok(g);
+                }
+                RequestOutcome::Wait { holders, .. } => {
+                    g.rt.phase = Phase::Blocked;
+                    g.rt.blocked_on = Some(entity);
+                    g.wake = false;
+                    g.blocked_since = Some(Instant::now());
+                    let depth = shard.table.queue_depth(entity);
+                    let (c, e) = self.wfg.register_and_detect(id, entity, &holders, cap);
+                    drop(shard);
+                    local.waits += 1;
+                    local.note_queue_depth(entity, depth);
+                    (cycles, epoch) = (c, e);
+                }
+            }
+        }
+        let mut idle_polls: u32 = 0;
+        loop {
+            if self.aborted() {
+                return Ok(g);
+            }
+            // Rolled back by a resolver (possibly after it completed a
+            // raced-in grant on our behalf): pc/state were reset; resume
+            // the op loop from there.
+            if g.rt.phase == Phase::Running {
+                g.blocked_since = None;
+                return Ok(g);
+            }
+            // The shard is the authority on promotion.
+            g.wake = false;
+            {
+                let shard = self.shards.guard(entity);
+                if let Some(h) = shard.table.held_by(id, entity) {
+                    let global = shard.store.read(entity)?;
+                    drop(shard);
+                    self.finish_grant(&mut g, entity, h.mode, global, local);
+                    return Ok(g);
+                }
+            }
+            if !cycles.is_empty() {
+                match self.try_resolve(&mut g, id, entity, &cycles, epoch, local)? {
+                    Round::Resolved => {
+                        idle_polls = 0;
+                        (cycles, epoch) = self.refreshed(id, cap);
+                        continue;
+                    }
+                    Round::Stale => {
+                        (cycles, epoch) = self.refreshed(id, cap);
+                        continue;
+                    }
+                    Round::Busy => {
+                        // Another resolver holds overlapping slots; get
+                        // fully out of its way (it may need ours). The
+                        // id-skewed pause breaks retry lockstep.
+                        drop(g);
+                        std::thread::sleep(Duration::from_micros(
+                            50 + u64::from(id.raw() % 8) * 50,
+                        ));
+                        g = slot.lock();
+                        (cycles, epoch) = self.refreshed(id, cap);
+                        continue;
+                    }
+                }
+            }
+            let (g2, timed_out) = slot.park(g, POLL);
+            g = g2;
+            if timed_out {
+                idle_polls += 1;
+                if idle_polls >= STUCK_POLLS {
+                    return Err(ParError::Stuck { txn: id });
+                }
+                // Watchdog: surface any cycle a lost race hid.
+                (cycles, epoch) = self.refreshed(id, cap);
+            } else {
+                idle_polls = 0;
+            }
+        }
+    }
+
+    /// Current cycles through `id`'s registered wait, or empty if it no
+    /// longer waits.
+    fn refreshed(&self, id: TxnId, cap: usize) -> (Vec<Cycle>, u64) {
+        self.wfg.redetect(id, cap).unwrap_or((Vec::new(), 0))
+    }
+
+    /// One resolution attempt for cycles detected at `epoch`.
+    fn try_resolve(
+        &self,
+        g: &mut SlotState,
+        id: TxnId,
+        entity: EntityId,
+        cycles: &[Cycle],
+        epoch: u64,
+        local: &mut Metrics,
+    ) -> Result<Round, ParError> {
+        let mut members: BTreeSet<TxnId> = cycles.iter().flat_map(|c| c.txns()).collect();
+        members.remove(&id);
+        let mut held: Vec<(TxnId, MutexGuard<'_, SlotState>)> = Vec::with_capacity(members.len());
+        for &m in &members {
+            match self.slot_of(m).try_lock() {
+                Some(og) => held.push((m, og)),
+                None => return Ok(Round::Busy),
+            }
+        }
+        // Any arc change since detection invalidates the cycles. With the
+        // epoch unchanged and every member's slot in hand, the cycle is
+        // frozen: promotions/cancellations of members would need a
+        // member's own thread or another resolver, all excluded now.
+        if self.wfg.epoch() != epoch {
+            return Ok(Round::Stale);
+        }
+        if held.iter().any(|(_, og)| og.rt.phase != Phase::Blocked) {
+            return Ok(Round::Stale);
+        }
+        let plan = {
+            let mut view: BTreeMap<TxnId, &TxnRuntime> = BTreeMap::new();
+            view.insert(id, &g.rt);
+            for (m, og) in &held {
+                view.insert(*m, &og.rt);
+            }
+            let event = DeadlockEvent { causer: id, entity, cycles: cycles.to_vec() };
+            plan_resolution(&event, &self.config.system, &view)
+        };
+        if plan.rollbacks.is_empty() {
+            // Cannot happen while every member is rollbackable; surface
+            // rather than spin.
+            return Err(ParError::Unresolvable { txn: id });
+        }
+        local.deadlocks += 1;
+        if plan.optimal {
+            local.cutset_optimal += 1;
+        } else {
+            local.cutset_greedy += 1;
+        }
+        let mut to_wake: BTreeSet<TxnId> = BTreeSet::new();
+        let mut actual_cost: u64 = 0;
+        for rb in &plan.rollbacks {
+            actual_cost += self.execute_rollback(*rb, g, id, &mut held, &mut to_wake, local)?;
+        }
+        // Recorded from executed costs so the resolution-cost histogram
+        // sums exactly to the states-lost counter (and to the per-victim
+        // runtime totals), with no drift from raced-in grants.
+        local.resolution_cost.record(actual_cost);
+        if to_wake.remove(&id) {
+            g.wake = true;
+        }
+        for (m, og) in &mut held {
+            if to_wake.remove(m) {
+                og.wake = true;
+                self.slot_of(*m).notify();
+            }
+        }
+        drop(held);
+        for t in to_wake {
+            self.slot_of(t).try_wake();
+        }
+        Ok(Round::Resolved)
+    }
+
+    /// Executes one planned rollback. Returns the states actually lost.
+    fn execute_rollback(
+        &self,
+        rb: CandidateRollback,
+        g: &mut SlotState,
+        self_id: TxnId,
+        held: &mut [(TxnId, MutexGuard<'_, SlotState>)],
+        to_wake: &mut BTreeSet<TxnId>,
+        local: &mut Metrics,
+    ) -> Result<u64, ParError> {
+        let victim = rb.txn;
+        let vs: &mut SlotState = if victim == self_id {
+            g
+        } else {
+            held.iter_mut().find(|(m, _)| *m == victim).map(|(_, og)| &mut **og).ok_or_else(
+                || ParError::Inconsistent(format!("victim {victim} not captured by resolver")),
+            )?
+        };
+        // Step 1: halt the victim — cancel its pending request. An
+        // earlier rollback in this same plan may have promoted it
+        // already; mirror the deterministic engine (which finalizes
+        // promoted grants before rolling the victim back) by completing
+        // the grant on its behalf, then undoing it like any lock state.
+        if vs.rt.phase == Phase::Blocked {
+            let went = vs.rt.blocked_on.expect("blocked transactions record their entity");
+            let mut shard = self.shards.guard(went);
+            if let Some(h) = shard.table.held_by(victim, went) {
+                let global = shard.store.read(went)?;
+                drop(shard);
+                let stamp = self.history.next_stamp();
+                vs.rt.complete_lock(went, h.mode, global);
+                vs.stamps.insert(went, stamp);
+                if let Some(since) = vs.blocked_since.take() {
+                    local.grant_latency.record(since.elapsed().as_micros() as u64);
+                }
+                local.ops_executed += 1;
+            } else {
+                let promoted = shard.table.cancel_wait(victim, went)?;
+                self.wfg.queue_changed(&shard.table, went, Some(victim), &promoted);
+                drop(shard);
+                to_wake.extend(promoted.iter().map(|h| h.txn));
+                vs.blocked_since = None;
+            }
+        }
+        // Steps 2–5: runtime/workspace rollback, then lock releases
+        // without publishing (§4's deferred update — the database still
+        // holds the pre-lock globals).
+        let target = rb.target.min(vs.rt.lock_index());
+        let ideal = rb.ideal.min(vs.rt.lock_index());
+        let cost = vs.rt.cost_to_lock_state(target);
+        let ideal_cost = vs.rt.cost_to_lock_state(ideal);
+        let released = vs.rt.rollback_to(target)?;
+        local.states_lost += u64::from(cost);
+        local.rollback_overshoot += u64::from(cost - ideal_cost);
+        if target == LockIndex::ZERO {
+            local.total_rollbacks += 1;
+        } else {
+            local.partial_rollbacks += 1;
+        }
+        local.record_preemption(victim);
+        local.peak_copies = local.peak_copies.max(vs.rt.copies());
+        for ls in &released {
+            vs.stamps.remove(&ls.entity);
+            let mut shard = self.shards.guard(ls.entity);
+            let promoted = shard.table.release(victim, ls.entity)?;
+            self.wfg.queue_changed(&shard.table, ls.entity, None, &promoted);
+            drop(shard);
+            to_wake.extend(promoted.iter().map(|h| h.txn));
+        }
+        if victim != self_id {
+            // The victim's thread is parked in its own op_lock loop; wake
+            // it so it resumes from the reset pc.
+            to_wake.insert(victim);
+        }
+        Ok(u64::from(cost))
+    }
+
+    /// One unlock operation: publish (exclusive), release, re-point
+    /// arcs, wake promoted waiters.
+    fn op_unlock<'a>(
+        &'a self,
+        slot: &'a TxnSlot,
+        mut g: MutexGuard<'a, SlotState>,
+        id: TxnId,
+        entity: EntityId,
+        local: &mut Metrics,
+    ) -> Result<MutexGuard<'a, SlotState>, ParError> {
+        let published = g.rt.complete_unlock(entity);
+        let promoted = {
+            let mut shard = self.shards.guard(entity);
+            if let Some(value) = published {
+                shard.store.publish(entity, value)?;
+            }
+            let promoted = shard.table.release(id, entity)?;
+            self.wfg.queue_changed(&shard.table, entity, None, &promoted);
+            promoted
+        };
+        local.ops_executed += 1;
+        if promoted.is_empty() {
+            return Ok(g);
+        }
+        // Wake holding nothing (the ordering rule for blocking slot
+        // acquisition), then re-acquire our own slot.
+        drop(g);
+        for h in &promoted {
+            self.slot_of(h.txn).try_wake();
+        }
+        Ok(slot.lock())
+    }
+
+    /// Commit: release every held lock (publishing exclusive finals),
+    /// record the access history, wake promoted waiters.
+    fn op_commit(
+        &self,
+        mut g: MutexGuard<'_, SlotState>,
+        id: TxnId,
+        local: &mut Metrics,
+    ) -> Result<(), ParError> {
+        let held_entities: Vec<EntityId> = g.rt.held.iter().copied().collect();
+        let mut to_wake: Vec<TxnId> = Vec::new();
+        for entity in held_entities {
+            let published = g.rt.complete_unlock(entity);
+            // Commit-time releases are not separate operations; undo the
+            // advance (as the deterministic engine does).
+            g.rt.pc -= 1;
+            g.rt.state = StateIndex::new(g.rt.state.raw() - 1);
+            let mut shard = self.shards.guard(entity);
+            if let Some(value) = published {
+                shard.store.publish(entity, value)?;
+            }
+            let promoted = shard.table.release(id, entity)?;
+            self.wfg.queue_changed(&shard.table, entity, None, &promoted);
+            drop(shard);
+            to_wake.extend(promoted.iter().map(|h| h.txn));
+        }
+        g.rt.advance();
+        g.rt.phase = Phase::Committed;
+        let accesses: Vec<CommittedAccess> = g
+            .rt
+            .lock_states
+            .iter()
+            .map(|ls| CommittedAccess {
+                txn: id,
+                entity: ls.entity,
+                mode: ls.mode,
+                stamp: *g.stamps.get(&ls.entity).expect("every committed lock state was stamped"),
+            })
+            .collect();
+        self.history.commit(accesses);
+        local.ops_executed += 1;
+        local.commits += 1;
+        drop(g);
+        for t in to_wake {
+            self.slot_of(t).try_wake();
+        }
+        Ok(())
+    }
+}
+
+/// Runs `programs` to completion on `config.threads` worker threads over
+/// a sharded lock table seeded from `store`.
+///
+/// On success every transaction has committed; the outcome carries the
+/// final snapshot, the stamped access history for the serializability
+/// oracle, merged metrics, and per-transaction rollback accounting. The
+/// first worker error aborts the whole run.
+pub fn run_parallel(
+    programs: &[TransactionProgram],
+    mut store: GlobalStore,
+    config: &ParConfig,
+) -> Result<ParOutcome, ParError> {
+    let n = programs.len();
+    let threads = config.threads.max(1).min(n.max(1));
+    let shard_count = config.effective_shards();
+    for p in programs {
+        for e in p.locked_entities() {
+            store.ensure(e);
+        }
+    }
+    let slots: Vec<TxnSlot> = programs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            TxnSlot::new(TxnRuntime::new(
+                TxnId::new(i as u32 + 1),
+                Arc::new(p.clone()),
+                i as u64,
+                config.system.strategy,
+            ))
+        })
+        .collect();
+    let core = Core {
+        shards: Shards::new(shard_count, config.system.grant_policy, store),
+        slots,
+        wfg: EpochGraph::new(),
+        history: AccessHistory::new(),
+        shared: Mutex::new(Metrics::default()),
+        config: config.clone(),
+        abort: AtomicBool::new(false),
+        error: Mutex::new(None),
+        next: AtomicUsize::new(0),
+    };
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local = Metrics::default();
+                core.worker(&mut local);
+                core.shared.lock().expect("metrics mutex poisoned").merge(&local);
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    if let Some(e) = core.error.lock().expect("error mutex poisoned").take() {
+        return Err(e);
+    }
+    // Quiescent-point validation: lock tables coherent, waits-for graph
+    // drained, everyone committed.
+    core.shards.check_invariants().map_err(ParError::Inconsistent)?;
+    core.wfg.check_consistent().map_err(ParError::Inconsistent)?;
+    if core.wfg.waiting_count() != 0 {
+        return Err(ParError::Inconsistent(format!(
+            "{} transactions still registered as waiting at quiescence",
+            core.wfg.waiting_count()
+        )));
+    }
+    let snapshot = core.shards.snapshot();
+    let per_txn: Vec<TxnStats> = core
+        .slots
+        .iter()
+        .map(|s| {
+            let g = s.lock();
+            TxnStats {
+                id: g.rt.id,
+                committed: g.rt.phase == Phase::Committed,
+                states_lost: g.rt.states_lost,
+                preemptions: g.rt.preemptions,
+            }
+        })
+        .collect();
+    if let Some(t) = per_txn.iter().find(|t| !t.committed) {
+        return Err(ParError::Inconsistent(format!("{} never committed", t.id)));
+    }
+    let Core { shared, history, .. } = core;
+    Ok(ParOutcome {
+        metrics: shared.into_inner().expect("metrics mutex poisoned"),
+        per_txn,
+        accesses: history.into_accesses(),
+        snapshot,
+        elapsed,
+        threads,
+        shards: shard_count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pr_core::{StrategyKind, SystemConfig};
+    use pr_model::{Expr, Value, VarId};
+
+    fn e(i: u32) -> EntityId {
+        EntityId::new(i)
+    }
+
+    /// `LX(a); v0 = R(a); v0 += delta; W(a, v0); U(a)*; COMMIT` — the
+    /// read-modify-write increment every thread-safety test leans on.
+    fn increment(entity: EntityId, delta: i64) -> TransactionProgram {
+        TransactionProgram::try_from(vec![
+            Op::LockExclusive(entity),
+            Op::Read { entity, into: VarId::new(0) },
+            Op::Assign {
+                var: VarId::new(0),
+                expr: Expr::add(Expr::var(VarId::new(0)), Expr::lit(delta)),
+            },
+            Op::Write { entity, expr: Expr::var(VarId::new(0)) },
+            Op::Commit,
+        ])
+        .unwrap()
+    }
+
+    /// Two-entity transfer that locks in the given order — opposite
+    /// orders across transactions manufacture deadlocks.
+    fn transfer(first: EntityId, second: EntityId, delta: i64) -> TransactionProgram {
+        let bump = |ent: EntityId, var: u16, d: i64| {
+            vec![
+                Op::Read { entity: ent, into: VarId::new(var) },
+                Op::Assign {
+                    var: VarId::new(var),
+                    expr: Expr::add(Expr::var(VarId::new(var)), Expr::lit(d)),
+                },
+                Op::Write { entity: ent, expr: Expr::var(VarId::new(var)) },
+            ]
+        };
+        let mut ops = vec![Op::LockExclusive(first)];
+        ops.extend(bump(first, 0, delta));
+        ops.push(Op::LockExclusive(second));
+        ops.extend(bump(second, 1, -delta));
+        ops.push(Op::Commit);
+        TransactionProgram::try_from(ops).unwrap()
+    }
+
+    fn config(threads: usize, strategy: StrategyKind) -> ParConfig {
+        ParConfig {
+            threads,
+            shards: 4,
+            system: SystemConfig { strategy, ..SystemConfig::default() },
+        }
+    }
+
+    #[test]
+    fn lost_update_is_impossible_under_contention() {
+        let programs: Vec<TransactionProgram> = (0..16).map(|_| increment(e(0), 1)).collect();
+        let store = GlobalStore::with_entities(1, Value::ZERO);
+        let out = run_parallel(&programs, store, &config(4, StrategyKind::Mcs)).unwrap();
+        assert_eq!(out.commits(), 16);
+        assert_eq!(out.snapshot.get(e(0)), Some(Value::new(16)));
+        assert_eq!(out.metrics.commits, 16);
+        // Conflicting exclusive accesses must carry distinct, ordered stamps.
+        let mut stamps: Vec<u64> = out.accesses.iter().map(|a| a.stamp).collect();
+        let len = stamps.len();
+        stamps.dedup();
+        assert_eq!(stamps.len(), len);
+    }
+
+    #[test]
+    fn opposed_transfers_deadlock_and_both_commit() {
+        for strategy in [StrategyKind::Total, StrategyKind::Mcs, StrategyKind::Sdg] {
+            let programs =
+                vec![transfer(e(0), e(1), 5), transfer(e(1), e(0), 3), transfer(e(0), e(1), 2)];
+            let store = GlobalStore::with_entities(2, Value::new(100));
+            let out = run_parallel(&programs, store, &config(3, strategy))
+                .unwrap_or_else(|err| panic!("{strategy:?}: {err}"));
+            assert_eq!(out.commits(), 3, "{strategy:?}");
+            // Transfers conserve the total.
+            let total: i64 = out.snapshot.iter().map(|(_, v)| v.raw()).sum();
+            assert_eq!(total, 200, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn single_thread_runs_degenerate_to_serial() {
+        let programs = vec![increment(e(0), 2), increment(e(1), 3), increment(e(0), 4)];
+        let store = GlobalStore::with_entities(2, Value::ZERO);
+        let out = run_parallel(&programs, store, &config(1, StrategyKind::Total)).unwrap();
+        assert_eq!(out.commits(), 3);
+        assert_eq!(out.snapshot.get(e(0)), Some(Value::new(6)));
+        assert_eq!(out.snapshot.get(e(1)), Some(Value::new(3)));
+        assert_eq!(out.metrics.deadlocks, 0);
+    }
+
+    #[test]
+    fn rollback_accounting_reconciles_across_views() {
+        // High-conflict workload: every pair of opposed transfers can
+        // deadlock; run enough of them that rollbacks actually happen.
+        let mut programs = Vec::new();
+        for i in 0..12 {
+            if i % 2 == 0 {
+                programs.push(transfer(e(0), e(1), 1));
+            } else {
+                programs.push(transfer(e(1), e(0), 1));
+            }
+        }
+        let store = GlobalStore::with_entities(2, Value::new(50));
+        let out = run_parallel(&programs, store, &config(4, StrategyKind::Mcs)).unwrap();
+        assert_eq!(out.commits(), 12);
+        let per_txn_lost: u64 = out.per_txn.iter().map(|t| t.states_lost).sum();
+        assert_eq!(out.metrics.states_lost, per_txn_lost);
+        assert_eq!(out.metrics.resolution_cost.sum(), out.metrics.states_lost);
+        let per_txn_preempt: u64 = out.per_txn.iter().map(|t| u64::from(t.preemptions)).sum();
+        let metric_preempt: u64 = out.metrics.preemptions.values().map(|&c| u64::from(c)).sum();
+        assert_eq!(metric_preempt, per_txn_preempt);
+    }
+
+    #[test]
+    fn empty_workload_is_a_noop() {
+        let out = run_parallel(&[], GlobalStore::new(), &config(4, StrategyKind::Total)).unwrap();
+        assert_eq!(out.commits(), 0);
+        assert!(out.accesses.is_empty());
+    }
+}

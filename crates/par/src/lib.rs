@@ -1,0 +1,42 @@
+//! # pr-par — multi-threaded sharded-lock-table executor
+//!
+//! A true multi-threaded counterpart to the deterministic engine in
+//! `pr-core`: N worker threads execute whole transactions against a
+//! **sharded lock table** (per-shard mutexes bundling lock state with the
+//! entities' global values, entity→shard hashing, ordered multi-shard
+//! locking), with a concurrent waits-for graph whose **epoch-stamped
+//! cycle check** makes detection atomic with arc registration and lets
+//! resolvers validate a plan before executing it.
+//!
+//! The engine reuses the rest of the stack unchanged — `pr-lock` conflict
+//! rules and grant policies, `pr-storage` version-stack workspaces,
+//! `pr-core`'s [`TxnRuntime`](pr_core::runtime::TxnRuntime) and §3
+//! resolution planner — so every rollback strategy (total, MCS, SDG) and
+//! both grant policies run on real threads with the same semantics the
+//! deterministic engine exhibits. Each run emits a stamped commit-time
+//! access history from which a serializability oracle can rebuild the
+//! conflict graph without ever having observed the interleaving.
+//!
+//! Concurrency design in brief (details on each module):
+//!
+//! * [`shard`] — per-shard mutexes, hashing, ordered two-shard locking;
+//! * [`slot`] — per-transaction mutex + condvar, the wake-hint protocol,
+//!   and the crate's lock-ordering rules;
+//! * [`wfg`] — the epoch-stamped concurrent waits-for graph;
+//! * [`engine`] — the worker loop, blocked-wait state machine, and the
+//!   try-lock resolver that executes partial rollbacks across threads;
+//! * [`history`] — grant-stamped access records for the oracle;
+//! * [`outcome`] — configuration, errors, and result types.
+
+pub mod engine;
+pub mod history;
+pub mod outcome;
+pub mod shard;
+pub mod slot;
+pub mod wfg;
+
+pub use engine::run_parallel;
+pub use history::{AccessHistory, CommittedAccess};
+pub use outcome::{ParConfig, ParError, ParOutcome, TxnStats};
+pub use shard::{Shard, Shards};
+pub use wfg::EpochGraph;

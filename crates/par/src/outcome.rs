@@ -1,0 +1,176 @@
+//! Configuration, errors, and run results for the parallel engine.
+
+use crate::history::CommittedAccess;
+use pr_core::{Metrics, SystemConfig};
+use pr_lock::LockError;
+use pr_model::TxnId;
+use pr_storage::{Snapshot, StorageError};
+use std::fmt;
+use std::time::Duration;
+
+/// Configuration for one parallel run.
+#[derive(Clone, Debug)]
+pub struct ParConfig {
+    /// Worker threads (each runs whole transactions; in-flight
+    /// transactions never exceed this). Clamped to at least 1.
+    pub threads: usize,
+    /// Lock-table shards; 0 selects `4 × threads` (rounded up to a power
+    /// of two either way).
+    pub shards: usize,
+    /// Strategy / victim-policy / grant-policy knobs, shared with the
+    /// deterministic engine.
+    pub system: SystemConfig,
+}
+
+impl ParConfig {
+    /// A config with the given thread count and defaults elsewhere.
+    pub fn with_threads(threads: usize) -> Self {
+        ParConfig { threads, shards: 0, system: SystemConfig::default() }
+    }
+
+    /// The effective shard count.
+    pub fn effective_shards(&self) -> usize {
+        let raw = if self.shards == 0 { self.threads.max(1) * 4 } else { self.shards };
+        raw.max(1).next_power_of_two()
+    }
+}
+
+/// Per-transaction result row.
+#[derive(Clone, Copy, Debug)]
+pub struct TxnStats {
+    /// Transaction id.
+    pub id: TxnId,
+    /// Whether it committed (always true on a successful run).
+    pub committed: bool,
+    /// States lost to rollbacks of this transaction.
+    pub states_lost: u64,
+    /// Times it was chosen as a rollback victim.
+    pub preemptions: u32,
+}
+
+/// Result of a successful parallel run.
+#[derive(Debug)]
+pub struct ParOutcome {
+    /// Aggregated metrics: per-worker counters merged with the shared
+    /// resolution metrics.
+    pub metrics: Metrics,
+    /// One row per transaction, in admission order.
+    pub per_txn: Vec<TxnStats>,
+    /// Committed lock-state accesses sorted by grant stamp — input to the
+    /// serializability oracle.
+    pub accesses: Vec<CommittedAccess>,
+    /// Final database state, reassembled across shards.
+    pub snapshot: Snapshot,
+    /// Wall-clock execution time (worker start to last join).
+    pub elapsed: Duration,
+    /// Threads actually used.
+    pub threads: usize,
+    /// Shards actually used.
+    pub shards: usize,
+}
+
+impl ParOutcome {
+    /// Committed transactions.
+    pub fn commits(&self) -> usize {
+        self.per_txn.iter().filter(|t| t.committed).count()
+    }
+
+    /// Committed transactions per second of wall-clock time.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.commits() as f64 / secs
+    }
+}
+
+/// Errors a parallel run can surface. The first worker error aborts the
+/// whole run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParError {
+    /// A lock-table operation failed (protocol bug, not contention).
+    Lock(LockError),
+    /// A storage operation failed.
+    Storage(StorageError),
+    /// A transaction's program counter ran past its program.
+    MissingOp {
+        /// The transaction.
+        txn: TxnId,
+        /// The out-of-range program counter.
+        pc: usize,
+    },
+    /// A blocked transaction made no progress for the watchdog limit —
+    /// a liveness bug (missed wake plus failed re-detection).
+    Stuck {
+        /// The starved transaction.
+        txn: TxnId,
+    },
+    /// Deadlock resolution produced an empty plan (no rollbackable
+    /// victim in the cycle) — the workload is not resolvable.
+    Unresolvable {
+        /// The transaction whose wait exposed the cycle.
+        txn: TxnId,
+    },
+    /// Post-run validation failed (lock-table or waits-for-graph
+    /// invariant broken at quiescence).
+    Inconsistent(String),
+}
+
+impl fmt::Display for ParError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParError::Lock(e) => write!(f, "lock table error: {e}"),
+            ParError::Storage(e) => write!(f, "storage error: {e}"),
+            ParError::MissingOp { txn, pc } => {
+                write!(f, "{txn} has no operation at pc {pc}")
+            }
+            ParError::Stuck { txn } => {
+                write!(f, "{txn} starved: blocked past the watchdog limit")
+            }
+            ParError::Unresolvable { txn } => {
+                write!(f, "deadlock at {txn} has no rollbackable victim")
+            }
+            ParError::Inconsistent(msg) => write!(f, "post-run inconsistency: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParError {}
+
+impl From<LockError> for ParError {
+    fn from(e: LockError) -> Self {
+        ParError::Lock(e)
+    }
+}
+
+impl From<StorageError> for ParError {
+    fn from(e: StorageError) -> Self {
+        ParError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_auto_selection_scales_with_threads() {
+        assert_eq!(ParConfig::with_threads(1).effective_shards(), 4);
+        assert_eq!(ParConfig::with_threads(8).effective_shards(), 32);
+        let explicit = ParConfig { shards: 5, ..ParConfig::with_threads(2) };
+        assert_eq!(explicit.effective_shards(), 8);
+        let zero = ParConfig { threads: 0, ..ParConfig::with_threads(0) };
+        assert_eq!(zero.effective_shards(), 4);
+    }
+
+    #[test]
+    fn errors_render_and_convert() {
+        let e: ParError =
+            LockError::NotHeld { txn: TxnId::new(1), entity: pr_model::EntityId::new(2) }.into();
+        assert!(e.to_string().contains("lock table error"));
+        let s: ParError = StorageError::NoSuchEntity(pr_model::EntityId::new(3)).into();
+        assert!(s.to_string().contains("storage error"));
+        assert!(ParError::Stuck { txn: TxnId::new(4) }.to_string().contains("starved"));
+    }
+}

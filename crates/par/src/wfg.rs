@@ -1,0 +1,209 @@
+//! The concurrent waits-for graph with epoch-stamped cycle detection.
+//!
+//! One mutex protects the whole graph plus a monotone **epoch** counter
+//! that is bumped on every arc mutation. Two properties make this safe:
+//!
+//! * **Detection is atomic with registration.** A blocking transaction's
+//!   arcs are added and cycles through them detected inside one critical
+//!   section, so the thread whose arc closes a cycle always sees that
+//!   cycle — a cycle can never form "between" two threads' checks.
+//! * **Plans are validated by epoch.** A resolver records the epoch when
+//!   it detected a cycle; after it has try-locked every member's slot it
+//!   re-reads the epoch. Unchanged epoch ⇒ no arc changed ⇒ the cycle
+//!   still stands, and since every member's slot is now held, no member
+//!   can be promoted or cancelled (any such change needs a shard mutation
+//!   that routes through this module and would have bumped the epoch, and
+//!   future ones need a member's release — impossible while the members'
+//!   slots are held). Stale epoch ⇒ back off and re-detect.
+//!
+//! Lock order: the graph mutex is the **innermost** lock — acquired while
+//! holding a shard mutex (arc maintenance accompanies queue changes) or
+//! nothing, and never acquires anything itself.
+
+use pr_graph::cycles::cycles_on_wait;
+use pr_graph::{Cycle, WaitsForGraph};
+use pr_lock::{HeldLock, LockTable};
+use pr_model::{EntityId, TxnId};
+use std::sync::Mutex;
+
+struct Inner {
+    graph: WaitsForGraph,
+    epoch: u64,
+}
+
+/// The shared waits-for graph.
+pub struct EpochGraph {
+    inner: Mutex<Inner>,
+}
+
+impl Default for EpochGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EpochGraph {
+    /// An empty graph at epoch 0.
+    pub fn new() -> Self {
+        EpochGraph { inner: Mutex::new(Inner { graph: WaitsForGraph::new(), epoch: 0 }) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("waits-for graph mutex poisoned")
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.lock().epoch
+    }
+
+    /// Registers `waiter`'s arcs (it waits on `entity` held/blocked by
+    /// `holders`) and detects the cycles those arcs close, atomically.
+    /// Returns the cycles and the epoch *after* registration — the value
+    /// a resolver must re-validate against.
+    pub fn register_and_detect(
+        &self,
+        waiter: TxnId,
+        entity: EntityId,
+        holders: &[TxnId],
+        cap: usize,
+    ) -> (Vec<Cycle>, u64) {
+        let mut inner = self.lock();
+        // cycles_on_wait expects the requester's arcs absent (it simulates
+        // adding them); a fresh waiter has none.
+        let cycles = cycles_on_wait(&inner.graph, waiter, entity, holders, cap);
+        inner.graph.set_wait(waiter, entity, holders);
+        inner.epoch += 1;
+        let epoch = inner.epoch;
+        (cycles, epoch)
+    }
+
+    /// Re-runs detection for a transaction that is still registered as
+    /// waiting — the resolver's retry path after a stale epoch, and the
+    /// watchdog's safety net after a poll timeout. Returns `None` if the
+    /// transaction no longer waits (promoted or cancelled meanwhile).
+    /// Arcs are not changed, so the epoch is not bumped.
+    pub fn redetect(&self, waiter: TxnId, cap: usize) -> Option<(Vec<Cycle>, u64)> {
+        let mut inner = self.lock();
+        let (entity, holders) = inner.graph.wait_of(waiter)?;
+        inner.graph.clear_wait(waiter);
+        let cycles = cycles_on_wait(&inner.graph, waiter, entity, &holders, cap);
+        inner.graph.set_wait(waiter, entity, &holders);
+        Some((cycles, inner.epoch))
+    }
+
+    /// Re-synchronises arcs after `entity`'s queue changed in `table`:
+    /// `cancelled`'s and every promoted transaction's arcs are dropped
+    /// (they no longer wait), and each remaining waiter's arcs are
+    /// re-pointed at its current blockers. Must be called while the
+    /// caller still holds `entity`'s shard mutex, so the table state and
+    /// the graph change atomically with respect to other shard users.
+    pub fn queue_changed(
+        &self,
+        table: &LockTable,
+        entity: EntityId,
+        cancelled: Option<TxnId>,
+        promoted: &[HeldLock],
+    ) {
+        let mut inner = self.lock();
+        if let Some(t) = cancelled {
+            inner.graph.clear_wait(t);
+        }
+        for h in promoted {
+            inner.graph.clear_wait(h.txn);
+        }
+        for w in table.waiters_of(entity) {
+            let blockers = table.blockers_of(w.txn, entity);
+            inner.graph.set_wait(w.txn, entity, &blockers);
+        }
+        inner.epoch += 1;
+    }
+
+    /// Number of transactions currently registered as waiting — must be
+    /// zero once every worker has committed.
+    pub fn waiting_count(&self) -> usize {
+        self.lock().graph.waiting_count()
+    }
+
+    /// Structural self-check (arc/wait-map coherence). The underlying
+    /// graph check is compiled only under the `invariants` feature; the
+    /// default build validates quiescence via [`EpochGraph::waiting_count`]
+    /// alone.
+    pub fn check_consistent(&self) -> Result<(), String> {
+        #[cfg(feature = "invariants")]
+        {
+            self.lock().graph.check_consistent()
+        }
+        #[cfg(not(feature = "invariants"))]
+        {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pr_lock::{GrantPolicy, RequestOutcome};
+    use pr_model::{LockIndex, LockMode, StateIndex};
+
+    fn t(i: u32) -> TxnId {
+        TxnId::new(i)
+    }
+    fn e(i: u32) -> EntityId {
+        EntityId::new(i)
+    }
+
+    #[test]
+    fn registration_detects_the_closing_arc() {
+        let g = EpochGraph::new();
+        let (cycles, e1) = g.register_and_detect(t(1), e(10), &[t(2)], 64);
+        assert!(cycles.is_empty());
+        // t2 waiting on an entity held by t1 closes the 2-cycle.
+        let (cycles, e2) = g.register_and_detect(t(2), e(11), &[t(1)], 64);
+        assert_eq!(cycles.len(), 1);
+        assert!(e2 > e1, "every registration bumps the epoch");
+        assert_eq!(g.waiting_count(), 2);
+        g.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn redetect_preserves_arcs_and_epoch() {
+        let g = EpochGraph::new();
+        g.register_and_detect(t(1), e(10), &[t(2)], 64);
+        let (_, epoch) = g.register_and_detect(t(2), e(11), &[t(1)], 64);
+        let (cycles, epoch2) = g.redetect(t(2), 64).expect("t2 waits");
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(epoch, epoch2, "redetection must not invalidate plans");
+        assert!(g.redetect(t(9), 64).is_none());
+    }
+
+    #[test]
+    fn queue_changed_repoints_survivors_and_bumps_epoch() {
+        let mut table = LockTable::with_policy(GrantPolicy::Barging);
+        let g = EpochGraph::new();
+        // t1 holds e0 exclusively; t2 and t3 queue behind it.
+        table.request(t(1), e(0), LockMode::Exclusive, StateIndex::ZERO, LockIndex::ZERO).unwrap();
+        for i in [2, 3] {
+            let out = table
+                .request(t(i), e(0), LockMode::Exclusive, StateIndex::ZERO, LockIndex::ZERO)
+                .unwrap();
+            match out {
+                RequestOutcome::Wait { holders, .. } => {
+                    g.register_and_detect(t(i), e(0), &holders, 64);
+                }
+                RequestOutcome::Granted => panic!("should wait"),
+            }
+        }
+        let before = g.epoch();
+        // t1 releases: t2 is promoted; t3's arcs must re-point at t2.
+        let promoted = table.release(t(1), e(0)).unwrap();
+        assert_eq!(promoted.len(), 1);
+        g.queue_changed(&table, e(0), None, &promoted);
+        assert!(g.epoch() > before);
+        assert_eq!(g.waiting_count(), 1);
+        let (_, redetected) = g.redetect(t(3), 64).expect("t3 still waits");
+        let _ = redetected;
+        g.check_consistent().unwrap();
+    }
+}

@@ -9,6 +9,10 @@
 //! * [`runner`] — deterministic workload execution, including a seeded
 //!   random scheduler and a serializability oracle that checks a
 //!   concurrent run's final database against all serial orders;
+//! * [`oracle`] — the differential serializability oracle for `pr-par`:
+//!   rebuilds the conflict graph from a run's grant-stamped access
+//!   history, checks acyclicity, reconciles the rollback accounting, and
+//!   cross-checks the final snapshot against a deterministic engine run;
 //! * [`scenarios`] — exact reproductions of the paper's Figures 1–5,
 //!   asserting the costs, victims, graph shapes, and well-defined state
 //!   sets the paper derives;
@@ -25,6 +29,7 @@
 pub mod chaos;
 pub mod experiments;
 pub mod generator;
+pub mod oracle;
 pub mod report;
 pub mod runner;
 pub mod scenarios;
@@ -32,6 +37,10 @@ pub mod stress;
 
 pub use chaos::{chaos_sweep, fault_rate_grid, run_chaos, ChaosConfig, ChaosReport, ChaosVerdict};
 pub use generator::{Clustering, GeneratorConfig, ProgramGenerator};
+pub use oracle::{
+    check_accounting, check_conflict_serializable, check_outcome, conflict_graph, OracleReport,
+    OracleViolation,
+};
 pub use report::Table;
 pub use runner::{run_workload, RandomScheduler, RunReport, SchedulerKind};
 pub use stress::{

@@ -1,0 +1,411 @@
+//! Differential serializability oracle for the parallel engine.
+//!
+//! A [`pr_par::ParOutcome`] carries a grant-stamped access history: one
+//! [`CommittedAccess`] per committed lock state, stamped at the moment the
+//! lock was granted. Conflicting grants on one entity are stamped in grant
+//! order (the stamp is taken before the lock is released, which
+//! happens-before the next conflicting grant), so the history totally
+//! orders every pair of conflicting accesses **without ever having
+//! observed the interleaving**. The oracle rebuilds the conflict graph
+//! from those stamps and checks it for acyclicity — the classical
+//! conflict-serializability criterion.
+//!
+//! [`check_outcome`] layers three further checks on top:
+//!
+//! * **differential** — the final database snapshot must equal the one a
+//!   deterministic single-threaded engine run produces over the same
+//!   programs. Valid because the generator's workloads are
+//!   *delta-additive*: every entity write publishes `value-read + c` for a
+//!   program constant `c`, so all serial orders (and hence all
+//!   serializable executions) agree on the final state;
+//! * **accounting** — the shared metrics, the per-transaction rollback
+//!   ledgers, and the resolution-cost histogram must tell the same story
+//!   (`states_lost` three ways, preemption counts two ways);
+//! * **per-strategy invariants** — e.g. the total-rollback strategy may
+//!   never record a partial rollback.
+
+use crate::runner::{run_workload, SchedulerKind};
+use pr_core::{GrantPolicy, StrategyKind, SystemConfig};
+use pr_model::{EntityId, LockMode, TransactionProgram, TxnId};
+use pr_par::{CommittedAccess, ParOutcome};
+use pr_storage::GlobalStore;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A serializability / consistency violation found by the oracle. Any of
+/// these in a real run is an engine bug, not a workload property.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum OracleViolation {
+    /// The conflict graph over committed accesses has a cycle — the
+    /// history is not conflict-serializable.
+    ConflictCycle {
+        /// Transactions on (or feeding) the cycle: every node Kahn's
+        /// algorithm could not peel.
+        members: Vec<TxnId>,
+    },
+    /// Two committed accesses share a grant stamp (the stamp clock is
+    /// supposed to be strictly monotone across the run).
+    DuplicateStamp {
+        /// The colliding stamp value.
+        stamp: u64,
+    },
+    /// The parallel run's final snapshot disagrees with the deterministic
+    /// reference run.
+    SnapshotMismatch {
+        /// First entity (in id order) whose values differ.
+        entity: EntityId,
+        /// Value the parallel engine left behind.
+        parallel: i64,
+        /// Value the deterministic reference produced.
+        reference: i64,
+    },
+    /// Not every admitted transaction committed.
+    MissingCommits {
+        /// Transactions admitted.
+        expected: usize,
+        /// Transactions that committed.
+        committed: usize,
+    },
+    /// The deterministic reference run itself failed or hit its step
+    /// limit, so there is nothing sound to compare against.
+    ReferenceFailed(String),
+    /// A metrics/ledger reconciliation or per-strategy invariant failed.
+    Accounting(String),
+}
+
+impl fmt::Display for OracleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleViolation::ConflictCycle { members } => {
+                write!(f, "conflict graph is cyclic through {members:?}")
+            }
+            OracleViolation::DuplicateStamp { stamp } => {
+                write!(f, "two committed accesses share grant stamp {stamp}")
+            }
+            OracleViolation::SnapshotMismatch { entity, parallel, reference } => write!(
+                f,
+                "final value of {entity} diverged: parallel {parallel}, reference {reference}"
+            ),
+            OracleViolation::MissingCommits { expected, committed } => {
+                write!(f, "only {committed} of {expected} transactions committed")
+            }
+            OracleViolation::ReferenceFailed(e) => {
+                write!(f, "deterministic reference run failed: {e}")
+            }
+            OracleViolation::Accounting(e) => write!(f, "accounting violation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OracleViolation {}
+
+/// What a clean oracle pass looked at — useful for asserting the check
+/// was not vacuous.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OracleReport {
+    /// Committed transactions examined.
+    pub txns: usize,
+    /// Committed accesses in the history.
+    pub accesses: usize,
+    /// Edges in the rebuilt conflict graph.
+    pub conflict_edges: usize,
+}
+
+/// Rebuilds the conflict graph from a stamped access history: an edge
+/// `a → b` for every pair of accesses to one entity where `a` precedes
+/// `b` in stamp order, the transactions differ, and at least one side is
+/// exclusive. Returns the adjacency and the edge count.
+pub fn conflict_graph(accesses: &[CommittedAccess]) -> (BTreeMap<TxnId, BTreeSet<TxnId>>, usize) {
+    let mut by_entity: BTreeMap<EntityId, Vec<&CommittedAccess>> = BTreeMap::new();
+    for a in accesses {
+        by_entity.entry(a.entity).or_default().push(a);
+    }
+    let mut adj: BTreeMap<TxnId, BTreeSet<TxnId>> = BTreeMap::new();
+    for a in accesses {
+        adj.entry(a.txn).or_default();
+    }
+    let mut edges = 0;
+    for list in by_entity.values_mut() {
+        list.sort_by_key(|a| a.stamp);
+        for (i, earlier) in list.iter().enumerate() {
+            for later in &list[i + 1..] {
+                let conflicts =
+                    earlier.mode == LockMode::Exclusive || later.mode == LockMode::Exclusive;
+                if conflicts
+                    && earlier.txn != later.txn
+                    && adj.entry(earlier.txn).or_default().insert(later.txn)
+                {
+                    edges += 1;
+                }
+            }
+        }
+    }
+    (adj, edges)
+}
+
+/// Checks the stamped history for conflict-serializability: unique
+/// stamps, then Kahn's algorithm on the rebuilt conflict graph. Returns
+/// the edge count on success.
+pub fn check_conflict_serializable(accesses: &[CommittedAccess]) -> Result<usize, OracleViolation> {
+    let mut seen = BTreeSet::new();
+    for a in accesses {
+        if !seen.insert(a.stamp) {
+            return Err(OracleViolation::DuplicateStamp { stamp: a.stamp });
+        }
+    }
+    let (adj, edges) = conflict_graph(accesses);
+    let mut indegree: BTreeMap<TxnId, usize> = adj.keys().map(|&t| (t, 0)).collect();
+    for succs in adj.values() {
+        for &s in succs {
+            *indegree.get_mut(&s).expect("edge target is a node") += 1;
+        }
+    }
+    let mut ready: Vec<TxnId> =
+        indegree.iter().filter(|&(_, &d)| d == 0).map(|(&t, _)| t).collect();
+    let mut peeled = 0;
+    while let Some(t) = ready.pop() {
+        peeled += 1;
+        for &s in &adj[&t] {
+            let d = indegree.get_mut(&s).expect("edge target is a node");
+            *d -= 1;
+            if *d == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    if peeled != adj.len() {
+        let members: Vec<TxnId> =
+            indegree.iter().filter(|&(_, &d)| d > 0).map(|(&t, _)| t).collect();
+        return Err(OracleViolation::ConflictCycle { members });
+    }
+    Ok(edges)
+}
+
+/// Full differential check of one parallel run: commit completeness,
+/// conflict-serializability of the stamped history, metrics/ledger
+/// reconciliation, per-strategy invariants, and snapshot equality
+/// against a deterministic single-threaded reference run over the same
+/// programs and initial store.
+///
+/// The snapshot comparison assumes a delta-additive workload (every
+/// entity write publishes `read value + constant`), which is what
+/// [`crate::generator::ProgramGenerator`] emits; for such workloads all
+/// serializable executions share one final state.
+pub fn check_outcome(
+    programs: &[TransactionProgram],
+    initial: &GlobalStore,
+    config: &SystemConfig,
+    outcome: &ParOutcome,
+) -> Result<OracleReport, OracleViolation> {
+    let committed = outcome.commits();
+    if committed != programs.len() {
+        return Err(OracleViolation::MissingCommits { expected: programs.len(), committed });
+    }
+
+    let conflict_edges = check_conflict_serializable(&outcome.accesses)?;
+
+    check_accounting(config, outcome)?;
+
+    // Deterministic reference run over a rebuilt copy of the initial
+    // store (GlobalStore is deliberately not Clone). Round-robin first;
+    // under heavy skew its lockstep retries can thrash deadlock
+    // detection into the step limit (an interleaving artifact, not an
+    // engine bug), so step-limited attempts fall back to seeded random
+    // schedules — any completing serializable reference is sound for a
+    // delta-additive workload.
+    // The last two attempts also switch the reference to fair queueing:
+    // the final snapshot is grant-policy-independent for a delta-additive
+    // workload (any serializable execution agrees), and the fair queue
+    // sidesteps barging's contention collapse, where starved writers keep
+    // re-forming the same deadlocks for millions of steps.
+    let attempts = [
+        (SchedulerKind::RoundRobin, config.grant_policy),
+        (SchedulerKind::Random { seed: 0xD1FF_0001 }, config.grant_policy),
+        (SchedulerKind::Random { seed: 0xD1FF_0002 }, GrantPolicy::FairQueue),
+        (SchedulerKind::Random { seed: 0xD1FF_0003 }, GrantPolicy::FairQueue),
+    ];
+    // A thrashing schedule would otherwise burn the full engine step
+    // budget (default 10M) before the fallback gets a turn. Most
+    // completing runs take a small multiple of the workload's op count,
+    // but heavy-skew contention can legitimately need millions of steps,
+    // so the budget escalates across attempts up to the configured limit.
+    let total_ops: u64 = programs.iter().map(|p| p.ops().len() as u64).sum();
+    let base = (total_ops * 100).max(200_000);
+    let mut reference = None;
+    for (i, (schedule, grant_policy)) in attempts.into_iter().enumerate() {
+        let mut ref_config = *config;
+        ref_config.grant_policy = grant_policy;
+        let budget = base.saturating_mul(1 << (3 * i as u32)); // 1x, 8x, 64x, 512x
+        ref_config.max_steps = budget.min(config.max_steps);
+        let mut store = GlobalStore::new();
+        for (id, v) in initial.iter() {
+            store.create(id, v).expect("fresh store");
+        }
+        let attempt = run_workload(programs, store, ref_config, schedule)
+            .map_err(|e| OracleViolation::ReferenceFailed(e.to_string()))?;
+        if attempt.completed {
+            reference = Some(attempt);
+            break;
+        }
+    }
+    let Some(reference) = reference else {
+        return Err(OracleViolation::ReferenceFailed(format!(
+            "all {} reference schedules hit the step limit",
+            attempts.len()
+        )));
+    };
+    for (entity, value) in reference.snapshot.iter() {
+        let parallel = outcome.snapshot.get(entity).ok_or(OracleViolation::SnapshotMismatch {
+            entity,
+            parallel: i64::MIN,
+            reference: value.raw(),
+        })?;
+        if parallel != value {
+            return Err(OracleViolation::SnapshotMismatch {
+                entity,
+                parallel: parallel.raw(),
+                reference: value.raw(),
+            });
+        }
+    }
+
+    Ok(OracleReport { txns: committed, accesses: outcome.accesses.len(), conflict_edges })
+}
+
+/// The accounting and per-strategy invariant layer of [`check_outcome`]:
+/// `states_lost` must agree across the shared metrics, the
+/// per-transaction ledgers, and the resolution-cost histogram;
+/// preemption counts must agree across both views; and the total
+/// strategy may never roll back partially.
+pub fn check_accounting(
+    config: &SystemConfig,
+    outcome: &ParOutcome,
+) -> Result<(), OracleViolation> {
+    let m = &outcome.metrics;
+    let ledger_lost: u64 = outcome.per_txn.iter().map(|t| t.states_lost).sum();
+    if m.states_lost != ledger_lost {
+        return Err(OracleViolation::Accounting(format!(
+            "metrics.states_lost {} != per-txn ledger sum {ledger_lost}",
+            m.states_lost
+        )));
+    }
+    if m.resolution_cost.sum() != m.states_lost {
+        return Err(OracleViolation::Accounting(format!(
+            "resolution-cost histogram sum {} != metrics.states_lost {}",
+            m.resolution_cost.sum(),
+            m.states_lost
+        )));
+    }
+    let ledger_preempt: u64 = outcome.per_txn.iter().map(|t| u64::from(t.preemptions)).sum();
+    let metric_preempt: u64 = m.preemptions.values().map(|&c| u64::from(c)).sum();
+    if ledger_preempt != metric_preempt {
+        return Err(OracleViolation::Accounting(format!(
+            "per-txn preemptions {ledger_preempt} != metrics preemptions {metric_preempt}"
+        )));
+    }
+    let rollbacks = m.total_rollbacks + m.partial_rollbacks;
+    if metric_preempt != rollbacks {
+        return Err(OracleViolation::Accounting(format!(
+            "preemptions {metric_preempt} != rollbacks {rollbacks} (total + partial)"
+        )));
+    }
+    if config.strategy == StrategyKind::Total && m.partial_rollbacks != 0 {
+        return Err(OracleViolation::Accounting(format!(
+            "total strategy recorded {} partial rollbacks",
+            m.partial_rollbacks
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pr_model::LockMode;
+
+    fn acc(txn: u32, entity: u32, mode: LockMode, stamp: u64) -> CommittedAccess {
+        CommittedAccess { txn: TxnId::new(txn), entity: EntityId::new(entity), mode, stamp }
+    }
+
+    #[test]
+    fn serial_history_is_accepted() {
+        // T1 then T2, disjoint and overlapping entities, no cycle.
+        let h = vec![
+            acc(1, 0, LockMode::Exclusive, 1),
+            acc(1, 1, LockMode::Exclusive, 2),
+            acc(2, 1, LockMode::Exclusive, 3),
+            acc(2, 2, LockMode::Shared, 4),
+        ];
+        assert_eq!(check_conflict_serializable(&h), Ok(1));
+    }
+
+    #[test]
+    fn shared_shared_does_not_conflict() {
+        let h = vec![
+            acc(1, 0, LockMode::Shared, 1),
+            acc(2, 0, LockMode::Shared, 2),
+            acc(1, 1, LockMode::Exclusive, 3),
+            acc(2, 2, LockMode::Exclusive, 4),
+        ];
+        // Readers of entity 0 are unordered; no edges at all.
+        assert_eq!(check_conflict_serializable(&h), Ok(0));
+    }
+
+    /// The planted non-serializable history the oracle must reject:
+    /// classic write skew. T1 reads X and writes Y; T2 reads Y and writes
+    /// X; the stamps interleave so each read precedes the other's write.
+    #[test]
+    fn write_skew_history_is_rejected() {
+        let x = 0;
+        let y = 1;
+        let h = vec![
+            acc(1, x, LockMode::Shared, 1),    // T1 reads X
+            acc(2, y, LockMode::Shared, 2),    // T2 reads Y
+            acc(1, y, LockMode::Exclusive, 3), // T1 writes Y  (T2 → T1)
+            acc(2, x, LockMode::Exclusive, 4), // T2 writes X  (T1 → T2)
+        ];
+        match check_conflict_serializable(&h) {
+            Err(OracleViolation::ConflictCycle { members }) => {
+                assert_eq!(members, vec![TxnId::new(1), TxnId::new(2)]);
+            }
+            other => panic!("write skew must be rejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_stamps_are_rejected() {
+        let h = vec![acc(1, 0, LockMode::Exclusive, 7), acc(2, 1, LockMode::Exclusive, 7)];
+        assert_eq!(
+            check_conflict_serializable(&h),
+            Err(OracleViolation::DuplicateStamp { stamp: 7 })
+        );
+    }
+
+    #[test]
+    fn three_way_cycle_is_rejected() {
+        // T1 → T2 → T3 → T1 through three entities.
+        let h = vec![
+            acc(1, 0, LockMode::Exclusive, 1),
+            acc(2, 0, LockMode::Exclusive, 4), // T1 → T2
+            acc(2, 1, LockMode::Exclusive, 2),
+            acc(3, 1, LockMode::Exclusive, 5), // T2 → T3
+            acc(3, 2, LockMode::Exclusive, 3),
+            acc(1, 2, LockMode::Exclusive, 6), // T3 → T1
+        ];
+        assert!(matches!(
+            check_conflict_serializable(&h),
+            Err(OracleViolation::ConflictCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn violations_render() {
+        let v = OracleViolation::SnapshotMismatch {
+            entity: EntityId::new(3),
+            parallel: 10,
+            reference: 12,
+        };
+        assert!(v.to_string().contains("diverged"));
+        assert!(OracleViolation::ReferenceFailed("x".into()).to_string().contains("reference"));
+    }
+}

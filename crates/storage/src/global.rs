@@ -181,6 +181,27 @@ impl GlobalStore {
             }
         }
     }
+
+    /// Splits the store into `shards` stores, routing each entity by
+    /// `route` (which must return an index `< shards`). Used by the
+    /// parallel engine to co-locate every entity's global value with its
+    /// lock-table shard, so a grant and the read of the granted entity's
+    /// value happen under one shard mutex. Whole-store constraints cannot
+    /// be partitioned and are dropped — cross-shard consistency is the
+    /// caller's oracle's job (it reassembles a full [`Snapshot`] first).
+    pub fn partition_by(
+        self,
+        shards: usize,
+        route: impl Fn(EntityId) -> usize,
+    ) -> Vec<GlobalStore> {
+        let mut out: Vec<GlobalStore> = (0..shards).map(|_| GlobalStore::new()).collect();
+        for (id, ent) in self.entities {
+            let s = route(id);
+            assert!(s < shards, "route({id}) = {s} out of range for {shards} shards");
+            out[s].entities.insert(id, ent);
+        }
+        out
+    }
 }
 
 impl fmt::Debug for GlobalStore {
@@ -285,6 +306,26 @@ mod tests {
         assert_eq!(p1.len(), 4096);
         assert_eq!(p1, p2);
         assert!(s.payload(e(1)).is_none());
+    }
+
+    #[test]
+    fn partition_routes_entities_and_snapshots_reassemble() {
+        let mut s = GlobalStore::new();
+        for i in 0..6 {
+            s.create(e(i), Value::new(i64::from(i) * 10)).unwrap();
+        }
+        let full = s.snapshot();
+        let shards = s.partition_by(3, |id| id.raw() as usize % 3);
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards[0].read(e(0)).unwrap(), Value::new(0));
+        assert_eq!(shards[1].read(e(4)).unwrap(), Value::new(40));
+        assert_eq!(shards[2].read(e(5)).unwrap(), Value::new(50));
+        assert!(shards[0].read(e(1)).is_err());
+        let mut merged = Snapshot::default();
+        for shard in &shards {
+            merged.merge(shard.snapshot());
+        }
+        assert_eq!(merged, full);
     }
 
     #[test]

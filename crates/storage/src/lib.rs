@@ -37,3 +37,20 @@ pub use mcs::{CopyCounts, McsWorkspace};
 pub use single_copy::SingleCopyWorkspace;
 pub use snapshot::Snapshot;
 pub use version_stack::{StackElement, VersionStack};
+
+/// Compile-time proof that the storage layer is safe to move into and
+/// share across worker threads: the parallel engine keeps a [`GlobalStore`]
+/// inside each lock-table shard and a version-stack workspace inside each
+/// transaction slot, both behind mutexes, which requires `Send` (and, for
+/// the read paths, `Sync`). A non-thread-safe field sneaking into any of
+/// these types fails this function's compilation, not a test at runtime.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GlobalStore>();
+    assert_send_sync::<Snapshot>();
+    assert_send_sync::<VersionStack>();
+    assert_send_sync::<McsWorkspace>();
+    assert_send_sync::<SingleCopyWorkspace>();
+    assert_send_sync::<SharedGlobalStore>();
+    assert_send_sync::<StorageError>();
+};

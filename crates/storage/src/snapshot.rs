@@ -40,6 +40,13 @@ impl Snapshot {
         self.values.is_empty()
     }
 
+    /// Absorbs another snapshot's entries (later entries win on id
+    /// collision, though shard partitions are disjoint by construction).
+    /// Used to reassemble a whole-database snapshot from per-shard stores.
+    pub fn merge(&mut self, other: Snapshot) {
+        self.values.extend(other.values);
+    }
+
     /// Entity ids on which two snapshots disagree — the core of oracle
     /// failure messages.
     pub fn diff(&self, other: &Snapshot) -> Vec<EntityId> {

@@ -57,7 +57,8 @@
 //! | [`lock`] | the shared/exclusive lock table |
 //! | [`graph`] | waits-for graph, cycle enumeration, min-cost cut sets, state-dependency graphs |
 //! | [`core`] | the execution engine: strategies, victim policies, metrics |
-//! | [`sim`] | workload generators, experiment sweeps, the paper's figures |
+//! | [`par`] | the multi-threaded sharded-lock-table executor and its stamped access history |
+//! | [`sim`] | workload generators, experiment sweeps, the paper's figures, the differential serializability oracle |
 //! | [`dist`] | the §3.3 multi-site extension: schemes, message accounting |
 //! | [`analyze`] | static workload lint: deadlock-cycle detection, rollback-cost diagnostics, the `pr-lint` CLI |
 
@@ -67,6 +68,7 @@ pub use pr_dist as dist;
 pub use pr_graph as graph;
 pub use pr_lock as lock;
 pub use pr_model as model;
+pub use pr_par as par;
 pub use pr_sim as sim;
 pub use pr_storage as storage;
 
@@ -81,6 +83,7 @@ pub mod prelude {
         EntityId, Expr, LockIndex, LockMode, Op, ProgramBuilder, StateIndex, TransactionProgram,
         TxnId, Value, VarId,
     };
+    pub use pr_par::{run_parallel, ParConfig, ParOutcome};
     pub use pr_storage::{Constraint, GlobalStore, Snapshot};
 }
 

@@ -1,0 +1,181 @@
+//! Integration tests for the multi-threaded engine (`pr-par`) and its
+//! differential serializability oracle.
+//!
+//! On a box with few cores a short transaction runs to completion inside
+//! one scheduling quantum, so opposed lock orders never actually
+//! interleave and the deadlock resolver never fires. These tests stretch
+//! the window between a transaction's first and second lock with compute
+//! padding, which makes OS preemption mid-window (and therefore real
+//! cross-thread deadlocks) overwhelmingly likely even on one CPU.
+
+use partial_rollback::core::StrategyKind;
+use partial_rollback::prelude::*;
+use partial_rollback::sim::generator::{GeneratorConfig, ProgramGenerator};
+use partial_rollback::sim::oracle::check_outcome;
+use partial_rollback::sim::runner::store_with;
+
+/// Two-entity transfer locking in the given order, with `pad` compute
+/// operations between the two lock acquisitions.
+fn padded_transfer(
+    first: EntityId,
+    second: EntityId,
+    delta: i64,
+    pad: usize,
+) -> TransactionProgram {
+    let bump = |ent: EntityId, var: u16, d: i64| {
+        vec![
+            Op::Read { entity: ent, into: VarId::new(var) },
+            Op::Assign {
+                var: VarId::new(var),
+                expr: Expr::add(Expr::var(VarId::new(var)), Expr::lit(d)),
+            },
+            Op::Write { entity: ent, expr: Expr::var(VarId::new(var)) },
+        ]
+    };
+    let mut ops = vec![Op::LockExclusive(first)];
+    ops.extend(bump(first, 0, delta));
+    for _ in 0..pad {
+        ops.push(Op::Compute(Expr::add(Expr::var(VarId::new(0)), Expr::lit(1))));
+    }
+    ops.push(Op::LockExclusive(second));
+    ops.extend(bump(second, 1, -delta));
+    ops.push(Op::Commit);
+    TransactionProgram::try_from(ops).unwrap()
+}
+
+fn par_config(threads: usize, strategy: StrategyKind) -> ParConfig {
+    ParConfig {
+        threads,
+        shards: 4,
+        system: SystemConfig::new(strategy, VictimPolicyKind::PartialOrder),
+    }
+}
+
+/// Asserts every accounting identity a run must satisfy, per victim, not
+/// just in aggregate. The per-victim form is the **double-counted retry
+/// regression**: when a rolled-back victim's thread wakes and retries its
+/// lock, the retry must not re-record the preemption or the lost states —
+/// a double count on one victim cannot hide behind an aggregate sum if
+/// another victim's count went missing.
+fn assert_accounting(out: &ParOutcome) {
+    let per_txn_lost: u64 = out.per_txn.iter().map(|t| t.states_lost).sum();
+    assert_eq!(
+        out.metrics.states_lost, per_txn_lost,
+        "metrics.states_lost must equal the per-victim ledger sum"
+    );
+    assert_eq!(
+        out.metrics.resolution_cost.sum(),
+        per_txn_lost,
+        "deadlock-resolution cost histogram must sum to the states lost by victims"
+    );
+    assert_eq!(
+        out.metrics.resolution_cost.count(),
+        out.metrics.deadlocks,
+        "one resolution-cost sample per resolved deadlock"
+    );
+    for t in &out.per_txn {
+        let recorded = out.metrics.preemptions.get(&t.id).copied().unwrap_or(0);
+        assert_eq!(
+            recorded, t.preemptions,
+            "{}: metrics say {recorded} preemptions, runtime ledger says {}",
+            t.id, t.preemptions
+        );
+    }
+    let rollbacks = out.metrics.total_rollbacks + out.metrics.partial_rollbacks;
+    let preemptions: u64 = out.per_txn.iter().map(|t| u64::from(t.preemptions)).sum();
+    assert_eq!(preemptions, rollbacks, "every preemption is exactly one rollback");
+}
+
+/// Satellite check: a 4-thread run with real cross-thread deadlocks must
+/// reconcile the `MetricsSnapshot` deadlock-resolution costs with the sum
+/// of per-victim `states_lost`, including when a victim is preempted more
+/// than once (the retry path).
+#[test]
+fn four_thread_resolution_costs_match_victim_ledgers() {
+    let e = EntityId::new;
+    let mut total_deadlocks = 0u64;
+    let mut saw_repeat_victim = false;
+    for round in 0..12 {
+        let mut programs = Vec::new();
+        for i in 0..16 {
+            if i % 2 == 0 {
+                programs.push(padded_transfer(e(0), e(1), 1, 2_000));
+            } else {
+                programs.push(padded_transfer(e(1), e(0), 1, 2_000));
+            }
+        }
+        let store = GlobalStore::with_entities(2, Value::new(50));
+        let out = run_parallel(&programs, store, &par_config(4, StrategyKind::Mcs))
+            .unwrap_or_else(|err| panic!("round {round}: {err}"));
+        assert_eq!(out.commits(), 16);
+        // Transfers conserve the total under any resolution order.
+        let total: i64 = out.snapshot.iter().map(|(_, v)| v.raw()).sum();
+        assert_eq!(total, 100, "round {round}");
+
+        assert_accounting(&out);
+        let snap = out.metrics.snapshot();
+        assert_eq!(snap.states_lost, out.metrics.states_lost);
+        assert_eq!(snap.deadlocks, out.metrics.deadlocks);
+        assert_eq!(snap.resolution_cost.count, out.metrics.deadlocks);
+
+        total_deadlocks += out.metrics.deadlocks;
+        saw_repeat_victim |= out.per_txn.iter().any(|t| t.preemptions >= 2);
+        // Enough evidence: real deadlocks and at least one retried victim.
+        if total_deadlocks >= 4 && saw_repeat_victim {
+            return;
+        }
+    }
+    assert!(
+        total_deadlocks > 0,
+        "padded opposed transfers never deadlocked — the resolver was not exercised"
+    );
+}
+
+/// Every strategy × grant-policy combination survives a padded
+/// deadlock-heavy generator workload on 4 threads, and the differential
+/// oracle (conflict-graph acyclicity + accounting + snapshot equality
+/// against a deterministic engine run) signs off on each run.
+#[test]
+fn oracle_signs_off_threaded_generator_runs() {
+    let strategies = [StrategyKind::Total, StrategyKind::Mcs, StrategyKind::Sdg];
+    let policies = [GrantPolicy::Barging, GrantPolicy::FairQueue];
+    for (i, (&strategy, &policy)) in
+        strategies.iter().flat_map(|s| policies.iter().map(move |p| (s, p))).enumerate()
+    {
+        let seed = 7_000 + i as u64;
+        let generator_config =
+            GeneratorConfig { num_entities: 12, pad_between: 300, ..GeneratorConfig::default() };
+        let mut generator = ProgramGenerator::new(generator_config, seed);
+        let programs = generator.generate_workload(12);
+
+        let mut system = SystemConfig::new(strategy, VictimPolicyKind::PartialOrder);
+        system.grant_policy = policy;
+        let config = ParConfig { threads: 4, shards: 0, system };
+        let outcome = run_parallel(&programs, store_with(12, 100), &config)
+            .unwrap_or_else(|err| panic!("{strategy:?}/{policy:?}: {err}"));
+        assert_accounting(&outcome);
+
+        let report = check_outcome(&programs, &store_with(12, 100), &system, &outcome)
+            .unwrap_or_else(|v| panic!("{strategy:?}/{policy:?}: oracle violation: {v}"));
+        assert_eq!(report.txns, 12);
+        assert!(report.accesses > 0);
+    }
+}
+
+/// The stamped access history orders conflicting grants: stamps are
+/// globally unique and, per entity, conflicting accesses carry strictly
+/// increasing stamps that agree with commit-time value flow.
+#[test]
+fn access_stamps_are_unique_and_ordered() {
+    let e = EntityId::new;
+    let programs: Vec<TransactionProgram> =
+        (0..12).map(|_| padded_transfer(e(0), e(1), 1, 500)).collect();
+    let store = GlobalStore::with_entities(2, Value::new(10));
+    let out = run_parallel(&programs, store, &par_config(4, StrategyKind::Sdg)).unwrap();
+    let mut stamps: Vec<u64> = out.accesses.iter().map(|a| a.stamp).collect();
+    let n = stamps.len();
+    stamps.sort_unstable();
+    stamps.dedup();
+    assert_eq!(stamps.len(), n, "grant stamps must be globally unique");
+    assert_eq!(out.accesses.len(), 24, "two committed lock states per transaction");
+}
