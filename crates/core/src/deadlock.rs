@@ -32,6 +32,33 @@ pub struct ResolutionPlan {
     pub optimal: bool,
 }
 
+/// A complete record of one deadlock resolution, captured by the engine
+/// at planning time (before any rollback executes) when resolution
+/// auditing is enabled. External brute-force oracles — the `pr-explore`
+/// model checker in particular — replay the solver inputs recorded here to
+/// verify §3.1 victim-cost optimality and to measure the §3.2 cut
+/// heuristic's gap from the exact optimum.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ResolutionAudit {
+    /// The deadlock as detected.
+    pub event: DeadlockEvent,
+    /// The candidate instance with *no* policy filtering (every cycle
+    /// member, MinCost semantics) — the §3.1/§3.2 search space.
+    pub unfiltered: Vec<Vec<CandidateRollback>>,
+    /// The instance after the configured victim policy's filtering, as
+    /// actually handed to the cut-set solver (empty cycles dropped).
+    pub filtered: Vec<Vec<CandidateRollback>>,
+    /// The plan the engine executed.
+    pub plan: ResolutionPlan,
+    /// Whether every cycle member held its cycle entity *exclusively* at
+    /// detection time — the §3.1 single-cycle regime where the chosen
+    /// victim's cost must equal the brute-force minimum over the cycle.
+    pub exclusive_only: bool,
+    /// Entry order (ω rank) of every transaction on a cycle, for checking
+    /// Theorem 2's victims-younger-than-causer restriction.
+    pub entry_orders: std::collections::BTreeMap<TxnId, u64>,
+}
+
 /// Plans the resolution of `event`: builds the policy-filtered candidate
 /// instance and solves the minimum-cost vertex-cut problem over the
 /// cycles.

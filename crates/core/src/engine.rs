@@ -46,6 +46,11 @@ const MAX_RESOLUTION_ROUNDS: usize = 1024;
 
 /// A concurrent database system executing two-phase transactions under the
 /// configured rollback strategy and victim policy.
+///
+/// `Clone` snapshots the entire system — database, lock table, graph, and
+/// every transaction runtime — which is what lets the model checker in
+/// `pr-explore` branch the execution at every scheduling choice.
+#[derive(Clone)]
 pub struct System {
     store: GlobalStore,
     table: LockTable,
@@ -68,6 +73,10 @@ pub struct System {
     /// transactions.
     copies_cache: BTreeMap<TxnId, usize>,
     copies_total: usize,
+    /// When `Some`, every resolved deadlock also records a
+    /// [`ResolutionAudit`] — the raw solver inputs captured *before* the
+    /// rollbacks execute — for external optimality oracles. Off by default.
+    audits: Option<Vec<crate::deadlock::ResolutionAudit>>,
     /// Runtime invariant sentinel (feature `invariants`): bounded event
     /// trace plus workload facts for the Theorem 1 / ω-order checks.
     #[cfg(feature = "invariants")]
@@ -91,6 +100,7 @@ impl System {
             blocked_since: BTreeMap::new(),
             copies_cache: BTreeMap::new(),
             copies_total: 0,
+            audits: None,
             #[cfg(feature = "invariants")]
             sentinel: crate::sentinel::Sentinel::new(),
         }
@@ -99,6 +109,24 @@ impl System {
     /// Turns on structured event logging with the given retention bound.
     pub fn enable_event_log(&mut self, capacity: usize) {
         self.events.enable(capacity);
+    }
+
+    /// Turns on resolution auditing: every deadlock resolved from now on
+    /// also records a [`crate::deadlock::ResolutionAudit`] with the exact
+    /// solver inputs (unfiltered and policy-filtered candidate instances,
+    /// lock modes, entry orders) captured before any rollback executes.
+    /// The model checker's optimality oracles consume these via
+    /// [`Self::take_resolution_audits`].
+    pub fn enable_resolution_audit(&mut self) {
+        if self.audits.is_none() {
+            self.audits = Some(Vec::new());
+        }
+    }
+
+    /// Drains the resolution audits recorded since the last call (empty
+    /// unless [`Self::enable_resolution_audit`] was called).
+    pub fn take_resolution_audits(&mut self) -> Vec<crate::deadlock::ResolutionAudit> {
+        self.audits.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
     /// The recorded events (empty unless enabled).
@@ -351,6 +379,53 @@ impl System {
             );
             let event = DeadlockEvent { causer, entity, cycles };
             let plan = plan_resolution(&event, &self.config, &self.txns);
+            if self.audits.is_some() {
+                // Capture the solver's inputs *now*: the rollbacks below
+                // mutate lock modes and runtime costs, so a post-hoc audit
+                // could not reconstruct the instance the plan was built
+                // from.
+                let unfiltered = crate::victim::build_instance(
+                    &event.cycles,
+                    crate::config::VictimPolicyKind::MinCost,
+                    self.config.strategy,
+                    causer,
+                    &self.txns,
+                );
+                let filtered: Vec<Vec<CandidateRollback>> = crate::victim::build_instance(
+                    &event.cycles,
+                    self.config.victim,
+                    self.config.strategy,
+                    causer,
+                    &self.txns,
+                )
+                .into_iter()
+                .filter(|c| !c.is_empty())
+                .collect();
+                let exclusive_only = event.cycles.iter().all(|c| {
+                    c.members.iter().all(|m| {
+                        self.table
+                            .held_by(m.txn, m.holds)
+                            .is_some_and(|h| h.mode == LockMode::Exclusive)
+                    })
+                });
+                let entry_orders = event
+                    .cycles
+                    .iter()
+                    .flat_map(|c| c.members.iter().map(|m| m.txn))
+                    .filter_map(|txn| self.txns.get(&txn).map(|rt| (txn, rt.entry_order)))
+                    .collect();
+                let audit = crate::deadlock::ResolutionAudit {
+                    event: event.clone(),
+                    unfiltered,
+                    filtered,
+                    plan: plan.clone(),
+                    exclusive_only,
+                    entry_orders,
+                };
+                if let Some(audits) = &mut self.audits {
+                    audits.push(audit);
+                }
+            }
             if plan.optimal {
                 self.metrics.cutset_optimal += 1;
             } else {

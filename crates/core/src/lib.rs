@@ -37,6 +37,7 @@ pub mod deadlock;
 pub mod engine;
 pub mod error;
 pub mod event;
+pub mod fingerprint;
 pub mod metrics;
 pub mod runtime;
 pub mod scheduler;
@@ -45,11 +46,12 @@ pub mod sentinel;
 pub mod victim;
 
 pub use config::{StrategyKind, SystemConfig, VictimPolicyKind};
-pub use deadlock::{DeadlockEvent, ResolutionPlan};
+pub use deadlock::{DeadlockEvent, ResolutionAudit, ResolutionPlan};
 pub use engine::{StepOutcome, System};
 pub use error::EngineError;
 pub use event::{Event, EventLog};
+pub use fingerprint::{canonical_state, canonical_state_relabeled, fingerprint};
 pub use metrics::{HistogramSummary, LogHistogram, Metrics, MetricsSnapshot};
 pub use pr_lock::GrantPolicy;
 pub use runtime::RuntimeView;
-pub use scheduler::{RoundRobin, Scheduler};
+pub use scheduler::{Recording, RoundRobin, Scheduler};

@@ -1,0 +1,243 @@
+//! Exhaustive cross-check of deadlock cycle enumeration.
+//!
+//! [`pr_graph::cycles::cycles_on_wait_budgeted`] is the engine's only view
+//! of a deadlock: a missed cycle is a silent liveness loss, a spurious one
+//! a needless rollback. This module re-derives the ground truth with an
+//! independent brute-force simple-path enumerator and compares the two
+//! over **every** waits-for graph in small exhaustive families (all
+//! single-blocker graphs on up to 6 transactions, all multi-blocker graphs
+//! on up to 4), at every node budget from 0 (forcing the reachability
+//! fallback, which production only exercises on graphs far too dense to
+//! check exhaustively) up to unbounded:
+//!
+//! * at an unbounded budget the enumerations must agree exactly;
+//! * at *any* budget the production result must be non-empty **iff** a
+//!   cycle exists (the fallback's contract), and every returned cycle must
+//!   be a genuine cycle of the graph.
+
+use pr_graph::cycles::{cycles_on_wait_budgeted, Cycle, CycleMember};
+use pr_graph::WaitsForGraph;
+use pr_model::{EntityId, TxnId};
+use std::collections::BTreeSet;
+
+/// A cycle reduced to its comparable core: the `(txn, holds)` sequence.
+fn key(c: &Cycle) -> Vec<(u32, u32)> {
+    c.members.iter().map(|m| (m.txn.raw(), m.holds.raw())).collect()
+}
+
+/// Brute-force reference: every simple path `requester → … → h` with
+/// `h ∈ holders` over the waiter→blocker arcs (followed in successor
+/// direction), closed by the prospective arc. Shares no code with the
+/// production DFS beyond the [`WaitsForGraph`] accessors.
+pub fn reference_cycles(
+    graph: &WaitsForGraph,
+    requester: TxnId,
+    entity: EntityId,
+    holders: &[TxnId],
+) -> BTreeSet<Vec<(u32, u32)>> {
+    let mut out = BTreeSet::new();
+    let mut path = vec![requester];
+    walk(graph, requester, entity, holders, &mut path, &mut out);
+    out
+}
+
+fn walk(
+    graph: &WaitsForGraph,
+    current: TxnId,
+    entity: EntityId,
+    holders: &[TxnId],
+    path: &mut Vec<TxnId>,
+    out: &mut BTreeSet<Vec<(u32, u32)>>,
+) {
+    if current != path[0] && holders.contains(&current) {
+        let mut members = Vec::with_capacity(path.len());
+        for w in path.windows(2) {
+            let (ent, _) = graph.wait_of(w[1]).expect("path follows wait arcs");
+            members.push(CycleMember { txn: w[0], holds: ent });
+        }
+        members.push(CycleMember { txn: current, holds: entity });
+        out.insert(key(&Cycle { members }));
+    }
+    for next in graph.successors(current) {
+        if path.contains(&next) {
+            continue;
+        }
+        path.push(next);
+        walk(graph, next, entity, holders, path, out);
+        path.pop();
+    }
+}
+
+/// Statistics from one exhaustive sweep.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SweepStats {
+    /// Graphs enumerated.
+    pub graphs: usize,
+    /// `(graph, holders, budget)` probes checked.
+    pub probes: usize,
+    /// Probes where the reachability fallback fired (budget exhausted with
+    /// no cycle found by the enumeration).
+    pub fallback_hits: usize,
+}
+
+/// Cross-checks one probe at every budget in `budgets`; panics with a
+/// reproducible description on any divergence.
+fn check_probe(
+    graph: &WaitsForGraph,
+    requester: TxnId,
+    entity: EntityId,
+    holders: &[TxnId],
+    budgets: &[u64],
+    stats: &mut SweepStats,
+) {
+    let reference = reference_cycles(graph, requester, entity, holders);
+    let full = cycles_on_wait_budgeted(graph, requester, entity, holders, 1_000, u64::MAX);
+    let full_keys: BTreeSet<Vec<(u32, u32)>> = full.iter().map(key).collect();
+    assert_eq!(
+        full_keys, reference,
+        "unbounded enumeration diverges from brute force on {graph:?} \
+         (requester {requester:?} entity {entity:?} holders {holders:?})"
+    );
+    assert_eq!(full.len(), reference.len(), "enumeration returned duplicate cycles");
+    for &budget in budgets {
+        let got = cycles_on_wait_budgeted(graph, requester, entity, holders, 1_000, budget);
+        stats.probes += 1;
+        assert_eq!(
+            got.is_empty(),
+            reference.is_empty(),
+            "budget {budget}: cycle existence diverges on {graph:?} \
+             (requester {requester:?} entity {entity:?} holders {holders:?})"
+        );
+        for c in &got {
+            assert!(
+                reference.contains(&key(c)),
+                "budget {budget}: fabricated cycle {c:?} on {graph:?}"
+            );
+        }
+        // Budget 0 exhausts before the DFS visits a single vertex, so a
+        // non-empty result there can only have come from the fallback.
+        if budget == 0 && !reference.is_empty() {
+            stats.fallback_hits += 1;
+        }
+    }
+}
+
+/// Sweeps every waits-for graph on transactions `1..=n` where each of
+/// `2..=n` either waits on nothing or waits (on a private entity) for a
+/// set of blockers drawn from `blocker_sets`; every non-empty holder set
+/// for a probe by transaction 1 is checked. Exhaustive over the family —
+/// no sampling.
+fn sweep(n: u32, blocker_sets: &[Vec<TxnId>], budgets: &[u64]) -> SweepStats {
+    let mut stats = SweepStats::default();
+    let waiters: Vec<TxnId> = (2..=n).map(TxnId::new).collect();
+    // Each waiter independently picks "no wait" (index 0) or one of the
+    // blocker sets not containing itself.
+    let options: Vec<Vec<Option<&Vec<TxnId>>>> = waiters
+        .iter()
+        .map(|w| {
+            let mut opts: Vec<Option<&Vec<TxnId>>> = vec![None];
+            opts.extend(blocker_sets.iter().filter(|s| !s.contains(w)).map(Some));
+            opts
+        })
+        .collect();
+    let mut choice = vec![0usize; waiters.len()];
+    let others: Vec<TxnId> = waiters.clone();
+    loop {
+        let mut g = WaitsForGraph::new();
+        for (i, w) in waiters.iter().enumerate() {
+            if let Some(blockers) = options[i][choice[i]] {
+                g.set_wait(*w, EntityId::new(100 + w.raw()), blockers);
+            }
+        }
+        stats.graphs += 1;
+        // Probe: transaction 1 requests entity 1 from every non-empty
+        // holder subset of the other transactions.
+        for mask in 1u32..(1 << others.len()) {
+            let holders: Vec<TxnId> = others
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, t)| *t)
+                .collect();
+            check_probe(&g, TxnId::new(1), EntityId::new(1), &holders, budgets, &mut stats);
+        }
+        // Advance the choice vector.
+        let mut i = waiters.len();
+        loop {
+            if i == 0 {
+                return stats;
+            }
+            i -= 1;
+            choice[i] += 1;
+            if choice[i] < options[i].len() {
+                break;
+            }
+            choice[i] = 0;
+        }
+    }
+}
+
+/// All single-blocker waits-for graphs on `1..=n` transactions.
+pub fn sweep_single_blocker(n: u32, budgets: &[u64]) -> SweepStats {
+    let singles: Vec<Vec<TxnId>> = (1..=n).map(|i| vec![TxnId::new(i)]).collect();
+    sweep(n, &singles, budgets)
+}
+
+/// All multi-blocker waits-for graphs on `1..=n` transactions (every
+/// non-empty blocker subset — the shape shared locks and fair-queue arcs
+/// produce).
+pub fn sweep_multi_blocker(n: u32, budgets: &[u64]) -> SweepStats {
+    let all: Vec<TxnId> = (1..=n).map(TxnId::new).collect();
+    let mut sets = Vec::new();
+    for mask in 1u32..(1 << all.len()) {
+        let set: Vec<TxnId> =
+            all.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, t)| *t).collect();
+        sets.push(set);
+    }
+    sweep(n, &sets, budgets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BUDGETS: [u64; 6] = [0, 1, 2, 3, 8, 1_000];
+
+    #[test]
+    fn single_blocker_graphs_up_to_six_txns_agree() {
+        for n in 2..=6 {
+            let stats = sweep_single_blocker(n, &BUDGETS);
+            assert!(stats.graphs > 0 && stats.probes > 0);
+        }
+    }
+
+    #[test]
+    fn multi_blocker_graphs_up_to_four_txns_agree() {
+        for n in 2..=4 {
+            let stats = sweep_multi_blocker(n, &BUDGETS);
+            assert!(stats.graphs > 0 && stats.probes > 0);
+        }
+    }
+
+    #[test]
+    fn zero_budget_forces_the_fallback_and_it_is_exercised() {
+        // The sweep only proves agreement; this pins that the fallback
+        // path actually fires under tiny budgets (otherwise the sweep
+        // would be vacuous for the fallback).
+        let stats = sweep_single_blocker(4, &[0]);
+        assert!(stats.fallback_hits > 0, "no probe exercised the reachability fallback");
+    }
+
+    #[test]
+    fn reference_matches_figure1_by_hand() {
+        let t = TxnId::new;
+        let e = EntityId::new;
+        let mut g = WaitsForGraph::new();
+        g.set_wait(t(3), e(1), &[t(2)]);
+        g.set_wait(t(4), e(2), &[t(3)]);
+        let refc = reference_cycles(&g, t(2), e(4), &[t(4)]);
+        assert_eq!(refc.len(), 1);
+        let cycle = refc.iter().next().unwrap();
+        assert_eq!(cycle, &vec![(2, 1), (3, 2), (4, 4)]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Small canonical workloads for exhaustive exploration.
+//!
+//! Two families:
+//!
+//! * the **3-transaction × 2-entity grid** — every multiset of three
+//!   transaction shapes over entities `a`/`b`, where a shape fixes the
+//!   acquisition order (`ab` or `ba`) and the lock-mode pair (`XX`, `SX`,
+//!   `XS`). Opposed orders produce the classic two-entity deadlock; shared
+//!   modes produce the §3.2 multi-cycle closures. Each transaction writes
+//!   slot-distinct values and mixes read results into later writes, so
+//!   distinct serialisation orders produce distinct final snapshots and
+//!   the cross-strategy equivalence oracle has teeth;
+//!
+//! * the **Figure 2 prefix state** — the paper's T1–T4 driven through the
+//!   exact deterministic prefix `pr-sim` uses to reproduce Figure 2,
+//!   stopped one step before T2's request for `e` closes the first
+//!   deadlock. Exploring from there covers every continuation: under
+//!   MinCost the state graph must contain the infinite mutual-preemption
+//!   cycle, under PartialOrder (ω) it must be acyclic and fully drained
+//!   (Theorem 2).
+
+use pr_core::config::{StrategyKind, SystemConfig, VictimPolicyKind};
+use pr_core::engine::{StepOutcome, System};
+use pr_model::{EntityId, Expr, ProgramBuilder, TransactionProgram, TxnId, Value, VarId};
+use pr_sim::scenarios::{paper_t1, paper_t2, paper_t3, paper_t4};
+use pr_storage::GlobalStore;
+
+/// Entity `a` of the two-entity grid.
+pub const A: EntityId = EntityId::new(0);
+/// Entity `b` of the two-entity grid.
+pub const B: EntityId = EntityId::new(1);
+
+/// Lock-mode pair in acquisition order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Modes {
+    /// Exclusive, then exclusive.
+    XX,
+    /// Shared, then exclusive (read feeds the write).
+    SX,
+    /// Exclusive, then shared (read feeds the write).
+    XS,
+}
+
+/// One transaction shape of the grid: acquisition order plus mode pair.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Shape {
+    /// First entity acquired (the second is the other one).
+    pub first: EntityId,
+    /// Mode pair in acquisition order.
+    pub modes: Modes,
+}
+
+impl Shape {
+    /// All six shapes: {ab, ba} × {XX, SX, XS}.
+    pub const ALL: [Shape; 6] = [
+        Shape { first: A, modes: Modes::XX },
+        Shape { first: A, modes: Modes::SX },
+        Shape { first: A, modes: Modes::XS },
+        Shape { first: B, modes: Modes::XX },
+        Shape { first: B, modes: Modes::SX },
+        Shape { first: B, modes: Modes::XS },
+    ];
+
+    /// Short display code, e.g. `XXab`.
+    pub fn code(&self) -> String {
+        let order = if self.first == A { "ab" } else { "ba" };
+        format!("{:?}{order}", self.modes)
+    }
+
+    /// The program for this shape in admission slot `slot` (1-based).
+    /// Written values are slot-distinct so that final snapshots identify
+    /// serialisation orders.
+    pub fn program(&self, slot: usize) -> TransactionProgram {
+        let (first, second) = if self.first == A { (A, B) } else { (B, A) };
+        let c = 10 * slot as i64;
+        let v0 = VarId::new(0);
+        let b = ProgramBuilder::new();
+        let b = match self.modes {
+            Modes::XX => b
+                .lock_exclusive(first)
+                .write_const(first, c)
+                .lock_exclusive(second)
+                .write_const(second, c + 1),
+            Modes::SX => b
+                .lock_shared(first)
+                .read(first, v0)
+                .lock_exclusive(second)
+                .write(second, Expr::add(Expr::lit(c), Expr::var(v0))),
+            Modes::XS => b
+                .lock_exclusive(first)
+                .lock_shared(second)
+                .read(second, v0)
+                .write(first, Expr::add(Expr::lit(c), Expr::var(v0))),
+        };
+        b.unlock(first).unlock(second).build_unchecked()
+    }
+}
+
+/// One grid case: a multiset of shapes, one per transaction.
+#[derive(Clone, Debug)]
+pub struct GridCase {
+    /// Display name, e.g. `XXab+XXba+SXab`.
+    pub name: String,
+    /// Shapes in admission order.
+    pub shapes: Vec<Shape>,
+}
+
+impl GridCase {
+    /// The case's programs in admission order (slot `i+1` for shape `i`).
+    pub fn programs(&self) -> Vec<TransactionProgram> {
+        self.shapes.iter().enumerate().map(|(i, s)| s.program(i + 1)).collect()
+    }
+}
+
+/// All multisets of `n` shapes (order within a case does not add coverage:
+/// admission order only relabels ids). `n = 3` gives the 56-case grid the
+/// acceptance criteria name; `n = 2` gives a 21-case smoke grid.
+pub fn grid_cases(n: usize) -> Vec<GridCase> {
+    let mut cases = Vec::new();
+    let mut pick = vec![0usize; n];
+    loop {
+        let shapes: Vec<Shape> = pick.iter().map(|&i| Shape::ALL[i]).collect();
+        let name = shapes.iter().map(Shape::code).collect::<Vec<_>>().join("+");
+        cases.push(GridCase { name, shapes });
+        // Next non-decreasing index vector.
+        let mut i = n;
+        loop {
+            if i == 0 {
+                return cases;
+            }
+            i -= 1;
+            if pick[i] + 1 < Shape::ALL.len() {
+                pick[i] += 1;
+                let v = pick[i];
+                for p in pick.iter_mut().skip(i + 1) {
+                    *p = v;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// The store every grid case starts from.
+pub fn grid_store() -> GlobalStore {
+    GlobalStore::with_entities(2, Value::new(0))
+}
+
+/// The Figure 2 system advanced through `pr-sim`'s exact deterministic
+/// prefix, stopped one step short of the first deadlock (T2's request for
+/// `e`). T1–T4 are admitted in order; T3 and T4 are already blocked, so
+/// exploration branches over T1's tail, T2's fatal request, and everything
+/// the resolutions unlock.
+pub fn figure2_prefix_system(policy: VictimPolicyKind) -> System {
+    let store = GlobalStore::with_entities(16, Value::new(0));
+    let mut sys = System::new(store, SystemConfig::new(StrategyKind::Mcs, policy));
+    let t1 = sys.admit(paper_t1()).expect("paper T1 is valid");
+    let t2 = sys.admit(paper_t2()).expect("paper T2 is valid");
+    let t3 = sys.admit(paper_t3()).expect("paper T3 is valid");
+    let t4 = sys.admit(paper_t4()).expect("paper T4 is valid");
+    let run = |sys: &mut System, t: TxnId, n: usize| {
+        for _ in 0..n {
+            let out = sys.step(t).expect("prefix step succeeds");
+            assert!(
+                !matches!(out, StepOutcome::DeadlockResolved { .. }),
+                "the prefix must stop short of the first deadlock"
+            );
+        }
+    };
+    run(&mut sys, t2, 12);
+    run(&mut sys, t3, 11);
+    run(&mut sys, t4, 15);
+    run(&mut sys, t1, 4);
+    run(&mut sys, t3, 1); // T3 requests b — blocks behind T2
+    run(&mut sys, t4, 1); // T4 requests c — blocks behind T3
+    sys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_56_three_txn_cases() {
+        assert_eq!(grid_cases(3).len(), 56); // C(6+3-1, 3)
+        assert_eq!(grid_cases(2).len(), 21);
+    }
+
+    #[test]
+    fn grid_names_are_distinct() {
+        let cases = grid_cases(3);
+        let names: std::collections::BTreeSet<&str> =
+            cases.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names.len(), cases.len());
+    }
+
+    #[test]
+    fn shape_programs_validate_and_differ_by_slot() {
+        for shape in Shape::ALL {
+            let p1 = shape.program(1);
+            let p2 = shape.program(2);
+            assert_ne!(p1.content_key(), p2.content_key(), "{}", shape.code());
+        }
+    }
+
+    #[test]
+    fn figure2_prefix_leaves_t3_t4_blocked_and_t2_poised() {
+        let sys = figure2_prefix_system(VictimPolicyKind::MinCost);
+        let blocked = sys.blocked();
+        assert!(blocked.contains(&TxnId::new(3)));
+        assert!(blocked.contains(&TxnId::new(4)));
+        let ready = sys.ready();
+        assert!(ready.contains(&TxnId::new(2)));
+    }
+}

@@ -93,6 +93,82 @@ fn merge(choice: &mut BTreeMap<TxnId, CandidateRollback>, cand: CandidateRollbac
     }
 }
 
+/// Whether a solution's rollback set covers `cycle`: some cycle member's
+/// candidate is matched — at or below its target — by a chosen rollback of
+/// the same transaction. Public so external optimality oracles (and their
+/// planted-mutant self-tests) can audit arbitrary plans without access to
+/// the solver's internal choice map.
+pub fn solution_covers(rollbacks: &[CandidateRollback], cycle: &[CandidateRollback]) -> bool {
+    cycle.iter().any(|cand| {
+        rollbacks.iter().any(|chosen| chosen.txn == cand.txn && chosen.target <= cand.target)
+    })
+}
+
+/// Largest number of distinct `(txn, target)` candidates
+/// [`solve_exhaustive`] will enumerate subsets of (2^20 masks).
+pub const EXHAUSTIVE_CANDIDATE_CAP: usize = 20;
+
+/// Exhaustive exact solver, algorithmically independent of
+/// [`solve_exact`]'s branch-and-bound: enumerates **every** subset of the
+/// instance's distinct `(txn, target)` candidates and keeps the cheapest
+/// covering one (ties broken toward fewer victims, then the earlier
+/// enumeration order). An optimal cut only ever uses candidate depths —
+/// rolling back between two candidate targets costs at least as much as
+/// the shallower one and covers exactly the same cycles — so the subset
+/// space contains an optimum.
+///
+/// Returns `None` when the instance has an uncoverable (empty) cycle or
+/// more than [`EXHAUSTIVE_CANDIDATE_CAP`] distinct candidates. Intended as
+/// a brute-force oracle for small model-checked instances, not as a
+/// production solver.
+pub fn solve_exhaustive(cycles: &[Vec<CandidateRollback>]) -> Option<CutSolution> {
+    if cycles.is_empty() {
+        return Some(CutSolution { rollbacks: Vec::new(), total_cost: 0, optimal: true });
+    }
+    if cycles.iter().any(Vec::is_empty) {
+        return None;
+    }
+    // Distinct candidates keyed by (txn, target); merging duplicates keeps
+    // the worst cost and deepest ideal, matching `merge`'s semantics.
+    let mut distinct: Vec<CandidateRollback> = Vec::new();
+    for cand in cycles.iter().flatten() {
+        match distinct.iter_mut().find(|c| c.txn == cand.txn && c.target == cand.target) {
+            Some(existing) => {
+                if cand.cost > existing.cost {
+                    existing.cost = cand.cost;
+                }
+                if cand.ideal < existing.ideal {
+                    existing.ideal = cand.ideal;
+                }
+            }
+            None => distinct.push(*cand),
+        }
+    }
+    if distinct.len() > EXHAUSTIVE_CANDIDATE_CAP {
+        return None;
+    }
+    let mut best: Option<CutSolution> = None;
+    for mask in 0u64..(1u64 << distinct.len()) {
+        let mut choice: BTreeMap<TxnId, CandidateRollback> = BTreeMap::new();
+        for (i, cand) in distinct.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                merge(&mut choice, *cand);
+            }
+        }
+        if cycles.iter().all(|c| covers(&choice, c)) {
+            let sol = CutSolution::from_choice(&choice, true);
+            let better = best.as_ref().is_none_or(|b| {
+                sol.total_cost < b.total_cost
+                    || (sol.total_cost == b.total_cost && sol.rollbacks.len() < b.rollbacks.len())
+            });
+            if better {
+                best = Some(sol);
+            }
+        }
+    }
+    best
+}
+
 /// Exact branch-and-bound. Returns `None` if the node budget is exhausted
 /// before the search completes (the caller then falls back to the greedy
 /// heuristic).
@@ -326,6 +402,70 @@ mod tests {
         assert!(s.optimal);
         assert_eq!(s.total_cost, 0);
         assert!(s.rollbacks.is_empty());
+    }
+
+    #[test]
+    fn exhaustive_agrees_with_branch_and_bound_on_random_instances() {
+        // Deterministic xorshift instance generator; the two exact solvers
+        // use unrelated algorithms, so cost agreement on hundreds of
+        // instances is strong cross-validation.
+        let mut s: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut next = move |bound: u64| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s % bound
+        };
+        for _ in 0..300 {
+            let ncycles = 1 + next(4);
+            let cycles: Vec<Vec<CandidateRollback>> = (0..ncycles)
+                .map(|_| {
+                    let members = 1 + next(4);
+                    (0..members)
+                        .map(|_| {
+                            let txn = next(6) as u32;
+                            let t = next(5) as u32;
+                            // Cost is a function of (txn, target) and grows
+                            // as the target gets deeper, as in the engine —
+                            // rolling further back undoes more operations.
+                            // Both properties matter: branch-and-bound only
+                            // reaches another cycle's deeper candidate via
+                            // `merge`, whose max-cost rule equals the true
+                            // cost exactly when cost is depth-monotone.
+                            cand(txn, t, 1 + (4 - t) * 3 + (txn * 7) % 5)
+                        })
+                        .collect()
+                })
+                .collect();
+            let exhaustive = solve_exhaustive(&cycles).expect("small instance");
+            let exact = solve_exact(&cycles, 1_000_000).expect("small instance");
+            assert_eq!(exhaustive.total_cost, exact.total_cost, "instance {cycles:?}");
+            for c in &cycles {
+                assert!(solution_covers(&exhaustive.rollbacks, c));
+                assert!(solution_covers(&exact.rollbacks, c));
+            }
+        }
+    }
+
+    #[test]
+    fn solution_covers_detects_a_missing_cycle() {
+        let cycle_a = vec![cand(1, 2, 5), cand(2, 1, 3)];
+        let cycle_b = vec![cand(3, 1, 4)];
+        // A plan that only cuts cycle A…
+        let plan = vec![cand(2, 1, 3)];
+        assert!(solution_covers(&plan, &cycle_a));
+        assert!(!solution_covers(&plan, &cycle_b));
+        // …and depth matters: a shallower rollback of the right txn does
+        // not cover a deeper requirement.
+        assert!(!solution_covers(&[cand(1, 3, 1)], &[cand(1, 1, 9)]));
+    }
+
+    #[test]
+    fn exhaustive_rejects_oversized_instances() {
+        let big: Vec<Vec<CandidateRollback>> =
+            (0..30u32).map(|i| vec![cand(i, 1, 1), cand(i + 100, 2, 2)]).collect();
+        assert!(solve_exhaustive(&big).is_none());
+        assert!(solve_exhaustive(&[vec![]]).is_none());
     }
 
     #[test]

@@ -70,6 +70,28 @@ pub fn cycles_on_wait(
     holders: &[TxnId],
     cap: usize,
 ) -> Vec<Cycle> {
+    // Simple-path enumeration is exponential in pathological graphs; the
+    // node budget bounds a single detection pass. Exhausting it is safe
+    // only because of the fallback inside: detection runs exclusively at
+    // block time, so a cycle missed here would otherwise never be seen
+    // again — every member is already blocked — and the system would
+    // silently lose liveness.
+    cycles_on_wait_budgeted(graph, requester, entity, holders, cap, 200_000)
+}
+
+/// [`cycles_on_wait`] with an explicit node budget for the simple-path
+/// enumeration, exposed so exhaustive cross-checks can force the
+/// budget-exhausted reachability fallback on *small* graphs (where the
+/// production budget would never run out) and compare its answer against
+/// the full enumeration.
+pub fn cycles_on_wait_budgeted(
+    graph: &WaitsForGraph,
+    requester: TxnId,
+    entity: EntityId,
+    holders: &[TxnId],
+    cap: usize,
+    node_budget: u64,
+) -> Vec<Cycle> {
     let mut cycles = Vec::new();
     if cap == 0 || holders.is_empty() {
         return cycles;
@@ -82,13 +104,7 @@ pub fn cycles_on_wait(
     // the successor waits for, i.e. the label on the successor's wait.
     let mut path: Vec<TxnId> = vec![requester];
     let mut on_path: Vec<TxnId> = vec![requester];
-    // Simple-path enumeration is exponential in pathological graphs; the
-    // node budget bounds a single detection pass. Exhausting it is safe
-    // only because of the fallback below: detection runs exclusively at
-    // block time, so a cycle missed here would otherwise never be seen
-    // again — every member is already blocked — and the system would
-    // silently lose liveness.
-    let mut budget: u64 = 200_000;
+    let mut budget: u64 = node_budget;
     dfs(graph, requester, entity, holders, cap, &mut path, &mut on_path, &mut cycles, &mut budget);
     if cycles.is_empty() && budget == 0 {
         // The enumeration ran out of budget without either completing or

@@ -31,7 +31,10 @@ pub mod cycles;
 pub mod sdg;
 pub mod waits_for;
 
-pub use cutset::{solve, solve_exact, solve_greedy, CandidateRollback, CutSolution};
+pub use cutset::{
+    solution_covers, solve, solve_exact, solve_exhaustive, solve_greedy, CandidateRollback,
+    CutSolution,
+};
 pub use cycles::{Cycle, CycleMember};
 pub use sdg::StateDependencyGraph;
 pub use waits_for::WaitsForGraph;

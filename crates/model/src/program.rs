@@ -182,6 +182,17 @@ impl TransactionProgram {
         let body: Vec<String> = self.ops.iter().map(|op| op.to_string()).collect();
         body.join("; ")
     }
+
+    /// A canonical content key: two programs get the same key iff they
+    /// have the same operations and the same initial variable values.
+    /// Transaction-id symmetry reduction groups transactions by this key —
+    /// only transactions running *identical* programs are interchangeable.
+    /// Built on the derived `Debug` of the op list, not [`render`](Self::render):
+    /// the display form elides expressions (`W(a)` regardless of what is
+    /// written), which would conflate programs that differ only in values.
+    pub fn content_key(&self) -> String {
+        format!("{:?}{:?}", self.initial_vars, self.ops)
+    }
 }
 
 impl fmt::Display for TransactionProgram {

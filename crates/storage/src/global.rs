@@ -19,9 +19,13 @@ use std::sync::Arc;
 /// The classic example is conservation: "the sum of all account balances is
 /// constant". Constraints are checked by [`GlobalStore::check_consistency`],
 /// which the test oracles call at every quiescent point.
+#[derive(Clone)]
 pub struct Constraint {
     name: String,
-    predicate: Box<dyn Fn(&GlobalStore) -> bool + Send + Sync>,
+    /// `Arc`, not `Box`: constraints are immutable once registered, so a
+    /// cloned store (the model checker snapshots whole systems) can share
+    /// the predicate instead of requiring `dyn Fn: Clone`.
+    predicate: Arc<dyn Fn(&GlobalStore) -> bool + Send + Sync>,
 }
 
 impl Constraint {
@@ -30,7 +34,7 @@ impl Constraint {
         name: impl Into<String>,
         predicate: impl Fn(&GlobalStore) -> bool + Send + Sync + 'static,
     ) -> Self {
-        Constraint { name: name.into(), predicate: Box::new(predicate) }
+        Constraint { name: name.into(), predicate: Arc::new(predicate) }
     }
 
     /// The constraint's name.
@@ -55,7 +59,7 @@ struct StoredEntity {
 }
 
 /// The database: a map from entity id to current (global) value.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct GlobalStore {
     entities: BTreeMap<EntityId, StoredEntity>,
     constraints: Vec<Constraint>,

@@ -249,6 +249,29 @@ impl McsWorkspace {
         Ok(())
     }
 
+    /// Writes a canonical text encoding of the workspace's *restorable
+    /// content* into `out`: everything that can influence future execution
+    /// (stack contents, cached variable values, any copy budget). The
+    /// monotone `peak` counters are metrics only and are excluded, so two
+    /// workspaces that will behave identically encode identically. Used by
+    /// the model checker's state fingerprint.
+    pub fn encode_state(&self, out: &mut String) {
+        use std::fmt::Write;
+        for (id, stack) in &self.entity_stacks {
+            let _ = write!(out, "E{}@{}:", id.raw(), stack.stack_index().raw());
+            for el in stack.elements() {
+                let _ = write!(out, "{},{};", el.lock_index.raw(), el.value.raw());
+            }
+        }
+        for (i, stack) in self.var_stacks.iter().enumerate() {
+            let _ = write!(out, "V{i}:");
+            for el in stack.elements() {
+                let _ = write!(out, "{},{};", el.lock_index.raw(), el.value.raw());
+            }
+        }
+        let _ = write!(out, "B{:?}", self.budget);
+    }
+
     fn bump_peak(&mut self) {
         let now = self.copy_counts();
         if now.entity_copies > self.peak.entity_copies {

@@ -264,6 +264,39 @@ impl SingleCopyWorkspace {
         Ok(())
     }
 
+    /// Writes a canonical text encoding of the workspace's *restorable
+    /// content* into `out`: everything that can influence future execution
+    /// (copies, write bookkeeping, cached variable values). The monotone
+    /// peak counter is metrics only and is excluded, so two workspaces that
+    /// will behave identically encode identically. Used by the model
+    /// checker's state fingerprint.
+    pub fn encode_state(&self, out: &mut String) {
+        use std::fmt::Write;
+        let li = |ix: Option<LockIndex>| ix.map_or(-1, |l| i64::from(l.raw()));
+        for (id, c) in &self.entities {
+            let _ = write!(
+                out,
+                "E{}@{}:g{},c{},f{},l{};",
+                id.raw(),
+                c.lock_state.raw(),
+                c.global.raw(),
+                c.current.raw(),
+                li(c.first_write),
+                li(c.last_write),
+            );
+        }
+        for (i, c) in self.vars.iter().enumerate() {
+            let _ = write!(
+                out,
+                "V{i}:i{},c{},f{},l{};",
+                c.initial.raw(),
+                c.current.raw(),
+                li(c.first_write),
+                li(c.last_write),
+            );
+        }
+    }
+
     /// Number of entity copies currently held (one per exclusive lock).
     pub fn entity_copies(&self) -> usize {
         self.entities.len()

@@ -61,10 +61,12 @@
 //! | [`sim`] | workload generators, experiment sweeps, the paper's figures, the differential serializability oracle |
 //! | [`dist`] | the §3.3 multi-site extension: schemes, message accounting |
 //! | [`analyze`] | static workload lint: deadlock-cycle detection, rollback-cost diagnostics, the `pr-lint` CLI |
+//! | [`explore`] | bounded model checker: exhaustive schedule enumeration with brute-force optimality oracles, the `explore` CLI |
 
 pub use pr_analyze as analyze;
 pub use pr_core as core;
 pub use pr_dist as dist;
+pub use pr_explore as explore;
 pub use pr_graph as graph;
 pub use pr_lock as lock;
 pub use pr_model as model;
