@@ -1,12 +1,12 @@
 //! `pr-lint` — static deadlock and rollback-cost lint for partial-rollback
-//! workloads.
+//! workloads, plus the orderability prover.
 //!
 //! ```text
-//! pr-lint [--json] [WORKLOAD...]
+//! pr-lint [--json] [--certify] [--out DIR] [WORKLOAD...]
 //! ```
 //!
 //! With no arguments, lints every built-in workload. Built-ins cover the
-//! paper's figures plus two generator baselines:
+//! paper's figures plus generator baselines and the exhaustive grid:
 //!
 //! | name       | contents                                              |
 //! |------------|-------------------------------------------------------|
@@ -20,19 +20,36 @@
 //! | `generated`| a random `ProgramGenerator` workload                  |
 //! | `ordered`  | the same generator with a global lock order (clean)   |
 //! | `stress`   | the stress harness's Zipf-hot generator output        |
+//! | `chaos`    | the chaos harness's generator output                  |
+//! | `grid`     | all 56 three-transaction grid cases (expands)         |
+//! | `grid:X`   | one grid case by name, e.g. `grid:XXab+XXba+SXab`     |
 //!
-//! Exit status is non-zero iff any workload produced an error-severity
-//! diagnostic, so the binary drops into CI pipelines directly.
+//! `--certify` switches from linting to the orderability prover: each
+//! workload either gets a `pr-certificate-v1` deadlock-freedom
+//! certificate (printed, and written to `DIR/<name>.cert.json` with
+//! `--out DIR`) or a `PR-D002 unorderable-workload` report carrying the
+//! minimal infeasible core with reorder advice.
+//!
+//! Exit codes (stable; scripts may rely on them):
+//!
+//! * `0` — clean: no error-severity diagnostics (and, with `--certify`,
+//!   every workload certified),
+//! * `1` — at least one error-severity diagnostic,
+//! * `2` — usage error (unknown option or workload),
+//! * `3` — `--certify` requested but at least one workload is
+//!   unorderable.
 
-use pr_analyze::analyze_workload;
+use pr_analyze::{analyze_workload, diagnose_unorderable, prove, ProverOutcome, Report};
 use pr_model::TransactionProgram;
 use pr_sim::scenarios::{figure3, figure4, figure5};
 use pr_sim::{scenarios, GeneratorConfig, ProgramGenerator};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: pr-lint [--json] [WORKLOAD...]\n       \
+const USAGE: &str = "usage: pr-lint [--json] [--certify] [--out DIR] [WORKLOAD...]\n       \
                      workloads: figure1 figure2 figure3a figure3b figure3c \
-                     figure4 figure5 generated ordered stress";
+                     figure4 figure5 generated ordered stress chaos grid grid:<case>\n       \
+                     exit codes: 0 clean, 1 error diagnostics, 2 usage error, \
+                     3 certify requested but workload unorderable";
 
 const ALL: &[&str] = &[
     "figure1",
@@ -45,6 +62,7 @@ const ALL: &[&str] = &[
     "generated",
     "ordered",
     "stress",
+    "chaos",
 ];
 
 fn workload(name: &str) -> Option<Vec<TransactionProgram>> {
@@ -73,7 +91,18 @@ fn workload(name: &str) -> Option<Vec<TransactionProgram>> {
             skew_centi: 120,
             ..GeneratorConfig::default()
         })),
-        _ => None,
+        // What `pr_sim::chaos::run_chaos` feeds the distributed engine.
+        "chaos" => Some(generate(GeneratorConfig {
+            num_entities: 24,
+            min_locks: 2,
+            max_locks: 4,
+            pad_between: 1,
+            ..GeneratorConfig::default()
+        })),
+        name => {
+            let case = name.strip_prefix("grid:")?;
+            pr_explore::grid_cases(3).into_iter().find(|c| c.name == case).map(|c| c.programs())
+        }
     }
 }
 
@@ -82,12 +111,44 @@ fn generate(config: GeneratorConfig) -> Vec<TransactionProgram> {
     (0..12).map(|_| gen.generate()).collect()
 }
 
+/// Expands workload names: `grid` becomes all 56 grid cases.
+fn expand(names: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    for name in names {
+        if name == "grid" {
+            out.extend(pr_explore::grid_cases(3).into_iter().map(|c| format!("grid:{}", c.name)));
+        } else {
+            out.push(name.clone());
+        }
+    }
+    out
+}
+
+fn file_stem(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '-' }).collect()
+}
+
 fn main() -> ExitCode {
     let mut json = false;
+    let mut certify = false;
+    let mut out_dir: Option<String> = None;
     let mut names: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--certify" => certify = true,
+            "--out" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("pr-lint: --out needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                if let Err(err) = std::fs::create_dir_all(&dir) {
+                    eprintln!("pr-lint: cannot create {dir}: {err}");
+                    return ExitCode::from(2);
+                }
+                out_dir = Some(dir);
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -95,34 +156,82 @@ fn main() -> ExitCode {
             name if !name.starts_with('-') => names.push(name.to_string()),
             other => {
                 eprintln!("pr-lint: unknown option `{other}`\n{USAGE}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(2);
             }
         }
     }
     if names.is_empty() {
         names = ALL.iter().map(|s| s.to_string()).collect();
+        if certify {
+            names.push("grid".to_string());
+        }
     }
+    let names = expand(&names);
 
     let mut any_errors = false;
+    let mut any_unorderable = false;
     let mut json_reports: Vec<String> = Vec::new();
     for name in &names {
         let Some(programs) = workload(name) else {
             eprintln!("pr-lint: unknown workload `{name}`\n{USAGE}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         };
-        let report = analyze_workload(name, &programs);
-        any_errors |= report.has_errors();
-        if json {
-            json_reports.push(report.to_json());
+        if certify {
+            match prove(name, &programs) {
+                ProverOutcome::Certified(cert) => {
+                    if let Err(err) = cert.verify(&programs) {
+                        // A prover bug, not a workload property: loud and fatal.
+                        eprintln!("pr-lint: {name}: emitted certificate fails self-check: {err}");
+                        return ExitCode::from(2);
+                    }
+                    if let Some(dir) = &out_dir {
+                        let path = format!("{dir}/{}.cert.json", file_stem(name));
+                        if let Err(err) = std::fs::write(&path, cert.to_json()) {
+                            eprintln!("pr-lint: cannot write {path}: {err}");
+                            return ExitCode::from(2);
+                        }
+                    }
+                    if json {
+                        json_reports.push(cert.to_json().trim_end().to_string());
+                    } else {
+                        println!(
+                            "{name}: CERTIFIED deadlock-free — {} entities ordered, {} programs covered",
+                            cert.order.len(),
+                            cert.programs.len()
+                        );
+                    }
+                }
+                ProverOutcome::Unorderable(core) => {
+                    any_unorderable = true;
+                    let report = Report {
+                        workload: name.clone(),
+                        num_programs: programs.len(),
+                        diagnostics: diagnose_unorderable(&programs, &core),
+                    };
+                    if json {
+                        json_reports.push(report.to_json());
+                    } else {
+                        print!("{}", report.render_human());
+                    }
+                }
+            }
         } else {
-            print!("{}", report.render_human());
+            let report = analyze_workload(name, &programs);
+            any_errors |= report.has_errors();
+            if json {
+                json_reports.push(report.to_json());
+            } else {
+                print!("{}", report.render_human());
+            }
         }
     }
     if json {
         println!("[{}]", json_reports.join(","));
     }
-    if any_errors {
-        ExitCode::FAILURE
+    if certify && any_unorderable {
+        ExitCode::from(3)
+    } else if any_errors {
+        ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
     }

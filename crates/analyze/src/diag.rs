@@ -18,6 +18,11 @@ pub enum LintCode {
     /// `PR-D001`: a statically-possible deadlock cycle exists in the
     /// workload's mode-aware lock-order graph.
     DeadlockCycle,
+    /// `PR-D002`: no total entity acquisition order is consistent with
+    /// every program — the workload cannot be certified deadlock-free by
+    /// ordered acquisition (the diagnostic carries the minimal infeasible
+    /// core of precedence cycles).
+    UnorderableWorkload,
     /// `PR-R101`: the program has undefined lock states, so a partial
     /// rollback may overshoot its ideal target (§4, Figure 4).
     UndefinedStates,
@@ -36,6 +41,7 @@ impl LintCode {
     pub fn as_str(self) -> &'static str {
         match self {
             LintCode::DeadlockCycle => "PR-D001",
+            LintCode::UnorderableWorkload => "PR-D002",
             LintCode::UndefinedStates => "PR-R101",
             LintCode::UnclusteredWrites => "PR-R102",
             LintCode::NotThreePhase => "PR-R103",
@@ -46,7 +52,9 @@ impl LintCode {
     /// The severity this code always carries.
     pub fn severity(self) -> Severity {
         match self {
-            LintCode::DeadlockCycle | LintCode::ProtocolViolation => Severity::Error,
+            LintCode::DeadlockCycle
+            | LintCode::UnorderableWorkload
+            | LintCode::ProtocolViolation => Severity::Error,
             LintCode::UndefinedStates => Severity::Warning,
             LintCode::UnclusteredWrites | LintCode::NotThreePhase => Severity::Advice,
         }
@@ -99,11 +107,20 @@ pub struct Span {
 }
 
 impl Span {
-    /// Builds a span for `programs[txn]` at `pc` (op text rendered if the
-    /// pc is in range).
+    /// Builds a span for `programs[txn]` at `pc`. Every caller derives
+    /// its pcs from real ops, so out-of-range inputs are a bug — flagged
+    /// by `debug_assert` — but release builds degrade gracefully: the pc
+    /// is clamped to the program's last op rather than yielding a span
+    /// that points at nothing.
     pub fn at(programs: &[TransactionProgram], txn: usize, pc: usize) -> Span {
-        let op =
-            programs.get(txn).and_then(|p| p.op(pc)).map(|op| op.to_string()).unwrap_or_default();
+        debug_assert!(txn < programs.len(), "span txn {txn} out of range ({})", programs.len());
+        let Some(program) = programs.get(txn) else {
+            return Span { txn, pc, op: String::new() };
+        };
+        let len = program.ops().len();
+        debug_assert!(pc < len, "span pc {pc} out of range for txn {txn} ({len} ops)");
+        let pc = if len == 0 { 0 } else { pc.min(len - 1) };
+        let op = program.op(pc).map(|op| op.to_string()).unwrap_or_default();
         Span { txn, pc, op }
     }
 
@@ -341,8 +358,30 @@ mod tests {
     }
 
     #[test]
+    fn span_at_clamps_in_release_and_asserts_in_debug() {
+        let p = pr_model::ProgramBuilder::new()
+            .lock_shared(pr_model::EntityId::new(0))
+            .pad(1)
+            .build_unchecked();
+        let programs = vec![p];
+        let s = Span::at(&programs, 0, 1);
+        assert_eq!(s.pc, 1);
+        assert!(!s.op.is_empty());
+        if cfg!(debug_assertions) {
+            assert!(std::panic::catch_unwind(|| Span::at(&programs, 0, 99)).is_err());
+            assert!(std::panic::catch_unwind(|| Span::at(&programs, 7, 0)).is_err());
+        } else {
+            // Release: clamp to the last op / empty span, never index out.
+            assert_eq!(Span::at(&programs, 0, 99).pc, programs[0].ops().len() - 1);
+            assert_eq!(Span::at(&programs, 7, 0).op, "");
+        }
+    }
+
+    #[test]
     fn codes_are_stable_strings() {
         assert_eq!(LintCode::DeadlockCycle.as_str(), "PR-D001");
+        assert_eq!(LintCode::UnorderableWorkload.as_str(), "PR-D002");
+        assert_eq!(LintCode::UnorderableWorkload.severity(), Severity::Error);
         assert_eq!(LintCode::UndefinedStates.as_str(), "PR-R101");
         assert_eq!(LintCode::UnclusteredWrites.as_str(), "PR-R102");
         assert_eq!(LintCode::NotThreePhase.as_str(), "PR-R103");

@@ -18,6 +18,13 @@
 //!    overshoot (`PR-R101`), plus §5 restructuring advice computed from
 //!    the model's own `cluster_writes`/`hoist_locks` passes (`PR-R102`,
 //!    `PR-R103`). Invalid programs get `PR-V001`.
+//! 3. **Can the deadlock machinery be switched off entirely?** The
+//!    [`prover`] pass decides *orderability*: it either certifies a
+//!    total entity acquisition order every program is consistent with —
+//!    a machine-checkable deadlock-freedom [`Certificate`] the runtime
+//!    consumes via `GrantPolicy::Ordered` — or emits the minimal
+//!    infeasible core as `PR-D002` diagnostics with reorder advice.
+//!    Run it with `pr-lint --certify`.
 //!
 //! Findings come back as a [`Report`] of [`Diagnostic`]s with stable
 //! lint codes, severities, and per-op [`Span`]s; the `pr-lint` binary
@@ -25,10 +32,15 @@
 
 pub mod diag;
 pub mod lock_order;
+pub mod prover;
 pub mod structure;
 
 pub use diag::{Diagnostic, LintCode, Report, Severity, Span};
 pub use lock_order::{find_cycles, hold_requests, CycleWitness, HoldRequest};
+pub use prover::{
+    diagnose_unorderable, prove, Certificate, ProgramProof, ProofStep, ProverOutcome,
+    CERTIFICATE_SCHEMA,
+};
 
 use pr_model::TransactionProgram;
 

@@ -102,21 +102,48 @@ impl CycleWitness {
         self.edges.iter().map(|e| e.held).collect()
     }
 
-    /// A canonical key (sorted txn and entity sets) for deduplication.
-    fn key(&self) -> (Vec<usize>, Vec<u32>) {
-        let mut txns = self.txns();
-        txns.sort_unstable();
-        let mut ents: Vec<u32> = self.entities().iter().map(|e| e.raw()).collect();
-        ents.sort_unstable();
-        (txns, ents)
+    /// Rotates the cycle into its canonical phase: the edge of the
+    /// minimum transaction id first (full edge tuple as tie-break). Two
+    /// witnesses are rotations of the same cycle iff their canonical
+    /// forms are identical, which is exactly what [`Self::key`] compares
+    /// — distinct cycles over the same transaction and entity *sets*
+    /// (common in dense workloads) stay distinct.
+    fn canonicalize(&mut self) {
+        if let Some(first) =
+            (0..self.edges.len()).min_by_key(|&i| edge_key(&self.edges[i])).filter(|&i| i > 0)
+        {
+            self.edges.rotate_left(first);
+        }
     }
+
+    /// The canonical identity of the cycle: its full rotated edge list.
+    fn key(&self) -> Vec<EdgeKey> {
+        self.edges.iter().map(edge_key).collect()
+    }
+}
+
+/// Total order over edges for canonical rotation and deduplication.
+type EdgeKey = (usize, u32, bool, u32, bool, usize);
+
+fn edge_key(e: &HoldRequest) -> EdgeKey {
+    (
+        e.txn,
+        e.held.raw(),
+        e.held_mode == LockMode::Exclusive,
+        e.requested.raw(),
+        e.requested_mode == LockMode::Exclusive,
+        e.request_pc,
+    )
 }
 
 /// Finds every statically-possible deadlock cycle in the workload.
 ///
-/// Cycles are deduplicated by their transaction+entity sets, and cycle
-/// enumeration per SCC is bounded (`MAX_CYCLES_PER_SCC`) so adversarial
-/// dense workloads cannot blow up the lint.
+/// Each witness is rotated to its canonical phase (minimum-txn edge
+/// first) and deduplicated by its full edge list, so rotations of one
+/// cycle count once while distinct cycles over the same transaction and
+/// entity sets are all kept. Cycle enumeration per SCC is bounded
+/// (`MAX_CYCLES_PER_SCC`) so adversarial dense workloads cannot blow up
+/// the lint.
 pub fn find_cycles(programs: &[TransactionProgram]) -> Vec<CycleWitness> {
     let edges: Vec<HoldRequest> =
         programs.iter().enumerate().flat_map(|(i, p)| hold_requests(i, p)).collect();
@@ -137,7 +164,7 @@ pub fn find_cycles(programs: &[TransactionProgram]) -> Vec<CycleWitness> {
 
     let sccs = tarjan_sccs(n, &adj);
     let mut witnesses: Vec<CycleWitness> = Vec::new();
-    let mut seen: HashSet<(Vec<usize>, Vec<u32>)> = HashSet::new();
+    let mut seen: HashSet<Vec<EdgeKey>> = HashSet::new();
     for scc in sccs {
         if scc.len() == 1 {
             let v = scc[0];
@@ -145,7 +172,8 @@ pub fn find_cycles(programs: &[TransactionProgram]) -> Vec<CycleWitness> {
                 continue; // trivial SCC, no self-loop possible here anyway
             }
         }
-        for w in enumerate_cycles(&scc, &adj, &edges) {
+        for mut w in enumerate_cycles(&scc, &adj, &edges) {
+            w.canonicalize();
             if seen.insert(w.key()) {
                 witnesses.push(w);
             }
@@ -468,5 +496,52 @@ mod tests {
         let mut txns = cycles[0].txns();
         txns.sort_unstable();
         assert_eq!(txns, vec![0, 1, 2]);
+    }
+
+    /// Regression for over-deduplication: the old key compared sorted
+    /// transaction and entity *sets*, which collapsed genuinely distinct
+    /// cycles sharing both. Three 3-lock programs rotating (a,b,c)
+    /// produce six 2-cycles and three distinct 3-cycles (two forward
+    /// edge assignments plus one reverse) — nine in all, every one over
+    /// the same entity universe and, for the 3-cycles, the same txn set.
+    #[test]
+    fn distinct_cycles_over_the_same_sets_are_all_counted() {
+        let p = |x: char, y: char, z: char| {
+            ProgramBuilder::new()
+                .lock_exclusive(e(x))
+                .lock_exclusive(e(y))
+                .lock_exclusive(e(z))
+                .pad(1)
+                .build_unchecked()
+        };
+        let cycles = find_cycles(&[p('a', 'b', 'c'), p('b', 'c', 'a'), p('c', 'a', 'b')]);
+        let twos = cycles.iter().filter(|w| w.edges.len() == 2).count();
+        let threes = cycles.iter().filter(|w| w.edges.len() == 3).count();
+        assert_eq!((twos, threes), (6, 3), "got {} cycles total", cycles.len());
+        // Canonical phase: every witness leads with its minimum txn.
+        for w in &cycles {
+            let txns = w.txns();
+            assert_eq!(txns[0], *txns.iter().min().unwrap());
+        }
+    }
+
+    /// The same cycle reached from different DFS roots must still count
+    /// once: an inverted pair where each program carries extra leading
+    /// locks, so multiple hold-request edges witness the same rotation.
+    #[test]
+    fn rotations_of_one_cycle_count_once() {
+        let p1 = ProgramBuilder::new()
+            .lock_exclusive(e('a'))
+            .lock_exclusive(e('b'))
+            .pad(1)
+            .build_unchecked();
+        let p2 = ProgramBuilder::new()
+            .lock_exclusive(e('b'))
+            .lock_exclusive(e('a'))
+            .pad(1)
+            .build_unchecked();
+        let report_cycles = find_cycles(&[p1, p2]);
+        assert_eq!(report_cycles.len(), 1);
+        assert_eq!(report_cycles[0].txns()[0], 0, "canonical phase starts at T1");
     }
 }

@@ -1,0 +1,129 @@
+//! End-to-end property tests for the orderability prover: any workload
+//! the prover certifies really never deadlocks in the deterministic
+//! engine under `GrantPolicy::Ordered` (1000 random workloads), and
+//! planted-mutant certificates are rejected by both the offline checker
+//! (`Certificate::verify`) and the runtime checker
+//! (`System::install_certificate`).
+
+use pr_analyze::{prove, ProverOutcome};
+use pr_core::scheduler::RoundRobin;
+use pr_core::{GrantPolicy, StrategyKind, System, SystemConfig, VictimPolicyKind};
+use pr_sim::runner::store_with;
+use pr_sim::{GeneratorConfig, ProgramGenerator, RandomScheduler};
+use proptest::prelude::*;
+
+fn ordered_config(strategy: StrategyKind) -> SystemConfig {
+    SystemConfig::new(strategy, VictimPolicyKind::PartialOrder)
+        .with_grant_policy(GrantPolicy::Ordered)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+
+    /// The prover's soundness contract, checked by execution: certify ⇒
+    /// install ⇒ run ⇒ zero deadlocks, zero rollbacks, every wait skips
+    /// detection, everyone commits.
+    #[test]
+    fn certified_workloads_never_deadlock_under_ordered(seed in 0u64..1_000_000) {
+        // Even seeds use the ascending-order generator (always
+        // certifiable, so the fast path is exercised every time); odd
+        // seeds are unconstrained — mostly unorderable, and the odd
+        // certifiable one stresses non-identity orders.
+        let cfg = GeneratorConfig {
+            // Always more entities than max_locks: the generator requires
+            // k distinct entities per program.
+            num_entities: 6 + (seed % 11) as u32,
+            min_locks: 2,
+            max_locks: 2 + (seed % 4) as usize,
+            exclusive_per_mille: (400 + seed % 600) as u16,
+            ordered_locks: seed % 2 == 0,
+            ..GeneratorConfig::default()
+        };
+        let n = 3 + (seed % 6) as usize;
+        let mut generator = ProgramGenerator::new(cfg, seed);
+        let programs = generator.generate_workload(n);
+        let outcome = prove("prop", &programs);
+        let Some(cert) = outcome.certificate() else {
+            prop_assert!(
+                seed % 2 == 1,
+                "seed {seed}: ordered generator output must always be certifiable"
+            );
+            return Ok(());
+        };
+        prop_assert!(cert.verify(&programs).is_ok(), "seed {seed}: certificate self-check");
+
+        let strategy = StrategyKind::ALL[(seed % 3) as usize];
+        let mut sys = System::new(store_with(cfg.num_entities, 100), ordered_config(strategy));
+        for p in &programs {
+            sys.admit(p.clone()).expect("generated program is valid");
+        }
+        let covered = sys
+            .install_certificate(cert.entity_order())
+            .map_err(|e| TestCaseError::fail(format!("seed {seed}: rejected: {e}")))?;
+        prop_assert_eq!(covered, n, "seed {}: certificate must cover the workload", seed);
+        let run = if seed % 3 == 0 {
+            sys.run(&mut RoundRobin::new())
+        } else {
+            sys.run(&mut RandomScheduler::new(seed ^ 0xdead_beef))
+        };
+        prop_assert!(run.is_ok(), "seed {}: {:?}", seed, run.err());
+        let m = sys.metrics();
+        prop_assert_eq!(m.commits, n as u64, "seed {}: everyone commits", seed);
+        prop_assert_eq!(m.deadlocks, 0, "seed {}: certified workload deadlocked", seed);
+        prop_assert_eq!(m.total_rollbacks + m.partial_rollbacks, 0, "seed {}", seed);
+        prop_assert_eq!(
+            m.certified_waits, m.waits,
+            "seed {}: every wait must take the no-detection fast path", seed
+        );
+    }
+}
+
+#[test]
+fn planted_mutant_certificates_are_rejected_by_the_runtime() {
+    let cfg =
+        GeneratorConfig { num_entities: 8, ordered_locks: true, ..GeneratorConfig::default() };
+    let programs = ProgramGenerator::new(cfg, 7).generate_workload(6);
+    let ProverOutcome::Certified(cert) = prove("mutant", &programs) else {
+        panic!("ordered generator output must be certifiable");
+    };
+    let admitted = || {
+        let mut sys = System::new(store_with(8, 100), ordered_config(StrategyKind::Mcs));
+        for p in &programs {
+            sys.admit(p.clone()).expect("generated program is valid");
+        }
+        sys
+    };
+    // The honest certificate passes both checkers.
+    cert.verify(&programs).expect("honest certificate verifies");
+    assert_eq!(admitted().install_certificate(cert.entity_order()).unwrap(), 6);
+
+    // Mutant 1: reversed order. Every ≥2-lock ascending program now
+    // descends, so the offline checker and the runtime both refuse.
+    let mut reversed = cert.clone();
+    reversed.order.reverse();
+    assert!(reversed.verify(&programs).is_err(), "reversed order must not verify");
+    assert!(
+        admitted().install_certificate(reversed.entity_order()).is_err(),
+        "runtime must reject the reversed order"
+    );
+
+    // Mutant 2: rotated order changes every rank; the per-step rank
+    // proofs no longer match the order.
+    let mut rotated = cert.clone();
+    rotated.order.rotate_left(1);
+    assert!(rotated.verify(&programs).is_err(), "rotated order must not verify");
+
+    // Mutant 3: flip a content hash — the certificate no longer speaks
+    // about these programs.
+    let mut forged = cert.clone();
+    forged.programs[0].content_hash ^= 1;
+    assert!(forged.verify(&programs).is_err(), "forged content hash must not verify");
+
+    // Mutant 4: tampered JSON round-trip (rank bumped in one proof step)
+    // still parses but fails verification.
+    let json = cert.to_json();
+    let needle = format!("\"content_hash\":\"{:016x}\"", cert.programs[0].content_hash);
+    let tampered = json.replace(&needle, "\"content_hash\":\"0000000000000000\"");
+    let parsed = pr_analyze::Certificate::from_json(&tampered).expect("tampered JSON still parses");
+    assert!(parsed.verify(&programs).is_err(), "tampered round-trip must not verify");
+}

@@ -9,12 +9,10 @@ use crate::runtime::{Phase, TxnRuntime};
 use crate::scheduler::Scheduler;
 use pr_graph::cycles::cycles_on_wait;
 use pr_graph::{CandidateRollback, WaitsForGraph};
-#[cfg(feature = "invariants")]
-use pr_lock::GrantPolicy;
-use pr_lock::{HeldLock, LockTable, RequestOutcome};
+use pr_lock::{EntityOrder, GrantPolicy, HeldLock, LockTable, RequestOutcome};
 use pr_model::{EntityId, LockIndex, LockMode, Op, TransactionProgram, TxnId};
 use pr_storage::GlobalStore;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Result of stepping one transaction.
@@ -77,6 +75,16 @@ pub struct System {
     /// [`ResolutionAudit`] — the raw solver inputs captured *before* the
     /// rollbacks execute — for external optimality oracles. Off by default.
     audits: Option<Vec<crate::deadlock::ResolutionAudit>>,
+    /// The installed acquisition-order certificate, if any (only
+    /// consulted under [`GrantPolicy::Ordered`]).
+    certified_order: Option<EntityOrder>,
+    /// Admitted transactions whose whole lock sequence the certificate
+    /// vouches for. Deadlock detection is skipped on a wait only when the
+    /// waiter *and every other blocked transaction* are covered: covered
+    /// transactions acquire in strictly ascending certified rank, so any
+    /// hold-and-wait cycle among them would force ranks to increase
+    /// forever — no cycle can exist and there is nothing to detect.
+    covered: BTreeSet<TxnId>,
     /// Runtime invariant sentinel (feature `invariants`): bounded event
     /// trace plus workload facts for the Theorem 1 / ω-order checks.
     #[cfg(feature = "invariants")]
@@ -101,9 +109,64 @@ impl System {
             copies_cache: BTreeMap::new(),
             copies_total: 0,
             audits: None,
+            certified_order: None,
+            covered: BTreeSet::new(),
             #[cfg(feature = "invariants")]
             sentinel: crate::sentinel::Sentinel::new(),
         }
+    }
+
+    /// Installs an acquisition-order certificate, recomputing coverage
+    /// for every already-admitted transaction (later admissions are
+    /// checked as they arrive). Returns how many admitted transactions
+    /// the order covers. Transactions the order cannot vouch for simply
+    /// stay uncovered: their waits run the full partial-rollback
+    /// machinery, so a permissive install is always safe.
+    pub fn install_order(&mut self, order: EntityOrder) -> usize {
+        self.covered = self
+            .txns
+            .values()
+            .filter(|rt| order.covers_program(&rt.program))
+            .map(|rt| rt.id)
+            .collect();
+        self.certified_order = Some(order);
+        self.covered.len()
+    }
+
+    /// Installs a certificate strictly: errors (installing nothing)
+    /// unless the order covers every already-admitted transaction. This
+    /// is the runtime checker that rejects forged certificates — an
+    /// order violating some program's lock sequence, or any "certificate"
+    /// for a workload whose precedence graph is cyclic (no order can
+    /// cover all of its programs).
+    pub fn install_certificate(&mut self, order: EntityOrder) -> Result<usize, EngineError> {
+        for rt in self.txns.values() {
+            if let Some((pc, entity)) = order.first_violation(&rt.program) {
+                return Err(EngineError::CertificateViolation { txn: rt.id, pc, entity });
+            }
+        }
+        Ok(self.install_order(order))
+    }
+
+    /// The installed acquisition-order certificate, if any.
+    pub fn certified_order(&self) -> Option<&EntityOrder> {
+        self.certified_order.as_ref()
+    }
+
+    /// Admitted transactions the installed certificate covers.
+    pub fn covered_txns(&self) -> Vec<TxnId> {
+        self.covered.iter().copied().collect()
+    }
+
+    /// Whether `causer`'s wait is provably cycle-free without running
+    /// detection: the policy is [`GrantPolicy::Ordered`] and the
+    /// certificate vouches for the waiter and for every currently
+    /// blocked transaction (any deadlock cycle consists of blocked
+    /// transactions only).
+    fn ordered_wait_is_certified(&self, causer: TxnId) -> bool {
+        self.config.grant_policy == GrantPolicy::Ordered
+            && self.covered.contains(&causer)
+            && self.blocked_since.keys().all(|t| self.covered.contains(t))
     }
 
     /// Turns on structured event logging with the given retention bound.
@@ -150,6 +213,11 @@ impl System {
         let entry = self.entry_counter;
         self.entry_counter += 1;
         self.txns.insert(id, TxnRuntime::new(id, Arc::new(program), entry, self.config.strategy));
+        if let Some(order) = &self.certified_order {
+            if order.covers_program(&self.txns[&id].program) {
+                self.covered.insert(id);
+            }
+        }
         #[cfg(feature = "invariants")]
         {
             if self.txns[&id].program.lock_requests().iter().any(|(_, _, m)| *m == LockMode::Shared)
@@ -304,7 +372,17 @@ impl System {
                 #[cfg(feature = "invariants")]
                 self.sentinel
                     .record(format!("{id} waits on {entity} held by {holders:?} ({mode:?})"));
-                let resolved = self.resolve_deadlocks(id)?;
+                // Certified fast path: when every blocked transaction is
+                // covered by the installed order, no cycle can exist, so
+                // detection is skipped outright. The wait arcs were still
+                // recorded above — the invariant checks (including the
+                // acyclicity check) see the same graph either way.
+                let resolved = if self.ordered_wait_is_certified(id) {
+                    self.metrics.certified_waits += 1;
+                    None
+                } else {
+                    self.resolve_deadlocks(id)?
+                };
                 match resolved {
                     Some((event, plan)) => Ok(StepOutcome::DeadlockResolved { event, plan }),
                     None => Ok(StepOutcome::Blocked { entity }),
@@ -1408,5 +1486,104 @@ mod tests {
         assert_eq!(m.max_queue_depth(), 1);
         let json = m.snapshot().to_json();
         assert!(json.contains("\"deadlocks\":1"), "{json}");
+    }
+
+    fn ordered_system(strategy: StrategyKind) -> System {
+        let store = GlobalStore::with_entities(8, Value::new(100));
+        let config = SystemConfig::new(strategy, VictimPolicyKind::PartialOrder)
+            .with_grant_policy(GrantPolicy::Ordered);
+        System::new(store, config)
+    }
+
+    /// Covered workload under `Ordered`: waits happen but detection is
+    /// skipped on every one of them, and nothing deadlocks.
+    #[test]
+    fn certified_workload_skips_detection_under_ordered() {
+        for strategy in StrategyKind::ALL {
+            let mut sys = ordered_system(strategy);
+            sys.admit_unchecked(transfer(0, 1, 10));
+            sys.admit_unchecked(transfer(0, 1, 5));
+            sys.admit_unchecked(transfer(1, 2, 7));
+            let covered = sys.install_certificate(EntityOrder::identity(8)).unwrap();
+            assert_eq!(covered, 3, "{strategy:?}");
+            sys.run(&mut RoundRobin::new()).unwrap_or_else(|e| panic!("{strategy:?}: {e}"));
+            assert!(sys.all_committed(), "{strategy:?}");
+            let m = sys.metrics();
+            assert!(m.waits > 0, "{strategy:?}: the workload must actually contend");
+            assert_eq!(m.certified_waits, m.waits, "{strategy:?}: every wait skips detection");
+            assert_eq!(m.deadlocks, 0, "{strategy:?}");
+            assert_eq!(m.rollbacks(), 0, "{strategy:?}");
+            sys.check_invariants().unwrap();
+        }
+    }
+
+    /// Planted mutant (a): an order that violates one program's lock
+    /// sequence. The strict installer must reject it and install nothing.
+    #[test]
+    fn strict_install_rejects_order_violating_a_program() {
+        let mut sys = ordered_system(StrategyKind::Mcs);
+        sys.admit_unchecked(transfer(0, 1, 10));
+        sys.admit_unchecked(transfer(2, 1, 5)); // descends under identity
+        let order = EntityOrder::identity(8);
+        let err = sys.install_certificate(order).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::CertificateViolation { txn: t(2), pc: 1, entity: e(1) },
+            "the violating request is named precisely"
+        );
+        assert!(sys.certified_order().is_none(), "a rejected certificate installs nothing");
+        assert!(sys.covered_txns().is_empty());
+    }
+
+    /// Planted mutant (b): a "certificate" for a known-cyclic workload.
+    /// No total order covers both programs of an inverted pair, so any
+    /// order the forger picks is rejected on one of them.
+    #[test]
+    fn strict_install_rejects_any_order_for_cyclic_workload() {
+        for forged in [vec![e(0), e(1)], vec![e(1), e(0)]] {
+            let mut sys = ordered_system(StrategyKind::Mcs);
+            sys.admit_unchecked(transfer(0, 1, 10));
+            sys.admit_unchecked(transfer(1, 0, 5));
+            let order = EntityOrder::new(forged).unwrap();
+            assert!(matches!(
+                sys.install_certificate(order),
+                Err(EngineError::CertificateViolation { .. })
+            ));
+        }
+    }
+
+    /// The permissive installer covers what it can; uncovered
+    /// transactions still go through full detection, so a deadlock they
+    /// cause is resolved by partial rollback exactly as under the other
+    /// policies.
+    #[test]
+    fn uncovered_txns_fall_back_to_partial_rollback_under_ordered() {
+        let mut sys = ordered_system(StrategyKind::Mcs);
+        sys.admit_unchecked(transfer(0, 1, 10)); // covered
+        sys.admit_unchecked(transfer(1, 0, 5)); // b then a: uncovered
+        let covered = sys.install_order(EntityOrder::identity(8));
+        assert_eq!(covered, 1);
+        assert_eq!(sys.covered_txns(), vec![t(1)]);
+        let mut sched = Scripted::new(vec![t(1), t(2), t(1), t(2)]);
+        sys.run(&mut sched).unwrap();
+        assert!(sys.all_committed());
+        assert_eq!(sys.metrics().deadlocks, 1, "the uncovered cycle is detected and resolved");
+        assert!(sys.metrics().rollbacks() >= 1);
+        assert_eq!(
+            sys.store().read(e(0)).unwrap() + sys.store().read(e(1)).unwrap(),
+            Value::new(200)
+        );
+        sys.check_invariants().unwrap();
+    }
+
+    /// Coverage follows admissions that arrive after the order is
+    /// installed (the open-arrival stress harness admits incrementally).
+    #[test]
+    fn coverage_extends_to_later_admissions() {
+        let mut sys = ordered_system(StrategyKind::Mcs);
+        assert_eq!(sys.install_order(EntityOrder::identity(8)), 0);
+        sys.admit_unchecked(transfer(0, 1, 10));
+        sys.admit_unchecked(transfer(1, 0, 5));
+        assert_eq!(sys.covered_txns(), vec![t(1)], "only the ascending program is covered");
     }
 }

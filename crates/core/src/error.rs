@@ -28,6 +28,17 @@ pub enum EngineError {
     Storage(StorageError),
     /// A lock-manager failure (always an engine bug if it surfaces).
     Lock(LockError),
+    /// A strictly-installed acquisition-order certificate does not cover
+    /// an admitted transaction: its lock request at `pc` breaks the
+    /// certified order (or names an uncertified entity).
+    CertificateViolation {
+        /// The uncovered transaction.
+        txn: TxnId,
+        /// Program counter of the offending lock request.
+        pc: usize,
+        /// The entity whose request the order cannot vouch for.
+        entity: pr_model::EntityId,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -43,6 +54,13 @@ impl fmt::Display for EngineError {
             }
             EngineError::Storage(e) => write!(f, "storage error: {e}"),
             EngineError::Lock(e) => write!(f, "lock error: {e}"),
+            EngineError::CertificateViolation { txn, pc, entity } => {
+                write!(
+                    f,
+                    "certificate does not cover {txn}: request of {entity} at pc {pc} \
+                     breaks the certified order"
+                )
+            }
         }
     }
 }

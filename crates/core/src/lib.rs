@@ -52,6 +52,6 @@ pub use error::EngineError;
 pub use event::{Event, EventLog};
 pub use fingerprint::{canonical_state, canonical_state_relabeled, fingerprint};
 pub use metrics::{HistogramSummary, LogHistogram, Metrics, MetricsSnapshot};
-pub use pr_lock::GrantPolicy;
+pub use pr_lock::{derive_order, EntityOrder, GrantPolicy, PrecedenceCycle};
 pub use runtime::RuntimeView;
 pub use scheduler::{Recording, RoundRobin, Scheduler};

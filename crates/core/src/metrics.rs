@@ -137,6 +137,10 @@ pub struct Metrics {
     pub rollback_overshoot: u64,
     /// Wait responses issued.
     pub waits: u64,
+    /// Waits for which deadlock detection was skipped because the
+    /// installed acquisition-order certificate vouched for every blocked
+    /// transaction (`GrantPolicy::Ordered` fast path).
+    pub certified_waits: u64,
     /// Transactions committed.
     pub commits: u64,
     /// Deadlock resolutions whose cut set was provably optimal.

@@ -14,6 +14,7 @@
 
 use pr_core::config::{StrategyKind, SystemConfig, VictimPolicyKind};
 use pr_core::engine::System;
+use pr_core::{derive_order, GrantPolicy};
 use pr_explore::explorer::{explore, replay_lines, ExploreOptions, ExploreReport};
 use pr_explore::grid::{figure2_prefix_system, grid_cases, grid_store, GridCase};
 use pr_model::TxnId;
@@ -26,6 +27,10 @@ usage: explore [OPTIONS]
   --case NAME       restrict the grid to one case, e.g. XXab+XXba+SXab
   --policy NAME     victim policy: min-cost | partial-order | youngest |
                     conflict-causer (default partial-order)
+  --grant NAME      lock-grant policy: barging | fair-queue | ordered
+                    (default barging; ordered derives and installs each
+                    case's acquisition order — uncertifiable cases fall
+                    back to partial rollback)
   --strategy NAME   mcs | sdg | total | all (default all; 'all' also
                     cross-checks terminal-outcome equivalence)
   --figure2         explore the Figure 2 prefix under min-cost (livelock
@@ -46,6 +51,7 @@ struct Options {
     grid: usize,
     case: Option<String>,
     policy: VictimPolicyKind,
+    grant: GrantPolicy,
     strategies: Vec<StrategyKind>,
     figure2: bool,
     identical: Option<usize>,
@@ -61,6 +67,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         grid: 3,
         case: None,
         policy: VictimPolicyKind::PartialOrder,
+        grant: GrantPolicy::Barging,
         strategies: vec![StrategyKind::Total, StrategyKind::Mcs, StrategyKind::Sdg],
         figure2: false,
         identical: None,
@@ -99,6 +106,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     "sdg" => vec![StrategyKind::Sdg],
                     "total" => vec![StrategyKind::Total],
                     other => return Err(format!("unknown strategy {other:?}")),
+                };
+            }
+            "--grant" => {
+                o.grant = match value("--grant")? {
+                    "barging" => GrantPolicy::Barging,
+                    "fair-queue" => GrantPolicy::FairQueue,
+                    "ordered" => GrantPolicy::Ordered,
+                    other => return Err(format!("unknown grant policy {other:?}")),
                 };
             }
             "--figure2" => o.figure2 = true,
@@ -158,8 +173,19 @@ fn policy_name(p: VictimPolicyKind) -> &'static str {
     }
 }
 
-fn grid_system(case: &GridCase, strategy: StrategyKind, policy: VictimPolicyKind) -> System {
-    let mut sys = System::new(grid_store(), SystemConfig::new(strategy, policy));
+fn grid_system(
+    case: &GridCase,
+    strategy: StrategyKind,
+    policy: VictimPolicyKind,
+    grant: GrantPolicy,
+) -> System {
+    let config = SystemConfig::new(strategy, policy).with_grant_policy(grant);
+    let mut sys = System::new(grid_store(), config);
+    if grant == GrantPolicy::Ordered {
+        if let Ok(order) = derive_order(&case.programs()) {
+            sys.install_order(order);
+        }
+    }
     for p in case.programs() {
         sys.admit(p).expect("grid program is valid");
     }
@@ -414,7 +440,7 @@ fn main() -> ExitCode {
     if let Some(schedule) = &o.trace {
         let case = &cases[0];
         let strategy = o.strategies[0];
-        let base = grid_system(case, strategy, o.policy);
+        let base = grid_system(case, strategy, o.policy, o.grant);
         println!(
             "replay {} [{}/{}]: {}",
             case.name,
@@ -431,7 +457,7 @@ fn main() -> ExitCode {
     for case in &cases {
         let mut outcome_sets = Vec::new();
         for &strategy in &o.strategies {
-            let base = grid_system(case, strategy, o.policy);
+            let base = grid_system(case, strategy, o.policy, o.grant);
             let rec = run_one(&o, &case.name, &base, strategy, &mut failures);
             outcome_sets.push((strategy, rec.report.outcome_set(), rec.report.complete));
             records.push(rec);
@@ -473,6 +499,7 @@ fn copy_options(o: &Options) -> Options {
         grid: o.grid,
         case: o.case.clone(),
         policy: o.policy,
+        grant: o.grant,
         strategies: o.strategies.clone(),
         figure2: o.figure2,
         identical: o.identical,

@@ -704,6 +704,15 @@ pub fn explore_workload(
 ) -> ExploreReport {
     let store = pr_storage::GlobalStore::with_entities(entities, Value::new(init));
     let mut sys = System::new(store, config);
+    // Under `Ordered` the explorer plays the prover inline, exactly like
+    // `pr_sim::run_workload`: certifiable workloads get their derived
+    // order installed (every schedule then runs the no-detection fast
+    // path), unorderable ones get nothing and fall back wholesale.
+    if config.grant_policy == pr_core::GrantPolicy::Ordered {
+        if let Ok(order) = pr_core::derive_order(programs) {
+            sys.install_order(order);
+        }
+    }
     for p in programs {
         sys.admit(p.clone()).expect("workload program is valid");
     }

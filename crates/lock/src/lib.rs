@@ -20,7 +20,10 @@
 //! [`GrantPolicy::FairQueue`] closes that hole: a request is refused while
 //! any incompatible request is queued ahead of it, and promotion proceeds
 //! strictly from the queue front, bounding every waiter's wait by the
-//! queue ahead of it.
+//! queue ahead of it. [`GrantPolicy::Ordered`] keeps the fair queue's
+//! grant semantics and pairs them with a certified total acquisition
+//! order (the [`order`] module) under which deadlock detection can be
+//! skipped entirely for covered transactions.
 //!
 //! Each held lock remembers the state index from which it was requested and
 //! the lock index of its lock state: precisely the bookkeeping §3.1 needs
@@ -30,8 +33,10 @@
 
 pub mod conflict;
 pub mod error;
+pub mod order;
 pub mod table;
 
 pub use conflict::{classify_conflict, ConflictType};
 pub use error::LockError;
+pub use order::{derive_order, EntityOrder, PrecedenceCycle};
 pub use table::{GrantPolicy, HeldLock, LockTable, RequestOutcome, WaitingRequest};

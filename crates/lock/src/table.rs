@@ -15,7 +15,11 @@ use std::collections::{BTreeMap, VecDeque};
 /// requesters it starves exclusive waiters indefinitely;
 /// [`GrantPolicy::FairQueue`] trades a little concurrency for bounded
 /// waits by refusing new grants that would overtake an incompatible
-/// queued waiter.
+/// queued waiter. [`GrantPolicy::Ordered`] keeps the fair queue's grant
+/// semantics and additionally signals to the engine that the workload
+/// carries a certified total entity acquisition order (see
+/// [`crate::order`]), letting it skip deadlock-detection bookkeeping for
+/// requests the certificate vouches for.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
 pub enum GrantPolicy {
     /// Paper-faithful (§2): a request compatible with the holders is
@@ -26,10 +30,17 @@ pub enum GrantPolicy {
     /// the holders *and* no incompatible request is queued ahead of it;
     /// promotion proceeds strictly from the queue front.
     FairQueue,
+    /// Certified ordered acquisition: fair-queue grant semantics, with the
+    /// engine skipping deadlock detection for transactions covered by an
+    /// installed [`crate::order::EntityOrder`]. Uncovered transactions
+    /// fall back to the paper's partial-rollback machinery unchanged.
+    Ordered,
 }
 
 impl GrantPolicy {
-    /// Both policies, for sweeps.
+    /// The general-purpose policies, for sweeps. `Ordered` is excluded:
+    /// it is only meaningful with a certificate installed, so sweeps that
+    /// compare it opt in explicitly.
     pub const ALL: [GrantPolicy; 2] = [GrantPolicy::Barging, GrantPolicy::FairQueue];
 
     /// Stable lowercase name for reports and JSON.
@@ -37,7 +48,16 @@ impl GrantPolicy {
         match self {
             GrantPolicy::Barging => "barging",
             GrantPolicy::FairQueue => "fair-queue",
+            GrantPolicy::Ordered => "ordered",
         }
+    }
+
+    /// Whether grants respect queue order: a request is refused while an
+    /// incompatible request is queued ahead of it, and promotion stops at
+    /// the first blocked waiter. True for every policy except the
+    /// paper-faithful [`GrantPolicy::Barging`].
+    pub fn queues_fairly(self) -> bool {
+        self != GrantPolicy::Barging
     }
 }
 
@@ -148,7 +168,7 @@ impl EntityLock {
     fn blockers_at(&self, pos: usize, policy: GrantPolicy) -> Vec<TxnId> {
         let w = &self.queue[pos];
         let mut blockers = self.incompatible_holders(w.txn, w.mode);
-        if policy == GrantPolicy::FairQueue {
+        if policy.queues_fairly() {
             blockers.extend(self.incompatible_queued(w.mode, pos));
         }
         blockers
@@ -227,7 +247,7 @@ impl LockTable {
             blockers.push(h.txn);
             blocker_modes.push(h.mode);
         }
-        if policy == GrantPolicy::FairQueue {
+        if policy.queues_fairly() {
             // The new request joins the back, so every incompatible queued
             // request is ahead of it and blocks it.
             for w in slot.queue.iter().filter(|w| !mode.compatible_with(w.mode)) {
@@ -305,7 +325,7 @@ impl LockTable {
                 let held = slot.queue.remove(i).expect("index in range").into_held();
                 slot.holders.push(held);
                 granted.push(held);
-            } else if policy == GrantPolicy::FairQueue {
+            } else if policy.queues_fairly() {
                 break;
             } else {
                 i += 1;
@@ -747,7 +767,7 @@ mod tests {
     /// queue-position helper after a `retain` reshuffles indices.
     #[test]
     fn fifo_order_survives_mid_queue_abort() {
-        for policy in GrantPolicy::ALL {
+        for policy in [GrantPolicy::Barging, GrantPolicy::FairQueue, GrantPolicy::Ordered] {
             let mut tbl = LockTable::with_policy(policy);
             req(&mut tbl, 1, 0, LockMode::Exclusive).unwrap();
             req(&mut tbl, 2, 0, LockMode::Exclusive).unwrap();
@@ -768,7 +788,9 @@ mod tests {
             let x4_blockers = tbl.blockers_of(t(4), e(0));
             match policy {
                 GrantPolicy::Barging => assert_eq!(x4_blockers, vec![t(1)]),
-                GrantPolicy::FairQueue => assert_eq!(x4_blockers, vec![t(1), t(2)]),
+                GrantPolicy::FairQueue | GrantPolicy::Ordered => {
+                    assert_eq!(x4_blockers, vec![t(1), t(2)])
+                }
             }
             tbl.check_invariants().unwrap();
             // Promotions proceed strictly in surviving FIFO order.
@@ -778,6 +800,29 @@ mod tests {
             assert_eq!(granted.iter().map(|h| h.txn).collect::<Vec<_>>(), vec![t(4)]);
             tbl.check_invariants().unwrap();
         }
+    }
+
+    #[test]
+    fn ordered_policy_queues_fairly_at_the_table() {
+        // `Ordered` adds engine-side semantics (certificate fast path);
+        // at the lock table it must behave exactly like the fair queue:
+        // S4 queues behind the blocked X3 instead of barging past it.
+        let mut tbl = LockTable::with_policy(GrantPolicy::Ordered);
+        assert!(GrantPolicy::Ordered.queues_fairly());
+        assert_eq!(GrantPolicy::Ordered.name(), "ordered");
+        req(&mut tbl, 2, 0, LockMode::Shared).unwrap();
+        assert!(matches!(
+            req(&mut tbl, 3, 0, LockMode::Exclusive).unwrap(),
+            RequestOutcome::Wait { .. }
+        ));
+        assert!(matches!(
+            req(&mut tbl, 4, 0, LockMode::Shared).unwrap(),
+            RequestOutcome::Wait { .. }
+        ));
+        assert_eq!(tbl.blockers_of(t(4), e(0)), vec![t(3)]);
+        let granted = tbl.release(t(2), e(0)).unwrap();
+        assert_eq!(granted.iter().map(|h| h.txn).collect::<Vec<_>>(), vec![t(3)]);
+        tbl.check_invariants().unwrap();
     }
 
     #[test]

@@ -14,11 +14,16 @@
 //! contention cell the paper's argument lives on) and exits non-zero if
 //! any policy × strategy cell lost more than 20% commit throughput
 //! against the baseline.
+//!
+//! `--fight` runs the three-way grant-policy fight instead — barging vs
+//! fair-queue vs ordered on the same hot cell over a certifiable
+//! (ascending-order) workload — and writes `BENCH_ordered.json`;
+//! `--gate-ordered` enforces the same >20% rule against that baseline.
 
 use pr_sim::report::Table;
 use pr_sim::stress::{
-    gate_against_baseline, parse_throughput_json, throughput_json, throughput_sweep,
-    GATE_CONCURRENCY, GATE_MAX_DROP, GATE_ZIPF_CENTI,
+    gate_against_baseline, ordered_fight, parse_throughput_json, throughput_json, throughput_sweep,
+    ThroughputRow, GATE_CONCURRENCY, GATE_MAX_DROP, GATE_ZIPF_CENTI,
 };
 use std::process::ExitCode;
 
@@ -27,20 +32,23 @@ usage: throughput [OPTIONS]
   --quick            small smoke sweep for CI
   --out PATH         where to write the JSON grid (default BENCH_throughput.json)
   --gate BASELINE    compare against a committed BENCH_throughput.json and
-                     fail on a >20% throughput drop at the s=1.2/64-way point";
+                     fail on a >20% throughput drop at the s=1.2/64-way point
+  --fight            run the barging/fair-queue/ordered three-way fight on the
+                     s=1.2/64-way cell (certifiable workload) and write
+                     BENCH_ordered.json (or --out PATH)
+  --gate-ordered BASELINE
+                     same >20% rule against a committed BENCH_ordered.json";
 
 struct Options {
     quick: bool,
-    out: std::path::PathBuf,
+    fight: bool,
+    out: Option<std::path::PathBuf>,
     gate: Option<std::path::PathBuf>,
+    gate_ordered: Option<std::path::PathBuf>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
-    let mut o = Options {
-        quick: false,
-        out: std::path::PathBuf::from("BENCH_throughput.json"),
-        gate: None,
-    };
+    let mut o = Options { quick: false, fight: false, out: None, gate: None, gate_ordered: None };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -48,8 +56,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         };
         match arg.as_str() {
             "--quick" => o.quick = true,
-            "--out" => o.out = value("--out")?.into(),
+            "--fight" => o.fight = true,
+            "--out" => o.out = Some(value("--out")?.into()),
             "--gate" => o.gate = Some(value("--gate")?.into()),
+            "--gate-ordered" => o.gate_ordered = Some(value("--gate-ordered")?.into()),
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -67,14 +77,25 @@ fn main() -> ExitCode {
     };
 
     if let Some(baseline_path) = &o.gate {
-        return run_gate(baseline_path);
+        return run_gate(baseline_path, false);
+    }
+    if let Some(baseline_path) = &o.gate_ordered {
+        return run_gate(baseline_path, true);
     }
 
-    let rows = if o.quick {
+    let rows = if o.fight {
+        if o.quick {
+            ordered_fight(16, 1)
+        } else {
+            ordered_fight(96, 3)
+        }
+    } else if o.quick {
         throughput_sweep(&[0, 120], &[8], 16, 1)
     } else {
         throughput_sweep(&[0, 80, 120], &[4, 16, 64], 96, 3)
     };
+    let default_out = if o.fight { "BENCH_ordered.json" } else { "BENCH_throughput.json" };
+    let out = o.out.unwrap_or_else(|| std::path::PathBuf::from(default_out));
 
     let mut t = Table::new([
         "zipf",
@@ -91,7 +112,11 @@ fn main() -> ExitCode {
         "deadlocks",
         "maxq",
     ])
-    .with_title("Throughput under contention (latency in engine steps)");
+    .with_title(if o.fight {
+        "Grant-policy fight on the hot cell, certifiable workload (latency in engine steps)"
+    } else {
+        "Throughput under contention (latency in engine steps)"
+    });
     for r in &rows {
         t.row([
             format!("{:.2}", f64::from(r.zipf_centi) / 100.0),
@@ -111,15 +136,15 @@ fn main() -> ExitCode {
     }
     println!("{t}");
 
-    if let Err(e) = std::fs::write(&o.out, throughput_json(&rows)) {
-        eprintln!("throughput: cannot write {}: {e}", o.out.display());
+    if let Err(e) = std::fs::write(&out, throughput_json(&rows)) {
+        eprintln!("throughput: cannot write {}: {e}", out.display());
         return ExitCode::FAILURE;
     }
-    println!("wrote {} ({} rows)", o.out.display(), rows.len());
+    println!("wrote {} ({} rows)", out.display(), rows.len());
     ExitCode::SUCCESS
 }
 
-fn run_gate(baseline_path: &std::path::Path) -> ExitCode {
+fn run_gate(baseline_path: &std::path::Path, ordered: bool) -> ExitCode {
     let text = match std::fs::read_to_string(baseline_path) {
         Ok(t) => t,
         Err(e) => {
@@ -136,7 +161,11 @@ fn run_gate(baseline_path: &std::path::Path) -> ExitCode {
     };
     // Re-measure only the gate cell, at the baseline's full resolution
     // (96 txns × 3 seeds), so noise stays well under the 20% threshold.
-    let current = throughput_sweep(&[GATE_ZIPF_CENTI], &[GATE_CONCURRENCY], 96, 3);
+    let current: Vec<ThroughputRow> = if ordered {
+        ordered_fight(96, 3)
+    } else {
+        throughput_sweep(&[GATE_ZIPF_CENTI], &[GATE_CONCURRENCY], 96, 3)
+    };
     let results = match gate_against_baseline(&baseline, &current) {
         Ok(r) => r,
         Err(e) => {

@@ -42,8 +42,10 @@ pub use oracle::{
     OracleViolation,
 };
 pub use report::Table;
-pub use runner::{run_workload, RandomScheduler, RunReport, SchedulerKind};
+pub use runner::{
+    is_serializable, run_serial, run_workload, RandomScheduler, RunReport, SchedulerKind,
+};
 pub use stress::{
-    gate_against_baseline, parse_throughput_json, run_stress, throughput_json, throughput_sweep,
-    Arrival, BaselineRow, GateResult, StressConfig, StressReport, ThroughputRow,
+    gate_against_baseline, ordered_fight, parse_throughput_json, run_stress, throughput_json,
+    throughput_sweep, Arrival, BaselineRow, GateResult, StressConfig, StressReport, ThroughputRow,
 };

@@ -65,6 +65,12 @@ impl RunReport {
 
 /// Runs `programs` concurrently over `store` and returns the report.
 ///
+/// Under [`pr_core::GrantPolicy::Ordered`] the runner plays the prover's
+/// role inline: it derives a total acquisition order for the workload and
+/// installs it, so orderable workloads take the certified fast path and
+/// unorderable ones (no order derivable, nothing installed) fall back to
+/// the paper's partial-rollback machinery wholesale.
+///
 /// A [`EngineError::StepLimitExceeded`] is reported as `completed: false`
 /// (that is a *result* for livelock experiments, not a failure); any other
 /// engine error propagates.
@@ -75,6 +81,11 @@ pub fn run_workload(
     scheduler: SchedulerKind,
 ) -> Result<RunReport, EngineError> {
     let mut sys = System::new(store, config);
+    if config.grant_policy == pr_core::GrantPolicy::Ordered {
+        if let Ok(order) = pr_core::derive_order(programs) {
+            sys.install_order(order);
+        }
+    }
     for p in programs {
         sys.admit(p.clone())?;
     }

@@ -20,8 +20,8 @@
 use crate::generator::{GeneratorConfig, ProgramGenerator};
 use crate::runner::store_with;
 use pr_core::{
-    EngineError, GrantPolicy, LogHistogram, Metrics, StepOutcome, StrategyKind, System,
-    SystemConfig, VictimPolicyKind,
+    EngineError, EntityOrder, GrantPolicy, LogHistogram, Metrics, StepOutcome, StrategyKind,
+    System, SystemConfig, VictimPolicyKind,
 };
 use pr_model::TxnId;
 use rand::rngs::SmallRng;
@@ -66,6 +66,12 @@ pub struct StressConfig {
     pub max_locks: usize,
     /// Padding computations after each lock.
     pub pad_between: usize,
+    /// Generate each transaction's locks in ascending entity order — the
+    /// certifiable workload. Under [`GrantPolicy::Ordered`] the driver
+    /// installs the identity entity order so every such transaction takes
+    /// the certified no-detection fast path (transactions that are not
+    /// consistent with it simply fall back to partial rollback).
+    pub ordered_locks: bool,
     /// Seed for both program generation and scheduling.
     pub seed: u64,
     /// Engine configuration (strategy, victim policy, grant policy).
@@ -84,6 +90,7 @@ impl Default for StressConfig {
             min_locks: 2,
             max_locks: 4,
             pad_between: 1,
+            ordered_locks: false,
             seed: 1,
             system: SystemConfig::new(StrategyKind::Mcs, VictimPolicyKind::PartialOrder),
         }
@@ -127,10 +134,17 @@ pub fn run_stress(cfg: &StressConfig) -> Result<StressReport, EngineError> {
         exclusive_per_mille: cfg.exclusive_per_mille,
         pad_between: cfg.pad_between,
         skew_centi: cfg.zipf_centi,
+        ordered_locks: cfg.ordered_locks,
         ..GeneratorConfig::default()
     };
     let mut generator = ProgramGenerator::new(gen_cfg, cfg.seed);
     let mut sys = System::new(store_with(cfg.num_entities, 100), cfg.system);
+    if cfg.system.grant_policy == GrantPolicy::Ordered {
+        // The identity order is exactly what the ordered generator is
+        // consistent with; non-ascending transactions stay uncovered and
+        // keep the paper's partial-rollback machinery.
+        sys.install_order(EntityOrder::identity(cfg.num_entities));
+    }
     let mut rng =
         SmallRng::seed_from_u64(cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1));
     let total = cfg.total_txns;
@@ -306,6 +320,74 @@ pub fn throughput_sweep(
                     });
                 }
             }
+        }
+    }
+    rows
+}
+
+/// The three-way grant-policy fight behind `BENCH_ordered.json`: barging
+/// vs fair-queue vs ordered on the perf-gate hot cell (Zipf
+/// [`GATE_ZIPF_CENTI`], [`GATE_CONCURRENCY`]-way closed loop), every
+/// rollback strategy, over a *certifiable* workload (`ordered_locks`).
+///
+/// All three policies run the identical ascending-order workload, so none
+/// of them ever deadlocks — the fight isolates what the certificate
+/// actually buys: `Ordered` skips the per-wait deadlock search the other
+/// two still pay for.
+pub fn ordered_fight(txns_per_run: usize, seeds: u64) -> Vec<ThroughputRow> {
+    let mut rows = Vec::new();
+    for policy in [GrantPolicy::Barging, GrantPolicy::FairQueue, GrantPolicy::Ordered] {
+        for strategy in StrategyKind::ALL {
+            let mut latency = LogHistogram::default();
+            let mut grant = LogHistogram::default();
+            let (mut commits, mut steps, mut deadlocks) = (0u64, 0u64, 0u64);
+            let mut max_queue_depth = 0usize;
+            for seed in 0..seeds {
+                let mut system = SystemConfig::new(strategy, VictimPolicyKind::PartialOrder)
+                    .with_grant_policy(policy);
+                system.max_steps = 2_000_000;
+                let cfg = StressConfig {
+                    total_txns: txns_per_run,
+                    concurrency: GATE_CONCURRENCY,
+                    zipf_centi: GATE_ZIPF_CENTI,
+                    ordered_locks: true,
+                    seed: seed * 7 + 1,
+                    system,
+                    ..StressConfig::default()
+                };
+                let report = run_stress(&cfg).expect("ordered fight must not get stuck");
+                assert!(report.completed, "{policy:?}/{strategy:?} did not drain");
+                assert_eq!(
+                    report.metrics.deadlocks, 0,
+                    "{policy:?}/{strategy:?}: an ordered workload cannot deadlock"
+                );
+                latency.merge(&report.txn_latency);
+                grant.merge(&report.metrics.grant_latency);
+                commits += report.commits;
+                steps += report.steps;
+                deadlocks += report.metrics.deadlocks;
+                max_queue_depth = max_queue_depth.max(report.metrics.max_queue_depth());
+            }
+            rows.push(ThroughputRow {
+                zipf_centi: GATE_ZIPF_CENTI,
+                concurrency: GATE_CONCURRENCY,
+                policy: policy.name().to_string(),
+                strategy: strategy.name(),
+                commits,
+                steps,
+                throughput_kilo: if steps == 0 {
+                    0.0
+                } else {
+                    commits as f64 * 1000.0 / steps as f64
+                },
+                latency_p50: latency.p50(),
+                latency_p95: latency.p95(),
+                latency_p99: latency.p99(),
+                latency_max: latency.max(),
+                grant_p99: grant.p99(),
+                deadlocks,
+                max_queue_depth,
+            });
         }
     }
     rows
@@ -583,6 +665,66 @@ mod tests {
         assert!(report.completed);
         assert_eq!(report.commits, 96);
         assert!(report.metrics.deadlocks > 0, "the hot cell must actually hit deadlocks");
+    }
+
+    #[test]
+    fn ordered_stress_takes_the_fast_path_end_to_end() {
+        let cfg = StressConfig {
+            total_txns: 48,
+            concurrency: 16,
+            num_entities: 8,
+            zipf_centi: 120,
+            ordered_locks: true,
+            system: SystemConfig::new(StrategyKind::Mcs, VictimPolicyKind::PartialOrder)
+                .with_grant_policy(GrantPolicy::Ordered),
+            ..Default::default()
+        };
+        let report = run_stress(&cfg).unwrap();
+        assert!(report.completed);
+        assert_eq!(report.commits, 48);
+        assert_eq!(report.metrics.deadlocks, 0);
+        assert_eq!(report.metrics.rollbacks(), 0);
+        assert!(report.metrics.waits > 0, "the hot cell must actually contend");
+        assert_eq!(
+            report.metrics.certified_waits, report.metrics.waits,
+            "every wait of a fully covered workload must skip detection"
+        );
+    }
+
+    #[test]
+    fn unordered_stress_under_ordered_policy_falls_back() {
+        // Same hot cell, but the generator ignores the global order: most
+        // transactions are uncovered, deadlocks happen, and partial
+        // rollback resolves them — Ordered must not wedge or miss them.
+        let cfg = StressConfig {
+            total_txns: 48,
+            concurrency: 16,
+            num_entities: 8,
+            zipf_centi: 120,
+            ordered_locks: false,
+            system: SystemConfig::new(StrategyKind::Mcs, VictimPolicyKind::PartialOrder)
+                .with_grant_policy(GrantPolicy::Ordered),
+            ..Default::default()
+        };
+        let report = run_stress(&cfg).unwrap();
+        assert!(report.completed);
+        assert_eq!(report.commits, 48);
+        assert!(report.metrics.deadlocks > 0, "the uncovered hot cell must deadlock");
+    }
+
+    #[test]
+    fn ordered_fight_covers_three_policies_and_never_deadlocks() {
+        let rows = ordered_fight(8, 1);
+        assert_eq!(rows.len(), 3 * 3);
+        for policy in ["barging", "fair-queue", "ordered"] {
+            assert_eq!(rows.iter().filter(|r| r.policy == policy).count(), 3, "{policy}");
+        }
+        assert!(rows.iter().all(|r| r.deadlocks == 0));
+        assert!(rows.iter().all(|r| r.zipf_centi == GATE_ZIPF_CENTI));
+        let json = throughput_json(&rows);
+        let parsed = parse_throughput_json(&json).unwrap();
+        assert_eq!(parsed.len(), 9);
+        assert!(json.contains("\"policy\":\"ordered\""));
     }
 
     #[test]

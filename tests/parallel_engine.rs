@@ -138,7 +138,7 @@ fn four_thread_resolution_costs_match_victim_ledgers() {
 #[test]
 fn oracle_signs_off_threaded_generator_runs() {
     let strategies = [StrategyKind::Total, StrategyKind::Mcs, StrategyKind::Sdg];
-    let policies = [GrantPolicy::Barging, GrantPolicy::FairQueue];
+    let policies = [GrantPolicy::Barging, GrantPolicy::FairQueue, GrantPolicy::Ordered];
     for (i, (&strategy, &policy)) in
         strategies.iter().flat_map(|s| policies.iter().map(move |p| (s, p))).enumerate()
     {
@@ -159,6 +159,43 @@ fn oracle_signs_off_threaded_generator_runs() {
             .unwrap_or_else(|v| panic!("{strategy:?}/{policy:?}: oracle violation: {v}"));
         assert_eq!(report.txns, 12);
         assert!(report.accesses > 0);
+    }
+}
+
+/// A certified (ascending acquisition order) workload on real threads
+/// under `GrantPolicy::Ordered`: no interleaving can deadlock, so the
+/// resolver must never fire, and the differential oracle must still sign
+/// off on the threaded run. This is the parallel half of the orderability
+/// prover's claim — the deterministic engine proves 0 deadlocks by
+/// enumeration (`pr-explore`), the threaded engine checks it under OS
+/// scheduling.
+#[test]
+fn certified_workload_on_threads_never_deadlocks() {
+    for strategy in [StrategyKind::Total, StrategyKind::Mcs, StrategyKind::Sdg] {
+        let generator_config = GeneratorConfig {
+            num_entities: 12,
+            pad_between: 300,
+            ordered_locks: true,
+            ..GeneratorConfig::default()
+        };
+        let mut generator = ProgramGenerator::new(generator_config, 4_242);
+        let programs = generator.generate_workload(12);
+
+        let mut system = SystemConfig::new(strategy, VictimPolicyKind::PartialOrder);
+        system.grant_policy = GrantPolicy::Ordered;
+        let config = ParConfig { threads: 4, shards: 0, system };
+        let outcome = run_parallel(&programs, store_with(12, 100), &config)
+            .unwrap_or_else(|err| panic!("{strategy:?}: {err}"));
+        assert_eq!(outcome.commits(), 12, "{strategy:?}");
+        assert_eq!(outcome.metrics.deadlocks, 0, "{strategy:?}: ordered workload deadlocked");
+        assert_eq!(
+            outcome.metrics.total_rollbacks + outcome.metrics.partial_rollbacks,
+            0,
+            "{strategy:?}: nothing may be rolled back without a deadlock"
+        );
+        assert_accounting(&outcome);
+        check_outcome(&programs, &store_with(12, 100), &system, &outcome)
+            .unwrap_or_else(|v| panic!("{strategy:?}: oracle violation: {v}"));
     }
 }
 
