@@ -389,6 +389,16 @@ impl LockTable {
         self.entities.len()
     }
 
+    /// Whether `entity` has any holder or waiter. Idle entities are
+    /// garbage-collected by [`Self::release`] / [`Self::cancel_wait`], so
+    /// this doubles as the *queue-flag handoff* predicate for pr-par's
+    /// optimistic fast path: an inflated entity may be handed back to the
+    /// lock-word path exactly when this returns `false`, because absence
+    /// from the table means no grant or wakeup can be pending here.
+    pub fn is_active(&self, entity: EntityId) -> bool {
+        self.entities.contains_key(&entity)
+    }
+
     /// Entities with at least one holder or waiter, in id order.
     pub fn entities(&self) -> Vec<EntityId> {
         self.entities.keys().copied().collect()

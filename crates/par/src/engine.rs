@@ -1,25 +1,40 @@
-//! The multi-threaded executor: worker-per-transaction over the sharded
-//! lock table, with concurrent deadlock detection and partial rollback.
+//! The multi-threaded executor: worker-per-transaction over the lock-word
+//! fast path + sharded lock table, with concurrent deadlock detection and
+//! partial rollback.
 //!
 //! ## Execution model
 //!
 //! `threads` workers drain the admission queue; each claims a
 //! transaction, holds its slot mutex, and executes its operations exactly
 //! as the deterministic engine does — same runtime calls, same lock-table
-//! calls, same §4 rollback procedure — so the two engines are
+//! semantics, same §4 rollback procedure — so the two engines are
 //! behaviourally interchangeable and the differential oracle can compare
 //! them. In-flight transactions never exceed the worker count, so every
 //! lock holder and waiter always has a live thread behind it.
 //!
+//! ## The grant fast path
+//!
+//! An uncontended lock request never touches a shard mutex: it CASes the
+//! entity's lock word in the [`EntitySlab`](crate::word::EntitySlab) and
+//! is done. Contention, a full reader registry, or an existing wait queue
+//! (the word's `INFLATED` flag) route the request through the classic
+//! shard-mutex path, which first *inflates* the entity — transferring any
+//! fast-path holders into the shard's [`LockTable`](pr_lock::LockTable)
+//! so waits, promotions, and partial rollback see the true holder set.
+//! The entity deflates back to the fast path when its table entry goes
+//! idle. See [`crate::word`] for the protocol and its invariant.
+//!
 //! ## Blocking and waking
 //!
 //! A blocked worker registers its waits-for arcs and detects cycles
-//! *atomically* (see [`EpochGraph`]), then parks on its slot's condvar.
-//! Wakes are best-effort hints: releasers `try_wake` promoted waiters,
-//! and every parked worker re-polls the authoritative shard state on a
-//! short timeout, so a lost hint costs milliseconds, never liveness. A
-//! worker that stays blocked past the watchdog limit fails the run with
-//! [`ParError::Stuck`] rather than hanging.
+//! *atomically* (see [`EpochGraph`]), then parks on its slot. Wakes are
+//! lock-free ([`TxnSlot::wake`]) and therefore never dropped: releasers
+//! wake promoted waiters *and* every waiter whose blocker set was
+//! re-pointed, and a woken waiter re-runs cycle detection immediately
+//! instead of discovering re-pointed cycles at the next poll timeout.
+//! Parked workers still re-poll the authoritative shard state on a short
+//! timeout as a safety net; a worker blocked past the watchdog limit
+//! fails the run with [`ParError::Stuck`] rather than hanging.
 //!
 //! ## Resolution
 //!
@@ -28,22 +43,25 @@
 //! cannot deadlock), re-validates the detection epoch, plans victims with
 //! the same `plan_resolution` the deterministic engine uses (over a
 //! borrowed [`RuntimeView`](pr_core::RuntimeView) assembled from the held
-//! guards), and executes
-//! the rollbacks. Holding every member's slot freezes the cycle: member
-//! promotions would need a member's release, which only the members'
-//! own (captured) threads or this resolver could perform.
+//! guards), and executes the rollbacks. Holding every member's slot
+//! freezes the cycle: member promotions would need a member's release,
+//! which only the members' own (captured) threads or this resolver could
+//! perform. Competing resolvers back off with [`busy_backoff`] — bounded
+//! exponential with id-skewed jitter — so dense waits-for graphs cannot
+//! degenerate into a try-lock retry storm.
 
 use crate::history::{AccessHistory, CommittedAccess};
 use crate::outcome::{ParConfig, ParError, ParOutcome, TxnStats};
 use crate::shard::Shards;
 use crate::slot::{SlotState, TxnSlot};
 use crate::wfg::EpochGraph;
+use crate::word::{EntitySlab, FastPath};
 use pr_core::deadlock::{plan_resolution, DeadlockEvent};
 use pr_core::runtime::{Phase, TxnRuntime};
 use pr_core::Metrics;
 use pr_graph::{CandidateRollback, Cycle};
 use pr_lock::RequestOutcome;
-use pr_model::{EntityId, LockIndex, LockMode, Op, StateIndex, TransactionProgram, TxnId};
+use pr_model::{EntityId, LockIndex, LockMode, Op, StateIndex, TransactionProgram, TxnId, Value};
 use pr_storage::GlobalStore;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -51,13 +69,23 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Park timeout: the cadence at which blocked workers re-poll the shard
-/// and re-run detection, bounding the cost of any lost wake hint.
+/// and re-run detection. With lock-free wakes this is a pure safety net,
+/// not the wake mechanism.
 const POLL: Duration = Duration::from_millis(2);
 
 /// Consecutive empty polls before a blocked worker declares the run
 /// stuck (~10 s) — converts any liveness bug into a failed run instead
 /// of a hang.
 const STUCK_POLLS: u32 = 5_000;
+
+/// Bounded exponential backoff for resolver slot contention: 50 µs
+/// doubling per failed attempt to a 1.6 ms cap, plus an id-skewed jitter
+/// term so symmetric resolvers cannot retry in lockstep. The cap keeps
+/// the worst-case pause well under the watchdog while the growth starves
+/// out the try-lock retry storms that collapsed dense skewed graphs.
+fn busy_backoff(attempt: u32, id: TxnId) -> Duration {
+    Duration::from_micros((50u64 << attempt.min(5)) + u64::from(id.raw() % 8) * 50)
+}
 
 /// Outcome of one resolution attempt.
 enum Round {
@@ -72,6 +100,7 @@ enum Round {
 
 struct Core {
     shards: Shards,
+    slab: EntitySlab,
     slots: Vec<TxnSlot>,
     wfg: EpochGraph,
     history: AccessHistory,
@@ -96,9 +125,17 @@ impl Core {
         self.abort.load(Ordering::Acquire)
     }
 
+    /// Wakes every transaction in `txns` (lock-free; never dropped).
+    fn wake_all(&self, txns: impl IntoIterator<Item = TxnId>) {
+        for t in txns {
+            self.slot_of(t).wake();
+        }
+    }
+
     /// Worker main loop: claim transactions until the queue drains or the
-    /// run aborts.
-    fn worker(&self, local: &mut Metrics) {
+    /// run aborts. Committed accesses accumulate in `acc` (merged into
+    /// the global history once, when the worker exits).
+    fn worker(&self, local: &mut Metrics, acc: &mut Vec<CommittedAccess>) {
         loop {
             if self.aborted() {
                 return;
@@ -107,7 +144,8 @@ impl Core {
             if i >= self.slots.len() {
                 return;
             }
-            if let Err(e) = self.run_txn(i, local) {
+            self.slots[i].claim();
+            if let Err(e) = self.run_txn(i, local, acc) {
                 self.fail(e);
                 return;
             }
@@ -115,7 +153,12 @@ impl Core {
     }
 
     /// Executes transaction `idx` to commit (or returns early on abort).
-    fn run_txn(&self, idx: usize, local: &mut Metrics) -> Result<(), ParError> {
+    fn run_txn(
+        &self,
+        idx: usize,
+        local: &mut Metrics,
+        acc: &mut Vec<CommittedAccess>,
+    ) -> Result<(), ParError> {
         let slot = &self.slots[idx];
         let id = TxnId::new(idx as u32 + 1);
         let mut g = slot.lock();
@@ -145,9 +188,13 @@ impl Core {
                 Op::LockExclusive(entity) => {
                     g = self.op_lock(slot, g, id, entity, LockMode::Exclusive, local)?;
                 }
-                Op::Unlock(entity) => g = self.op_unlock(slot, g, id, entity, local)?,
+                Op::Unlock(entity) => {
+                    g = self.op_unlock(g, id, entity, local)?;
+                }
                 Op::Read { entity, into } => {
-                    let global = self.shards.guard(entity).store.read(entity)?;
+                    // 2PL: the program holds a lock on `entity` here, so
+                    // the slab's published value cannot change under us.
+                    let global = self.slab.read(entity);
                     let value = g.rt.read_entity(entity, global);
                     g.rt.assign_var(into, value)?;
                     local.ops_executed += 1;
@@ -169,7 +216,7 @@ impl Core {
                     local.ops_executed += 1;
                 }
                 Op::Commit => {
-                    self.op_commit(g, id, local)?;
+                    self.op_commit(g, id, local, acc)?;
                     return Ok(());
                 }
             }
@@ -182,7 +229,7 @@ impl Core {
         g: &mut SlotState,
         entity: EntityId,
         mode: LockMode,
-        global: pr_model::Value,
+        global: Value,
         local: &mut Metrics,
     ) {
         let stamp = self.history.next_stamp();
@@ -195,9 +242,40 @@ impl Core {
         local.peak_copies = local.peak_copies.max(g.rt.copies());
     }
 
-    /// One lock-request operation: request under the entity's shard,
-    /// then — if blocked — alternate resolution attempts with parking
-    /// until granted or rolled back.
+    /// Releases `txn`'s lock on `entity`, publishing `value` first when
+    /// the release carries a deferred update (§4: rollback releases never
+    /// publish). Tries the lock-word fast path; falls back to the shard
+    /// mutex when the entity is inflated (or mid-transfer), inflating
+    /// first so the hold is guaranteed to be in the table. Returns the
+    /// transactions to wake: promoted waiters plus every waiter whose
+    /// blocker set was re-pointed.
+    fn release_lock(
+        &self,
+        txn: TxnId,
+        entity: EntityId,
+        publish: Option<Value>,
+    ) -> Result<Vec<TxnId>, ParError> {
+        if let Some(value) = publish {
+            // Release-store sequenced before the word CAS / table release
+            // on either path, so the next conflicting grant sees it.
+            self.slab.publish(entity, value);
+        }
+        if self.config.fast_path && self.slab.try_fast_release(entity, txn) == FastPath::Done {
+            return Ok(Vec::new()); // fast holds have no waiters by construction
+        }
+        let mut shard = self.shards.guard(entity);
+        self.slab.inflate(entity, &mut shard.table)?;
+        let promoted = shard.table.release(txn, entity)?;
+        let mut wake = self.wfg.queue_changed(&shard.table, entity, None, &promoted);
+        self.slab.deflate_if_idle(entity, &shard.table);
+        drop(shard);
+        wake.extend(promoted.iter().map(|h| h.txn));
+        Ok(wake)
+    }
+
+    /// One lock-request operation: optimistic lock-word grant, else
+    /// request under the entity's shard, then — if blocked — alternate
+    /// resolution attempts with parking until granted or rolled back.
     fn op_lock<'a>(
         &'a self,
         slot: &'a TxnSlot,
@@ -207,24 +285,36 @@ impl Core {
         mode: LockMode,
         local: &mut Metrics,
     ) -> Result<MutexGuard<'a, SlotState>, ParError> {
+        if self.config.fast_path
+            && self.slab.try_fast_lock(entity, id, mode, g.rt.state, g.rt.lock_index())
+                == FastPath::Done
+        {
+            let global = self.slab.read(entity);
+            self.finish_grant(&mut g, entity, mode, global, local);
+            return Ok(g);
+        }
         let cap = self.config.system.cycle_cap;
         let (mut cycles, mut epoch);
         {
             let mut shard = self.shards.guard(entity);
+            // Queue-flag handoff: the table becomes authoritative (and
+            // inherits any fast-path holders) before we consult it.
+            self.slab.inflate(entity, &mut shard.table)?;
             match shard.table.request(id, entity, mode, g.rt.state, g.rt.lock_index())? {
                 RequestOutcome::Granted => {
-                    let global = shard.store.read(entity)?;
+                    let global = self.slab.read(entity);
                     // A barging grant can newly block queued waiters on
-                    // this holder; re-point their arcs.
-                    self.wfg.queue_changed(&shard.table, entity, None, &[]);
+                    // this holder; re-point their arcs and wake them to
+                    // re-detect against the new blocker.
+                    let repointed = self.wfg.queue_changed(&shard.table, entity, None, &[]);
                     drop(shard);
+                    self.wake_all(repointed);
                     self.finish_grant(&mut g, entity, mode, global, local);
                     return Ok(g);
                 }
                 RequestOutcome::Wait { holders, .. } => {
                     g.rt.phase = Phase::Blocked;
                     g.rt.blocked_on = Some(entity);
-                    g.wake = false;
                     g.blocked_since = Some(Instant::now());
                     let depth = shard.table.queue_depth(entity);
                     let (c, e) = self.wfg.register_and_detect(id, entity, &holders, cap);
@@ -236,6 +326,7 @@ impl Core {
             }
         }
         let mut idle_polls: u32 = 0;
+        let mut busy_attempts: u32 = 0;
         loop {
             if self.aborted() {
                 return Ok(g);
@@ -248,11 +339,10 @@ impl Core {
                 return Ok(g);
             }
             // The shard is the authority on promotion.
-            g.wake = false;
             {
                 let shard = self.shards.guard(entity);
                 if let Some(h) = shard.table.held_by(id, entity) {
-                    let global = shard.store.read(entity)?;
+                    let global = self.slab.read(entity);
                     drop(shard);
                     self.finish_grant(&mut g, entity, h.mode, global, local);
                     return Ok(g);
@@ -262,39 +352,43 @@ impl Core {
                 match self.try_resolve(&mut g, id, entity, &cycles, epoch, local)? {
                     Round::Resolved => {
                         idle_polls = 0;
+                        busy_attempts = 0;
                         (cycles, epoch) = self.refreshed(id, cap);
                         continue;
                     }
                     Round::Stale => {
+                        busy_attempts = 0;
                         (cycles, epoch) = self.refreshed(id, cap);
                         continue;
                     }
                     Round::Busy => {
                         // Another resolver holds overlapping slots; get
-                        // fully out of its way (it may need ours). The
-                        // id-skewed pause breaks retry lockstep.
+                        // fully out of its way (it may need ours), backing
+                        // off harder each consecutive collision.
                         drop(g);
-                        std::thread::sleep(Duration::from_micros(
-                            50 + u64::from(id.raw() % 8) * 50,
-                        ));
+                        std::thread::sleep(busy_backoff(busy_attempts, id));
+                        busy_attempts = busy_attempts.saturating_add(1);
                         g = slot.lock();
                         (cycles, epoch) = self.refreshed(id, cap);
                         continue;
                     }
                 }
             }
-            let (g2, timed_out) = slot.park(g, POLL);
+            let (g2, woken) = slot.park(g, POLL);
             g = g2;
-            if timed_out {
+            if woken {
+                idle_polls = 0;
+                busy_attempts = 0;
+            } else {
                 idle_polls += 1;
                 if idle_polls >= STUCK_POLLS {
                     return Err(ParError::Stuck { txn: id });
                 }
-                // Watchdog: surface any cycle a lost race hid.
-                (cycles, epoch) = self.refreshed(id, cap);
-            } else {
-                idle_polls = 0;
             }
+            // Re-detect on every wake — a wake means a release, promotion,
+            // or re-pointed arc changed our neighbourhood (event-driven
+            // re-detection) — and on every timeout as the watchdog net.
+            (cycles, epoch) = self.refreshed(id, cap);
         }
     }
 
@@ -362,19 +456,9 @@ impl Core {
         // sums exactly to the states-lost counter (and to the per-victim
         // runtime totals), with no drift from raced-in grants.
         local.resolution_cost.record(actual_cost);
-        if to_wake.remove(&id) {
-            g.wake = true;
-        }
-        for (m, og) in &mut held {
-            if to_wake.remove(m) {
-                og.wake = true;
-                self.slot_of(*m).notify();
-            }
-        }
+        to_wake.remove(&id); // we are awake, running this very loop
         drop(held);
-        for t in to_wake {
-            self.slot_of(t).try_wake();
-        }
+        self.wake_all(to_wake);
         Ok(Round::Resolved)
     }
 
@@ -405,7 +489,7 @@ impl Core {
             let went = vs.rt.blocked_on.expect("blocked transactions record their entity");
             let mut shard = self.shards.guard(went);
             if let Some(h) = shard.table.held_by(victim, went) {
-                let global = shard.store.read(went)?;
+                let global = self.slab.read(went);
                 drop(shard);
                 let stamp = self.history.next_stamp();
                 vs.rt.complete_lock(went, h.mode, global);
@@ -416,9 +500,11 @@ impl Core {
                 local.ops_executed += 1;
             } else {
                 let promoted = shard.table.cancel_wait(victim, went)?;
-                self.wfg.queue_changed(&shard.table, went, Some(victim), &promoted);
+                let repointed = self.wfg.queue_changed(&shard.table, went, Some(victim), &promoted);
+                self.slab.deflate_if_idle(went, &shard.table);
                 drop(shard);
                 to_wake.extend(promoted.iter().map(|h| h.txn));
+                to_wake.extend(repointed);
                 vs.blocked_since = None;
             }
         }
@@ -441,11 +527,9 @@ impl Core {
         local.peak_copies = local.peak_copies.max(vs.rt.copies());
         for ls in &released {
             vs.stamps.remove(&ls.entity);
-            let mut shard = self.shards.guard(ls.entity);
-            let promoted = shard.table.release(victim, ls.entity)?;
-            self.wfg.queue_changed(&shard.table, ls.entity, None, &promoted);
-            drop(shard);
-            to_wake.extend(promoted.iter().map(|h| h.txn));
+            // The victim's hold may be a fast-path grant (lock word) or a
+            // table grant; release_lock handles both, never publishing.
+            to_wake.extend(self.release_lock(victim, ls.entity, None)?);
         }
         if victim != self_id {
             // The victim's thread is parked in its own op_lock loop; wake
@@ -456,45 +540,30 @@ impl Core {
     }
 
     /// One unlock operation: publish (exclusive), release, re-point
-    /// arcs, wake promoted waiters.
+    /// arcs, wake promoted and re-pointed waiters.
     fn op_unlock<'a>(
         &'a self,
-        slot: &'a TxnSlot,
         mut g: MutexGuard<'a, SlotState>,
         id: TxnId,
         entity: EntityId,
         local: &mut Metrics,
     ) -> Result<MutexGuard<'a, SlotState>, ParError> {
         let published = g.rt.complete_unlock(entity);
-        let promoted = {
-            let mut shard = self.shards.guard(entity);
-            if let Some(value) = published {
-                shard.store.publish(entity, value)?;
-            }
-            let promoted = shard.table.release(id, entity)?;
-            self.wfg.queue_changed(&shard.table, entity, None, &promoted);
-            promoted
-        };
+        let wake = self.release_lock(id, entity, published)?;
         local.ops_executed += 1;
-        if promoted.is_empty() {
-            return Ok(g);
-        }
-        // Wake holding nothing (the ordering rule for blocking slot
-        // acquisition), then re-acquire our own slot.
-        drop(g);
-        for h in &promoted {
-            self.slot_of(h.txn).try_wake();
-        }
-        Ok(slot.lock())
+        // Wakes are lock-free; no need to drop our own slot first.
+        self.wake_all(wake);
+        Ok(g)
     }
 
     /// Commit: release every held lock (publishing exclusive finals),
-    /// record the access history, wake promoted waiters.
+    /// buffer the access history, wake promoted waiters.
     fn op_commit(
         &self,
         mut g: MutexGuard<'_, SlotState>,
         id: TxnId,
         local: &mut Metrics,
+        acc: &mut Vec<CommittedAccess>,
     ) -> Result<(), ParError> {
         let held_entities: Vec<EntityId> = g.rt.held.iter().copied().collect();
         let mut to_wake: Vec<TxnId> = Vec::new();
@@ -504,41 +573,26 @@ impl Core {
             // advance (as the deterministic engine does).
             g.rt.pc -= 1;
             g.rt.state = StateIndex::new(g.rt.state.raw() - 1);
-            let mut shard = self.shards.guard(entity);
-            if let Some(value) = published {
-                shard.store.publish(entity, value)?;
-            }
-            let promoted = shard.table.release(id, entity)?;
-            self.wfg.queue_changed(&shard.table, entity, None, &promoted);
-            drop(shard);
-            to_wake.extend(promoted.iter().map(|h| h.txn));
+            to_wake.extend(self.release_lock(id, entity, published)?);
         }
         g.rt.advance();
         g.rt.phase = Phase::Committed;
-        let accesses: Vec<CommittedAccess> = g
-            .rt
-            .lock_states
-            .iter()
-            .map(|ls| CommittedAccess {
-                txn: id,
-                entity: ls.entity,
-                mode: ls.mode,
-                stamp: *g.stamps.get(&ls.entity).expect("every committed lock state was stamped"),
-            })
-            .collect();
-        self.history.commit(accesses);
+        acc.extend(g.rt.lock_states.iter().map(|ls| CommittedAccess {
+            txn: id,
+            entity: ls.entity,
+            mode: ls.mode,
+            stamp: *g.stamps.get(&ls.entity).expect("every committed lock state was stamped"),
+        }));
         local.ops_executed += 1;
         local.commits += 1;
         drop(g);
-        for t in to_wake {
-            self.slot_of(t).try_wake();
-        }
+        self.wake_all(to_wake);
         Ok(())
     }
 }
 
 /// Runs `programs` to completion on `config.threads` worker threads over
-/// a sharded lock table seeded from `store`.
+/// the lock-word slab + sharded lock table seeded from `store`.
 ///
 /// On success every transaction has committed; the outcome carries the
 /// final snapshot, the stamped access history for the serializability
@@ -570,7 +624,8 @@ pub fn run_parallel(
         })
         .collect();
     let core = Core {
-        shards: Shards::new(shard_count, config.system.grant_policy, store),
+        shards: Shards::new(shard_count, config.system.grant_policy),
+        slab: EntitySlab::from_store(&store),
         slots,
         wfg: EpochGraph::new(),
         history: AccessHistory::new(),
@@ -580,23 +635,48 @@ pub fn run_parallel(
         error: Mutex::new(None),
         next: AtomicUsize::new(0),
     };
-    let start = Instant::now();
+    // Steady-state timing: workers hold at a barrier until all are
+    // spawned, then each records its own active span against a shared
+    // epoch; `elapsed` runs from the first working span's begin to the
+    // last working span's end. Timing inside the workers excludes thread
+    // start-up (which would otherwise dominate small runs and make
+    // scaling curves meaningless on a small box), and workers that never
+    // claimed a transaction are excluded: on an oversubscribed box a
+    // worker can wake long after its siblings drained the whole workload,
+    // and its empty span would measure scheduler wake latency, not
+    // execution.
+    let ready = std::sync::Barrier::new(threads);
+    let epoch = Instant::now();
+    let spans: Mutex<Vec<(Duration, Duration)>> = Mutex::new(Vec::with_capacity(threads));
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
+                ready.wait();
+                let begin = epoch.elapsed();
                 let mut local = Metrics::default();
-                core.worker(&mut local);
+                let mut acc = Vec::new();
+                core.worker(&mut local, &mut acc);
+                core.history.commit(acc);
+                let worked = local.commits > 0;
                 core.shared.lock().expect("metrics mutex poisoned").merge(&local);
+                if worked {
+                    let end = epoch.elapsed();
+                    spans.lock().expect("span mutex poisoned").push((begin, end));
+                }
             });
         }
     });
-    let elapsed = start.elapsed();
+    let spans = spans.into_inner().expect("span mutex poisoned");
+    let begin = spans.iter().map(|s| s.0).min().unwrap_or_default();
+    let end = spans.iter().map(|s| s.1).max().unwrap_or_default();
+    let elapsed = end.saturating_sub(begin);
     if let Some(e) = core.error.lock().expect("error mutex poisoned").take() {
         return Err(e);
     }
-    // Quiescent-point validation: lock tables coherent, waits-for graph
-    // drained, everyone committed.
+    // Quiescent-point validation: lock tables coherent, lock words fully
+    // released, waits-for graph drained, everyone committed.
     core.shards.check_invariants().map_err(ParError::Inconsistent)?;
+    core.slab.check_quiescent().map_err(ParError::Inconsistent)?;
     core.wfg.check_consistent().map_err(ParError::Inconsistent)?;
     if core.wfg.waiting_count() != 0 {
         return Err(ParError::Inconsistent(format!(
@@ -604,7 +684,7 @@ pub fn run_parallel(
             core.wfg.waiting_count()
         )));
     }
-    let snapshot = core.shards.snapshot();
+    let snapshot = core.slab.snapshot();
     let per_txn: Vec<TxnStats> = core
         .slots
         .iter()
@@ -621,7 +701,7 @@ pub fn run_parallel(
     if let Some(t) = per_txn.iter().find(|t| !t.committed) {
         return Err(ParError::Inconsistent(format!("{} never committed", t.id)));
     }
-    let Core { shared, history, .. } = core;
+    let Core { shared, history, slab, .. } = core;
     Ok(ParOutcome {
         metrics: shared.into_inner().expect("metrics mutex poisoned"),
         per_txn,
@@ -630,6 +710,7 @@ pub fn run_parallel(
         elapsed,
         threads,
         shards: shard_count,
+        fast: slab.stats(),
     })
 }
 
@@ -685,6 +766,7 @@ mod tests {
             threads,
             shards: 4,
             system: SystemConfig { strategy, ..SystemConfig::default() },
+            fast_path: true,
         }
     }
 
@@ -727,6 +809,40 @@ mod tests {
         assert_eq!(out.snapshot.get(e(0)), Some(Value::new(6)));
         assert_eq!(out.snapshot.get(e(1)), Some(Value::new(3)));
         assert_eq!(out.metrics.deadlocks, 0);
+        // Uncontended single-thread grants all ride the lock word.
+        assert_eq!(out.fast.fast_grants, 3);
+        assert_eq!(out.fast.fast_releases, 3);
+        assert_eq!(out.fast.inflations, 0);
+    }
+
+    #[test]
+    fn fast_path_disabled_routes_everything_through_the_table() {
+        let programs = vec![increment(e(0), 2), increment(e(1), 3), increment(e(0), 4)];
+        let store = GlobalStore::with_entities(2, Value::ZERO);
+        let cfg = ParConfig { fast_path: false, ..config(2, StrategyKind::Mcs) };
+        let out = run_parallel(&programs, store, &cfg).unwrap();
+        assert_eq!(out.commits(), 3);
+        assert_eq!(out.snapshot.get(e(0)), Some(Value::new(6)));
+        assert_eq!(out.fast.fast_grants, 0);
+        assert_eq!(out.fast.fast_releases, 0);
+        // Every entity inflates on first table touch and deflates when idle.
+        assert!(out.fast.inflations >= 2);
+        assert_eq!(out.fast.inflations, out.fast.deflations);
+    }
+
+    #[test]
+    fn deadlocks_resolve_while_victims_hold_fast_path_grants() {
+        // The first lock of each transfer is typically an uncontended
+        // fast-path grant; the second blocks and deadlocks. Rollback must
+        // release the fast-held first lock through the word.
+        for _ in 0..5 {
+            let programs = vec![transfer(e(0), e(1), 5), transfer(e(1), e(0), 3)];
+            let store = GlobalStore::with_entities(2, Value::new(100));
+            let out = run_parallel(&programs, store, &config(2, StrategyKind::Mcs)).unwrap();
+            assert_eq!(out.commits(), 2);
+            let total: i64 = out.snapshot.iter().map(|(_, v)| v.raw()).sum();
+            assert_eq!(total, 200);
+        }
     }
 
     #[test]
@@ -757,5 +873,19 @@ mod tests {
         let out = run_parallel(&[], GlobalStore::new(), &config(4, StrategyKind::Total)).unwrap();
         assert_eq!(out.commits(), 0);
         assert!(out.accesses.is_empty());
+    }
+
+    #[test]
+    fn busy_backoff_grows_to_a_bounded_cap_with_id_jitter() {
+        let t1 = TxnId::new(1);
+        // Monotone growth...
+        for a in 0..5 {
+            assert!(busy_backoff(a + 1, t1) > busy_backoff(a, t1));
+        }
+        // ...to a hard cap: attempts past 5 stop growing.
+        assert_eq!(busy_backoff(5, t1), busy_backoff(50, t1));
+        assert!(busy_backoff(50, t1) <= Duration::from_micros(1600 + 7 * 50));
+        // Distinct ids get distinct jitter offsets (mod 8).
+        assert_ne!(busy_backoff(0, TxnId::new(1)), busy_backoff(0, TxnId::new(2)));
     }
 }

@@ -13,6 +13,12 @@
 //!
 //! Accesses of rolled-back lock states are never recorded: workers log
 //! only at commit, from the lock states that survived.
+//!
+//! The log mutex is off the hot path entirely: each worker buffers its
+//! committed accesses locally and calls [`AccessHistory::commit`] once,
+//! when it exits — the stamp counter (a lock-free fetch-add) is the only
+//! history state touched while transactions run. Sorting happens once,
+//! in [`AccessHistory::into_accesses`], never per oracle check.
 
 use pr_model::{EntityId, LockMode, TxnId};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,7 +56,8 @@ impl AccessHistory {
         self.next.fetch_add(1, Ordering::Relaxed) + 1
     }
 
-    /// Appends a committed transaction's accesses.
+    /// Appends a batch of committed accesses — called once per worker at
+    /// exit with its whole buffered log, not per transaction.
     pub fn commit(&self, accesses: Vec<CommittedAccess>) {
         self.log.lock().expect("history mutex poisoned").extend(accesses);
     }

@@ -2,11 +2,15 @@
 //!
 //! A true multi-threaded counterpart to the deterministic engine in
 //! `pr-core`: N worker threads execute whole transactions against a
-//! **sharded lock table** (per-shard mutexes bundling lock state with the
-//! entities' global values, entity→shard hashing, ordered multi-shard
-//! locking), with a concurrent waits-for graph whose **epoch-stamped
-//! cycle check** makes detection atomic with arc registration and lets
-//! resolvers validate a plan before executing it.
+//! **lock-word fast path** backed by a **sharded lock table**. Uncontended
+//! locks are granted by a single CAS on a per-entity atomic word in a
+//! preallocated slab — no shard mutex, no allocation; contention or an
+//! existing wait queue *inflates* the entity into its shard's lock table
+//! (per-shard mutexes, entity→shard hashing, ordered multi-shard
+//! locking), where waits, grant policies, and partial rollback run
+//! exactly as before. A concurrent waits-for graph with an
+//! **epoch-stamped cycle check** makes detection atomic with arc
+//! registration and lets resolvers validate a plan before executing it.
 //!
 //! The engine reuses the rest of the stack unchanged — `pr-lock` conflict
 //! rules and grant policies, `pr-storage` version-stack workspaces,
@@ -19,8 +23,10 @@
 //!
 //! Concurrency design in brief (details on each module):
 //!
+//! * [`word`] — the per-entity lock words, reader registries, published
+//!   values, and the inflate/deflate handoff to the lock table;
 //! * [`shard`] — per-shard mutexes, hashing, ordered two-shard locking;
-//! * [`slot`] — per-transaction mutex + condvar, the wake-hint protocol,
+//! * [`slot`] — per-transaction mutex plus the lock-free wake protocol
 //!   and the crate's lock-ordering rules;
 //! * [`wfg`] — the epoch-stamped concurrent waits-for graph;
 //! * [`engine`] — the worker loop, blocked-wait state machine, and the
@@ -34,9 +40,11 @@ pub mod outcome;
 pub mod shard;
 pub mod slot;
 pub mod wfg;
+pub mod word;
 
 pub use engine::run_parallel;
 pub use history::{AccessHistory, CommittedAccess};
 pub use outcome::{ParConfig, ParError, ParOutcome, TxnStats};
 pub use shard::{Shard, Shards};
 pub use wfg::EpochGraph;
+pub use word::{EntitySlab, FastPath, FastPathStats};

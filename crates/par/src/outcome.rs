@@ -1,6 +1,7 @@
 //! Configuration, errors, and run results for the parallel engine.
 
 use crate::history::CommittedAccess;
+use crate::word::FastPathStats;
 use pr_core::{Metrics, SystemConfig};
 use pr_lock::LockError;
 use pr_model::TxnId;
@@ -20,12 +21,17 @@ pub struct ParConfig {
     /// Strategy / victim-policy / grant-policy knobs, shared with the
     /// deterministic engine.
     pub system: SystemConfig,
+    /// Optimistic lock-word fast path: grant uncontended locks by CAS
+    /// without touching the shard mutex (see [`crate::word`]). On by
+    /// default; turning it off forces every request through the
+    /// shard-mutex path — used by the differential equivalence tests.
+    pub fast_path: bool,
 }
 
 impl ParConfig {
     /// A config with the given thread count and defaults elsewhere.
     pub fn with_threads(threads: usize) -> Self {
-        ParConfig { threads, shards: 0, system: SystemConfig::default() }
+        ParConfig { threads, shards: 0, system: SystemConfig::default(), fast_path: true }
     }
 
     /// The effective shard count.
@@ -67,6 +73,8 @@ pub struct ParOutcome {
     pub threads: usize,
     /// Shards actually used.
     pub shards: usize,
+    /// Lock-word fast-path counters (all zero when `fast_path` is off).
+    pub fast: FastPathStats,
 }
 
 impl ParOutcome {

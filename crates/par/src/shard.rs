@@ -1,35 +1,33 @@
-//! The sharded lock table: per-shard mutexes over (lock table, store)
-//! pairs, entity→shard hashing, and ordered multi-shard locking.
+//! The sharded lock table: per-shard mutexes, entity→shard hashing, and
+//! ordered multi-shard locking.
 //!
-//! Each shard bundles a [`LockTable`] with the [`GlobalStore`] partition
-//! holding exactly the entities that hash to it, behind one mutex. Grant
-//! and value access are therefore atomic per entity: a promoted waiter
-//! reads the granted entity's global value under the same lock that
-//! protects the grant, so it can never observe a value from before the
-//! previous holder's publish (publish and release also share the mutex).
+//! Each shard is one [`LockTable`] slice behind a mutex — the *slow path*
+//! of the engine. Entity values live in the lock-word slab
+//! ([`crate::word::EntitySlab`]), not here: uncontended grants never take
+//! a shard mutex at all, and the mutex path synchronises value visibility
+//! through the slab's atomics plus the shard critical sections (a
+//! promoted waiter reads the granted entity's value under the same mutex
+//! that ordered the previous holder's publish before its release).
 //!
 //! When two shards must be held at once the locks are taken in ascending
 //! shard-index order — [`Shards::with_pair`] is the primitive, and
-//! [`Shards::lock_all`] generalises it to every shard for snapshots and
-//! whole-table invariant checks. Callers never lock shards in ad-hoc
-//! orders, which is what makes the per-shard mutexes deadlock-free.
+//! [`Shards::lock_all`] generalises it to every shard for whole-table
+//! invariant checks (and debug-asserts the ascending order it relies on).
+//! Callers never lock shards in ad-hoc orders, which is what makes the
+//! per-shard mutexes deadlock-free.
 
 use pr_lock::{GrantPolicy, LockTable};
 use pr_model::EntityId;
-use pr_storage::{GlobalStore, Snapshot};
 use std::sync::{Mutex, MutexGuard};
 
-/// One shard: the lock-table slice and store partition for the entities
-/// routed here.
+/// One shard: the lock-table slice for the entities routed here.
 #[derive(Debug)]
 pub struct Shard {
     /// Lock state of this shard's entities.
     pub table: LockTable,
-    /// Global values of this shard's entities.
-    pub store: GlobalStore,
 }
 
-/// The sharded lock table + store.
+/// The sharded lock table.
 pub struct Shards {
     shards: Vec<Mutex<Shard>>,
     /// Multiply-shift hash parameters; `mask == len - 1` (len is a power
@@ -44,17 +42,12 @@ const HASH_MULT: u64 = 0x9E37_79B9_7F4A_7C15;
 
 impl Shards {
     /// Builds `count` shards (rounded up to a power of two, minimum 1)
-    /// with the given grant policy, partitioning `store`'s entities among
-    /// them by the routing hash.
-    pub fn new(count: usize, policy: GrantPolicy, store: GlobalStore) -> Self {
+    /// with the given grant policy.
+    pub fn new(count: usize, policy: GrantPolicy) -> Self {
         let count = count.max(1).next_power_of_two();
         let mask = count as u64 - 1;
-        let route =
-            |e: EntityId| (u64::from(e.raw()).wrapping_mul(HASH_MULT) >> 32 & mask) as usize;
-        let shards = store
-            .partition_by(count, route)
-            .into_iter()
-            .map(|store| Mutex::new(Shard { table: LockTable::with_policy(policy), store }))
+        let shards = (0..count)
+            .map(|_| Mutex::new(Shard { table: LockTable::with_policy(policy) }))
             .collect();
         Shards { shards, mask }
     }
@@ -112,19 +105,21 @@ impl Shards {
 
     /// Locks every shard in ascending index order and returns the guards —
     /// the whole-table generalisation of [`Shards::with_pair`]'s ordered
-    /// protocol. Used for snapshots and invariant checks; quiescent-time
-    /// only in the hot path's callers, but safe at any time.
+    /// protocol. The ascending order is what makes a concurrent
+    /// `lock_all` vs `guard`/`with_pair` mix deadlock-free, so debug
+    /// builds assert it on every acquisition.
     pub fn lock_all(&self) -> Vec<MutexGuard<'_, Shard>> {
-        self.shards.iter().map(|s| s.lock().expect("shard mutex poisoned")).collect()
-    }
-
-    /// A whole-database snapshot assembled from every shard's partition.
-    pub fn snapshot(&self) -> Snapshot {
-        let mut snap = Snapshot::default();
-        for shard in self.lock_all() {
-            snap.merge(shard.store.snapshot());
+        let mut guards = Vec::with_capacity(self.shards.len());
+        let mut last: Option<usize> = None;
+        for (idx, shard) in self.shards.iter().enumerate() {
+            debug_assert!(
+                last.is_none_or(|l| l < idx),
+                "lock_all must acquire shards in strictly ascending index order"
+            );
+            guards.push(shard.lock().expect("shard mutex poisoned"));
+            last = Some(idx);
         }
-        snap
+        guards
     }
 
     /// Runs every shard's lock-table invariant check.
@@ -139,7 +134,7 @@ impl Shards {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pr_model::Value;
+    use pr_model::{LockIndex, LockMode, StateIndex, TxnId};
 
     fn e(i: u32) -> EntityId {
         EntityId::new(i)
@@ -147,28 +142,24 @@ mod tests {
 
     #[test]
     fn routing_is_stable_and_in_range() {
-        let store = GlobalStore::with_entities(256, Value::ZERO);
-        let shards = Shards::new(8, GrantPolicy::Barging, store);
+        let shards = Shards::new(8, GrantPolicy::Barging);
         assert_eq!(shards.len(), 8);
         for i in 0..256 {
             let s = shards.shard_of(e(i));
             assert!(s < 8);
             assert_eq!(s, shards.shard_of(e(i)), "routing must be deterministic");
-            // The entity's value lives in exactly the routed shard.
-            assert!(shards.guard(e(i)).store.read(e(i)).is_ok());
         }
     }
 
     #[test]
     fn shard_count_rounds_up_to_power_of_two() {
-        let shards = Shards::new(5, GrantPolicy::Barging, GlobalStore::new());
-        assert_eq!(shards.len(), 8);
-        assert_eq!(Shards::new(0, GrantPolicy::Barging, GlobalStore::new()).len(), 1);
+        assert_eq!(Shards::new(5, GrantPolicy::Barging).len(), 8);
+        assert_eq!(Shards::new(0, GrantPolicy::Barging).len(), 1);
     }
 
     #[test]
     fn routing_spreads_dense_ids() {
-        let shards = Shards::new(8, GrantPolicy::Barging, GlobalStore::new());
+        let shards = Shards::new(8, GrantPolicy::Barging);
         let mut counts = [0usize; 8];
         for i in 0..1024 {
             counts[shards.shard_of(e(i))] += 1;
@@ -181,11 +172,17 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_reassembles_all_partitions() {
-        let store = GlobalStore::with_entities(64, Value::new(3));
-        let full = store.snapshot();
-        let shards = Shards::new(4, GrantPolicy::Barging, store);
-        assert_eq!(shards.snapshot(), full);
+    fn guard_routes_to_the_table_that_lock_all_sees() {
+        let shards = Shards::new(4, GrantPolicy::Barging);
+        let a = e(7);
+        shards
+            .guard(a)
+            .table
+            .request(TxnId::new(1), a, LockMode::Exclusive, StateIndex::ZERO, LockIndex::ZERO)
+            .unwrap();
+        let held: usize = shards.lock_all().iter().map(|s| usize::from(s.table.is_active(a))).sum();
+        assert_eq!(held, 1, "exactly one shard owns the entity");
+        shards.guard(a).table.release(TxnId::new(1), a).unwrap();
         shards.check_invariants().unwrap();
     }
 
@@ -193,8 +190,7 @@ mod tests {
     /// lock the same pair of shards in opposite argument order.
     #[test]
     fn with_pair_opposite_orders_do_not_deadlock() {
-        let store = GlobalStore::with_entities(64, Value::ZERO);
-        let shards = Shards::new(8, GrantPolicy::Barging, store);
+        let shards = Shards::new(8, GrantPolicy::Barging);
         // Find two entities on different shards.
         let a = e(0);
         let b = (1..64).map(e).find(|&x| shards.shard_of(x) != shards.shard_of(a)).unwrap();
@@ -205,13 +201,45 @@ mod tests {
                     for _ in 0..2000 {
                         let (x, y) = if round == 0 { (a, b) } else { (b, a) };
                         shards.with_pair(x, y, |sx, sy| {
-                            let vx = sx.store.read(x).unwrap();
-                            let vy = sy.expect("distinct shards").store.read(y).unwrap();
-                            assert_eq!(vx, vy);
+                            assert!(!sx.table.is_active(x));
+                            assert!(!sy.expect("distinct shards").table.is_active(y));
                         });
                     }
                 });
             }
         });
+    }
+
+    /// A thread sweeping `lock_all` repeatedly while others hammer
+    /// single-shard `guard`s (and ordered pairs) must always terminate:
+    /// `lock_all`'s ascending acquisitions cannot close a cycle against
+    /// single acquisitions or ascending pairs.
+    #[test]
+    fn concurrent_lock_all_vs_guard_cannot_deadlock() {
+        let shards = Shards::new(4, GrantPolicy::Barging);
+        let shards = &shards;
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for _ in 0..500 {
+                    let guards = shards.lock_all();
+                    assert_eq!(guards.len(), 4);
+                    drop(guards);
+                }
+            });
+            scope.spawn(move || {
+                for i in 0..4000u32 {
+                    // Deliberately descending entity ids: with_pair must
+                    // still take the shard locks in ascending order.
+                    shards.with_pair(e(63 - (i % 64)), e(i % 64), |_, _| {});
+                }
+            });
+            scope.spawn(move || {
+                for i in 0..4000u32 {
+                    let g = shards.guard(e(i % 64));
+                    drop(g);
+                }
+            });
+        });
+        shards.check_invariants().unwrap();
     }
 }

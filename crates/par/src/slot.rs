@@ -1,32 +1,50 @@
-//! Per-transaction slots: a mutex-protected [`TxnRuntime`] plus the
-//! condvar wake protocol.
+//! Per-transaction slots: a mutex-protected [`TxnRuntime`] plus a
+//! lock-free wake protocol.
 //!
 //! Every transaction gets one [`TxnSlot`]. The owning worker thread holds
 //! the slot mutex for the whole time it executes the transaction's
-//! operations, releasing it only to park on the condvar (which releases
-//! the mutex atomically), to back off during resolver contention, or to
-//! wake other transactions.
+//! operations, releasing it only to park, to back off during resolver
+//! contention, or between transactions.
 //!
 //! Lock-ordering rules (the crate's deadlock-freedom argument):
 //!
 //! 1. A thread blocking-acquires a slot mutex only while holding **no
 //!    other slot or shard mutex**: workers acquire their own slot between
-//!    transactions and after parking; wakers acquire the target slot
-//!    having first dropped everything else.
+//!    transactions and after parking.
 //! 2. Resolvers acquire *other* transactions' slots with `try_lock` only,
 //!    backing off completely on failure — a try-lock can never deadlock.
 //! 3. Shard mutexes and the waits-for-graph mutex are acquired strictly
 //!    below slot mutexes (slot → shard → graph) and never the other way.
 //!
-//! The wake flag is a *hint*, not a handoff: waiters re-check the
+//! ## Wakes are never lost
+//!
+//! The old protocol (condvar + a `wake` flag inside the slot mutex,
+//! delivered via best-effort `try_lock`) silently **dropped** a wake
+//! whenever the target's slot was busy — e.g. while the target was itself
+//! mid-resolution — costing a full 2 ms poll each time. Under Zipf-skewed
+//! contention those serial handoff chains were the 8-thread collapse in
+//! BENCH_parallel.json. The replacement is lock-free:
+//!
+//! * [`TxnSlot::wake`] stores a release [`AtomicBool`] hint and unparks
+//!   the claiming thread. It touches no mutex, so it can be called from
+//!   anywhere — including while holding shard guards or the target's own
+//!   slot guard — and can never be dropped.
+//! * [`TxnSlot::park`] re-checks the hint *after* releasing the slot
+//!   guard and again after parking; `std::thread` unpark permits make the
+//!   store-check-park interleaving race-free: a wake arriving between the
+//!   check and the park leaves a permit, so the park returns immediately.
+//!
+//! The hint remains a *hint*, not a handoff: waiters re-check the
 //! authoritative shard state (am I a holder now? was I rolled back?)
-//! whenever they wake, and additionally poll on a short `wait_timeout` so
-//! a lost hint costs latency, never liveness.
+//! whenever they wake, and still poll on a timeout as a belt-and-braces
+//! fallback.
 
 use pr_core::runtime::TxnRuntime;
 use pr_model::EntityId;
 use std::collections::BTreeMap;
-use std::sync::{Condvar, Mutex, MutexGuard, TryLockError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, TryLockError};
+use std::thread::Thread;
 use std::time::Instant;
 
 /// Mutable per-transaction state, all behind the slot mutex.
@@ -34,10 +52,6 @@ pub struct SlotState {
     /// The transaction's runtime — program counter, lock states,
     /// workspace. Exactly the state the deterministic engine keeps.
     pub rt: TxnRuntime,
-    /// Wake hint: set (under this mutex) by releasers/resolvers that may
-    /// have changed this transaction's fortunes; cleared by the waiter
-    /// when it re-checks the shard.
-    pub wake: bool,
     /// Grant stamp per entity, recorded when the lock's acquisition
     /// completed. Conflicting grants on one entity receive stamps in
     /// grant order (a holder's stamp is taken before it releases, and the
@@ -49,24 +63,30 @@ pub struct SlotState {
     pub blocked_since: Option<Instant>,
 }
 
-/// One transaction's slot: state + condvar.
+/// One transaction's slot: state + the lock-free wake channel.
 pub struct TxnSlot {
     state: Mutex<SlotState>,
-    cv: Condvar,
+    /// The worker thread that claimed this transaction (set once).
+    owner: OnceLock<Thread>,
+    /// Pending-wake hint; consumed by [`Self::park`].
+    hint: AtomicBool,
 }
 
 impl TxnSlot {
     /// Wraps a freshly admitted runtime.
     pub fn new(rt: TxnRuntime) -> Self {
         TxnSlot {
-            state: Mutex::new(SlotState {
-                rt,
-                wake: false,
-                stamps: BTreeMap::new(),
-                blocked_since: None,
-            }),
-            cv: Condvar::new(),
+            state: Mutex::new(SlotState { rt, stamps: BTreeMap::new(), blocked_since: None }),
+            owner: OnceLock::new(),
+            hint: AtomicBool::new(false),
         }
+    }
+
+    /// Registers the calling worker as the transaction's owner — the
+    /// thread [`Self::wake`] will unpark. Each transaction is claimed by
+    /// exactly one worker, before it first parks.
+    pub fn claim(&self) {
+        let _ = self.owner.set(std::thread::current());
     }
 
     /// Blocking-acquires the slot. Per the ordering rules, callers must
@@ -85,33 +105,36 @@ impl TxnSlot {
         }
     }
 
-    /// Parks on the condvar for at most `timeout`, releasing the guard
-    /// while parked. Returns the re-acquired guard and whether the wait
-    /// timed out (the caller's cue to re-poll the shard defensively).
+    /// Parks the claiming thread for at most `timeout`, releasing the
+    /// guard while parked. Returns the re-acquired guard and whether a
+    /// wake hint was consumed (`false` ⇒ the wait timed out, the caller's
+    /// cue to re-poll the shard defensively).
+    ///
+    /// Must only be called by the thread that [`Self::claim`]ed the slot:
+    /// the wake protocol unparks exactly that thread.
     pub fn park<'a>(
         &'a self,
         guard: MutexGuard<'a, SlotState>,
         timeout: std::time::Duration,
     ) -> (MutexGuard<'a, SlotState>, bool) {
-        let (g, res) = self.cv.wait_timeout(guard, timeout).expect("slot mutex poisoned");
-        (g, res.timed_out())
+        drop(guard);
+        let mut woken = self.hint.swap(false, Ordering::AcqRel);
+        if !woken {
+            // A wake between the swap above and this park leaves an unpark
+            // permit, so the park returns immediately — no lost-wake window.
+            std::thread::park_timeout(timeout);
+            woken = self.hint.swap(false, Ordering::AcqRel);
+        }
+        (self.lock(), woken)
     }
 
-    /// Notifies the parked owner, if any. Callers set `wake` first, under
-    /// the slot mutex.
-    pub fn notify(&self) {
-        self.cv.notify_all();
-    }
-
-    /// Best-effort wake: set the hint and notify if the slot is free.
-    /// When the try-lock fails the owner (or a resolver) is active and
-    /// will re-check the shard itself — skipping is safe because parked
-    /// threads also poll on a timeout.
-    pub fn try_wake(&self) {
-        if let Some(mut g) = self.try_lock() {
-            g.wake = true;
-            drop(g);
-            self.notify();
+    /// Wakes the transaction's worker: sets the hint and unparks the
+    /// claiming thread. Lock-free — safe to call while holding any mutex,
+    /// including this slot's own guard — and never dropped.
+    pub fn wake(&self) {
+        self.hint.store(true, Ordering::Release);
+        if let Some(owner) = self.owner.get() {
+            owner.unpark();
         }
     }
 }
@@ -119,7 +142,6 @@ impl TxnSlot {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pr_core::runtime::Phase;
     use pr_core::StrategyKind;
     use pr_model::{Op, TransactionProgram, TxnId};
     use std::sync::Arc;
@@ -143,37 +165,65 @@ mod tests {
     #[test]
     fn park_times_out_without_wake() {
         let s = slot();
+        s.claim();
         let g = s.lock();
-        let (g, timed_out) = s.park(g, Duration::from_millis(1));
-        assert!(timed_out);
-        assert!(!g.wake);
+        let (_g, woken) = s.park(g, Duration::from_millis(1));
+        assert!(!woken);
     }
 
     #[test]
-    fn try_wake_sets_hint_and_unparks() {
+    fn wake_before_park_is_consumed_without_sleeping() {
+        let s = slot();
+        s.claim();
+        s.wake();
+        let g = s.lock();
+        let start = Instant::now();
+        let (_g, woken) = s.park(g, Duration::from_secs(30));
+        assert!(woken);
+        assert!(start.elapsed() < Duration::from_secs(5), "park slept through a pending wake");
+    }
+
+    /// Regression test for the contention collapse: the old best-effort
+    /// `try_wake` silently dropped the hint whenever the target's slot
+    /// mutex was held — exactly the resolver-handoff window — leaving the
+    /// waiter to sleep out its full poll. The lock-free protocol must
+    /// deliver a wake issued *while the slot is locked* so the very next
+    /// park returns immediately.
+    #[test]
+    fn wake_is_never_lost_even_while_slot_is_busy() {
+        let s = slot();
+        s.claim();
+        let g = s.lock();
+        // Waker fires while the slot mutex is held (old code: dropped).
+        std::thread::scope(|scope| {
+            scope.spawn(|| s.wake());
+        });
+        let start = Instant::now();
+        let (_g, woken) = s.park(g, Duration::from_secs(30));
+        assert!(woken, "wake issued while the slot was busy was lost");
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn wake_unparks_a_parked_owner() {
         let s = slot();
         std::thread::scope(|scope| {
             let parked = scope.spawn(|| {
+                s.claim();
+                let mut woken = false;
                 let mut g = s.lock();
-                let mut rounds = 0;
-                while !g.wake {
-                    let (g2, _) = s.park(g, Duration::from_millis(50));
+                for _ in 0..1000 {
+                    let (g2, w) = s.park(g, Duration::from_millis(50));
                     g = g2;
-                    rounds += 1;
-                    assert!(rounds < 100, "wake hint never arrived");
+                    if w {
+                        woken = true;
+                        break;
+                    }
                 }
-                g.wake = false;
-                g.rt.phase
+                woken
             });
-            // Retry until the waiter is parked (try_wake is best-effort).
-            loop {
-                s.try_wake();
-                if parked.is_finished() {
-                    break;
-                }
-                std::thread::yield_now();
-            }
-            assert_eq!(parked.join().unwrap(), Phase::Running);
+            s.wake();
+            assert!(parked.join().unwrap(), "wake hint never arrived");
         });
     }
 }

@@ -98,13 +98,19 @@ impl EpochGraph {
     /// re-pointed at its current blockers. Must be called while the
     /// caller still holds `entity`'s shard mutex, so the table state and
     /// the graph change atomically with respect to other shard users.
+    ///
+    /// Returns the still-waiting transactions whose blocker set actually
+    /// changed. Callers wake those so they re-run cycle detection against
+    /// the new arcs immediately (event-driven re-detection) instead of
+    /// discovering re-pointed cycles only at the next poll timeout — under
+    /// dense skewed queues that latency was the 8-thread collapse.
     pub fn queue_changed(
         &self,
         table: &LockTable,
         entity: EntityId,
         cancelled: Option<TxnId>,
         promoted: &[HeldLock],
-    ) {
+    ) -> Vec<TxnId> {
         let mut inner = self.lock();
         if let Some(t) = cancelled {
             inner.graph.clear_wait(t);
@@ -112,11 +118,28 @@ impl EpochGraph {
         for h in promoted {
             inner.graph.clear_wait(h.txn);
         }
+        let mut repointed = Vec::new();
         for w in table.waiters_of(entity) {
             let blockers = table.blockers_of(w.txn, entity);
+            let changed = match inner.graph.wait_of(w.txn) {
+                Some((old_entity, old)) => {
+                    old_entity != entity || {
+                        let mut old = old;
+                        let mut new = blockers.clone();
+                        old.sort_unstable();
+                        new.sort_unstable();
+                        old != new
+                    }
+                }
+                None => true,
+            };
             inner.graph.set_wait(w.txn, entity, &blockers);
+            if changed {
+                repointed.push(w.txn);
+            }
         }
         inner.epoch += 1;
+        repointed
     }
 
     /// Number of transactions currently registered as waiting — must be
@@ -199,7 +222,8 @@ mod tests {
         // t1 releases: t2 is promoted; t3's arcs must re-point at t2.
         let promoted = table.release(t(1), e(0)).unwrap();
         assert_eq!(promoted.len(), 1);
-        g.queue_changed(&table, e(0), None, &promoted);
+        let repointed = g.queue_changed(&table, e(0), None, &promoted);
+        assert_eq!(repointed, vec![t(3)], "t3's blockers moved from t1 to t2");
         assert!(g.epoch() > before);
         assert_eq!(g.waiting_count(), 1);
         let (_, redetected) = g.redetect(t(3), 64).expect("t3 still waits");

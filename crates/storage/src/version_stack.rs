@@ -11,6 +11,15 @@
 //! carry that lock index; stacks for local variables are created at
 //! transaction start with index 0 and an initial element holding the
 //! variable's initial value.
+//!
+//! ## Copy-on-first-write layout
+//!
+//! The base element lives inline; the `extras` vector exists only once a
+//! write actually creates a second version. Creating a stack therefore
+//! allocates nothing — MCS creates one stack per exclusive lock, and on
+//! the multi-threaded engine's uncontended hot path that per-lock heap
+//! allocation was pure overhead for the (common) transactions that never
+//! roll back past their first write.
 
 use pr_model::{LockIndex, Value};
 use serde::{Deserialize, Serialize};
@@ -31,17 +40,22 @@ pub struct VersionStack {
     /// The stack's own index: the lock index of the lock state it is
     /// associated with (0 for local variables).
     stack_index: LockIndex,
-    elements: Vec<StackElement>,
+    /// The bottom element, held inline (copy-on-first-write: no heap
+    /// allocation until a write pushes a second version).
+    base: StackElement,
+    /// Elements above the base, oldest first. Empty for a fresh stack.
+    extras: Vec<StackElement>,
 }
 
 impl VersionStack {
     /// Creates a stack at `stack_index` whose base element holds `base` —
     /// the entity's global value at lock time, or a local variable's
-    /// initial value.
+    /// initial value. Allocation-free.
     pub fn new(stack_index: LockIndex, base: Value) -> Self {
         VersionStack {
             stack_index,
-            elements: vec![StackElement { value: base, lock_index: stack_index }],
+            base: StackElement { value: base, lock_index: stack_index },
+            extras: Vec::new(),
         }
     }
 
@@ -51,18 +65,23 @@ impl VersionStack {
         self.stack_index
     }
 
+    #[inline]
+    fn top(&self) -> &StackElement {
+        self.extras.last().unwrap_or(&self.base)
+    }
+
     /// Records a write of `value` at `lock_index`, pushing or updating the
     /// top per the MCS rule. `lock_index` must be monotone non-decreasing
     /// across calls (writes arrive in program order).
     pub fn record_write(&mut self, lock_index: LockIndex, value: Value) {
-        let top = self.elements.last_mut().expect("stack always has a base element");
+        let top = self.extras.last_mut().unwrap_or(&mut self.base);
         debug_assert!(
             lock_index >= top.lock_index,
             "writes must arrive in lock-index order: {lock_index:?} < {:?}",
             top.lock_index
         );
         if lock_index > top.lock_index {
-            self.elements.push(StackElement { value, lock_index });
+            self.extras.push(StackElement { value, lock_index });
         } else {
             top.value = value;
         }
@@ -71,7 +90,7 @@ impl VersionStack {
     /// The current (most recent) value.
     #[inline]
     pub fn current(&self) -> Value {
-        self.elements.last().expect("stack always has a base element").value
+        self.top().value
     }
 
     /// The value the entity had at lock state `target` — the top element
@@ -81,23 +100,27 @@ impl VersionStack {
         if target < self.stack_index {
             return None;
         }
-        self.elements.iter().rev().find(|el| el.lock_index <= target).map(|el| el.value)
+        // The base qualifies whenever target >= stack_index, so an extras
+        // miss still resolves.
+        Some(
+            self.extras.iter().rev().find(|el| el.lock_index <= target).unwrap_or(&self.base).value,
+        )
     }
 
     /// Pops every element produced by a write *after* lock state `target`
     /// (elements with `lock_index > target`) — step 3 of the §4 rollback
-    /// procedure. Returns how many copies were discarded.
+    /// procedure. Returns how many copies were discarded. The base element
+    /// is never popped (its index is the stack's own).
     pub fn pop_above(&mut self, target: LockIndex) -> usize {
-        let before = self.elements.len();
-        self.elements.retain(|el| el.lock_index <= target);
-        debug_assert!(!self.elements.is_empty(), "the base element is never popped");
-        before - self.elements.len()
+        let before = self.extras.len();
+        self.extras.retain(|el| el.lock_index <= target);
+        before - self.extras.len()
     }
 
     /// Total number of elements held.
     #[inline]
     pub fn len(&self) -> usize {
-        self.elements.len()
+        self.extras.len() + 1
     }
 
     /// A stack always holds at least its base element.
@@ -111,12 +134,12 @@ impl VersionStack {
     /// database's global value, or the program's initial variable value).
     #[inline]
     pub fn copies(&self) -> usize {
-        self.elements.len() - 1
+        self.extras.len()
     }
 
-    /// Read-only view of the elements, base first.
-    pub fn elements(&self) -> &[StackElement] {
-        &self.elements
+    /// The elements, base first.
+    pub fn elements(&self) -> impl Iterator<Item = StackElement> + '_ {
+        std::iter::once(self.base).chain(self.extras.iter().copied())
     }
 
     /// Structural self-check: the base element carries the stack's own
@@ -124,22 +147,21 @@ impl VersionStack {
     /// indicate engine bookkeeping bugs (used by the crash-recovery
     /// invariant sweep).
     pub fn check_integrity(&self) -> Result<(), String> {
-        let Some(base) = self.elements.first() else {
-            return Err("stack lost its base element".into());
-        };
-        if base.lock_index != self.stack_index {
+        if self.base.lock_index != self.stack_index {
             return Err(format!(
                 "base lock index {:?} differs from stack index {:?}",
-                base.lock_index, self.stack_index
+                self.base.lock_index, self.stack_index
             ));
         }
-        for pair in self.elements.windows(2) {
-            if pair[1].lock_index <= pair[0].lock_index {
+        let mut prev = self.base.lock_index;
+        for el in &self.extras {
+            if el.lock_index <= prev {
                 return Err(format!(
                     "lock indices not strictly increasing: {:?} then {:?}",
-                    pair[0].lock_index, pair[1].lock_index
+                    prev, el.lock_index
                 ));
             }
+            prev = el.lock_index;
         }
         Ok(())
     }
@@ -158,10 +180,10 @@ impl VersionStack {
         if self.copies() <= budget.max(1) {
             return None;
         }
-        // elements[0] is the base; elements[1] is the oldest copy, and a
-        // successor exists because copies() >= 2.
-        let evicted = self.elements.remove(1);
-        let successor = self.elements[1];
+        // extras[0] is the oldest copy, and a successor exists in extras
+        // because copies() >= 2.
+        let evicted = self.extras.remove(0);
+        let successor = self.extras[0];
         Some((evicted.lock_index, successor.lock_index))
     }
 }
@@ -240,6 +262,28 @@ mod tests {
         // Base element survives even a rollback to the stack's own index.
         assert_eq!(s.pop_above(li(0)), 0);
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn fresh_stacks_and_in_place_updates_never_allocate() {
+        let mut s = VersionStack::new(li(1), v(0));
+        assert_eq!(s.extras.capacity(), 0, "creation must not allocate");
+        s.record_write(li(1), v(7)); // same index as the base: in-place
+        assert_eq!(s.extras.capacity(), 0, "in-place update must not allocate");
+        assert_eq!(s.current(), v(7));
+        s.record_write(li(2), v(8)); // first real copy: now it may allocate
+        assert_eq!(s.copies(), 1);
+    }
+
+    #[test]
+    fn elements_iterates_base_first_in_order() {
+        let mut s = VersionStack::new(li(0), v(100));
+        s.record_write(li(1), v(1));
+        s.record_write(li(3), v(3));
+        let got: Vec<(u32, i64)> =
+            s.elements().map(|el| (el.lock_index.raw(), el.value.raw())).collect();
+        assert_eq!(got, vec![(0, 100), (1, 1), (3, 3)]);
+        s.check_integrity().unwrap();
     }
 
     #[test]

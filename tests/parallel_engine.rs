@@ -48,6 +48,7 @@ fn par_config(threads: usize, strategy: StrategyKind) -> ParConfig {
         threads,
         shards: 4,
         system: SystemConfig::new(strategy, VictimPolicyKind::PartialOrder),
+        fast_path: true,
     }
 }
 
@@ -150,7 +151,7 @@ fn oracle_signs_off_threaded_generator_runs() {
 
         let mut system = SystemConfig::new(strategy, VictimPolicyKind::PartialOrder);
         system.grant_policy = policy;
-        let config = ParConfig { threads: 4, shards: 0, system };
+        let config = ParConfig { threads: 4, shards: 0, system, fast_path: true };
         let outcome = run_parallel(&programs, store_with(12, 100), &config)
             .unwrap_or_else(|err| panic!("{strategy:?}/{policy:?}: {err}"));
         assert_accounting(&outcome);
@@ -183,7 +184,7 @@ fn certified_workload_on_threads_never_deadlocks() {
 
         let mut system = SystemConfig::new(strategy, VictimPolicyKind::PartialOrder);
         system.grant_policy = GrantPolicy::Ordered;
-        let config = ParConfig { threads: 4, shards: 0, system };
+        let config = ParConfig { threads: 4, shards: 0, system, fast_path: true };
         let outcome = run_parallel(&programs, store_with(12, 100), &config)
             .unwrap_or_else(|err| panic!("{strategy:?}: {err}"));
         assert_eq!(outcome.commits(), 12, "{strategy:?}");
