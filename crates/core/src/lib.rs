@@ -51,7 +51,7 @@ pub use engine::{StepOutcome, System};
 pub use error::EngineError;
 pub use event::{Event, EventLog};
 pub use fingerprint::{canonical_state, canonical_state_relabeled, fingerprint};
-pub use metrics::{HistogramSummary, LogHistogram, Metrics, MetricsSnapshot};
+pub use metrics::{HistogramSummary, LogHistogram, Metrics, MetricsSnapshot, ServerMetrics};
 pub use pr_lock::{derive_order, EntityOrder, GrantPolicy, PrecedenceCycle};
 pub use runtime::RuntimeView;
 pub use scheduler::{Recording, RoundRobin, Scheduler};

@@ -99,6 +99,23 @@ impl LogHistogram {
         self.max
     }
 
+    /// The raw per-bucket counts (bucket 0 counts the value 0, bucket
+    /// *i* ≥ 1 counts `[2^(i−1), 2^i)`). With [`Self::sum`] and
+    /// [`Self::max`] this is the histogram's full state — the load
+    /// driver ships these across process boundaries as plain integer
+    /// lists and rebuilds with [`Self::from_raw_parts`].
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Reassembles a histogram from parts produced by
+    /// [`Self::bucket_counts`] / [`Self::sum`] / [`Self::max`] (the
+    /// count is the bucket total).
+    pub fn from_raw_parts(buckets: Vec<u64>, sum: u64, max: u64) -> Self {
+        let count = buckets.iter().sum();
+        LogHistogram { buckets, count, sum, max }
+    }
+
     /// Median.
     pub fn p50(&self) -> u64 {
         self.quantile(0.50)
@@ -354,6 +371,95 @@ impl MetricsSnapshot {
     }
 }
 
+/// Counters for the networked front end (`pr-server`): wire traffic,
+/// admission, and group-commit behaviour. The engine-side story stays in
+/// [`Metrics`]; this struct covers everything that happens between the
+/// socket and the batch executor. One instance lives behind the server's
+/// stats mutex; the STATS wire request serialises it with
+/// [`ServerMetrics::to_json`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServerMetrics {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Well-formed frames received.
+    pub frames_in: u64,
+    /// Frames sent.
+    pub frames_out: u64,
+    /// Malformed or oversized frames answered with a protocol error.
+    pub protocol_errors: u64,
+    /// Transactions submitted (admitted into a batch).
+    pub submissions: u64,
+    /// Submissions rejected before admission (unknown entity, bad
+    /// program).
+    pub rejected: u64,
+    /// Submissions aborted unexecuted because the server was shutting
+    /// down.
+    pub aborted_on_shutdown: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Batch flushes triggered by the batch filling up.
+    pub flushes_full: u64,
+    /// Batch flushes triggered by the group-commit deadline.
+    pub flushes_deadline: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transactions per executed batch.
+    pub batch_fill: LogHistogram,
+    /// Microseconds each submission waited in the open batch before its
+    /// flush started — the group-commit latency contribution.
+    pub group_wait_us: LogHistogram,
+}
+
+impl ServerMetrics {
+    /// Folds another record into this one.
+    pub fn merge(&mut self, other: &ServerMetrics) {
+        self.connections += other.connections;
+        self.frames_in += other.frames_in;
+        self.frames_out += other.frames_out;
+        self.protocol_errors += other.protocol_errors;
+        self.submissions += other.submissions;
+        self.rejected += other.rejected;
+        self.aborted_on_shutdown += other.aborted_on_shutdown;
+        self.batches += other.batches;
+        self.flushes_full += other.flushes_full;
+        self.flushes_deadline += other.flushes_deadline;
+        self.commits += other.commits;
+        self.batch_fill.merge(&other.batch_fill);
+        self.group_wait_us.merge(&other.group_wait_us);
+    }
+
+    /// Serialises the record as a JSON object (hand-rolled, like the rest
+    /// of the workspace's machine-readable output).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"schema\":\"pr-server-metrics-v1\",\"connections\":{},\
+             \"frames_in\":{},\"frames_out\":{},\"protocol_errors\":{},\
+             \"submissions\":{},\"rejected\":{},\"aborted_on_shutdown\":{},\
+             \"batches\":{},\"flushes_full\":{},\"flushes_deadline\":{},\
+             \"commits\":{},",
+            self.connections,
+            self.frames_in,
+            self.frames_out,
+            self.protocol_errors,
+            self.submissions,
+            self.rejected,
+            self.aborted_on_shutdown,
+            self.batches,
+            self.flushes_full,
+            self.flushes_deadline,
+            self.commits
+        );
+        out.push_str("\"batch_fill\":");
+        HistogramSummary::of(&self.batch_fill).write_json(&mut out);
+        out.push_str(",\"group_wait_us\":");
+        HistogramSummary::of(&self.group_wait_us).write_json(&mut out);
+        out.push('}');
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -466,6 +572,54 @@ mod tests {
         m.note_queue_depth(EntityId::new(1), 1);
         assert_eq!(m.queue_depth_high_water[&a], 5);
         assert_eq!(m.max_queue_depth(), 5);
+    }
+
+    #[test]
+    fn log_histogram_raw_parts_round_trip() {
+        let mut h = LogHistogram::default();
+        for v in [0u64, 1, 3, 8, 500] {
+            h.record(v);
+        }
+        let rebuilt = LogHistogram::from_raw_parts(h.bucket_counts().to_vec(), h.sum(), h.max());
+        assert_eq!(rebuilt, h);
+        assert_eq!(rebuilt.count(), 5);
+        assert_eq!(rebuilt.p99(), h.p99());
+    }
+
+    #[test]
+    fn server_metrics_merge_and_json() {
+        let mut a =
+            ServerMetrics { connections: 2, submissions: 10, commits: 9, ..Default::default() };
+        a.batch_fill.record(5);
+        a.group_wait_us.record(120);
+        let mut b = ServerMetrics {
+            connections: 1,
+            submissions: 4,
+            commits: 4,
+            protocol_errors: 1,
+            ..Default::default()
+        };
+        b.batch_fill.record(4);
+        a.merge(&b);
+        assert_eq!(a.connections, 3);
+        assert_eq!(a.submissions, 14);
+        assert_eq!(a.commits, 13);
+        assert_eq!(a.protocol_errors, 1);
+        assert_eq!(a.batch_fill.count(), 2);
+        let json = a.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for key in [
+            "\"schema\":\"pr-server-metrics-v1\"",
+            "\"connections\":3",
+            "\"submissions\":14",
+            "\"commits\":13",
+            "\"protocol_errors\":1",
+            "\"batch_fill\":{\"count\":2",
+            "\"group_wait_us\":{\"count\":1",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! ## The grant fast path
 //!
 //! An uncontended lock request never touches a shard mutex: it CASes the
-//! entity's lock word in the [`EntitySlab`](crate::word::EntitySlab) and
+//! entity's lock word in the [`EntitySlab`] and
 //! is done. Contention, a full reader registry, or an existing wait queue
 //! (the word's `INFLATED` flag) route the request through the classic
 //! shard-mutex path, which first *inflates* the entity — transferring any
@@ -46,7 +46,7 @@
 //! guards), and executes the rollbacks. Holding every member's slot
 //! freezes the cycle: member promotions would need a member's release,
 //! which only the members' own (captured) threads or this resolver could
-//! perform. Competing resolvers back off with [`busy_backoff`] — bounded
+//! perform. Competing resolvers back off with `busy_backoff` — bounded
 //! exponential with id-skewed jitter — so dense waits-for graphs cannot
 //! degenerate into a try-lock retry storm.
 
@@ -98,9 +98,12 @@ enum Round {
     Busy,
 }
 
-struct Core {
+struct Core<'s> {
     shards: Shards,
-    slab: EntitySlab,
+    /// Borrowed, not owned: in session mode (see [`crate::session`]) the
+    /// slab outlives each batch and carries entity values — and the
+    /// fast-path counters — across batches.
+    slab: &'s EntitySlab,
     slots: Vec<TxnSlot>,
     wfg: EpochGraph,
     history: AccessHistory,
@@ -109,11 +112,15 @@ struct Core {
     abort: AtomicBool,
     error: Mutex<Option<ParError>>,
     next: AtomicUsize,
+    /// Global id of the transaction before this batch's first: slot `i`
+    /// runs transaction `txn_base + i + 1`. Zero for plain
+    /// [`run_parallel`] runs.
+    txn_base: u32,
 }
 
-impl Core {
+impl Core<'_> {
     fn slot_of(&self, txn: TxnId) -> &TxnSlot {
-        &self.slots[(txn.raw() - 1) as usize]
+        &self.slots[(txn.raw() - 1 - self.txn_base) as usize]
     }
 
     fn fail(&self, e: ParError) {
@@ -160,7 +167,7 @@ impl Core {
         acc: &mut Vec<CommittedAccess>,
     ) -> Result<(), ParError> {
         let slot = &self.slots[idx];
-        let id = TxnId::new(idx as u32 + 1);
+        let id = TxnId::new(self.txn_base + idx as u32 + 1);
         let mut g = slot.lock();
         loop {
             if self.aborted() {
@@ -603,37 +610,60 @@ pub fn run_parallel(
     mut store: GlobalStore,
     config: &ParConfig,
 ) -> Result<ParOutcome, ParError> {
-    let n = programs.len();
-    let threads = config.threads.max(1).min(n.max(1));
-    let shard_count = config.effective_shards();
     for p in programs {
         for e in p.locked_entities() {
             store.ensure(e);
         }
     }
+    let slab = EntitySlab::from_store(&store);
+    run_batch(programs, &slab, config, 0, 0).map(|(outcome, _)| outcome)
+}
+
+/// Runs one batch of `programs` over a caller-owned slab — the engine
+/// behind both [`run_parallel`] (fresh slab, bases zero) and session mode
+/// ([`crate::session::Session`], which carries the slab, a transaction-id
+/// base, and a stamp base across batches so externally submitted
+/// transactions get globally unique ids and a single monotone stamp
+/// clock).
+///
+/// The caller guarantees every locked entity exists in the slab, and that
+/// the slab is quiescent (no holders, no queue flags) — true after any
+/// successful prior batch. Returns the outcome plus the stamp high-water
+/// mark, the next batch's stamp base.
+pub(crate) fn run_batch(
+    programs: &[TransactionProgram],
+    slab: &EntitySlab,
+    config: &ParConfig,
+    txn_base: u32,
+    stamp_base: u64,
+) -> Result<(ParOutcome, u64), ParError> {
+    let n = programs.len();
+    let threads = config.threads.max(1).min(n.max(1));
+    let shard_count = config.effective_shards();
     let slots: Vec<TxnSlot> = programs
         .iter()
         .enumerate()
         .map(|(i, p)| {
             TxnSlot::new(TxnRuntime::new(
-                TxnId::new(i as u32 + 1),
+                TxnId::new(txn_base + i as u32 + 1),
                 Arc::new(p.clone()),
-                i as u64,
+                u64::from(txn_base) + i as u64,
                 config.system.strategy,
             ))
         })
         .collect();
     let core = Core {
         shards: Shards::new(shard_count, config.system.grant_policy),
-        slab: EntitySlab::from_store(&store),
+        slab,
         slots,
         wfg: EpochGraph::new(),
-        history: AccessHistory::new(),
+        history: AccessHistory::with_base(stamp_base),
         shared: Mutex::new(Metrics::default()),
         config: config.clone(),
         abort: AtomicBool::new(false),
         error: Mutex::new(None),
         next: AtomicUsize::new(0),
+        txn_base,
     };
     // Steady-state timing: workers hold at a barrier until all are
     // spawned, then each records its own active span against a shared
@@ -701,17 +731,21 @@ pub fn run_parallel(
     if let Some(t) = per_txn.iter().find(|t| !t.committed) {
         return Err(ParError::Inconsistent(format!("{} never committed", t.id)));
     }
-    let Core { shared, history, slab, .. } = core;
-    Ok(ParOutcome {
-        metrics: shared.into_inner().expect("metrics mutex poisoned"),
-        per_txn,
-        accesses: history.into_accesses(),
-        snapshot,
-        elapsed,
-        threads,
-        shards: shard_count,
-        fast: slab.stats(),
-    })
+    let Core { shared, history, .. } = core;
+    let stamp_high_water = history.high_water();
+    Ok((
+        ParOutcome {
+            metrics: shared.into_inner().expect("metrics mutex poisoned"),
+            per_txn,
+            accesses: history.into_accesses(),
+            snapshot,
+            elapsed,
+            threads,
+            shards: shard_count,
+            fast: slab.stats(),
+        },
+        stamp_high_water,
+    ))
 }
 
 #[cfg(test)]

@@ -51,9 +51,27 @@ impl AccessHistory {
         Self::default()
     }
 
-    /// Draws the next grant stamp (strictly increasing, starting at 1).
+    /// An empty history whose first stamp will be `base + 1`.
+    ///
+    /// Session-mode batches (see [`crate::session::Session`]) thread the
+    /// previous batch's final stamp through here, so the concatenated
+    /// multi-batch history keeps one strictly increasing stamp clock:
+    /// batches execute serially against the shared slab, hence every
+    /// cross-batch conflict is correctly ordered by construction.
+    pub fn with_base(base: u64) -> Self {
+        AccessHistory { next: AtomicU64::new(base), log: Mutex::new(Vec::new()) }
+    }
+
+    /// Draws the next grant stamp (strictly increasing, starting one past
+    /// the base).
     pub fn next_stamp(&self) -> u64 {
         self.next.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The highest stamp drawn so far (the base, if none were drawn) —
+    /// the next batch's stamp base.
+    pub fn high_water(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
     }
 
     /// Appends a batch of committed accesses — called once per worker at
@@ -89,6 +107,17 @@ mod tests {
         assert_eq!(sorted.len(), stamps.len(), "stamps must be unique");
         assert_eq!(*sorted.first().unwrap(), 1);
         assert_eq!(*sorted.last().unwrap(), 400);
+    }
+
+    #[test]
+    fn based_histories_continue_the_stamp_clock() {
+        let first = AccessHistory::new();
+        assert_eq!(first.next_stamp(), 1);
+        assert_eq!(first.next_stamp(), 2);
+        assert_eq!(first.high_water(), 2);
+        let second = AccessHistory::with_base(first.high_water());
+        assert_eq!(second.high_water(), 2, "no stamps drawn yet");
+        assert_eq!(second.next_stamp(), 3, "continues strictly above the base");
     }
 
     #[test]

@@ -32,11 +32,14 @@
 //! * [`engine`] — the worker loop, blocked-wait state machine, and the
 //!   try-lock resolver that executes partial rollbacks across threads;
 //! * [`history`] — grant-stamped access records for the oracle;
+//! * [`session`] — the long-lived submission API (persistent slab,
+//!   global txn ids and stamp clock) servers batch through;
 //! * [`outcome`] — configuration, errors, and result types.
 
 pub mod engine;
 pub mod history;
 pub mod outcome;
+pub mod session;
 pub mod shard;
 pub mod slot;
 pub mod wfg;
@@ -45,6 +48,7 @@ pub mod word;
 pub use engine::run_parallel;
 pub use history::{AccessHistory, CommittedAccess};
 pub use outcome::{ParConfig, ParError, ParOutcome, TxnStats};
+pub use session::Session;
 pub use shard::{Shard, Shards};
 pub use wfg::EpochGraph;
 pub use word::{EntitySlab, FastPath, FastPathStats};

@@ -120,6 +120,12 @@ pub enum ParError {
         /// The transaction whose wait exposed the cycle.
         txn: TxnId,
     },
+    /// A program locks an entity outside the session's fixed universe
+    /// (session mode only — the slab cannot grow while workers share it).
+    UnknownEntity {
+        /// The entity no slab entry exists for.
+        entity: pr_model::EntityId,
+    },
     /// Post-run validation failed (lock-table or waits-for-graph
     /// invariant broken at quiescence).
     Inconsistent(String),
@@ -138,6 +144,9 @@ impl fmt::Display for ParError {
             }
             ParError::Unresolvable { txn } => {
                 write!(f, "deadlock at {txn} has no rollbackable victim")
+            }
+            ParError::UnknownEntity { entity } => {
+                write!(f, "{entity} is not in the session's entity universe")
             }
             ParError::Inconsistent(msg) => write!(f, "post-run inconsistency: {msg}"),
         }

@@ -152,7 +152,7 @@ pub struct FastPathStats {
     pub deflations: u64,
 }
 
-/// The slab: one [`Entry`] per entity, built once per run. All methods
+/// The slab: one `Entry` per entity, built once per run. All methods
 /// take `&self`; the slab is shared across worker threads without any
 /// lock of its own.
 pub struct EntitySlab {
@@ -200,6 +200,17 @@ impl EntitySlab {
             fast_releases: AtomicU64::new(0),
             inflations: AtomicU64::new(0),
             deflations: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the slab has an entry for `entity`. Session-mode callers
+    /// use this to reject externally submitted programs that reference
+    /// entities outside the fixed universe the slab was built from
+    /// (the slab cannot grow once workers share it).
+    pub fn contains(&self, entity: EntityId) -> bool {
+        match &self.index {
+            SlabIndex::Dense => (entity.raw() as usize) < self.entries.len(),
+            SlabIndex::Sparse(map) => map.contains_key(&entity),
         }
     }
 

@@ -1,0 +1,146 @@
+//! The pr-server binary: bind, serve, drain, quiesce, exit.
+//!
+//! ```text
+//! cargo run -p pr-server --release --bin pr-server -- --addr 127.0.0.1:7878
+//! ```
+//!
+//! Prints one `pr-server listening on ADDR …` line once bound (scripts
+//! scrape it — with `--addr host:0` the kernel picks the port), then runs
+//! until a `SHUTDOWN` request completes the drain protocol. Exit codes:
+//! 0 clean shutdown with slab quiescence verified, 1 engine or bind
+//! failure, 2 usage error.
+
+use pr_core::{GrantPolicy, StrategyKind, SystemConfig, VictimPolicyKind};
+use pr_server::{Server, ServerConfig};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+usage: pr-server [OPTIONS]
+  --addr HOST:PORT     bind address (default 127.0.0.1:7878; port 0 = ephemeral)
+  --entities N         entity universe size (default 256)
+  --init V             initial entity value (default 100)
+  --threads N          engine worker threads per batch (default 8)
+  --shards N           lock-table shards (default 0 = auto)
+  --strategy NAME      rollback strategy: total | mcs | sdg (default mcs)
+  --victim NAME        victim policy: min-cost | partial-order | youngest | causer
+  --policy NAME        grant policy: barging | fair-queue | ordered (default fair-queue)
+  --batch-max N        group-commit flush threshold (default 256)
+  --batch-deadline-us N  group-commit deadline in microseconds (default 2000)
+  --no-fast-path       force every lock through the shard-mutex path";
+
+struct Options {
+    config: ServerConfig,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut config = ServerConfig { addr: "127.0.0.1:7878".into(), ..ServerConfig::default() };
+    let mut system = SystemConfig::new(StrategyKind::Mcs, VictimPolicyKind::PartialOrder);
+    system.grant_policy = GrantPolicy::FairQueue;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().map(String::as_str).ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr")?.into(),
+            "--entities" => {
+                config.entities =
+                    value("--entities")?.parse().map_err(|_| "--entities needs a count")?
+            }
+            "--init" => {
+                config.init = value("--init")?.parse().map_err(|_| "--init needs an integer")?
+            }
+            "--threads" => {
+                config.threads =
+                    value("--threads")?.parse().map_err(|_| "--threads needs a count")?
+            }
+            "--shards" => {
+                config.shards = value("--shards")?.parse().map_err(|_| "--shards needs a count")?
+            }
+            "--strategy" => {
+                system.strategy = match value("--strategy")? {
+                    "total" => StrategyKind::Total,
+                    "mcs" => StrategyKind::Mcs,
+                    "sdg" => StrategyKind::Sdg,
+                    other => return Err(format!("unknown strategy {other:?}")),
+                }
+            }
+            "--victim" => {
+                system.victim = match value("--victim")? {
+                    "min-cost" => VictimPolicyKind::MinCost,
+                    "partial-order" => VictimPolicyKind::PartialOrder,
+                    "youngest" => VictimPolicyKind::Youngest,
+                    "causer" => VictimPolicyKind::ConflictCauser,
+                    other => return Err(format!("unknown victim policy {other:?}")),
+                }
+            }
+            "--policy" => {
+                system.grant_policy = match value("--policy")? {
+                    "barging" => GrantPolicy::Barging,
+                    "fair-queue" => GrantPolicy::FairQueue,
+                    "ordered" => GrantPolicy::Ordered,
+                    other => return Err(format!("unknown grant policy {other:?}")),
+                }
+            }
+            "--batch-max" => {
+                config.batch_max =
+                    value("--batch-max")?.parse().map_err(|_| "--batch-max needs a count")?
+            }
+            "--batch-deadline-us" => {
+                let us: u64 = value("--batch-deadline-us")?
+                    .parse()
+                    .map_err(|_| "--batch-deadline-us needs microseconds")?;
+                config.batch_deadline = Duration::from_micros(us);
+            }
+            "--no-fast-path" => config.fast_path = false,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    config.system = system;
+    Ok(Options { config })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let o = match parse_options(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("pr-server: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let batch_max = o.config.batch_max;
+    let deadline_us = o.config.batch_deadline.as_micros();
+    let strategy = o.config.system.strategy.name();
+    let policy = o.config.system.grant_policy.name();
+    let entities = o.config.entities;
+    let threads = o.config.threads;
+    let server = match Server::start(o.config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pr-server: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "pr-server listening on {} entities={entities} threads={threads} \
+         strategy={strategy} policy={policy} batch_max={batch_max} \
+         batch_deadline_us={deadline_us}",
+        server.local_addr()
+    );
+    match server.wait() {
+        Ok(summary) => {
+            println!(
+                "pr-server shut down cleanly: {} commits in {} batches, \
+                 slab quiescent ({} fast grants, {} inflations)",
+                summary.commits, summary.batches, summary.fast.fast_grants, summary.fast.inflations
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("pr-server: engine failure: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # pr-server — the networked multi-client front end
+//!
+//! Exposes the pr-par engine over a length-prefixed binary protocol on
+//! plain std TCP: no async runtime, no serialisation framework, just
+//! frames, threads, and the [`pr_par::Session`] submission API. The
+//! design goal is the paper's setting at production shape — many clients
+//! concurrently submitting short transactions against one lock manager
+//! with partial-rollback deadlock resolution — while keeping every piece
+//! auditable by the same differential serializability oracle the
+//! in-process experiments use: the server records the grant-stamped
+//! access history across batches, and `pr-load` fetches it post-run and
+//! replays a serial reference against it.
+//!
+//! * [`wire`] — frame format, request/reply codecs, incremental
+//!   reassembly, and the hard limits that make malformed input a typed
+//!   error instead of a panic;
+//! * [`batch`] — the group-commit coalescer (flush on fill or deadline);
+//! * [`server`] — accept loop, per-connection readers, the single
+//!   batch-executor thread, and the drain-then-quiesce shutdown;
+//! * [`client`] — a small blocking client (control plane, tests, probes);
+//! * [`load`] — the closed-loop multi-client load driver behind
+//!   `pr-load`: Zipf skew, think times, latency histograms, multi-process
+//!   fan-out, and the post-run oracle check.
+
+pub mod batch;
+pub mod client;
+pub mod load;
+pub mod server;
+pub mod wire;
+
+pub use batch::{Batcher, FlushReason};
+pub use client::{Client, HistoryDump};
+pub use load::{run_load, LoadConfig, LoadResult};
+pub use server::{Server, ServerConfig, ServerSummary};
+pub use wire::{FrameAssembler, Reply, Request, WireError};

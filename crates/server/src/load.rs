@@ -1,0 +1,431 @@
+//! The closed-loop multi-client load driver behind `pr-load`.
+//!
+//! Simulates many **logical clients** multiplexed over a smaller number
+//! of TCP connections: each connection gets one writer thread (sends the
+//! next submission of whichever client's think time expires first) and
+//! one reader thread (matches pipelined replies back to clients by
+//! request id, records end-to-end latency, and schedules the client's
+//! next submission). Closed loop means a client never has more than one
+//! transaction in flight: offered load is `clients / (think + latency)`,
+//! the classic interactive model, and tail latency is honest — a slow
+//! reply holds that client back rather than piling more load on.
+//!
+//! **Determinism for the oracle.** Every logical client `g` generates
+//! its whole program sequence up front from seed
+//! `mix(seed, g)` — so after the run, anyone holding the run's
+//! `(txn → (client, seq))` mapping (from the `COMMITTED` replies) can
+//! regenerate the exact programs and hand
+//! [`check_server_history`](pr_sim::oracle::check_server_history()) the
+//! admission-ordered program list without a single program ever being
+//! shipped back over the wire. Multi-process runs ship the compact
+//! mapping and histogram buckets instead of programs.
+//!
+//! Latency is recorded in **microseconds of wall clock** from the moment
+//! the submission frame is written to the moment its reply is decoded —
+//! it includes the socket, the group-commit wait, and the engine run,
+//! which is exactly the end-to-end number the bench table reports.
+
+use crate::wire::{encode_request, frame, read_reply, FrameAssembler, Reply, Request};
+use pr_core::{LogHistogram, SystemConfig};
+use pr_model::{TransactionProgram, Value};
+use pr_sim::generator::{GeneratorConfig, ProgramGenerator};
+use pr_sim::oracle::{check_server_history, OracleReport};
+use pr_storage::{GlobalStore, Snapshot};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One load run's knobs.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Server address to connect to.
+    pub addr: String,
+    /// Logical clients this process simulates.
+    pub clients: usize,
+    /// Transactions each client submits.
+    pub txns_per_client: usize,
+    /// Entity universe size (must match the server's).
+    pub entities: u32,
+    /// Initial entity value (must match the server's; the oracle replays
+    /// from it).
+    pub init: i64,
+    /// Zipf exponent ×100 for entity skew (0 = uniform).
+    pub zipf_centi: u16,
+    /// Mean think time between a reply and the client's next submission,
+    /// in microseconds (actual: uniform in `[think/2, 3·think/2)`).
+    pub think_us: u64,
+    /// Logical clients multiplexed per TCP connection.
+    pub clients_per_conn: usize,
+    /// Workload seed; client `g` derives its own stream from it.
+    pub seed: u64,
+    /// Global id of this process's first client (multi-process offset).
+    pub client_base: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: String::new(),
+            clients: 512,
+            txns_per_client: 4,
+            entities: 256,
+            init: 100,
+            zipf_centi: 0,
+            think_us: 500,
+            clients_per_conn: 256,
+            seed: 1,
+            client_base: 0,
+        }
+    }
+}
+
+/// What one load run measured.
+#[derive(Clone, Debug, Default)]
+pub struct LoadResult {
+    /// Submissions answered `COMMITTED`.
+    pub commits: u64,
+    /// Submissions answered `ABORTED` (any reason) — nonzero only around
+    /// shutdown races or invalid programs, both failures for a bench run.
+    pub aborted: u64,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// End-to-end submission latency, microseconds.
+    pub latency: LogHistogram,
+    /// `(global txn id, global client id, client-local seq)` per commit —
+    /// the oracle's key for regenerating the admitted program list.
+    pub mapping: Vec<(u32, u32, u32)>,
+}
+
+impl LoadResult {
+    /// Committed transactions per second of wall clock.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.commits as f64 / secs
+        }
+    }
+
+    /// Folds a concurrent run (another process's share of the clients)
+    /// into this one. Durations take the max — the runs overlapped.
+    pub fn merge(&mut self, other: &LoadResult) {
+        self.commits += other.commits;
+        self.aborted += other.aborted;
+        self.elapsed = self.elapsed.max(other.elapsed);
+        self.latency.merge(&other.latency);
+        self.mapping.extend_from_slice(&other.mapping);
+    }
+}
+
+/// splitmix64 — the driver's only randomness (think-time jitter and
+/// per-client seed derivation); keeps the driver free of RNG state.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The workload shape every client draws from.
+fn generator_config(entities: u32, zipf_centi: u16) -> GeneratorConfig {
+    GeneratorConfig { num_entities: entities, skew_centi: zipf_centi, ..GeneratorConfig::default() }
+}
+
+/// Deterministically regenerates client `g`'s full submission sequence —
+/// the same function the driver uses to create it, so the oracle side
+/// needs only `(seed, entities, zipf, txns_per_client)` and `g`.
+pub fn client_programs(
+    seed: u64,
+    entities: u32,
+    zipf_centi: u16,
+    g: u32,
+    txns: usize,
+) -> Vec<TransactionProgram> {
+    let client_seed = mix(seed ^ u64::from(g).wrapping_mul(0x01000193));
+    ProgramGenerator::new(generator_config(entities, zipf_centi), client_seed)
+        .generate_workload(txns)
+}
+
+/// Think-time draw for client `g`'s submission `seq`: uniform in
+/// `[think/2, 3·think/2)`, deterministic per (seed, g, seq).
+fn think_delay(cfg: &LoadConfig, g: u32, seq: u32) -> Duration {
+    if cfg.think_us == 0 {
+        return Duration::ZERO;
+    }
+    let jitter = mix(cfg.seed ^ (u64::from(g) << 32) ^ u64::from(seq)) % cfg.think_us;
+    Duration::from_micros(cfg.think_us / 2 + jitter)
+}
+
+/// Reader→writer wake queue: `(not-before, local client idx)` entries
+/// plus the "no more submissions will be scheduled" flag.
+struct Wake {
+    ready: Mutex<Vec<(Instant, usize)>>,
+    cond: Condvar,
+    finished: AtomicBool,
+}
+
+/// Drives one connection's worth of clients to completion.
+fn drive_conn(cfg: &LoadConfig, first_local: usize, count: usize) -> Result<LoadResult, String> {
+    let stream = TcpStream::connect(&cfg.addr).map_err(|e| format!("connect {}: {e}", cfg.addr))?;
+    stream.set_nodelay(true).map_err(|e| e.to_string())?;
+    let mut read_half = stream.try_clone().map_err(|e| e.to_string())?;
+
+    // Pre-generate every client's submission sequence (closed loop sends
+    // them one at a time).
+    let programs: Vec<Vec<TransactionProgram>> = (0..count)
+        .map(|i| {
+            let g = (cfg.client_base + first_local + i) as u32;
+            client_programs(cfg.seed, cfg.entities, cfg.zipf_centi, g, cfg.txns_per_client)
+        })
+        .collect();
+
+    let wake = Wake {
+        ready: Mutex::new(Vec::new()),
+        cond: Condvar::new(),
+        finished: AtomicBool::new(false),
+    };
+    let sent_at: Mutex<Vec<Instant>> = Mutex::new(vec![Instant::now(); count]);
+    let result = Mutex::new(LoadResult::default());
+    let error: Mutex<Option<String>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        // Reader: match replies, record latency, schedule the next
+        // submission after the client's think time.
+        scope.spawn(|| {
+            let mut asm = FrameAssembler::new();
+            let mut remaining: u64 = (count * cfg.txns_per_client) as u64;
+            while remaining > 0 {
+                let reply = match read_reply(&mut read_half, &mut asm) {
+                    Ok(Ok(r)) => r,
+                    Ok(Err(e)) => {
+                        *error.lock().unwrap() = Some(format!("wire error: {e}"));
+                        break;
+                    }
+                    Err(e) => {
+                        *error.lock().unwrap() = Some(format!("read: {e}"));
+                        break;
+                    }
+                };
+                let now = Instant::now();
+                match reply {
+                    Reply::Committed { request_id, txn } => {
+                        remaining -= 1;
+                        let local = (request_id & 0xFFFF_FFFF) as usize;
+                        let seq = (request_id >> 32) as u32;
+                        let g = (cfg.client_base + first_local + local) as u32;
+                        let us =
+                            now.duration_since(sent_at.lock().unwrap()[local]).as_micros() as u64;
+                        let mut r = result.lock().unwrap();
+                        r.commits += 1;
+                        r.latency.record(us);
+                        r.mapping.push((txn.raw(), g, seq));
+                        drop(r);
+                        if (seq as usize) + 1 < cfg.txns_per_client {
+                            let at = now + think_delay(cfg, g, seq + 1);
+                            wake.ready.lock().unwrap().push((at, local));
+                            wake.cond.notify_one();
+                        }
+                    }
+                    Reply::Aborted { request_id, .. } => {
+                        remaining -= 1;
+                        let seq = (request_id >> 32) as u32;
+                        // The aborted client stops submitting; drop its
+                        // unsent remainder from the expectation.
+                        remaining -= (cfg.txns_per_client as u64) - u64::from(seq) - 1;
+                        result.lock().unwrap().aborted += 1;
+                    }
+                    Reply::Error { code, message } => {
+                        *error.lock().unwrap() = Some(format!("server error {code}: {message}"));
+                        break;
+                    }
+                    other => {
+                        *error.lock().unwrap() = Some(format!("unexpected reply: {other:?}"));
+                        break;
+                    }
+                }
+            }
+            wake.finished.store(true, Ordering::SeqCst);
+            wake.cond.notify_all();
+        });
+
+        // Writer: earliest-deadline-first over the clients whose think
+        // time has expired.
+        let mut write_half = stream;
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(Instant, usize)>> =
+            std::collections::BinaryHeap::new();
+        let mut next_seq: Vec<u32> = vec![0; count];
+        // Stagger the initial submissions across one mean think time so
+        // 10k clients don't form a synchronized thundering herd at t=0.
+        let now = Instant::now();
+        for local in 0..count {
+            if cfg.txns_per_client == 0 {
+                continue;
+            }
+            let g = (cfg.client_base + first_local + local) as u32;
+            let stagger = if cfg.think_us == 0 {
+                Duration::ZERO
+            } else {
+                Duration::from_micros(mix(cfg.seed ^ u64::from(g) ^ 0xA5A5) % cfg.think_us)
+            };
+            heap.push(std::cmp::Reverse((now + stagger, local)));
+        }
+        loop {
+            // Finished covers both clean completion (all replies in, so
+            // every send already happened) and reader failure.
+            if wake.finished.load(Ordering::SeqCst) {
+                break;
+            }
+            {
+                let mut ready = wake.ready.lock().unwrap();
+                loop {
+                    for (at, local) in ready.drain(..) {
+                        heap.push(std::cmp::Reverse((at, local)));
+                    }
+                    if !heap.is_empty() || wake.finished.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    ready = wake.cond.wait(ready).unwrap();
+                }
+            }
+            let Some(&std::cmp::Reverse((at, _))) = heap.peek() else {
+                if wake.finished.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            };
+            let now = Instant::now();
+            if at > now {
+                // Sleep to the deadline, but wake early if the reader
+                // schedules something sooner.
+                let guard = wake.ready.lock().unwrap();
+                let (mut guard, _) = wake.cond.wait_timeout(guard, at - now).unwrap();
+                for (at, local) in guard.drain(..) {
+                    heap.push(std::cmp::Reverse((at, local)));
+                }
+                continue;
+            }
+            let std::cmp::Reverse((_, local)) = heap.pop().expect("peeked nonempty");
+            let seq = next_seq[local];
+            next_seq[local] += 1;
+            let ops = programs[local][seq as usize].ops().to_vec();
+            let request_id = u64::from(seq) << 32 | local as u64;
+            let bytes = frame(&encode_request(&Request::Submit { request_id, ops }));
+            sent_at.lock().unwrap()[local] = Instant::now();
+            if let Err(e) = write_half.write_all(&bytes) {
+                *error.lock().unwrap() = Some(format!("write: {e}"));
+                // Unblock the reader (it would otherwise wait forever for
+                // replies to submissions that never went out).
+                let _ = write_half.shutdown(std::net::Shutdown::Both);
+                break;
+            }
+        }
+    });
+
+    if let Some(e) = error.into_inner().unwrap() {
+        return Err(e);
+    }
+    Ok(result.into_inner().unwrap())
+}
+
+/// Runs the full closed loop: all clients, all connections, one process.
+/// The result's `elapsed` spans connect to last reply.
+pub fn run_load(cfg: &LoadConfig) -> Result<LoadResult, String> {
+    if cfg.clients == 0 || cfg.txns_per_client == 0 {
+        return Ok(LoadResult::default());
+    }
+    let per_conn = cfg.clients_per_conn.max(1);
+    let start = Instant::now();
+    let mut merged = LoadResult::default();
+    let results: Vec<Result<LoadResult, String>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut first = 0;
+        while first < cfg.clients {
+            let count = per_conn.min(cfg.clients - first);
+            handles.push(scope.spawn(move || drive_conn(cfg, first, count)));
+            first += count;
+        }
+        handles.into_iter().map(|h| h.join().expect("conn driver panicked")).collect()
+    });
+    for r in results {
+        merged.merge(&r?);
+    }
+    merged.elapsed = start.elapsed();
+    Ok(merged)
+}
+
+/// Rebuilds the admission-ordered program list from the run's mapping and
+/// replays the differential oracle against the server-reported history
+/// and snapshot. `mapping` must cover txn ids `1..=mapping.len()` with no
+/// gaps — exactly what a clean run's `COMMITTED` replies produce.
+pub fn oracle_check(
+    cfg: &LoadConfig,
+    mapping: &[(u32, u32, u32)],
+    accesses: &[pr_par::CommittedAccess],
+    snapshot_pairs: &[(pr_model::EntityId, i64)],
+) -> Result<OracleReport, String> {
+    let total = mapping.len();
+    let mut programs: Vec<Option<TransactionProgram>> = vec![None; total];
+    let mut per_client: BTreeMap<u32, Vec<TransactionProgram>> = BTreeMap::new();
+    for &(txn, g, seq) in mapping {
+        let idx = txn as usize;
+        if idx == 0 || idx > total {
+            return Err(format!(
+                "mapping names txn {txn} outside the contiguous range 1..={total}"
+            ));
+        }
+        let list = per_client.entry(g).or_insert_with(|| {
+            client_programs(cfg.seed, cfg.entities, cfg.zipf_centi, g, cfg.txns_per_client)
+        });
+        let program = list
+            .get(seq as usize)
+            .ok_or_else(|| format!("client {g} has no submission #{seq}"))?
+            .clone();
+        if programs[idx - 1].replace(program).is_some() {
+            return Err(format!("txn {txn} appears twice in the mapping"));
+        }
+    }
+    let programs: Vec<TransactionProgram> = programs
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| p.ok_or(format!("no commit mapped to txn {}", i + 1)))
+        .collect::<Result<_, _>>()?;
+
+    let initial = GlobalStore::with_entities(cfg.entities, Value::new(cfg.init));
+    let snapshot = Snapshot::from_pairs(snapshot_pairs.iter().map(|&(e, v)| (e, Value::new(v))));
+    check_server_history(&programs, &initial, &SystemConfig::default(), accesses, &snapshot)
+        .map_err(|v| format!("oracle violation: {v}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_programs_are_deterministic_and_distinct() {
+        let a = client_programs(42, 64, 120, 7, 4);
+        let b = client_programs(42, 64, 120, 7, 4);
+        assert_eq!(a, b, "same (seed, client) must regenerate identically");
+        let c = client_programs(42, 64, 120, 8, 4);
+        assert_ne!(a, c, "different clients draw different programs");
+        assert_eq!(a.len(), 4);
+        assert!(a.iter().all(pr_model::validate::is_valid));
+    }
+
+    #[test]
+    fn think_delays_are_bounded_and_deterministic() {
+        let cfg = LoadConfig { think_us: 1000, ..LoadConfig::default() };
+        for g in 0..50 {
+            for seq in 0..5 {
+                let d = think_delay(&cfg, g, seq);
+                assert_eq!(d, think_delay(&cfg, g, seq));
+                assert!(d >= Duration::from_micros(500) && d < Duration::from_micros(1500));
+            }
+        }
+        let zero = LoadConfig { think_us: 0, ..LoadConfig::default() };
+        assert_eq!(think_delay(&zero, 1, 1), Duration::ZERO);
+    }
+}

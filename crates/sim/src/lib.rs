@@ -38,8 +38,8 @@ pub mod stress;
 pub use chaos::{chaos_sweep, fault_rate_grid, run_chaos, ChaosConfig, ChaosReport, ChaosVerdict};
 pub use generator::{Clustering, GeneratorConfig, ProgramGenerator};
 pub use oracle::{
-    check_accounting, check_conflict_serializable, check_outcome, conflict_graph, OracleReport,
-    OracleViolation,
+    check_accounting, check_conflict_serializable, check_outcome, check_server_history,
+    conflict_graph, OracleReport, OracleViolation,
 };
 pub use report::Table;
 pub use runner::{

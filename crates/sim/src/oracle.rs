@@ -24,7 +24,7 @@
 //! * **per-strategy invariants** — e.g. the total-rollback strategy may
 //!   never record a partial rollback.
 
-use crate::runner::{run_workload, SchedulerKind};
+use crate::runner::{run_serial, run_workload, SchedulerKind};
 use pr_core::{GrantPolicy, StrategyKind, SystemConfig};
 use pr_model::{EntityId, LockMode, TransactionProgram, TxnId};
 use pr_par::{CommittedAccess, ParOutcome};
@@ -279,6 +279,71 @@ pub fn check_outcome(
     Ok(OracleReport { txns: committed, accesses: outcome.accesses.len(), conflict_edges })
 }
 
+/// Differential check for a **server-side** history: the concatenated
+/// grant-stamped accesses and final snapshot a long-lived
+/// [`pr_par::Session`] (driven over the wire by `pr-server`) produced
+/// across all its batches. `programs[i]` must be the program admitted as
+/// global `TxnId(i + 1)` — the load driver regenerates them
+/// deterministically from per-client seeds rather than shipping them
+/// back over the network.
+///
+/// Compared with [`check_outcome`], the reference here is a plain serial
+/// execution in identity order ([`run_serial`]) instead of the
+/// deterministic concurrent engine: at server scale (tens of thousands
+/// of transactions) the concurrent reference's deadlock thrashing is
+/// infeasible, and for the driver's delta-additive workloads *every*
+/// serializable execution — including the identity serial order —
+/// produces the same final state, so the cheap reference is just as
+/// discriminating. Accounting checks are skipped (the engine-internal
+/// ledgers are already reconciled per batch inside the server).
+pub fn check_server_history(
+    programs: &[TransactionProgram],
+    initial: &GlobalStore,
+    config: &SystemConfig,
+    accesses: &[CommittedAccess],
+    snapshot: &pr_storage::Snapshot,
+) -> Result<OracleReport, OracleViolation> {
+    for a in accesses {
+        let idx = a.txn.raw() as usize;
+        if idx == 0 || idx > programs.len() {
+            return Err(OracleViolation::Accounting(format!(
+                "history references {} but only {} programs were admitted",
+                a.txn,
+                programs.len()
+            )));
+        }
+    }
+    let conflict_edges = check_conflict_serializable(accesses)?;
+
+    let mut store = GlobalStore::new();
+    for (id, v) in initial.iter() {
+        store.create(id, v).expect("fresh store");
+    }
+    let order: Vec<usize> = (0..programs.len()).collect();
+    let mut serial_config = *config;
+    // One transaction at a time cannot deadlock; the per-transaction step
+    // budget only needs to cover its own ops.
+    serial_config.max_steps = serial_config.max_steps.max(1_000_000);
+    let reference = run_serial(programs, &order, store, serial_config)
+        .map_err(|e| OracleViolation::ReferenceFailed(e.to_string()))?;
+    for (entity, value) in reference.iter() {
+        let server = snapshot.get(entity).ok_or(OracleViolation::SnapshotMismatch {
+            entity,
+            parallel: i64::MIN,
+            reference: value.raw(),
+        })?;
+        if server != value {
+            return Err(OracleViolation::SnapshotMismatch {
+                entity,
+                parallel: server.raw(),
+                reference: value.raw(),
+            });
+        }
+    }
+
+    Ok(OracleReport { txns: programs.len(), accesses: accesses.len(), conflict_edges })
+}
+
 /// The accounting and per-strategy invariant layer of [`check_outcome`]:
 /// `states_lost` must agree across the shared metrics, the
 /// per-transaction ledgers, and the resolution-cost histogram;
@@ -438,6 +503,65 @@ mod tests {
             assert_eq!(adj_a, adj_b);
             assert_eq!(edges_a, edges_b);
         }
+    }
+
+    #[test]
+    fn server_history_check_accepts_a_real_session_and_catches_tampering() {
+        use pr_model::{Expr, Op, Value, VarId};
+        use pr_par::{ParConfig, Session};
+
+        let increment = |entity: u32, delta: i64| {
+            TransactionProgram::try_from(vec![
+                Op::LockExclusive(EntityId::new(entity)),
+                Op::Read { entity: EntityId::new(entity), into: VarId::new(0) },
+                Op::Assign {
+                    var: VarId::new(0),
+                    expr: Expr::add(Expr::var(VarId::new(0)), Expr::lit(delta)),
+                },
+                Op::Write { entity: EntityId::new(entity), expr: Expr::var(VarId::new(0)) },
+                Op::Commit,
+            ])
+            .unwrap()
+        };
+        let initial = GlobalStore::with_entities(4, Value::new(10));
+        let mut session = Session::new(&initial, ParConfig::with_threads(2));
+        let batches =
+            [vec![increment(0, 1), increment(1, 2)], vec![increment(0, 4), increment(3, 8)]];
+        let mut programs = Vec::new();
+        let mut accesses = Vec::new();
+        for batch in &batches {
+            let out = session.execute(batch).unwrap();
+            programs.extend(batch.iter().cloned());
+            accesses.extend(out.accesses);
+        }
+        let snapshot = session.snapshot();
+        let config = SystemConfig::default();
+        let report =
+            check_server_history(&programs, &initial, &config, &accesses, &snapshot).unwrap();
+        assert_eq!(report.txns, 4);
+        assert!(report.accesses >= 4);
+
+        // Tampered snapshot must be caught.
+        let bad = pr_storage::Snapshot::from_pairs(snapshot.iter().map(|(id, v)| {
+            if id == EntityId::new(0) {
+                (id, Value::new(999))
+            } else {
+                (id, v)
+            }
+        }));
+        assert!(matches!(
+            check_server_history(&programs, &initial, &config, &accesses, &bad),
+            Err(OracleViolation::SnapshotMismatch { .. })
+        ));
+
+        // A history naming a transaction that was never admitted is an
+        // accounting violation.
+        let mut rogue = accesses.clone();
+        rogue.push(acc(99, 0, LockMode::Exclusive, 1_000_000));
+        assert!(matches!(
+            check_server_history(&programs, &initial, &config, &rogue, &snapshot),
+            Err(OracleViolation::Accounting(_))
+        ));
     }
 
     #[test]

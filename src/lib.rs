@@ -59,6 +59,7 @@
 //! | [`core`] | the execution engine: strategies, victim policies, metrics |
 //! | [`par`] | the multi-threaded sharded-lock-table executor and its stamped access history |
 //! | [`sim`] | workload generators, experiment sweeps, the paper's figures, the differential serializability oracle |
+//! | [`server`] | the networked front end: wire protocol, group-commit batching, the `pr-server`/`pr-load` CLIs |
 //! | [`dist`] | the §3.3 multi-site extension: schemes, message accounting |
 //! | [`analyze`] | static workload lint: deadlock-cycle detection, rollback-cost diagnostics, the `pr-lint` CLI |
 //! | [`explore`] | bounded model checker: exhaustive schedule enumeration with brute-force optimality oracles, the `explore` CLI |
@@ -71,6 +72,7 @@ pub use pr_graph as graph;
 pub use pr_lock as lock;
 pub use pr_model as model;
 pub use pr_par as par;
+pub use pr_server as server;
 pub use pr_sim as sim;
 pub use pr_storage as storage;
 
@@ -85,7 +87,8 @@ pub mod prelude {
         EntityId, Expr, LockIndex, LockMode, Op, ProgramBuilder, StateIndex, TransactionProgram,
         TxnId, Value, VarId,
     };
-    pub use pr_par::{run_parallel, ParConfig, ParOutcome};
+    pub use pr_par::{run_parallel, ParConfig, ParOutcome, Session};
+    pub use pr_server::{Client, Server, ServerConfig};
     pub use pr_storage::{Constraint, GlobalStore, Snapshot};
 }
 

@@ -1,0 +1,39 @@
+//! Root-facade integration test for the networked front end: the
+//! `partial_rollback::server` re-export must carry the whole stack —
+//! server, wire protocol, load driver, and the post-run oracle — so a
+//! downstream user of the facade crate can stand up a server without
+//! naming the member crates.
+
+use partial_rollback::prelude::*;
+use partial_rollback::server::load::oracle_check;
+use partial_rollback::server::{run_load, LoadConfig};
+
+#[test]
+fn facade_server_stack_round_trips_under_load() {
+    let server =
+        Server::start(ServerConfig { entities: 32, threads: 2, ..ServerConfig::default() })
+            .expect("bind");
+    let cfg = LoadConfig {
+        addr: server.local_addr().to_string(),
+        clients: 12,
+        txns_per_client: 3,
+        entities: 32,
+        zipf_centi: 120,
+        think_us: 100,
+        clients_per_conn: 6,
+        ..LoadConfig::default()
+    };
+    let result = run_load(&cfg).expect("load");
+    assert_eq!(result.commits, 36);
+    assert_eq!(result.aborted, 0);
+
+    let mut ctl = Client::connect(&cfg.addr).expect("connect");
+    let (accesses, snapshot) = ctl.history().expect("history");
+    let report = oracle_check(&cfg, &result.mapping, &accesses, &snapshot).expect("oracle");
+    assert_eq!(report.txns, 36);
+
+    assert_eq!(ctl.shutdown().expect("shutdown"), 36);
+    let summary = server.wait().expect("quiescent drain");
+    assert_eq!(summary.commits, 36);
+    assert!(summary.batches > 0);
+}
