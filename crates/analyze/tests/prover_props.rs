@@ -52,7 +52,7 @@ proptest! {
         };
         prop_assert!(cert.verify(&programs).is_ok(), "seed {seed}: certificate self-check");
 
-        let strategy = StrategyKind::ALL[(seed % 3) as usize];
+        let strategy = StrategyKind::ALL[(seed % 4) as usize];
         let mut sys = System::new(store_with(cfg.num_entities, 100), ordered_config(strategy));
         for p in &programs {
             sys.admit(p.clone()).expect("generated program is valid");

@@ -26,11 +26,21 @@ pub enum StrategyKind {
     /// and the sweep in between answers the paper's open question of how
     /// bounded extra storage buys back well-defined states.
     Bounded(u32),
+    /// Transaction repair (Veldhuizen, arXiv 1403.5645): lock state rolls
+    /// back exactly like MCS (to the conflicting access, §4's ideal
+    /// target), but instead of discarding the suffix's work the victim
+    /// records a replay tape and deterministically *re-executes* the
+    /// suffix against current entity values, reusing every operation
+    /// whose inputs did not change. Rollback depth and victim choice are
+    /// identical to MCS (planner-equivalent by construction); the saving
+    /// is re-execution work, accounted as `ops_reused` vs `ops_replayed`.
+    Repair,
 }
 
 impl StrategyKind {
     /// All strategies, for sweeps.
-    pub const ALL: [StrategyKind; 3] = [StrategyKind::Total, StrategyKind::Mcs, StrategyKind::Sdg];
+    pub const ALL: [StrategyKind; 4] =
+        [StrategyKind::Total, StrategyKind::Mcs, StrategyKind::Sdg, StrategyKind::Repair];
 
     /// Short display name used in experiment tables.
     pub fn name(self) -> String {
@@ -39,6 +49,23 @@ impl StrategyKind {
             StrategyKind::Mcs => "mcs".into(),
             StrategyKind::Sdg => "sdg".into(),
             StrategyKind::Bounded(k) => format!("bounded-{k}"),
+            StrategyKind::Repair => "repair".into(),
+        }
+    }
+
+    /// Parses a strategy name as the CLI bins spell it: `total`, `mcs`,
+    /// `sdg`, `repair`, or `bounded-K`. One parser for all five bins so
+    /// `repair` cannot be accepted in one sweep and rejected in another.
+    pub fn parse(name: &str) -> Option<StrategyKind> {
+        match name {
+            "total" => Some(StrategyKind::Total),
+            "mcs" => Some(StrategyKind::Mcs),
+            "sdg" => Some(StrategyKind::Sdg),
+            "repair" => Some(StrategyKind::Repair),
+            other => {
+                let k = other.strip_prefix("bounded-")?;
+                k.parse().ok().map(StrategyKind::Bounded)
+            }
         }
     }
 }
@@ -161,11 +188,23 @@ mod tests {
     fn names_are_unique() {
         let names: std::collections::HashSet<String> =
             StrategyKind::ALL.iter().map(|s| s.name()).collect();
-        assert_eq!(names.len(), 3);
+        assert_eq!(names.len(), 4);
         assert_eq!(StrategyKind::Bounded(3).name(), "bounded-3");
         let names: std::collections::HashSet<&str> =
             VictimPolicyKind::ALL.iter().map(|p| p.name()).collect();
         assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn parse_round_trips_every_name() {
+        for s in StrategyKind::ALL {
+            assert_eq!(StrategyKind::parse(&s.name()), Some(s));
+        }
+        assert_eq!(StrategyKind::parse("bounded-3"), Some(StrategyKind::Bounded(3)));
+        assert_eq!(StrategyKind::parse("repair"), Some(StrategyKind::Repair));
+        assert_eq!(StrategyKind::parse("restart"), None);
+        assert_eq!(StrategyKind::parse("bounded-"), None);
+        assert_eq!(StrategyKind::parse(""), None);
     }
 
     #[test]

@@ -272,31 +272,27 @@ impl System {
             Op::Read { entity, into } => {
                 let global = self.store.read(entity)?;
                 let rt = self.txns.get_mut(&id).expect("checked above");
-                let value = rt.read_entity(entity, global);
-                rt.assign_var(into, value)?;
+                rt.exec_read(entity, into, global)?;
                 self.metrics.ops_executed += 1;
                 Ok(StepOutcome::Progressed)
             }
             Op::Write { entity, expr } => {
                 let rt = self.txns.get_mut(&id).expect("checked above");
-                let value = expr.eval(rt.workspace.vars());
-                rt.write_entity(entity, value)?;
+                rt.exec_write(entity, &expr)?;
                 self.metrics.ops_executed += 1;
                 self.update_peak_copies_for(id);
                 Ok(StepOutcome::Progressed)
             }
             Op::Assign { var, expr } => {
                 let rt = self.txns.get_mut(&id).expect("checked above");
-                let value = expr.eval(rt.workspace.vars());
-                rt.assign_var(var, value)?;
+                rt.exec_assign(var, &expr)?;
                 self.metrics.ops_executed += 1;
                 self.update_peak_copies_for(id);
                 Ok(StepOutcome::Progressed)
             }
             Op::Compute(expr) => {
                 let rt = self.txns.get_mut(&id).expect("checked above");
-                let _ = expr.eval(rt.workspace.vars());
-                rt.advance();
+                rt.exec_compute(&expr);
                 self.metrics.ops_executed += 1;
                 Ok(StepOutcome::Progressed)
             }
@@ -590,6 +586,14 @@ impl System {
         } else {
             self.metrics.partial_rollbacks += 1;
         }
+        if self.config.strategy == crate::config::StrategyKind::Repair {
+            // The rolled-back suffix is not discarded: the victim replays
+            // it from its tape. Its length is the histogram mass that must
+            // reconcile with `states_lost` (and with the per-transaction
+            // replayed/reused ledgers) in a clean run.
+            self.metrics.repairs += 1;
+            self.metrics.repair_suffix.record(u64::from(cost));
+        }
         self.metrics.record_preemption(victim);
         self.update_peak_copies_for(victim);
         // Release the undone locks — without publishing: the database still
@@ -649,6 +653,13 @@ impl System {
         let rt = self.txns.get_mut(&id).expect("caller verified");
         rt.advance();
         rt.phase = Phase::Committed;
+        // Harvest the repair ledger at commit — the one point where it is
+        // final. (Aborted transactions drop theirs, which is why the
+        // replayed + reused == states_lost reconciliation only holds in
+        // clean runs.)
+        let (replayed, reused) = rt.repair_ops();
+        self.metrics.ops_replayed += replayed;
+        self.metrics.ops_reused += reused;
         self.events.record(self.metrics.steps, Event::Committed { txn: id });
         #[cfg(feature = "invariants")]
         self.sentinel.record(format!("{id} committed"));
@@ -687,8 +698,9 @@ impl System {
             let ideal = rt.lock_state_for(entity).expect("held entities have a lock state");
             let target = rt.reachable_target(self.config.strategy, ideal);
             let cost = rt.cost_to_lock_state(target);
+            let conflict = rt.conflict_state_for(ideal);
             self.execute_rollback(
-                CandidateRollback { txn, target, ideal, cost },
+                CandidateRollback { txn, target, ideal, cost, conflict },
                 RollbackReason::GrantExpired,
             )?;
             cost
@@ -952,6 +964,18 @@ impl System {
     pub fn graph_mut_unchecked(&mut self) -> &mut WaitsForGraph {
         &mut self.wfg
     }
+
+    /// Plants the unsound-reuse mutant in every admitted Repair runtime:
+    /// replay will trust taped `Read` outcomes without re-checking them
+    /// against live values. Exists only so the equivalence battery can
+    /// prove the differential oracle catches a repair that skips a
+    /// conflicting suffix op; a no-op under other strategies.
+    #[doc(hidden)]
+    pub fn plant_repair_mutant(&mut self) {
+        for rt in self.txns.values_mut() {
+            rt.plant_unsound_skip_taint();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1069,6 +1093,62 @@ mod tests {
             );
             sys.check_invariants().unwrap();
         }
+    }
+
+    #[test]
+    fn repair_matches_mcs_outcome_and_reconciles_its_ledgers() {
+        // The same deadlocking schedule under MCS and Repair: identical
+        // victim choice, rollback depth, and final database — Repair only
+        // changes how the suffix is re-executed, and its ledgers must
+        // account for every lost state.
+        let run = |strategy| {
+            // T2's rollback suffix is its first lock plus six pads: the
+            // lock must be re-acquired (replayed), the pads reuse.
+            let p1 = ProgramBuilder::new()
+                .lock_exclusive(e(0))
+                .write_const(e(0), 7)
+                .lock_exclusive(e(1))
+                .unlock(e(0))
+                .unlock(e(1))
+                .build_unchecked();
+            let p2 = ProgramBuilder::new()
+                .lock_exclusive(e(1))
+                .pad(6)
+                .lock_exclusive(e(0))
+                .unlock(e(1))
+                .unlock(e(0))
+                .build_unchecked();
+            let mut sys = system(strategy, VictimPolicyKind::PartialOrder);
+            sys.admit_unchecked(p1);
+            sys.admit_unchecked(p2);
+            for id in [t(1), t(1), t(2), t(2), t(2), t(2), t(2), t(2), t(2), t(1), t(2)] {
+                sys.step(id).unwrap();
+            }
+            sys.run(&mut RoundRobin::new()).unwrap();
+            assert!(sys.all_committed());
+            sys
+        };
+        let mcs = run(StrategyKind::Mcs);
+        let rep = run(StrategyKind::Repair);
+        assert_eq!(
+            rep.store().read(e(0)).unwrap(),
+            mcs.store().read(e(0)).unwrap(),
+            "same schedule, same final values"
+        );
+        assert_eq!(rep.store().read(e(1)).unwrap(), mcs.store().read(e(1)).unwrap());
+        let (m_rep, m_mcs) = (rep.metrics(), mcs.metrics());
+        assert_eq!(m_rep.states_lost, m_mcs.states_lost, "planner-identical to MCS");
+        assert_eq!(m_rep.partial_rollbacks, m_mcs.partial_rollbacks);
+        assert_eq!(m_rep.total_rollbacks, m_mcs.total_rollbacks);
+        // Repair-only accounting: every repair records its suffix, the
+        // suffix mass is exactly the states lost, and each re-walked op is
+        // either replayed or reused.
+        assert_eq!(m_rep.repairs, m_rep.rollbacks());
+        assert_eq!(m_rep.repair_suffix.sum(), m_rep.states_lost);
+        assert_eq!(m_rep.ops_replayed + m_rep.ops_reused, m_rep.states_lost);
+        assert!(m_rep.ops_reused > 0, "an untouched suffix op should be reused");
+        assert_eq!(m_mcs.repairs, 0);
+        assert_eq!((m_mcs.ops_replayed, m_mcs.ops_reused), (0, 0));
     }
 
     #[test]

@@ -10,6 +10,14 @@
 //! monotone instrumentation (metrics, histories, event logs, peak
 //! counters) that never feeds back into execution.
 //!
+//! The Repair strategy's replay tape and open replay window are likewise
+//! excluded. The tape only ever supplies a value when that value is
+//! verified equal to what re-execution would produce (reads compare
+//! against the live entity; computed ops reuse only when every input is
+//! untainted), so two systems differing solely in tape contents have
+//! identical future behaviour — the tape steers the replayed/reused
+//! *ledgers*, which are instrumentation, never the values.
+//!
 //! The visited set keys on the **full encoding**, never on a hash alone: a
 //! 64-bit fingerprint collision would silently merge distinct states and
 //! unsoundly prune reachable behaviours. [`fingerprint`] exists for

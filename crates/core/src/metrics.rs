@@ -181,6 +181,21 @@ pub struct Metrics {
     pub expired_grants: u64,
     /// Transactions aborted by an upper layer ([`crate::System::abort`]).
     pub aborts: u64,
+    /// Repair rollbacks performed (Repair strategy only): rollbacks whose
+    /// suffix is re-executed from the replay tape rather than from scratch.
+    pub repairs: u64,
+    /// Suffix length (states between the rollback target and the
+    /// high-water mark) per repair rollback. In a clean pure-Repair run
+    /// its mass equals `states_lost` — the same reconciliation the
+    /// resolution-cost histogram satisfies for the classic strategies.
+    pub repair_suffix: LogHistogram,
+    /// Suffix operations recomputed during replay (committed transactions
+    /// only; harvested at commit time from the per-transaction ledger).
+    pub ops_replayed: u64,
+    /// Suffix operations whose taped outcome was reused during replay
+    /// (committed transactions only). In a clean pure-Repair run,
+    /// `ops_replayed + ops_reused == states_lost`.
+    pub ops_reused: u64,
 }
 
 impl Metrics {
@@ -250,6 +265,10 @@ impl Metrics {
         }
         self.expired_grants += other.expired_grants;
         self.aborts += other.aborts;
+        self.repairs += other.repairs;
+        self.repair_suffix.merge(&other.repair_suffix);
+        self.ops_replayed += other.ops_replayed;
+        self.ops_reused += other.ops_reused;
     }
 
     /// A flat, JSON-serialisable summary of these metrics.
@@ -267,6 +286,9 @@ impl Metrics {
             max_queue_depth: self.max_queue_depth(),
             grant_latency: HistogramSummary::of(&self.grant_latency),
             resolution_cost: HistogramSummary::of(&self.resolution_cost),
+            repairs: self.repairs,
+            ops_replayed: self.ops_replayed,
+            ops_reused: self.ops_reused,
         }
     }
 }
@@ -340,6 +362,12 @@ pub struct MetricsSnapshot {
     pub grant_latency: HistogramSummary,
     /// Per-deadlock resolution-cost distribution, in states lost.
     pub resolution_cost: HistogramSummary,
+    /// Repair rollbacks performed (0 under non-Repair strategies).
+    pub repairs: u64,
+    /// Suffix operations recomputed during replay.
+    pub ops_replayed: u64,
+    /// Suffix operations reused from the replay tape.
+    pub ops_reused: u64,
 }
 
 impl MetricsSnapshot {
@@ -366,7 +394,11 @@ impl MetricsSnapshot {
         self.grant_latency.write_json(&mut out);
         out.push_str(",\"resolution_cost\":");
         self.resolution_cost.write_json(&mut out);
-        out.push('}');
+        let _ = write!(
+            out,
+            ",\"repairs\":{},\"ops_replayed\":{},\"ops_reused\":{}}}",
+            self.repairs, self.ops_replayed, self.ops_reused
+        );
         out
     }
 }
@@ -641,6 +673,9 @@ mod tests {
             "\"resolution_cost\":{\"count\":1",
             "\"p95\":",
             "\"p99\":",
+            "\"repairs\":0",
+            "\"ops_replayed\":0",
+            "\"ops_reused\":0",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

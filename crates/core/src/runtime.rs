@@ -10,7 +10,7 @@
 use crate::config::StrategyKind;
 use pr_graph::StateDependencyGraph;
 use pr_model::TxnId;
-use pr_model::{EntityId, LockIndex, LockMode, StateIndex, TransactionProgram, Value, VarId};
+use pr_model::{EntityId, Expr, LockIndex, LockMode, StateIndex, TransactionProgram, Value, VarId};
 use pr_storage::{McsWorkspace, SingleCopyWorkspace, StorageError};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -90,6 +90,9 @@ impl Workspace {
             StrategyKind::Total | StrategyKind::Sdg => {
                 Workspace::Single(SingleCopyWorkspace::new(initial_vars))
             }
+            // Repair retains the prefix workspace across a rollback, so it
+            // needs the same any-lock-state version stacks as MCS.
+            StrategyKind::Repair => Workspace::Mcs(McsWorkspace::new(initial_vars)),
         }
     }
 
@@ -120,6 +123,75 @@ impl Workspace {
             Workspace::Single(w) => w.check_integrity(),
         }
     }
+}
+
+/// Replay bookkeeping for [`StrategyKind::Repair`]. Boxed on the runtime;
+/// absent under every other strategy.
+///
+/// The tape records the outcome of each operation the last time it
+/// executed. After a rollback, the transaction re-walks the suffix between
+/// the rollback target and the state it had reached; each suffix operation
+/// either **reuses** its taped outcome (when no input changed) or is
+/// **replayed** (recomputed against current values). Reuse is verified at
+/// every observation point — a `Read` always compares the live value with
+/// the tape — so a replayed execution is value-for-value identical to a
+/// from-scratch MCS re-execution of the same schedule.
+#[derive(Clone, Debug, Default)]
+pub struct RepairState {
+    /// `tape[pc]` = the value the operation at `pc` produced the last time
+    /// it executed: the observed value for `Read`, the computed value for
+    /// `Assign`/`Write`/`Compute`, the global snapshot taken by a lock
+    /// request. Consulted during replay to decide whether the recorded
+    /// outcome still stands.
+    tape: Vec<Option<Value>>,
+    /// The active replay window, when re-executing a repaired suffix.
+    replay: Option<Replay>,
+    /// Suffix operations whose outcome had to be recomputed (or, for lock
+    /// requests, re-acquired through the lock table).
+    pub ops_replayed: u64,
+    /// Suffix operations whose taped outcome was reused unchanged.
+    pub ops_reused: u64,
+    /// Planted-mutant hook for the oracle self-test: when set, replay
+    /// reuses taped `Read` outcomes *without* re-checking them against the
+    /// live value — exactly the unsound shortcut (skipping a conflicting
+    /// suffix op) that the differential oracle exists to catch. Never set
+    /// outside tests.
+    unsound_skip_taint: bool,
+}
+
+impl RepairState {
+    fn record(&mut self, pc: usize, value: Value) {
+        if self.tape.len() <= pc {
+            self.tape.resize(pc + 1, None);
+        }
+        self.tape[pc] = Some(value);
+    }
+
+    fn recorded(&self, pc: usize) -> Option<Value> {
+        self.tape.get(pc).copied().flatten()
+    }
+
+    /// Whether an operation executing at `state` lies inside the replay
+    /// window.
+    fn replaying(&self, state: StateIndex) -> bool {
+        self.replay.as_ref().is_some_and(|r| state < r.end)
+    }
+}
+
+/// One replay window: open from a repair rollback until the state index
+/// re-reaches the high-water mark it had when the rollback struck.
+#[derive(Clone, Debug)]
+struct Replay {
+    /// Replay ends when the state index reaches this mark. A nested
+    /// rollback merges windows by taking the max, which keeps the ledger
+    /// additive: every state lost is re-walked (and counted) exactly as
+    /// many times as it was lost.
+    end: StateIndex,
+    /// Variables whose current value differs from the previous execution
+    /// of this program region. Starts empty at the rollback target: the
+    /// version stacks restore the workspace to precisely the values it
+    /// held when execution last passed that point.
+    tainted: BTreeSet<VarId>,
 }
 
 /// Runtime state of one transaction.
@@ -160,6 +232,8 @@ pub struct TxnRuntime {
     /// Entities whose locks are currently held (lock states minus
     /// unlocks), for commit-time release.
     pub held: BTreeSet<EntityId>,
+    /// Replay tape and ledger (`Some` iff the strategy is Repair).
+    pub repair: Option<Box<RepairState>>,
 }
 
 impl TxnRuntime {
@@ -192,6 +266,7 @@ impl TxnRuntime {
             states_lost: 0,
             blocked_on: None,
             held: BTreeSet::new(),
+            repair: (strategy == StrategyKind::Repair).then(Box::default),
         }
     }
 
@@ -221,7 +296,9 @@ impl TxnRuntime {
     pub fn reachable_target(&self, strategy: StrategyKind, ideal: LockIndex) -> LockIndex {
         match strategy {
             StrategyKind::Total => LockIndex::ZERO,
-            StrategyKind::Mcs => ideal,
+            // Repair rolls lock state back exactly as far as MCS; the
+            // difference is how the suffix is re-executed, not how deep.
+            StrategyKind::Mcs | StrategyKind::Repair => ideal,
             StrategyKind::Sdg | StrategyKind::Bounded(_) => self
                 .sdg
                 .as_ref()
@@ -247,7 +324,17 @@ impl TxnRuntime {
         if let Some(sdg) = &mut self.sdg {
             sdg.on_lock_state();
         }
+        if let Some(rep) = &mut self.repair {
+            // Lock requests are always genuinely re-performed through the
+            // lock table during replay — the grant, and the global snapshot
+            // an exclusive grant copies in, cannot be reused from the tape.
+            if rep.replaying(self.state) {
+                rep.ops_replayed += 1;
+            }
+            rep.record(self.pc, global);
+        }
         self.advance();
+        self.close_replay_if_done();
         self.phase = Phase::Running;
         self.blocked_on = None;
     }
@@ -329,6 +416,165 @@ impl TxnRuntime {
         self.state = self.state.next();
     }
 
+    /// Closes the replay window once the state index re-reaches its
+    /// high-water mark. Called after every op that can advance the state.
+    fn close_replay_if_done(&mut self) {
+        if let Some(rep) = &mut self.repair {
+            if rep.replay.as_ref().is_some_and(|r| self.state >= r.end) {
+                rep.replay = None;
+            }
+        }
+    }
+
+    /// Executes a `Read` op: observes the transaction's view of `entity`
+    /// (local copy when held exclusively, otherwise `global`) and assigns
+    /// it to `into`. Under Repair this is the verification point of the
+    /// replay protocol: the live observation is compared against the tape,
+    /// and `into` is tainted or cleared accordingly — a reuse is never
+    /// trusted across a value the environment could have changed.
+    pub fn exec_read(
+        &mut self,
+        entity: EntityId,
+        into: VarId,
+        global: Value,
+    ) -> Result<(), StorageError> {
+        let mut value = self.read_entity(entity, global);
+        if let Some(rep) = self.repair.as_deref_mut() {
+            if rep.replaying(self.state) {
+                let recorded = rep.recorded(self.pc);
+                if rep.unsound_skip_taint {
+                    // Planted mutant: trust the tape blindly, skipping the
+                    // live comparison. Unsound whenever the blocker's
+                    // publish changed the value underneath the suffix.
+                    if let Some(v) = recorded {
+                        value = v;
+                    }
+                    rep.ops_reused += 1;
+                } else if recorded == Some(value) {
+                    rep.ops_reused += 1;
+                    if let Some(r) = &mut rep.replay {
+                        r.tainted.remove(&into);
+                    }
+                } else {
+                    rep.ops_replayed += 1;
+                    if let Some(r) = &mut rep.replay {
+                        r.tainted.insert(into);
+                    }
+                }
+            }
+            rep.record(self.pc, value);
+        }
+        self.assign_var(into, value)?;
+        self.close_replay_if_done();
+        Ok(())
+    }
+
+    /// Executes an `Assign` op: evaluates `expr` (reusing the taped result
+    /// during replay when no input variable is tainted) and assigns it to
+    /// `var`.
+    pub fn exec_assign(&mut self, var: VarId, expr: &Expr) -> Result<(), StorageError> {
+        let value = self.eval_op(expr, Some(var));
+        self.assign_var(var, value)?;
+        self.close_replay_if_done();
+        Ok(())
+    }
+
+    /// Executes a `Write` op: evaluates `expr` (reusing the taped result
+    /// during replay when no input variable is tainted) and writes it to
+    /// `entity`'s local copy. The write always goes through the workspace,
+    /// reused or not — version-stack bookkeeping must be identical to a
+    /// from-scratch re-execution.
+    pub fn exec_write(&mut self, entity: EntityId, expr: &Expr) -> Result<(), StorageError> {
+        let value = self.eval_op(expr, None);
+        self.write_entity(entity, value)?;
+        self.close_replay_if_done();
+        Ok(())
+    }
+
+    /// Executes a `Compute` op: evaluates `expr` for its cost (result
+    /// discarded), skipping the evaluation during replay when no input
+    /// variable is tainted.
+    pub fn exec_compute(&mut self, expr: &Expr) {
+        let _ = self.eval_op(expr, None);
+        self.advance();
+        self.close_replay_if_done();
+    }
+
+    /// Shared evaluation path for `Assign`/`Write`/`Compute`: returns the
+    /// op's value, reusing the tape during replay when every input
+    /// variable is untainted, and maintains the taint set for `out` (the
+    /// variable the result is assigned to, if any).
+    fn eval_op(&mut self, expr: &Expr, out: Option<VarId>) -> Value {
+        let pc = self.pc;
+        let state = self.state;
+        let Some(rep) = self.repair.as_deref_mut() else {
+            return expr.eval(self.workspace.vars());
+        };
+        if !rep.replaying(state) {
+            let value = expr.eval(self.workspace.vars());
+            rep.record(pc, value);
+            return value;
+        }
+        let recorded = rep.recorded(pc);
+        let inputs_clean = rep
+            .replay
+            .as_ref()
+            .is_some_and(|r| !expr.variables().iter().any(|v| r.tainted.contains(v)));
+        let value = match recorded {
+            Some(v) if inputs_clean => {
+                rep.ops_reused += 1;
+                // Backstop: in debug builds re-derive the value and insist
+                // the tape agrees (off only for the planted mutant, whose
+                // whole point is to let an unsound reuse reach the oracle).
+                debug_assert!(
+                    rep.unsound_skip_taint || expr.eval(self.workspace.vars()) == v,
+                    "repair reused a stale result for pc {pc}",
+                );
+                v
+            }
+            _ => {
+                rep.ops_replayed += 1;
+                expr.eval(self.workspace.vars())
+            }
+        };
+        if let Some(var) = out {
+            if let Some(r) = &mut rep.replay {
+                if recorded == Some(value) {
+                    r.tainted.remove(&var);
+                } else {
+                    r.tainted.insert(var);
+                }
+            }
+        }
+        rep.record(pc, value);
+        value
+    }
+
+    /// The state index of the earliest conflicting access for a rollback
+    /// aiming at lock state `ideal`: the state at which the victim issued
+    /// the contested lock request, or the current state when `ideal` is
+    /// the current lock index (requeue candidates, which release nothing).
+    pub fn conflict_state_for(&self, ideal: LockIndex) -> StateIndex {
+        self.lock_states.get(ideal.index()).map_or(self.state, |ls| ls.state_index)
+    }
+
+    /// The repair ledger: `(ops_replayed, ops_reused)`. Zero under every
+    /// non-Repair strategy.
+    pub fn repair_ops(&self) -> (u64, u64) {
+        self.repair.as_ref().map_or((0, 0), |r| (r.ops_replayed, r.ops_reused))
+    }
+
+    /// Plants the unsound-reuse mutant (Repair only): replay will trust
+    /// taped `Read` outcomes without comparing them against live values.
+    /// Exists so the equivalence battery can prove the differential oracle
+    /// actually catches a repair that skips a conflicting suffix op.
+    #[doc(hidden)]
+    pub fn plant_unsound_skip_taint(&mut self) {
+        if let Some(rep) = &mut self.repair {
+            rep.unsound_skip_taint = true;
+        }
+    }
+
     /// Performs the runtime part of a rollback to lock state `target`
     /// (workspace restore, SDG truncation, pc/state reset, §4 steps 2–5).
     /// Returns the lock-state records released (the engine releases the
@@ -374,6 +620,28 @@ impl TxnRuntime {
         let lost = self.state.cost_to(new_state);
         self.states_lost += u64::from(lost);
         self.preemptions += 1;
+        if let Some(rep) = &mut self.repair {
+            // Open (or extend) the replay window over the lost suffix. The
+            // empty taint set is sound only while the tape ahead of the
+            // resume point was written by a single execution (the version
+            // stacks restore every variable to exactly that execution's
+            // value at the resume point, so nothing has diverged yet). A
+            // nested rollback breaks that: entries the interrupted replay
+            // never reached still date from the *previous* execution,
+            // while the taint set that tracked divergence from them dies
+            // with the window — so drop those older-epoch entries and
+            // re-derive them instead of reusing.
+            let end = match rep.replay.take() {
+                Some(r) => {
+                    rep.tape.truncate(self.pc);
+                    r.end.max(self.state)
+                }
+                None => self.state,
+            };
+            if end > new_state {
+                rep.replay = Some(Replay { end, tainted: BTreeSet::new() });
+            }
+        }
         self.pc = new_pc;
         self.state = new_state;
         self.phase = Phase::Running;
@@ -530,5 +798,95 @@ mod tests {
         let released = rt.rollback_to(LockIndex::new(1)).unwrap();
         assert!(released.is_empty());
         assert_eq!(rt.pc, pc);
+    }
+
+    use pr_model::Expr;
+
+    fn v(i: u16) -> VarId {
+        VarId::new(i)
+    }
+
+    /// lock e0 X · read e0 → v0 · lock e1 X · write e1 := v0 + 1.
+    fn repair_runtime() -> TxnRuntime {
+        let p = ProgramBuilder::new()
+            .lock_exclusive(e(0))
+            .read(e(0), v(0))
+            .lock_exclusive(e(1))
+            .write(e(1), Expr::add(Expr::var(v(0)), Expr::lit(1)))
+            .build_unchecked();
+        TxnRuntime::new(TxnId::new(1), Arc::new(p), 0, StrategyKind::Repair)
+    }
+
+    #[test]
+    fn repair_reuses_unchanged_suffix_and_ledger_reconciles() {
+        let mut rt = repair_runtime();
+        rt.complete_lock(e(0), LockMode::Exclusive, Value::new(10));
+        rt.exec_read(e(0), v(0), Value::ZERO).unwrap();
+        rt.complete_lock(e(1), LockMode::Exclusive, Value::new(20));
+        rt.exec_write(e(1), &Expr::add(Expr::var(v(0)), Expr::lit(1))).unwrap();
+        assert_eq!(rt.read_entity(e(1), Value::ZERO), Value::new(11));
+        // Lose the e1 suffix; the e0 prefix (and v0) survive in place.
+        rt.rollback_to(LockIndex::new(1)).unwrap();
+        assert_eq!(rt.states_lost, 2);
+        // Re-execute: the lock is genuinely re-acquired (replayed), the
+        // write's inputs are untainted so its taped result is reused.
+        rt.complete_lock(e(1), LockMode::Exclusive, Value::new(20));
+        rt.exec_write(e(1), &Expr::add(Expr::var(v(0)), Expr::lit(1))).unwrap();
+        assert_eq!(rt.read_entity(e(1), Value::ZERO), Value::new(11));
+        assert_eq!(rt.repair_ops(), (1, 1));
+        let (replayed, reused) = rt.repair_ops();
+        assert_eq!(replayed + reused, rt.states_lost, "every lost state is re-walked once");
+        assert!(rt.repair.as_ref().unwrap().replay.is_none(), "window closed at high-water mark");
+    }
+
+    #[test]
+    fn repair_read_detects_changed_value_and_taints_downstream() {
+        let mut rt = repair_runtime();
+        rt.complete_lock(e(0), LockMode::Exclusive, Value::new(10));
+        rt.exec_read(e(0), v(0), Value::ZERO).unwrap();
+        rt.complete_lock(e(1), LockMode::Exclusive, Value::new(20));
+        rt.exec_write(e(1), &Expr::add(Expr::var(v(0)), Expr::lit(1))).unwrap();
+        rt.rollback_to(LockIndex::ZERO).unwrap();
+        assert_eq!(rt.states_lost, 4);
+        // The blocker published a new value for e0: the read observes it,
+        // taints v0, and everything downstream recomputes.
+        rt.complete_lock(e(0), LockMode::Exclusive, Value::new(50));
+        rt.exec_read(e(0), v(0), Value::ZERO).unwrap();
+        rt.complete_lock(e(1), LockMode::Exclusive, Value::new(20));
+        rt.exec_write(e(1), &Expr::add(Expr::var(v(0)), Expr::lit(1))).unwrap();
+        assert_eq!(rt.read_entity(e(1), Value::ZERO), Value::new(51), "recomputed, not reused");
+        assert_eq!(rt.repair_ops(), (4, 0), "changed input forces a full replay");
+    }
+
+    #[test]
+    fn planted_mutant_reuses_stale_read_and_diverges() {
+        let mut rt = repair_runtime();
+        rt.plant_unsound_skip_taint();
+        rt.complete_lock(e(0), LockMode::Exclusive, Value::new(10));
+        rt.exec_read(e(0), v(0), Value::ZERO).unwrap();
+        rt.complete_lock(e(1), LockMode::Exclusive, Value::new(20));
+        rt.exec_write(e(1), &Expr::add(Expr::var(v(0)), Expr::lit(1))).unwrap();
+        rt.rollback_to(LockIndex::ZERO).unwrap();
+        rt.complete_lock(e(0), LockMode::Exclusive, Value::new(50));
+        rt.exec_read(e(0), v(0), Value::ZERO).unwrap();
+        rt.complete_lock(e(1), LockMode::Exclusive, Value::new(20));
+        rt.exec_write(e(1), &Expr::add(Expr::var(v(0)), Expr::lit(1))).unwrap();
+        // The mutant trusted the taped read (10) over the live value (50):
+        // the published result is stale — exactly what the differential
+        // oracle must flag.
+        assert_eq!(rt.read_entity(e(1), Value::ZERO), Value::new(11));
+    }
+
+    #[test]
+    fn conflict_state_is_the_contested_lock_request() {
+        let mut rt = runtime(StrategyKind::Mcs);
+        rt.complete_lock(e(0), LockMode::Exclusive, Value::ZERO); // state 0→1
+        rt.write_entity(e(0), Value::new(1)).unwrap(); // 1→2
+        rt.complete_lock(e(1), LockMode::Exclusive, Value::ZERO); // 2→3
+        assert_eq!(rt.conflict_state_for(LockIndex::ZERO), StateIndex::ZERO);
+        assert_eq!(rt.conflict_state_for(LockIndex::new(1)), StateIndex::new(2));
+        // Requeue candidates aim at the current lock index: nothing is
+        // released, the conflict is "here".
+        assert_eq!(rt.conflict_state_for(rt.lock_index()), rt.state);
     }
 }

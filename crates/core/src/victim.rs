@@ -40,7 +40,8 @@ fn candidate_for<V: RuntimeView>(
     };
     let target = rt.reachable_target(strategy, ideal);
     let cost = rt.cost_to_lock_state(target);
-    Some(CandidateRollback { txn, target, ideal, cost })
+    let conflict = rt.conflict_state_for(ideal);
+    Some(CandidateRollback { txn, target, ideal, cost, conflict })
 }
 
 /// Builds the cut-set instance for a deadlock: one candidate list per
@@ -175,6 +176,9 @@ mod tests {
         assert_eq!(c1.cost, 8);
         assert_eq!(c1.target, LockIndex::ZERO);
         assert_eq!(c2.cost, 2);
+        // The conflicting access is where the contested lock was issued.
+        assert_eq!(c1.conflict, pr_model::StateIndex::ZERO);
+        assert_eq!(c2.conflict, pr_model::StateIndex::ZERO);
     }
 
     #[test]
@@ -279,6 +283,7 @@ mod tests {
         assert_eq!(c2.ideal, current);
         assert_eq!(c2.target, current);
         assert_eq!(c2.cost, 0, "cancel-and-requeue loses no states under MCS");
+        assert_eq!(c2.conflict, txns[&t(2)].state, "requeue conflicts at the current state");
 
         // Under the partial-order policy the queued-ahead member (younger
         // than the causer) must be selectable — previously the candidate

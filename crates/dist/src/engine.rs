@@ -425,11 +425,13 @@ impl DistributedSystem {
                             let target = LockIndex::ZERO;
                             let cost = rt.cost_to_lock_state(target);
                             let ideal_cost = rt.cost_to_lock_state(ideal);
+                            let conflict = rt.conflict_state_for(ideal);
                             self.execute_rollback(CandidateRollback {
                                 txn: id,
                                 target,
                                 ideal,
                                 cost,
+                                conflict,
                             })?;
                             self.metrics.rollback_overshoot += u64::from(cost - ideal_cost);
                             return Ok(());
@@ -523,7 +525,8 @@ impl DistributedSystem {
             let target = hrt.reachable_target(self.config.strategy, ideal);
             let cost = hrt.cost_to_lock_state(target);
             let ideal_cost = hrt.cost_to_lock_state(ideal);
-            self.execute_rollback(CandidateRollback { txn: h, target, ideal, cost })?;
+            let conflict = hrt.conflict_state_for(ideal);
+            self.execute_rollback(CandidateRollback { txn: h, target, ideal, cost, conflict })?;
             self.metrics.wounds += 1;
             self.metrics.rollback_overshoot += u64::from(cost - ideal_cost);
             self.charge_remote(h, entity, 1); // wound notification
@@ -731,7 +734,9 @@ impl DistributedSystem {
                         let Some(ideal) = hrt.lock_state_for(entity) else { continue };
                         let target = hrt.reachable_target(self.config.strategy, ideal);
                         let cost = hrt.cost_to_lock_state(target);
-                        wound = Some(CandidateRollback { txn: h.txn, target, ideal, cost });
+                        let conflict = hrt.conflict_state_for(ideal);
+                        wound =
+                            Some(CandidateRollback { txn: h.txn, target, ideal, cost, conflict });
                         break 'outer;
                     }
                 }

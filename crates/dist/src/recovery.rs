@@ -89,7 +89,14 @@ impl DistributedSystem {
                 let target = rt.reachable_target(self.config.strategy, ideal);
                 let cost = rt.cost_to_lock_state(target);
                 let ideal_cost = rt.cost_to_lock_state(ideal);
-                self.execute_rollback(CandidateRollback { txn: held.txn, target, ideal, cost })?;
+                let conflict = rt.conflict_state_for(ideal);
+                self.execute_rollback(CandidateRollback {
+                    txn: held.txn,
+                    target,
+                    ideal,
+                    cost,
+                    conflict,
+                })?;
                 self.metrics.recovery_rollbacks += 1;
                 self.metrics.recovery_states_lost += u64::from(cost);
                 self.metrics.rollback_overshoot += u64::from(cost - ideal_cost);

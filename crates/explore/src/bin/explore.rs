@@ -31,8 +31,8 @@ usage: explore [OPTIONS]
                     (default barging; ordered derives and installs each
                     case's acquisition order — uncertifiable cases fall
                     back to partial rollback)
-  --strategy NAME   mcs | sdg | total | all (default all; 'all' also
-                    cross-checks terminal-outcome equivalence)
+  --strategy NAME   mcs | sdg | total | repair | all (default all; 'all'
+                    also cross-checks terminal-outcome equivalence)
   --figure2         explore the Figure 2 prefix under min-cost (livelock
                     expected) and partial-order (termination proof) instead
                     of the grid
@@ -68,7 +68,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         case: None,
         policy: VictimPolicyKind::PartialOrder,
         grant: GrantPolicy::Barging,
-        strategies: vec![StrategyKind::Total, StrategyKind::Mcs, StrategyKind::Sdg],
+        strategies: StrategyKind::ALL.to_vec(),
         figure2: false,
         identical: None,
         max_states: 1 << 20,
@@ -101,11 +101,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--strategy" => {
                 o.strategies = match value("--strategy")? {
-                    "all" => vec![StrategyKind::Total, StrategyKind::Mcs, StrategyKind::Sdg],
-                    "mcs" => vec![StrategyKind::Mcs],
-                    "sdg" => vec![StrategyKind::Sdg],
-                    "total" => vec![StrategyKind::Total],
-                    other => return Err(format!("unknown strategy {other:?}")),
+                    "all" => StrategyKind::ALL.to_vec(),
+                    name => match StrategyKind::parse(name) {
+                        Some(s) => vec![s],
+                        None => return Err(format!("unknown strategy {name:?}")),
+                    },
                 };
             }
             "--grant" => {
@@ -160,6 +160,7 @@ fn strategy_name(s: StrategyKind) -> &'static str {
         StrategyKind::Total => "total",
         StrategyKind::Mcs => "mcs",
         StrategyKind::Sdg => "sdg",
+        StrategyKind::Repair => "repair",
         _ => "other",
     }
 }

@@ -673,7 +673,15 @@ pub fn replay_lines(base: &System, schedule: &[TxnId]) -> Vec<String> {
                 let victims: Vec<String> = plan
                     .rollbacks
                     .iter()
-                    .map(|r| format!("{} to {} (cost {})", r.txn, r.target.raw(), r.cost))
+                    .map(|r| {
+                        format!(
+                            "{} to {} (cost {}, conflict at {})",
+                            r.txn,
+                            r.target.raw(),
+                            r.cost,
+                            r.conflict.raw()
+                        )
+                    })
                     .collect();
                 format!(
                     "{i:>4} step {txn} -> deadlock resolved: roll back {} [total {}{}]",

@@ -201,7 +201,13 @@ mod tests {
     }
 
     fn cand(txn: u32, cost: u32) -> CandidateRollback {
-        CandidateRollback { txn: t(txn), target: LockIndex::ZERO, ideal: LockIndex::ZERO, cost }
+        CandidateRollback {
+            txn: t(txn),
+            target: LockIndex::ZERO,
+            ideal: LockIndex::ZERO,
+            cost,
+            conflict: pr_model::StateIndex::ZERO,
+        }
     }
 
     /// A correct single-cycle exclusive-lock resolution: members cost 2

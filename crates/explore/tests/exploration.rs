@@ -11,7 +11,7 @@
 use pr_core::config::{StrategyKind, SystemConfig, VictimPolicyKind};
 use pr_core::engine::System;
 use pr_core::fingerprint::canonical_state;
-use pr_explore::explorer::{explore, ExploreOptions, ExploreReport};
+use pr_explore::explorer::{explore, replay_lines, ExploreOptions, ExploreReport};
 use pr_explore::grid::{figure2_prefix_system, grid_cases, grid_store, GridCase};
 use pr_model::{EntityId, ProgramBuilder, TxnId, Value};
 use pr_storage::{GlobalStore, Snapshot};
@@ -90,6 +90,127 @@ fn strategies_are_outcome_equivalent_over_all_schedules() {
             );
         }
     }
+}
+
+/// Repair over the full 56-case grid: every case enumerates completely
+/// with the oracles silent, the terminal-outcome set is identical to
+/// Total/MCS/SDG's (zero divergences), and every witness schedule
+/// replays with reconciled repair ledgers — one repair per rollback, the
+/// suffix histogram and the per-deadlock resolution-cost histogram both
+/// carrying exactly the states lost, and replayed + reused ops
+/// partitioning that mass.
+#[test]
+fn repair_is_outcome_equivalent_and_reconciles_over_the_grid() {
+    let cases = grid_cases(3);
+    assert_eq!(cases.len(), 56, "the 3-transaction grid must stay at 56 cases");
+    let mut divergences = Vec::new();
+    let mut repairs_audited = 0u64;
+    for case in &cases {
+        let repair = explore_grid(case, StrategyKind::Repair, VictimPolicyKind::PartialOrder);
+        let got = repair.outcome_set();
+        for strategy in [StrategyKind::Total, StrategyKind::Mcs, StrategyKind::Sdg] {
+            let reference =
+                explore_grid(case, strategy, VictimPolicyKind::PartialOrder).outcome_set();
+            if got != reference {
+                divergences.push(format!("{} vs {strategy:?}", case.name));
+            }
+        }
+        // Accounting reconciliation: replay each terminal's witness
+        // schedule on a fresh Repair system and audit the ledgers at
+        // quiescence.
+        for outcome in &repair.terminals {
+            let mut sys = grid_system(case, StrategyKind::Repair, VictimPolicyKind::PartialOrder);
+            for &t in &outcome.schedule {
+                sys.step(t).expect("witness schedule replays");
+            }
+            assert!(sys.all_settled(), "{}: witness replay did not settle", case.name);
+            let m = sys.metrics();
+            assert_eq!(m.repairs, m.rollbacks(), "{}: one repair per rollback", case.name);
+            assert_eq!(
+                m.repair_suffix.sum(),
+                m.states_lost,
+                "{}: repair suffix mass must equal states lost",
+                case.name
+            );
+            assert_eq!(
+                m.resolution_cost.sum(),
+                m.states_lost,
+                "{}: resolution-cost mass must equal states lost",
+                case.name
+            );
+            assert_eq!(
+                m.ops_replayed + m.ops_reused,
+                m.states_lost,
+                "{}: replayed + reused ops must partition the states lost",
+                case.name
+            );
+            repairs_audited += m.repairs;
+        }
+    }
+    assert_eq!(divergences, Vec::<String>::new(), "terminal-outcome divergences");
+    assert!(repairs_audited > 0, "the grid must exercise repair rollbacks");
+}
+
+/// Scripted XX-opposed deadlock on the grid shapes: the victim's lost
+/// suffix contains a constant write whose taped outcome no rollback can
+/// invalidate, so repair must *reuse* it (and still replay the lock),
+/// while the terminal snapshot matches MCS on the identical schedule.
+#[test]
+fn repair_reuses_unaffected_suffix_ops_on_the_grid_shapes() {
+    use pr_explore::grid::{Modes, Shape, A, B};
+    let run = |strategy: StrategyKind| {
+        let mut sys =
+            System::new(grid_store(), SystemConfig::new(strategy, VictimPolicyKind::PartialOrder));
+        let t1 = sys.admit(Shape { first: A, modes: Modes::XX }.program(1)).expect("valid");
+        let t2 = sys.admit(Shape { first: B, modes: Modes::XX }.program(2)).expect("valid");
+        // t2 acquires b and writes it; t1 acquires a and writes it; t2
+        // blocks on a; t1's request for b closes the cycle. PartialOrder
+        // wounds the younger t2, whose lost suffix is [lock b, write b].
+        for &(t, n) in &[(t2, 2), (t1, 2), (t2, 1), (t1, 1)] {
+            for _ in 0..n {
+                sys.step(t).expect("scripted prefix");
+            }
+        }
+        sys.run(&mut pr_core::scheduler::RoundRobin::new()).expect("drains");
+        assert!(sys.all_settled());
+        let snapshot: Vec<(u32, i64)> =
+            sys.store().iter().map(|(e, v)| (e.raw(), v.raw())).collect();
+        (snapshot, sys.metrics().clone())
+    };
+
+    let (mcs_snapshot, mcs_metrics) = run(StrategyKind::Mcs);
+    assert!(mcs_metrics.deadlocks >= 1, "the script must deadlock");
+    let (snapshot, m) = run(StrategyKind::Repair);
+    assert_eq!(snapshot, mcs_snapshot, "repair must land on the MCS outcome");
+    assert!(m.repairs >= 1);
+    assert!(m.ops_reused >= 1, "the constant write must be reused from the tape");
+    assert!(m.ops_replayed >= 1, "the lock op must be replayed");
+    assert_eq!(m.ops_replayed + m.ops_reused, m.states_lost);
+}
+
+/// The `--trace` replay artifact carries the repair audit fields: a
+/// deadlock-resolution line names the rollback target, its cost, and the
+/// earliest conflicting access (`conflict at`) that repair replays from.
+#[test]
+fn trace_replay_lines_carry_the_repair_audit_fields() {
+    use pr_explore::grid::{Modes, Shape, A, B};
+    let mut sys = System::new(
+        grid_store(),
+        SystemConfig::new(StrategyKind::Repair, VictimPolicyKind::PartialOrder),
+    );
+    let t1 = sys.admit(Shape { first: A, modes: Modes::XX }.program(1)).expect("valid");
+    let t2 = sys.admit(Shape { first: B, modes: Modes::XX }.program(2)).expect("valid");
+    // Same script as above: t1's request for b closes the cycle on the
+    // final step, so the last trace line must be the resolution record.
+    let schedule = [t2, t2, t1, t1, t2, t1];
+    let lines = replay_lines(&sys, &schedule);
+    assert_eq!(lines.len(), schedule.len());
+    let resolved = lines.last().expect("non-empty trace");
+    assert!(
+        resolved.contains("deadlock resolved") && resolved.contains("conflict at"),
+        "resolution line must carry the repair audit fields: {resolved}"
+    );
+    assert!(!lines.iter().any(|l| l.contains("ERROR")), "replay must not error: {lines:?}");
 }
 
 /// Every terminal snapshot of every schedule is serializable: it equals

@@ -18,7 +18,7 @@
 //! cost-effectiveness heuristic. [`solve`] tries exact first and falls
 //! back.
 
-use pr_model::{LockIndex, TxnId};
+use pr_model::{LockIndex, StateIndex, TxnId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -36,6 +36,13 @@ pub struct CandidateRollback {
     /// overshoot. The engine charges `cost(target) − cost(ideal)` to its
     /// overshoot metric.
     pub ideal: LockIndex,
+    /// The earliest conflicting access: the state index at which the
+    /// victim acquired the lock the cycle contests. Everything before
+    /// this state is conflict-free prefix; the repair strategy retains
+    /// it and re-executes only the suffix from here. Recorded in the
+    /// resolution audit for every strategy (it is a victim-selection
+    /// fact, not a repair-only one).
+    pub conflict: StateIndex,
     /// States lost by this rollback (§3.1's cost function).
     pub cost: u32,
 }
@@ -69,8 +76,9 @@ fn covers(choice: &BTreeMap<TxnId, CandidateRollback>, cycle: &[CandidateRollbac
         .any(|cand| choice.get(&cand.txn).is_some_and(|chosen| chosen.target <= cand.target))
 }
 
-/// Merges a candidate into a choice map, keeping the deeper target and the
-/// correspondingly larger cost. Returns the cost delta.
+/// Merges a candidate into a choice map, keeping the deeper target, the
+/// correspondingly larger cost, and the earlier conflicting access.
+/// Returns the cost delta.
 fn merge(choice: &mut BTreeMap<TxnId, CandidateRollback>, cand: CandidateRollback) -> u64 {
     match choice.get_mut(&cand.txn) {
         Some(existing) => {
@@ -80,6 +88,9 @@ fn merge(choice: &mut BTreeMap<TxnId, CandidateRollback>, cand: CandidateRollbac
             }
             if cand.ideal < existing.ideal {
                 existing.ideal = cand.ideal;
+            }
+            if cand.conflict < existing.conflict {
+                existing.conflict = cand.conflict;
             }
             if cand.cost > existing.cost {
                 existing.cost = cand.cost;
@@ -139,6 +150,9 @@ pub fn solve_exhaustive(cycles: &[Vec<CandidateRollback>]) -> Option<CutSolution
                 }
                 if cand.ideal < existing.ideal {
                     existing.ideal = cand.ideal;
+                }
+                if cand.conflict < existing.conflict {
+                    existing.conflict = cand.conflict;
                 }
             }
             None => distinct.push(*cand),
@@ -270,12 +284,13 @@ pub fn solve_greedy(cycles: &[Vec<CandidateRollback>]) -> CutSolution {
 ///
 /// ```
 /// use pr_graph::cutset::{solve, CandidateRollback};
-/// use pr_model::{LockIndex, TxnId};
+/// use pr_model::{LockIndex, StateIndex, TxnId};
 ///
 /// let cand = |txn, cost| CandidateRollback {
 ///     txn: TxnId::new(txn),
 ///     target: LockIndex::new(1),
 ///     ideal: LockIndex::new(1),
+///     conflict: StateIndex::new(1),
 ///     cost,
 /// };
 /// // Figure 1's single cycle: costs 4 / 6 / 5 → T2 is chosen.
@@ -300,8 +315,29 @@ mod tests {
             txn: TxnId::new(txn),
             target: LockIndex::new(target),
             ideal: LockIndex::new(target),
+            conflict: StateIndex::new(target),
             cost,
         }
+    }
+
+    #[test]
+    fn merge_keeps_the_earliest_conflicting_access() {
+        // The same transaction appears in two cycles: once with its
+        // conflict at state 3, once at state 1. Covering both must
+        // remember the *earlier* conflicting access — a repair suffix
+        // starting at state 3 would skip the state-1 conflict.
+        let mut choice = BTreeMap::new();
+        merge(&mut choice, cand(1, 3, 2));
+        merge(&mut choice, cand(1, 1, 9));
+        let chosen = choice[&TxnId::new(1)];
+        assert_eq!(chosen.conflict, StateIndex::new(1));
+        assert_eq!(chosen.target, LockIndex::new(1));
+        assert_eq!(chosen.cost, 9);
+        // Order-independent.
+        let mut rev = BTreeMap::new();
+        merge(&mut rev, cand(1, 1, 9));
+        merge(&mut rev, cand(1, 3, 2));
+        assert_eq!(rev[&TxnId::new(1)], chosen);
     }
 
     #[test]

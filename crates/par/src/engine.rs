@@ -58,7 +58,7 @@ use crate::wfg::EpochGraph;
 use crate::word::{EntitySlab, FastPath};
 use pr_core::deadlock::{plan_resolution, DeadlockEvent};
 use pr_core::runtime::{Phase, TxnRuntime};
-use pr_core::Metrics;
+use pr_core::{Metrics, StrategyKind};
 use pr_graph::{CandidateRollback, Cycle};
 use pr_lock::RequestOutcome;
 use pr_model::{EntityId, LockIndex, LockMode, Op, StateIndex, TransactionProgram, TxnId, Value};
@@ -202,24 +202,20 @@ impl Core<'_> {
                     // 2PL: the program holds a lock on `entity` here, so
                     // the slab's published value cannot change under us.
                     let global = self.slab.read(entity);
-                    let value = g.rt.read_entity(entity, global);
-                    g.rt.assign_var(into, value)?;
+                    g.rt.exec_read(entity, into, global)?;
                     local.ops_executed += 1;
                 }
                 Op::Write { entity, expr } => {
-                    let value = expr.eval(g.rt.workspace.vars());
-                    g.rt.write_entity(entity, value)?;
+                    g.rt.exec_write(entity, &expr)?;
                     local.ops_executed += 1;
                     local.peak_copies = local.peak_copies.max(g.rt.copies());
                 }
                 Op::Assign { var, expr } => {
-                    let value = expr.eval(g.rt.workspace.vars());
-                    g.rt.assign_var(var, value)?;
+                    g.rt.exec_assign(var, &expr)?;
                     local.ops_executed += 1;
                 }
                 Op::Compute(expr) => {
-                    let _ = expr.eval(g.rt.workspace.vars());
-                    g.rt.advance();
+                    g.rt.exec_compute(&expr);
                     local.ops_executed += 1;
                 }
                 Op::Commit => {
@@ -530,6 +526,10 @@ impl Core<'_> {
         } else {
             local.partial_rollbacks += 1;
         }
+        if self.config.system.strategy == StrategyKind::Repair {
+            local.repairs += 1;
+            local.repair_suffix.record(u64::from(cost));
+        }
         local.record_preemption(victim);
         local.peak_copies = local.peak_copies.max(vs.rt.copies());
         for ls in &released {
@@ -592,6 +592,11 @@ impl Core<'_> {
         }));
         local.ops_executed += 1;
         local.commits += 1;
+        // Harvest the repair ledger at commit, mirroring the deterministic
+        // engine: the per-worker totals merge into the run-level metrics.
+        let (replayed, reused) = g.rt.repair_ops();
+        local.ops_replayed += replayed;
+        local.ops_reused += reused;
         drop(g);
         self.wake_all(to_wake);
         Ok(())
@@ -720,11 +725,14 @@ pub(crate) fn run_batch(
         .iter()
         .map(|s| {
             let g = s.lock();
+            let (ops_replayed, ops_reused) = g.rt.repair_ops();
             TxnStats {
                 id: g.rt.id,
                 committed: g.rt.phase == Phase::Committed,
                 states_lost: g.rt.states_lost,
                 preemptions: g.rt.preemptions,
+                ops_replayed,
+                ops_reused,
             }
         })
         .collect();
@@ -821,7 +829,7 @@ mod tests {
 
     #[test]
     fn opposed_transfers_deadlock_and_both_commit() {
-        for strategy in [StrategyKind::Total, StrategyKind::Mcs, StrategyKind::Sdg] {
+        for strategy in StrategyKind::ALL {
             let programs =
                 vec![transfer(e(0), e(1), 5), transfer(e(1), e(0), 3), transfer(e(0), e(1), 2)];
             let store = GlobalStore::with_entities(2, Value::new(100));
@@ -900,6 +908,37 @@ mod tests {
         let per_txn_preempt: u64 = out.per_txn.iter().map(|t| u64::from(t.preemptions)).sum();
         let metric_preempt: u64 = out.metrics.preemptions.values().map(|&c| u64::from(c)).sum();
         assert_eq!(metric_preempt, per_txn_preempt);
+    }
+
+    #[test]
+    fn repair_ledgers_reconcile_across_threads() {
+        // Same high-conflict shape as the accounting test, but under
+        // Repair: every state a rollback discards must show up again as
+        // either a replayed or a reused suffix op by commit time.
+        let mut programs = Vec::new();
+        for i in 0..12 {
+            if i % 2 == 0 {
+                programs.push(transfer(e(0), e(1), 1));
+            } else {
+                programs.push(transfer(e(1), e(0), 1));
+            }
+        }
+        let store = GlobalStore::with_entities(2, Value::new(50));
+        let out = run_parallel(&programs, store, &config(4, StrategyKind::Repair)).unwrap();
+        assert_eq!(out.commits(), 12);
+        let total: i64 = out.snapshot.iter().map(|(_, v)| v.raw()).sum();
+        assert_eq!(total, 100);
+        assert_eq!(
+            out.metrics.repairs,
+            out.metrics.partial_rollbacks + out.metrics.total_rollbacks
+        );
+        assert_eq!(out.metrics.repair_suffix.sum(), out.metrics.states_lost);
+        assert_eq!(out.metrics.ops_replayed + out.metrics.ops_reused, out.metrics.states_lost);
+        // Per-transaction rows carry the same split the aggregate does.
+        let per_replayed: u64 = out.per_txn.iter().map(|t| t.ops_replayed).sum();
+        let per_reused: u64 = out.per_txn.iter().map(|t| t.ops_reused).sum();
+        assert_eq!(per_replayed, out.metrics.ops_replayed);
+        assert_eq!(per_reused, out.metrics.ops_reused);
     }
 
     #[test]

@@ -52,6 +52,12 @@ pub struct TxnStats {
     pub states_lost: u64,
     /// Times it was chosen as a rollback victim.
     pub preemptions: u32,
+    /// Suffix operations recomputed during repair replay (Repair only).
+    pub ops_replayed: u64,
+    /// Suffix operations reused from the replay tape (Repair only). Per
+    /// transaction, `ops_replayed + ops_reused == states_lost` on a
+    /// successful (all-committed) run.
+    pub ops_reused: u64,
 }
 
 /// Result of a successful parallel run.

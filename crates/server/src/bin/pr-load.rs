@@ -45,6 +45,8 @@ options
   --client-base N      first global client id (child mode)
   --procs N            worker processes; >1 self-hosts and fans out (default 1)
   --policy NAME        self-hosted grant policy: barging | fair-queue | ordered
+  --strategy NAME      self-hosted rollback strategy:
+                       total | mcs | sdg | repair | bounded-K (default mcs)
   --threads N          self-hosted engine threads per batch (default 8)
   --batch-max N        self-hosted group-commit flush threshold (default 256)
   --batch-deadline-us N  self-hosted group-commit deadline (default 2000)
@@ -66,6 +68,7 @@ struct Options {
     connect: Option<String>,
     load: LoadConfig,
     policy: GrantPolicy,
+    strategy: StrategyKind,
     threads: usize,
     batch_max: usize,
     batch_deadline_us: u64,
@@ -80,6 +83,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         connect: None,
         load: LoadConfig::default(),
         policy: GrantPolicy::FairQueue,
+        strategy: StrategyKind::Mcs,
         threads: 8,
         batch_max: 256,
         batch_deadline_us: 2_000,
@@ -144,6 +148,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     other => return Err(format!("unknown grant policy {other:?}")),
                 }
             }
+            "--strategy" => {
+                let name = value("--strategy")?;
+                o.strategy = StrategyKind::parse(name)
+                    .ok_or_else(|| format!("unknown strategy {name:?}"))?;
+            }
             "--threads" => {
                 o.threads = value("--threads")?.parse().map_err(|_| "--threads needs a count")?
             }
@@ -168,7 +177,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 }
 
 fn server_config(o: &Options) -> ServerConfig {
-    let mut system = SystemConfig::new(StrategyKind::Mcs, VictimPolicyKind::PartialOrder);
+    let mut system = SystemConfig::new(o.strategy, VictimPolicyKind::PartialOrder);
     system.grant_policy = o.policy;
     ServerConfig {
         addr: "127.0.0.1:0".into(),
@@ -482,6 +491,7 @@ fn cell_options(o: &Options, cell: &(usize, u16, &str, usize, usize)) -> Options
             "barging" => GrantPolicy::Barging,
             _ => GrantPolicy::FairQueue,
         },
+        strategy: o.strategy,
         threads: o.threads,
         batch_max: o.batch_max,
         batch_deadline_us: o.batch_deadline_us,
@@ -799,6 +809,7 @@ fn run_soak(o: &Options) -> ExitCode {
                 ..o.load.clone()
             },
             policy,
+            strategy: o.strategy,
             threads: o.threads,
             batch_max: o.batch_max,
             batch_deadline_us: o.batch_deadline_us,

@@ -23,7 +23,7 @@ const USAGE: &str = "\
 usage: chaos [OPTIONS]
   --seeds A..B      seed range to soak (default 0..20)
   --scheme NAME     global-detection | wound-wait | site-ordered | all (default all)
-  --strategy NAME   mcs | sdg | total (default mcs)
+  --strategy NAME   mcs | sdg | total | repair | bounded-K (default mcs)
   --sites N         number of sites (default 3)
   --txns N          transactions per run (default 16)
   --entities N      entities in the database (default 24)
@@ -99,12 +99,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 };
             }
             "--strategy" => {
-                o.strategy = match value("--strategy")? {
-                    "mcs" => StrategyKind::Mcs,
-                    "sdg" => StrategyKind::Sdg,
-                    "total" => StrategyKind::Total,
-                    other => return Err(format!("unknown strategy {other:?}")),
-                };
+                let name = value("--strategy")?;
+                o.strategy = StrategyKind::parse(name)
+                    .ok_or_else(|| format!("unknown strategy {name:?}"))?;
             }
             "--sites" => {
                 o.sites = parse_num(value("--sites")?, "--sites")?;

@@ -52,9 +52,12 @@ usage: parallel [OPTIONS]
                      3 strategies x 2 grant policies (no JSON output)
   --threads N        worker threads for --soak runs (default 8)
   --txns N           transactions per run (default 64)
+  --strategy NAME    restrict sweeps and soaks to one strategy:
+                     total | mcs | sdg | repair | bounded-K
+                     (default: rotate through all four)
   --no-fast-path     force every request through the shard-mutex path";
 
-const STRATEGIES: [StrategyKind; 3] = [StrategyKind::Total, StrategyKind::Mcs, StrategyKind::Sdg];
+const STRATEGIES: [StrategyKind; 4] = StrategyKind::ALL;
 const POLICIES: [GrantPolicy; 2] = [GrantPolicy::Barging, GrantPolicy::FairQueue];
 
 /// Any cell below this fraction of its strategy's 1-thread throughput
@@ -68,6 +71,7 @@ struct Options {
     soak: Option<usize>,
     threads: usize,
     txns: usize,
+    strategy: Option<StrategyKind>,
     fast_path: bool,
 }
 
@@ -79,6 +83,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         soak: None,
         threads: 8,
         txns: 64,
+        strategy: None,
         fast_path: true,
     };
     let mut it = args.iter();
@@ -101,6 +106,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--txns" => {
                 o.txns = value("--txns")?.parse().map_err(|_| "--txns needs a count".to_string())?
+            }
+            "--strategy" => {
+                let name = value("--strategy")?;
+                o.strategy = Some(
+                    StrategyKind::parse(name)
+                        .ok_or_else(|| format!("unknown strategy {name:?}"))?,
+                );
             }
             "--no-fast-path" => o.fast_path = false,
             other => return Err(format!("unknown argument {other:?}")),
@@ -360,6 +372,9 @@ fn run_sweep(o: &Options) -> ExitCode {
     for &zipf in zipf_grid {
         for &threads in thread_grid {
             for strategy in STRATEGIES {
+                if o.strategy.is_some_and(|only| only != strategy) {
+                    continue;
+                }
                 match run_cell(zipf, threads, strategy, txns, seeds, o.fast_path, &mut baselines) {
                     Ok(row) => rows.push(row),
                     Err(e) => {
@@ -525,14 +540,14 @@ fn run_soak(o: &Options, seeds: usize) -> ExitCode {
     let mut fast_grants = 0u64;
     let start = Instant::now();
     for seed in 0..seeds as u64 {
-        let strategy = STRATEGIES[(seed % 3) as usize];
-        let policy = POLICIES[((seed / 3) % 2) as usize];
-        let zipf = [0u16, 80, 120][((seed / 6) % 3) as usize];
+        let strategy = o.strategy.unwrap_or(STRATEGIES[(seed % 4) as usize]);
+        let policy = POLICIES[((seed / 4) % 2) as usize];
+        let zipf = [0u16, 80, 120][((seed / 8) % 3) as usize];
         // Short transactions finish inside one scheduling quantum and
         // never interleave on a small machine; the padded thirds of the
         // grid stretch the lock-hold windows so OS preemption manufactures
         // real cross-thread deadlocks and the resolver gets soaked too.
-        let pad = [2usize, 500, 2_000][((seed / 18) % 3) as usize];
+        let pad = [2usize, 500, 2_000][((seed / 24) % 3) as usize];
         let config = system_config(strategy, policy);
         let mut generator = ProgramGenerator::new(workload_config(zipf, pad), seed);
         let programs = generator.generate_workload(o.txns);
@@ -577,7 +592,7 @@ fn run_soak(o: &Options, seeds: usize) -> ExitCode {
             );
         }
     }
-    if seeds >= 54 && deadlocks_resolved == 0 {
+    if seeds >= 72 && deadlocks_resolved == 0 {
         // A full rotation of the grid includes the heavily padded cells;
         // zero deadlocks there means the resolver was never exercised and
         // the soak proved nothing about it.
@@ -590,7 +605,7 @@ fn run_soak(o: &Options, seeds: usize) -> ExitCode {
     }
     println!(
         "oracle soak passed: {seeds} seeds x {} txns on {} threads, \
-         3 strategies x 2 grant policies x 3 skews x 3 paddings; \
+         4 strategies x 2 grant policies x 3 skews x 3 paddings; \
          {deadlocks_resolved} deadlocks resolved, {fast_grants} fast-path grants, \
          {checked_accesses} accesses, \
          {checked_edges} conflict edges verified acyclic ({:.1}s)",

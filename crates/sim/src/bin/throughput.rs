@@ -20,10 +20,12 @@
 //! (ascending-order) workload — and writes `BENCH_ordered.json`;
 //! `--gate-ordered` enforces the same >20% rule against that baseline.
 
+use pr_core::StrategyKind;
 use pr_sim::report::Table;
 use pr_sim::stress::{
-    gate_against_baseline, ordered_fight, parse_throughput_json, throughput_json, throughput_sweep,
-    ThroughputRow, GATE_CONCURRENCY, GATE_MAX_DROP, GATE_ZIPF_CENTI,
+    gate_against_baseline, gate_repair_against_baseline, ordered_fight, parse_throughput_json,
+    throughput_json, throughput_sweep_for, ThroughputRow, GATE_CONCURRENCY, GATE_MAX_DROP,
+    GATE_ZIPF_CENTI,
 };
 use std::process::ExitCode;
 
@@ -31,8 +33,15 @@ const USAGE: &str = "\
 usage: throughput [OPTIONS]
   --quick            small smoke sweep for CI
   --out PATH         where to write the JSON grid (default BENCH_throughput.json)
+  --strategy NAME    restrict the sweep to one strategy:
+                     total | mcs | sdg | repair | bounded-K (default all four)
   --gate BASELINE    compare against a committed BENCH_throughput.json and
                      fail on a >20% throughput drop at the s=1.2/64-way point
+  --gate-repair BASELINE
+                     repair gate at the same point: >20% throughput rule on
+                     the repair rows, plus repair must lose exactly MCS's
+                     states and its replayed/reused ledgers must partition
+                     them
   --fight            run the barging/fair-queue/ordered three-way fight on the
                      s=1.2/64-way cell (certifiable workload) and write
                      BENCH_ordered.json (or --out PATH)
@@ -43,12 +52,22 @@ struct Options {
     quick: bool,
     fight: bool,
     out: Option<std::path::PathBuf>,
+    strategies: Vec<StrategyKind>,
     gate: Option<std::path::PathBuf>,
     gate_ordered: Option<std::path::PathBuf>,
+    gate_repair: Option<std::path::PathBuf>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
-    let mut o = Options { quick: false, fight: false, out: None, gate: None, gate_ordered: None };
+    let mut o = Options {
+        quick: false,
+        fight: false,
+        out: None,
+        strategies: StrategyKind::ALL.to_vec(),
+        gate: None,
+        gate_ordered: None,
+        gate_repair: None,
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -58,8 +77,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--quick" => o.quick = true,
             "--fight" => o.fight = true,
             "--out" => o.out = Some(value("--out")?.into()),
+            "--strategy" => {
+                let name = value("--strategy")?;
+                let s = StrategyKind::parse(name)
+                    .ok_or_else(|| format!("unknown strategy {name:?}"))?;
+                o.strategies = vec![s];
+            }
             "--gate" => o.gate = Some(value("--gate")?.into()),
             "--gate-ordered" => o.gate_ordered = Some(value("--gate-ordered")?.into()),
+            "--gate-repair" => o.gate_repair = Some(value("--gate-repair")?.into()),
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -82,6 +108,9 @@ fn main() -> ExitCode {
     if let Some(baseline_path) = &o.gate_ordered {
         return run_gate(baseline_path, true);
     }
+    if let Some(baseline_path) = &o.gate_repair {
+        return run_gate_repair(baseline_path);
+    }
 
     let rows = if o.fight {
         if o.quick {
@@ -90,9 +119,9 @@ fn main() -> ExitCode {
             ordered_fight(96, 3)
         }
     } else if o.quick {
-        throughput_sweep(&[0, 120], &[8], 16, 1)
+        throughput_sweep_for(&[0, 120], &[8], 16, 1, &o.strategies)
     } else {
-        throughput_sweep(&[0, 80, 120], &[4, 16, 64], 96, 3)
+        throughput_sweep_for(&[0, 80, 120], &[4, 16, 64], 96, 3, &o.strategies)
     };
     let default_out = if o.fight { "BENCH_ordered.json" } else { "BENCH_throughput.json" };
     let out = o.out.unwrap_or_else(|| std::path::PathBuf::from(default_out));
@@ -164,7 +193,7 @@ fn run_gate(baseline_path: &std::path::Path, ordered: bool) -> ExitCode {
     let current: Vec<ThroughputRow> = if ordered {
         ordered_fight(96, 3)
     } else {
-        throughput_sweep(&[GATE_ZIPF_CENTI], &[GATE_CONCURRENCY], 96, 3)
+        throughput_sweep_for(&[GATE_ZIPF_CENTI], &[GATE_CONCURRENCY], 96, 3, &StrategyKind::ALL)
     };
     let results = match gate_against_baseline(&baseline, &current) {
         Ok(r) => r,
@@ -199,6 +228,75 @@ fn run_gate(baseline_path: &std::path::Path, ordered: bool) -> ExitCode {
         ExitCode::FAILURE
     } else {
         println!("perf gate passed ({} cells)", results.len());
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_gate_repair(baseline_path: &std::path::Path) -> ExitCode {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("throughput: cannot read baseline {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match parse_throughput_json(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("throughput: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // The accounting invariants compare repair to MCS on the same
+    // deterministic cell, so both strategies must be re-measured live.
+    let current = throughput_sweep_for(
+        &[GATE_ZIPF_CENTI],
+        &[GATE_CONCURRENCY],
+        96,
+        3,
+        &[StrategyKind::Repair, StrategyKind::Mcs],
+    );
+    let results = match gate_repair_against_baseline(&baseline, &current) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("throughput: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut t = Table::new([
+        "policy", "baseline", "current", "delta", "lost", "mcs lost", "replayed", "reused", "gate",
+    ])
+    .with_title(format!(
+        "Repair gate at zipf {:.1} / {}-way (fail below -{:.0}% or on ledger drift)",
+        f64::from(GATE_ZIPF_CENTI) / 100.0,
+        GATE_CONCURRENCY,
+        GATE_MAX_DROP * 100.0
+    ));
+    let mut failed = false;
+    for r in &results {
+        failed |= r.failed();
+        t.row([
+            r.policy.clone(),
+            format!("{:.3}", r.baseline_kilo),
+            format!("{:.3}", r.current_kilo),
+            format!("{:+.1}%", r.delta * 100.0),
+            r.states_lost_repair.to_string(),
+            r.states_lost_mcs.to_string(),
+            r.ops_replayed.to_string(),
+            r.ops_reused.to_string(),
+            if r.failed() { "FAIL".into() } else { "ok".into() },
+        ]);
+        for reason in &r.reasons {
+            eprintln!("throughput: REPAIR GATE {}: {reason}", r.policy);
+        }
+    }
+    println!("{t}");
+    if failed {
+        eprintln!("throughput: repair gate FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("repair gate passed ({} cells)", results.len());
         ExitCode::SUCCESS
     }
 }

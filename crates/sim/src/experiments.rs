@@ -11,7 +11,7 @@ use pr_core::scheduler::RoundRobin;
 use pr_core::{StrategyKind, SystemConfig, VictimPolicyKind};
 use pr_dist::{CrossSiteScheme, DistConfig, DistributedSystem};
 use pr_graph::{cutset, CandidateRollback};
-use pr_model::{LockIndex, TxnId};
+use pr_model::{LockIndex, StateIndex, TxnId};
 use pr_storage::GlobalStore;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -448,6 +448,7 @@ pub fn random_cut_instance(
                 target: LockIndex::new(target),
                 ideal: LockIndex::new(target),
                 cost,
+                conflict: StateIndex::new(target),
             });
             for m in 0..members - 1 {
                 let txn = TxnId::new(1 + (c * (members - 1) + m) as u32 % 23);
@@ -458,6 +459,7 @@ pub fn random_cut_instance(
                     target: LockIndex::new(target),
                     ideal: LockIndex::new(target),
                     cost,
+                    conflict: StateIndex::new(target),
                 });
             }
             cycle

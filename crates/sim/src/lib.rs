@@ -46,6 +46,8 @@ pub use runner::{
     is_serializable, run_serial, run_workload, RandomScheduler, RunReport, SchedulerKind,
 };
 pub use stress::{
-    gate_against_baseline, ordered_fight, parse_throughput_json, run_stress, throughput_json,
-    throughput_sweep, Arrival, BaselineRow, GateResult, StressConfig, StressReport, ThroughputRow,
+    gate_against_baseline, gate_repair_against_baseline, long_vs_oltp, ordered_fight,
+    parse_throughput_json, read_write_skew, run_stress, throughput_json, throughput_sweep,
+    throughput_sweep_for, Arrival, BaselineRow, GateResult, RepairGateResult, StressConfig,
+    StressReport, ThroughputRow,
 };

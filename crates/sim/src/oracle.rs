@@ -387,6 +387,35 @@ pub fn check_accounting(
             m.partial_rollbacks
         )));
     }
+    if config.strategy == StrategyKind::Repair {
+        // A ParOutcome only exists for all-committed runs, so every
+        // rolled-back state was eventually traversed again and landed in
+        // exactly one of the two repair ledgers.
+        if m.repairs != rollbacks {
+            return Err(OracleViolation::Accounting(format!(
+                "repairs {} != rollbacks {rollbacks}",
+                m.repairs
+            )));
+        }
+        if m.repair_suffix.sum() != m.states_lost {
+            return Err(OracleViolation::Accounting(format!(
+                "repair-suffix histogram sum {} != metrics.states_lost {}",
+                m.repair_suffix.sum(),
+                m.states_lost
+            )));
+        }
+        if m.ops_replayed + m.ops_reused != m.states_lost {
+            return Err(OracleViolation::Accounting(format!(
+                "ops_replayed {} + ops_reused {} != states_lost {}",
+                m.ops_replayed, m.ops_reused, m.states_lost
+            )));
+        }
+    } else if m.repairs != 0 || m.ops_replayed != 0 || m.ops_reused != 0 {
+        return Err(OracleViolation::Accounting(format!(
+            "non-repair strategy recorded repair activity ({} repairs, {} replayed, {} reused)",
+            m.repairs, m.ops_replayed, m.ops_reused
+        )));
+    }
     Ok(())
 }
 

@@ -76,6 +76,17 @@ pub struct StressConfig {
     pub seed: u64,
     /// Engine configuration (strategy, victim policy, grant policy).
     pub system: SystemConfig,
+    /// Every Nth admission draws a *long* transaction instead — a fixed
+    /// [`Self::long_locks`]-lock program padded by [`Self::long_pad`]
+    /// computations per lock. 0 disables the mix. This models the
+    /// long-analytic-vs-OLTP workload where partial rollback pays off
+    /// most: the long transaction is the natural deadlock victim and the
+    /// natural repair beneficiary.
+    pub long_every: usize,
+    /// Locks per long transaction when the mix is enabled.
+    pub long_locks: usize,
+    /// Padding computations after each lock of a long transaction.
+    pub long_pad: usize,
 }
 
 impl Default for StressConfig {
@@ -93,7 +104,59 @@ impl Default for StressConfig {
             ordered_locks: false,
             seed: 1,
             system: SystemConfig::new(StrategyKind::Mcs, VictimPolicyKind::PartialOrder),
+            long_every: 0,
+            long_locks: 8,
+            long_pad: 6,
         }
+    }
+}
+
+/// The read-write-skew stress shape: a small hot set read under shared
+/// locks by almost everyone while a minority of writers upgrade pressure
+/// keeps cycles forming. Deterministic in `seed`; deadlock and repair
+/// counts for a given seed are asserted by the workload tests.
+pub fn read_write_skew(strategy: StrategyKind, seed: u64) -> StressConfig {
+    let mut system = SystemConfig::new(strategy, VictimPolicyKind::PartialOrder);
+    system.max_steps = 2_000_000;
+    StressConfig {
+        total_txns: 64,
+        concurrency: 16,
+        num_entities: 8,
+        zipf_centi: 120,
+        // Mostly readers; the exclusive minority supplies the write skew.
+        exclusive_per_mille: 250,
+        min_locks: 2,
+        max_locks: 5,
+        pad_between: 2,
+        seed,
+        system,
+        ..StressConfig::default()
+    }
+}
+
+/// The long-transaction-vs-OLTP mix: every fourth admission is a long
+/// scan-shaped transaction (8 locks, heavy padding) running against a
+/// stream of short writes. Long transactions accumulate the most states,
+/// so they dominate the rollback cost — exactly where suffix repair's
+/// reuse shows up. Deterministic in `seed`.
+pub fn long_vs_oltp(strategy: StrategyKind, seed: u64) -> StressConfig {
+    let mut system = SystemConfig::new(strategy, VictimPolicyKind::PartialOrder);
+    system.max_steps = 2_000_000;
+    StressConfig {
+        total_txns: 48,
+        concurrency: 12,
+        num_entities: 12,
+        zipf_centi: 80,
+        exclusive_per_mille: 700,
+        min_locks: 2,
+        max_locks: 3,
+        pad_between: 1,
+        seed,
+        system,
+        long_every: 4,
+        long_locks: 8,
+        long_pad: 6,
+        ..StressConfig::default()
     }
 }
 
@@ -138,6 +201,15 @@ pub fn run_stress(cfg: &StressConfig) -> Result<StressReport, EngineError> {
         ..GeneratorConfig::default()
     };
     let mut generator = ProgramGenerator::new(gen_cfg, cfg.seed);
+    let mut long_generator = (cfg.long_every > 0).then(|| {
+        let long_cfg = GeneratorConfig {
+            min_locks: cfg.long_locks.max(1),
+            max_locks: cfg.long_locks.max(1),
+            pad_between: cfg.long_pad,
+            ..gen_cfg
+        };
+        ProgramGenerator::new(long_cfg, cfg.seed ^ 0x5bd1_e995)
+    });
     let mut sys = System::new(store_with(cfg.num_entities, 100), cfg.system);
     if cfg.system.grant_policy == GrantPolicy::Ordered {
         // The identity order is exactly what the ordered generator is
@@ -156,17 +228,19 @@ pub fn run_stress(cfg: &StressConfig) -> Result<StressReport, EngineError> {
     let mut next_arrival = 0u64;
     let mut completed = true;
 
-    fn admit_one(
-        sys: &mut System,
-        generator: &mut ProgramGenerator,
-        started: &mut BTreeMap<TxnId, u64>,
-        admitted: &mut usize,
-    ) -> Result<(), EngineError> {
-        let id = sys.admit(generator.generate())?;
+    let mut admit_one = |sys: &mut System,
+                         started: &mut BTreeMap<TxnId, u64>,
+                         admitted: &mut usize|
+     -> Result<(), EngineError> {
+        let program = match &mut long_generator {
+            Some(lg) if (*admitted + 1).is_multiple_of(cfg.long_every) => lg.generate(),
+            _ => generator.generate(),
+        };
+        let id = sys.admit(program)?;
         started.insert(id, sys.metrics().steps);
         *admitted += 1;
         Ok(())
-    }
+    };
 
     loop {
         // Arrivals.
@@ -174,7 +248,7 @@ pub fn run_stress(cfg: &StressConfig) -> Result<StressReport, EngineError> {
         match cfg.arrival {
             Arrival::Closed => {
                 for _ in live..concurrency.min(total - admitted + live) {
-                    admit_one(&mut sys, &mut generator, &mut started, &mut admitted)?;
+                    admit_one(&mut sys, &mut started, &mut admitted)?;
                 }
             }
             Arrival::Open { every_steps } => {
@@ -182,7 +256,7 @@ pub fn run_stress(cfg: &StressConfig) -> Result<StressReport, EngineError> {
                     && (admitted - commits as usize) < concurrency
                     && sys.metrics().steps >= next_arrival
                 {
-                    admit_one(&mut sys, &mut generator, &mut started, &mut admitted)?;
+                    admit_one(&mut sys, &mut started, &mut admitted)?;
                     next_arrival = sys.metrics().steps + every_steps.max(1);
                 }
             }
@@ -199,7 +273,7 @@ pub fn run_stress(cfg: &StressConfig) -> Result<StressReport, EngineError> {
             if admitted < total {
                 // Open loop with everything drained before the next
                 // arrival is due: admit immediately (idle fast-forward).
-                admit_one(&mut sys, &mut generator, &mut started, &mut admitted)?;
+                admit_one(&mut sys, &mut started, &mut admitted)?;
                 continue;
             }
             // Nothing runnable and nothing left to admit: the engine
@@ -257,6 +331,14 @@ pub struct ThroughputRow {
     pub deadlocks: u64,
     /// Deepest wait queue observed.
     pub max_queue_depth: usize,
+    /// States discarded by rollbacks across seeds — the §3.1 cost. Under
+    /// Repair this is what the next two columns partition, making the
+    /// Repair-vs-MCS/SDG comparison readable straight off the gate row.
+    pub states_lost: u64,
+    /// Suffix ops recomputed during repair replay (0 off-Repair).
+    pub ops_replayed: u64,
+    /// Suffix ops reused from the replay tape (0 off-Repair).
+    pub ops_reused: u64,
 }
 
 /// Runs the contention grid: every Zipf level × concurrency × grant
@@ -267,14 +349,28 @@ pub fn throughput_sweep(
     txns_per_run: usize,
     seeds: u64,
 ) -> Vec<ThroughputRow> {
+    throughput_sweep_for(zipf_centis, concurrencies, txns_per_run, seeds, &StrategyKind::ALL)
+}
+
+/// [`throughput_sweep`] restricted to the given strategies — the
+/// `throughput --strategy` CLI path and the repair gate's live
+/// re-measure.
+pub fn throughput_sweep_for(
+    zipf_centis: &[u16],
+    concurrencies: &[usize],
+    txns_per_run: usize,
+    seeds: u64,
+    strategies: &[StrategyKind],
+) -> Vec<ThroughputRow> {
     let mut rows = Vec::new();
     for &zipf in zipf_centis {
         for &concurrency in concurrencies {
             for policy in GrantPolicy::ALL {
-                for strategy in StrategyKind::ALL {
+                for &strategy in strategies {
                     let mut latency = LogHistogram::default();
                     let mut grant = LogHistogram::default();
                     let (mut commits, mut steps, mut deadlocks) = (0u64, 0u64, 0u64);
+                    let (mut states_lost, mut ops_replayed, mut ops_reused) = (0u64, 0u64, 0u64);
                     let mut max_queue_depth = 0usize;
                     for seed in 0..seeds {
                         let mut system =
@@ -296,6 +392,9 @@ pub fn throughput_sweep(
                         commits += report.commits;
                         steps += report.steps;
                         deadlocks += report.metrics.deadlocks;
+                        states_lost += report.metrics.states_lost;
+                        ops_replayed += report.metrics.ops_replayed;
+                        ops_reused += report.metrics.ops_reused;
                         max_queue_depth = max_queue_depth.max(report.metrics.max_queue_depth());
                     }
                     rows.push(ThroughputRow {
@@ -317,6 +416,9 @@ pub fn throughput_sweep(
                         grant_p99: grant.p99(),
                         deadlocks,
                         max_queue_depth,
+                        states_lost,
+                        ops_replayed,
+                        ops_reused,
                     });
                 }
             }
@@ -341,6 +443,7 @@ pub fn ordered_fight(txns_per_run: usize, seeds: u64) -> Vec<ThroughputRow> {
             let mut latency = LogHistogram::default();
             let mut grant = LogHistogram::default();
             let (mut commits, mut steps, mut deadlocks) = (0u64, 0u64, 0u64);
+            let (mut states_lost, mut ops_replayed, mut ops_reused) = (0u64, 0u64, 0u64);
             let mut max_queue_depth = 0usize;
             for seed in 0..seeds {
                 let mut system = SystemConfig::new(strategy, VictimPolicyKind::PartialOrder)
@@ -366,6 +469,9 @@ pub fn ordered_fight(txns_per_run: usize, seeds: u64) -> Vec<ThroughputRow> {
                 commits += report.commits;
                 steps += report.steps;
                 deadlocks += report.metrics.deadlocks;
+                states_lost += report.metrics.states_lost;
+                ops_replayed += report.metrics.ops_replayed;
+                ops_reused += report.metrics.ops_reused;
                 max_queue_depth = max_queue_depth.max(report.metrics.max_queue_depth());
             }
             rows.push(ThroughputRow {
@@ -387,6 +493,9 @@ pub fn ordered_fight(txns_per_run: usize, seeds: u64) -> Vec<ThroughputRow> {
                 grant_p99: grant.p99(),
                 deadlocks,
                 max_queue_depth,
+                states_lost,
+                ops_replayed,
+                ops_reused,
             });
         }
     }
@@ -400,7 +509,8 @@ pub fn ordered_fight(txns_per_run: usize, seeds: u64) -> Vec<ThroughputRow> {
 /// Schema: `{"schema": "bench-throughput-v1", "units": {...},
 /// "rows": [{zipf_centi, concurrency, policy, strategy, commits, steps,
 /// throughput_kilo, latency_p50, latency_p95, latency_p99, latency_max,
-/// grant_p99, deadlocks, max_queue_depth}, ...]}`.
+/// grant_p99, deadlocks, max_queue_depth, states_lost, ops_replayed,
+/// ops_reused}, ...]}`.
 pub fn throughput_json(rows: &[ThroughputRow]) -> String {
     let mut out = String::from(
         "{\n  \"schema\": \"bench-throughput-v1\",\n  \"units\": {\
@@ -415,7 +525,8 @@ pub fn throughput_json(rows: &[ThroughputRow]) -> String {
              \"strategy\":\"{}\",\"commits\":{},\"steps\":{},\
              \"throughput_kilo\":{:.3},\"latency_p50\":{},\"latency_p95\":{},\
              \"latency_p99\":{},\"latency_max\":{},\"grant_p99\":{},\
-             \"deadlocks\":{},\"max_queue_depth\":{}}}{}",
+             \"deadlocks\":{},\"max_queue_depth\":{},\"states_lost\":{},\
+             \"ops_replayed\":{},\"ops_reused\":{}}}{}",
             r.zipf_centi,
             r.concurrency,
             r.policy,
@@ -430,6 +541,9 @@ pub fn throughput_json(rows: &[ThroughputRow]) -> String {
             r.grant_p99,
             r.deadlocks,
             r.max_queue_depth,
+            r.states_lost,
+            r.ops_replayed,
+            r.ops_reused,
             if i + 1 == rows.len() { "" } else { "," }
         );
     }
@@ -446,6 +560,10 @@ pub struct BaselineRow {
     pub policy: String,
     pub strategy: String,
     pub throughput_kilo: f64,
+    /// Repair accounting columns (0 when the baseline predates them).
+    pub states_lost: u64,
+    pub ops_replayed: u64,
+    pub ops_reused: u64,
 }
 
 /// Decodes the output of [`throughput_json`]. This is not a general JSON
@@ -466,6 +584,9 @@ pub fn parse_throughput_json(text: &str) -> Result<Vec<BaselineRow>, String> {
             policy: json_str(line, "policy")?,
             strategy: json_str(line, "strategy")?,
             throughput_kilo: json_num(line, "throughput_kilo")?.parse().map_err(|_| bad(line))?,
+            states_lost: json_num_or_zero(line, "states_lost")?,
+            ops_replayed: json_num_or_zero(line, "ops_replayed")?,
+            ops_reused: json_num_or_zero(line, "ops_reused")?,
         });
     }
     if rows.is_empty() {
@@ -476,6 +597,16 @@ pub fn parse_throughput_json(text: &str) -> Result<Vec<BaselineRow>, String> {
 
 fn bad(line: &str) -> String {
     format!("malformed baseline row: {line}")
+}
+
+/// `"key":<u64>` in a flat one-line JSON object, 0 when the key is
+/// absent (pre-repair baselines) but still an error when present and
+/// malformed.
+fn json_num_or_zero(line: &str, key: &str) -> Result<u64, String> {
+    if !line.contains(&format!("\"{key}\":")) {
+        return Ok(0);
+    }
+    json_num(line, key)?.parse().map_err(|_| bad(line))
 }
 
 /// The raw text of `"key":<number>` in a flat one-line JSON object.
@@ -555,6 +686,101 @@ pub fn gate_against_baseline(
             current_kilo: cur.throughput_kilo,
             delta,
             failed: delta < -GATE_MAX_DROP,
+        });
+    }
+    Ok(results)
+}
+
+/// A repair-gate comparison for one grant policy at the gate point.
+#[derive(Clone, Debug)]
+pub struct RepairGateResult {
+    pub policy: String,
+    pub baseline_kilo: f64,
+    pub current_kilo: f64,
+    /// Negative = slower than baseline.
+    pub delta: f64,
+    pub states_lost_repair: u64,
+    pub states_lost_mcs: u64,
+    pub ops_replayed: u64,
+    pub ops_reused: u64,
+    /// Every violated invariant, empty when the cell passes.
+    pub reasons: Vec<String>,
+}
+
+impl RepairGateResult {
+    pub fn failed(&self) -> bool {
+        !self.reasons.is_empty()
+    }
+}
+
+/// The Repair-specific perf gate at the s = 1.2 / 64-way point. Beyond
+/// the plain >20%-drop rule it checks the equivalence the strategy is
+/// sold on: Repair plans exactly like MCS (same victims, same targets),
+/// so on the deterministic gate workload its `states_lost` must equal
+/// MCS's cell for the same grant policy; and because every gate run
+/// commits everything, Repair's two ledgers must partition those states.
+pub fn gate_repair_against_baseline(
+    baseline: &[BaselineRow],
+    current: &[ThroughputRow],
+) -> Result<Vec<RepairGateResult>, String> {
+    let at_point = |z: u16, c: usize| z == GATE_ZIPF_CENTI && c == GATE_CONCURRENCY;
+    let base: Vec<&BaselineRow> = baseline
+        .iter()
+        .filter(|r| at_point(r.zipf_centi, r.concurrency) && r.strategy == "repair")
+        .collect();
+    if base.is_empty() {
+        return Err(format!(
+            "baseline has no repair rows at the gate point (zipf_centi={GATE_ZIPF_CENTI}, \
+             concurrency={GATE_CONCURRENCY}) — regenerate BENCH_throughput.json"
+        ));
+    }
+    let mut results = Vec::new();
+    for b in base {
+        let find = |strategy: &str| {
+            current
+                .iter()
+                .find(|r| {
+                    at_point(r.zipf_centi, r.concurrency)
+                        && r.policy == b.policy
+                        && r.strategy == strategy
+                })
+                .ok_or_else(|| {
+                    format!("current sweep is missing gate cell {}/{strategy}", b.policy)
+                })
+        };
+        let repair = find("repair")?;
+        let mcs = find("mcs")?;
+        let delta = if b.throughput_kilo > 0.0 {
+            (repair.throughput_kilo - b.throughput_kilo) / b.throughput_kilo
+        } else {
+            0.0
+        };
+        let mut reasons = Vec::new();
+        if delta < -GATE_MAX_DROP {
+            reasons.push(format!("throughput dropped {:.1}% vs baseline", -delta * 100.0));
+        }
+        if repair.states_lost != mcs.states_lost {
+            reasons.push(format!(
+                "states_lost {} != MCS cell {} — repair stopped planning like MCS",
+                repair.states_lost, mcs.states_lost
+            ));
+        }
+        if repair.ops_replayed + repair.ops_reused != repair.states_lost {
+            reasons.push(format!(
+                "ledgers do not partition the rollback cost: {} replayed + {} reused != {} lost",
+                repair.ops_replayed, repair.ops_reused, repair.states_lost
+            ));
+        }
+        results.push(RepairGateResult {
+            policy: b.policy.clone(),
+            baseline_kilo: b.throughput_kilo,
+            current_kilo: repair.throughput_kilo,
+            delta,
+            states_lost_repair: repair.states_lost,
+            states_lost_mcs: mcs.states_lost,
+            ops_replayed: repair.ops_replayed,
+            ops_reused: repair.ops_reused,
+            reasons,
         });
     }
     Ok(results)
@@ -715,22 +941,22 @@ mod tests {
     #[test]
     fn ordered_fight_covers_three_policies_and_never_deadlocks() {
         let rows = ordered_fight(8, 1);
-        assert_eq!(rows.len(), 3 * 3);
+        assert_eq!(rows.len(), 3 * 4);
         for policy in ["barging", "fair-queue", "ordered"] {
-            assert_eq!(rows.iter().filter(|r| r.policy == policy).count(), 3, "{policy}");
+            assert_eq!(rows.iter().filter(|r| r.policy == policy).count(), 4, "{policy}");
         }
         assert!(rows.iter().all(|r| r.deadlocks == 0));
         assert!(rows.iter().all(|r| r.zipf_centi == GATE_ZIPF_CENTI));
         let json = throughput_json(&rows);
         let parsed = parse_throughput_json(&json).unwrap();
-        assert_eq!(parsed.len(), 9);
+        assert_eq!(parsed.len(), 12);
         assert!(json.contains("\"policy\":\"ordered\""));
     }
 
     #[test]
     fn sweep_covers_the_grid_and_serialises() {
         let rows = throughput_sweep(&[0, 120], &[4], 8, 1);
-        assert_eq!(rows.len(), 2 * 2 * 3); // zipf × policy × strategy
+        assert_eq!(rows.len(), 2 * 2 * 4); // zipf × policy × strategy
         let json = throughput_json(&rows);
         assert!(json.contains("\"schema\": \"bench-throughput-v1\""));
         assert!(json.contains("\"policy\":\"barging\""));
@@ -765,6 +991,9 @@ mod tests {
             policy: policy.into(),
             strategy: strategy.into(),
             throughput_kilo: thr,
+            states_lost: 0,
+            ops_replayed: 0,
+            ops_reused: 0,
         };
         let current = |thr: f64| ThroughputRow {
             zipf_centi: GATE_ZIPF_CENTI,
@@ -781,6 +1010,9 @@ mod tests {
             grant_p99: 1,
             deadlocks: 0,
             max_queue_depth: 1,
+            states_lost: 0,
+            ops_replayed: 0,
+            ops_reused: 0,
         };
         let base = vec![cell("barging", "mcs", 10.0)];
         // 10% down: fine. 25% down: gate failure. Faster: fine.
@@ -796,5 +1028,104 @@ mod tests {
         assert!(gate_against_baseline(&[cell("barging", "mcs", 0.0)], &[]).is_err());
         let off_point = vec![BaselineRow { zipf_centi: 0, ..cell("barging", "mcs", 10.0) }];
         assert!(gate_against_baseline(&off_point, &[current(9.0)]).is_err());
+    }
+
+    #[test]
+    fn read_write_skew_repairs_deterministically() {
+        let cfg = read_write_skew(StrategyKind::Repair, 7);
+        let a = run_stress(&cfg).unwrap();
+        let b = run_stress(&cfg).unwrap();
+        assert_eq!(a.metrics, b.metrics, "the workload must be deterministic in its seed");
+        assert!(a.completed);
+        assert_eq!(a.commits, 64);
+        assert!(a.metrics.deadlocks > 0, "the skewed hot set must deadlock");
+        assert_eq!(a.metrics.repairs, a.metrics.rollbacks());
+        assert!(a.metrics.repairs > 0);
+        assert_eq!(a.metrics.repair_suffix.sum(), a.metrics.states_lost);
+        assert_eq!(a.metrics.ops_replayed + a.metrics.ops_reused, a.metrics.states_lost);
+    }
+
+    #[test]
+    fn long_vs_oltp_mix_repairs_like_mcs() {
+        let repair = run_stress(&long_vs_oltp(StrategyKind::Repair, 11)).unwrap();
+        let mcs = run_stress(&long_vs_oltp(StrategyKind::Mcs, 11)).unwrap();
+        assert!(repair.completed && mcs.completed);
+        assert_eq!(repair.commits, 48);
+        assert!(repair.metrics.deadlocks > 0, "the mix must deadlock");
+        // Repair plans exactly like MCS and the driver is deterministic in
+        // its seed, so both runs walk the same schedule step for step.
+        assert_eq!(repair.steps, mcs.steps);
+        assert_eq!(repair.metrics.deadlocks, mcs.metrics.deadlocks);
+        assert_eq!(repair.metrics.states_lost, mcs.metrics.states_lost);
+        assert_eq!(
+            repair.metrics.ops_replayed + repair.metrics.ops_reused,
+            repair.metrics.states_lost
+        );
+        assert!(repair.metrics.ops_reused > 0, "long victims must reuse suffix work");
+        assert_eq!(mcs.metrics.ops_replayed + mcs.metrics.ops_reused, 0);
+    }
+
+    #[test]
+    fn repair_gate_checks_throughput_and_ledger_invariants() {
+        let base = vec![BaselineRow {
+            zipf_centi: GATE_ZIPF_CENTI,
+            concurrency: GATE_CONCURRENCY,
+            policy: "barging".into(),
+            strategy: "repair".into(),
+            throughput_kilo: 10.0,
+            states_lost: 40,
+            ops_replayed: 25,
+            ops_reused: 15,
+        }];
+        let row = |strategy: &str, thr: f64, lost: u64, replayed: u64, reused: u64| ThroughputRow {
+            zipf_centi: GATE_ZIPF_CENTI,
+            concurrency: GATE_CONCURRENCY,
+            policy: "barging".into(),
+            strategy: strategy.into(),
+            commits: 96,
+            steps: 1000,
+            throughput_kilo: thr,
+            latency_p50: 1,
+            latency_p95: 1,
+            latency_p99: 1,
+            latency_max: 1,
+            grant_p99: 1,
+            deadlocks: 4,
+            max_queue_depth: 1,
+            states_lost: lost,
+            ops_replayed: replayed,
+            ops_reused: reused,
+        };
+        // Healthy: throughput held, ledgers partition, MCS cell matches.
+        let ok = gate_repair_against_baseline(
+            &base,
+            &[row("repair", 9.5, 42, 30, 12), row("mcs", 9.9, 42, 0, 0)],
+        )
+        .unwrap();
+        assert!(!ok[0].failed(), "{:?}", ok[0].reasons);
+        // Throughput collapse fails.
+        let slow = gate_repair_against_baseline(
+            &base,
+            &[row("repair", 7.0, 42, 30, 12), row("mcs", 9.9, 42, 0, 0)],
+        )
+        .unwrap();
+        assert!(slow[0].failed());
+        // Planner drift (states_lost != MCS cell) fails.
+        let drift = gate_repair_against_baseline(
+            &base,
+            &[row("repair", 9.5, 42, 30, 12), row("mcs", 9.9, 41, 0, 0)],
+        )
+        .unwrap();
+        assert!(drift[0].failed());
+        // Ledgers that don't partition the cost fail.
+        let leak = gate_repair_against_baseline(
+            &base,
+            &[row("repair", 9.5, 42, 30, 11), row("mcs", 9.9, 42, 0, 0)],
+        )
+        .unwrap();
+        assert!(leak[0].failed());
+        // Missing repair rows (stale baseline or drifted sweep) are errors.
+        assert!(gate_repair_against_baseline(&[], &[]).is_err());
+        assert!(gate_repair_against_baseline(&base, &[row("mcs", 9.9, 42, 0, 0)]).is_err());
     }
 }

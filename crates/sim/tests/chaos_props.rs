@@ -15,7 +15,7 @@ proptest! {
     #[test]
     fn same_seed_replays_byte_identically(seed in 0u64..10_000) {
         let scheme = CrossSiteScheme::ALL[(seed % 3) as usize];
-        let strategy = StrategyKind::ALL[(seed % 3) as usize];
+        let strategy = StrategyKind::ALL[(seed % 4) as usize];
         let cfg = ChaosConfig::seeded(seed, 3, scheme, strategy, 12, 20);
         let a = run_chaos(&cfg);
         let b = run_chaos(&cfg);

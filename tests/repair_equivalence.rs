@@ -1,0 +1,184 @@
+//! Repair-strategy equivalence battery.
+//!
+//! `StrategyKind::Repair` plans exactly like MCS — same victims, same
+//! rollback targets, same schedules — and differs only in *how the
+//! victim re-executes*: suffix operations whose taped outcome is proven
+//! unaffected by the rollback are reused instead of re-derived. If the
+//! taint protocol is sound, that substitution is invisible: Repair must
+//! commit the same transaction set and produce the same final database
+//! as Total, MCS, and SDG on every workload, under either grant policy,
+//! while its replayed/reused ledgers exactly partition the states lost.
+//!
+//! The battery closes with a planted-mutant self-test: an *unsound*
+//! repair (one that trusts the tape without re-checking a conflicting
+//! read) is shown to diverge from the MCS snapshot and to be rejected by
+//! the differential serializability oracle — proving the oracle has the
+//! power to catch exactly the bug class Repair could introduce.
+
+use partial_rollback::prelude::*;
+use partial_rollback::sim::generator::{GeneratorConfig, ProgramGenerator};
+use partial_rollback::sim::runner::{is_serializable, run_workload, store_with, SchedulerKind};
+use proptest::prelude::*;
+
+const BASELINES: [StrategyKind; 3] = [StrategyKind::Total, StrategyKind::Mcs, StrategyKind::Sdg];
+
+/// Runs one seeded workload and returns the final snapshot, the commit
+/// count, and the metrics (for ledger reconciliation).
+fn run_one(
+    programs: &[TransactionProgram],
+    strategy: StrategyKind,
+    policy: GrantPolicy,
+    sched_seed: u64,
+) -> (Snapshot, u64, Metrics) {
+    let mut config = SystemConfig::new(strategy, VictimPolicyKind::PartialOrder);
+    config.grant_policy = policy;
+    let report = run_workload(
+        programs,
+        store_with(24, 100),
+        config,
+        SchedulerKind::Random { seed: sched_seed },
+    )
+    .expect("engine error");
+    assert!(report.completed, "{strategy:?} hit the step limit");
+    let commits = report.metrics.commits;
+    (report.snapshot, commits, report.metrics)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Repair commits the same transaction set and leaves the same final
+    /// entity values as every baseline strategy, under both grant
+    /// policies, and its repair ledgers reconcile: every state lost to a
+    /// rollback is either replayed or (provably-unchanged) reused, and
+    /// the per-repair suffix histogram carries exactly that mass.
+    #[test]
+    fn repair_matches_every_baseline_and_reconciles(
+        workload_seed in 0u64..5_000,
+        sched_seed in 0u64..1_000,
+        skew_centi in prop_oneof![Just(0u16), Just(60u16)],
+        policy in prop_oneof![Just(GrantPolicy::Barging), Just(GrantPolicy::FairQueue)],
+    ) {
+        let config = GeneratorConfig {
+            num_entities: 24,
+            skew_centi,
+            ..GeneratorConfig::default()
+        };
+        let mut generator = ProgramGenerator::new(config, workload_seed);
+        let programs = generator.generate_workload(10);
+
+        let (repair_snapshot, repair_commits, m) =
+            run_one(&programs, StrategyKind::Repair, policy, sched_seed);
+        prop_assert_eq!(repair_commits, programs.len() as u64);
+
+        // Ledger algebra: one repair per rollback, and the replay window
+        // accounts for every lost state exactly once.
+        prop_assert_eq!(m.repairs, m.rollbacks());
+        prop_assert_eq!(m.repair_suffix.count(), m.repairs);
+        prop_assert_eq!(m.repair_suffix.sum(), m.states_lost);
+        prop_assert_eq!(m.ops_replayed + m.ops_reused, m.states_lost);
+
+        for strategy in BASELINES {
+            let (snapshot, commits, base) = run_one(&programs, strategy, policy, sched_seed);
+            prop_assert_eq!(
+                commits, repair_commits,
+                "{:?} committed a different transaction set than Repair", strategy
+            );
+            prop_assert_eq!(
+                &snapshot, &repair_snapshot,
+                "Repair diverged from {:?} on final values under {:?}", strategy, policy
+            );
+            // Repair accounting is exclusive to the Repair strategy.
+            prop_assert_eq!(base.repairs, 0);
+            prop_assert_eq!(base.ops_replayed + base.ops_reused, 0);
+        }
+    }
+}
+
+/// Two transactions whose reads and writes cross: each reads one entity
+/// and writes the other from the value it read. The crossed lock order
+/// deadlocks; the victim's re-executed read then observes a value the
+/// survivor changed, so any repair that trusts its tape for that read
+/// produces a final state matching *no* serial order.
+fn crossed_pair() -> Vec<TransactionProgram> {
+    let a = EntityId::new(0);
+    let b = EntityId::new(1);
+    let v = VarId::new(0);
+    // Padded so the victim policy deterministically picks t2 (cheaper).
+    let t1 = ProgramBuilder::new()
+        .lock_exclusive(a)
+        .read(a, v)
+        .pad(2)
+        .lock_exclusive(b)
+        .write(b, Expr::add(Expr::var(v), Expr::lit(1)))
+        .build()
+        .unwrap();
+    let t2 = ProgramBuilder::new()
+        .lock_exclusive(b)
+        .read(b, v)
+        .lock_exclusive(a)
+        .write(a, Expr::add(Expr::var(v), Expr::lit(1)))
+        .build()
+        .unwrap();
+    vec![t1, t2]
+}
+
+/// Round-robins the crossed pair to completion under `strategy`,
+/// optionally planting the unsound-reuse mutant first.
+fn drive_crossed(strategy: StrategyKind, mutant: bool) -> (Snapshot, Metrics) {
+    let store = GlobalStore::with_entities(2, Value::new(100));
+    let mut config = SystemConfig::new(strategy, VictimPolicyKind::MinCost);
+    config.grant_policy = GrantPolicy::Barging;
+    let mut sys = System::new(store, config);
+    for p in crossed_pair() {
+        sys.admit(p).unwrap();
+    }
+    if mutant {
+        sys.plant_repair_mutant();
+    }
+    sys.run(&mut RoundRobin::new()).unwrap();
+    assert!(sys.all_committed(), "{strategy:?} did not drain the crossed pair");
+    (sys.store().snapshot(), sys.metrics().clone())
+}
+
+/// The planted mutant — a repair that reuses a taped read without
+/// re-checking it against the live value — is caught two independent
+/// ways: its snapshot diverges from MCS, and the permutation
+/// serializability oracle rejects it. The unmutated Repair run passes
+/// both checks on the same schedule.
+#[test]
+fn planted_mutant_is_caught_by_the_serializability_oracle() {
+    let programs = crossed_pair();
+    let config = SystemConfig::new(StrategyKind::Mcs, VictimPolicyKind::MinCost);
+
+    let (mcs_snapshot, mcs_metrics) = drive_crossed(StrategyKind::Mcs, false);
+    assert!(mcs_metrics.deadlocks >= 1, "scenario must actually deadlock");
+
+    // Sound repair: identical to MCS, serializable, ledgers reconcile.
+    let (repair_snapshot, m) = drive_crossed(StrategyKind::Repair, false);
+    assert_eq!(repair_snapshot, mcs_snapshot);
+    assert_eq!(m.repairs, m.rollbacks());
+    assert!(m.repairs >= 1);
+    assert_eq!(m.ops_replayed + m.ops_reused, m.states_lost);
+    let initial = GlobalStore::with_entities(2, Value::new(100));
+    assert_eq!(
+        is_serializable(&programs, &initial, config, &repair_snapshot),
+        Ok(true),
+        "sound repair must match a serial order"
+    );
+
+    // Mutant: the victim's re-executed read of the entity the survivor
+    // rewrote is reused stale, so the final state matches no serial
+    // order — and the differential oracle says so.
+    let (mutant_snapshot, mm) = drive_crossed(StrategyKind::Repair, true);
+    assert!(mm.ops_reused >= 1, "mutant must actually take the unsound reuse path");
+    assert_ne!(
+        mutant_snapshot, mcs_snapshot,
+        "unsound reuse must be observable in the final state"
+    );
+    assert_eq!(
+        is_serializable(&programs, &initial, config, &mutant_snapshot),
+        Ok(false),
+        "the serializability oracle must reject the mutant's final state"
+    );
+}
