@@ -435,6 +435,17 @@ pub struct ServerMetrics {
     pub flushes_deadline: u64,
     /// Transactions committed.
     pub commits: u64,
+    /// Write-ahead-log records appended (batch records + commit markers).
+    pub wal_appends: u64,
+    /// Write-ahead-log fsyncs issued (policy flushes, segment rolls, and
+    /// the drain sync).
+    pub wal_fsyncs: u64,
+    /// Write-ahead-log bytes appended.
+    pub wal_bytes: u64,
+    /// Batches replayed from the redo log at startup (`--recover`).
+    pub batches_recovered: u64,
+    /// Transactions replayed from the redo log at startup.
+    pub txns_recovered: u64,
     /// Transactions per executed batch.
     pub batch_fill: LogHistogram,
     /// Microseconds each submission waited in the open batch before its
@@ -456,6 +467,11 @@ impl ServerMetrics {
         self.flushes_full += other.flushes_full;
         self.flushes_deadline += other.flushes_deadline;
         self.commits += other.commits;
+        self.wal_appends += other.wal_appends;
+        self.wal_fsyncs += other.wal_fsyncs;
+        self.wal_bytes += other.wal_bytes;
+        self.batches_recovered += other.batches_recovered;
+        self.txns_recovered += other.txns_recovered;
         self.batch_fill.merge(&other.batch_fill);
         self.group_wait_us.merge(&other.group_wait_us);
     }
@@ -470,7 +486,8 @@ impl ServerMetrics {
              \"frames_in\":{},\"frames_out\":{},\"protocol_errors\":{},\
              \"submissions\":{},\"rejected\":{},\"aborted_on_shutdown\":{},\
              \"batches\":{},\"flushes_full\":{},\"flushes_deadline\":{},\
-             \"commits\":{},",
+             \"commits\":{},\"wal_appends\":{},\"wal_fsyncs\":{},\
+             \"wal_bytes\":{},\"batches_recovered\":{},\"txns_recovered\":{},",
             self.connections,
             self.frames_in,
             self.frames_out,
@@ -481,7 +498,12 @@ impl ServerMetrics {
             self.batches,
             self.flushes_full,
             self.flushes_deadline,
-            self.commits
+            self.commits,
+            self.wal_appends,
+            self.wal_fsyncs,
+            self.wal_bytes,
+            self.batches_recovered,
+            self.txns_recovered
         );
         out.push_str("\"batch_fill\":");
         HistogramSummary::of(&self.batch_fill).write_json(&mut out);

@@ -51,6 +51,15 @@ impl Session {
         Session { slab: EntitySlab::from_store(store), config, admitted: 0, stamp: 0, batches: 0 }
     }
 
+    /// Opens a session that *continues* a previous one: `store` carries the
+    /// recovered entity values and the id/stamp clocks start above the
+    /// recovered high-water marks, so transactions committed after a crash
+    /// extend the pre-crash history monotonically — the concatenation is
+    /// one valid oracle input, exactly as if the process had never died.
+    pub fn resume(store: &GlobalStore, config: ParConfig, admitted: u32, stamp: u64) -> Session {
+        Session { slab: EntitySlab::from_store(store), config, admitted, stamp, batches: 0 }
+    }
+
     /// The configuration every batch runs under.
     pub fn config(&self) -> &ParConfig {
         &self.config
@@ -61,9 +70,15 @@ impl Session {
         self.admitted
     }
 
-    /// Batches executed so far.
+    /// Batches executed so far (by this process; a resumed session starts
+    /// again at zero).
     pub fn batches(&self) -> u64 {
         self.batches
+    }
+
+    /// Grant-stamp high-water mark — the session clock's current value.
+    pub fn stamp(&self) -> u64 {
+        self.stamp
     }
 
     /// Whether `entity` exists in this session's universe.

@@ -28,6 +28,8 @@ usage: pr-load [MODE] [OPTIONS]
 modes (default: drive one load cell and oracle-check it)
   --bench              run the committed bench grid, write BENCH_server.json
   --gate-server PATH   perf gate: calibrated live re-measure vs the committed grid
+  --gate-durability PATH  durability gate: flush-policy rows + live per-batch re-measure
+  --crash-soak N       seeded in-process crash-injection battery (N cases)
   --probe-malformed ADDR  malformed-frame protocol probe (exit 0 = contract held)
   --soak               extended randomized soak, multi-process, both policies
   --shutdown ADDR      drain a live server and report its commit count
@@ -51,12 +53,16 @@ options
   --batch-max N        self-hosted group-commit flush threshold (default 256)
   --batch-deadline-us N  self-hosted group-commit deadline (default 2000)
   --out PATH           bench output path (default BENCH_server.json)
-  --no-oracle          skip the post-run serializability check";
+  --no-oracle          skip the post-run serializability check
+  --wal DIR            self-hosted server writes a redo log to DIR
+  --wal-flush POLICY   fsync policy for --wal: per-batch | every-N | off";
 
 enum Mode {
     Run,
     Bench,
     Gate(std::path::PathBuf),
+    GateDurability(std::path::PathBuf),
+    CrashSoak(usize),
     Probe(String),
     Soak,
     Shutdown(String),
@@ -75,6 +81,7 @@ struct Options {
     procs: usize,
     out: std::path::PathBuf,
     oracle: bool,
+    durability: pr_server::DurabilityConfig,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -90,6 +97,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         procs: 1,
         out: std::path::PathBuf::from("BENCH_server.json"),
         oracle: true,
+        durability: pr_server::DurabilityConfig::default(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -99,6 +107,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         match arg.as_str() {
             "--bench" => o.mode = Mode::Bench,
             "--gate-server" => o.mode = Mode::Gate(value("--gate-server")?.into()),
+            "--gate-durability" => {
+                o.mode = Mode::GateDurability(value("--gate-durability")?.into())
+            }
+            "--crash-soak" => {
+                o.mode = Mode::CrashSoak(
+                    value("--crash-soak")?.parse().map_err(|_| "--crash-soak needs a count")?,
+                )
+            }
             "--probe-malformed" => o.mode = Mode::Probe(value("--probe-malformed")?.into()),
             "--soak" => o.mode = Mode::Soak,
             "--shutdown" => o.mode = Mode::Shutdown(value("--shutdown")?.into()),
@@ -167,6 +183,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--out" => o.out = value("--out")?.into(),
             "--no-oracle" => o.oracle = false,
+            "--wal" => o.durability.dir = Some(value("--wal")?.into()),
+            "--wal-flush" => o.durability.flush = value("--wal-flush")?.parse()?,
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -189,6 +207,7 @@ fn server_config(o: &Options) -> ServerConfig {
         fast_path: true,
         batch_max: o.batch_max,
         batch_deadline: Duration::from_micros(o.batch_deadline_us),
+        durability: o.durability.clone(),
     }
 }
 
@@ -412,22 +431,36 @@ fn run_default(o: &Options) -> ExitCode {
 // Bench grid
 // ---------------------------------------------------------------------------
 
-/// `(clients, zipf_centi, policy, txns_per_client, clients_per_conn)` —
-/// the committed grid. The 12288-client cell is the ISSUE's 10k+ bar;
-/// it multiplexes wider so connection count stays modest.
-const BENCH_CELLS: &[(usize, u16, &str, usize, usize)] = &[
-    (512, 0, "fair-queue", 4, 256),
-    (512, 120, "fair-queue", 4, 256),
-    (4096, 0, "fair-queue", 4, 256),
-    (4096, 120, "fair-queue", 4, 256),
-    (12288, 120, "fair-queue", 2, 1024),
-    (512, 120, "ordered", 4, 256),
+/// `(clients, zipf_centi, policy, txns_per_client, clients_per_conn,
+/// wal)` — the committed grid. The 12288-client cell is the ISSUE's 10k+
+/// bar; it multiplexes wider so connection count stays modest. The last
+/// three cells hold the workload fixed and sweep the durability axis:
+/// `per-batch` fsyncs once per group commit, `every-8` amortises further,
+/// and `per-txn` (batch_max 1, fsync each) is the degenerate ungrouped
+/// baseline group commit exists to beat.
+const BENCH_CELLS: &[(usize, u16, &str, usize, usize, &str)] = &[
+    (512, 0, "fair-queue", 4, 256, "off"),
+    (512, 120, "fair-queue", 4, 256, "off"),
+    (4096, 0, "fair-queue", 4, 256, "off"),
+    (4096, 120, "fair-queue", 4, 256, "off"),
+    (12288, 120, "fair-queue", 2, 1024, "off"),
+    (512, 120, "ordered", 4, 256, "off"),
+    (512, 120, "fair-queue", 4, 256, "per-batch"),
+    (512, 120, "fair-queue", 4, 256, "every-8"),
+    (512, 120, "fair-queue", 4, 256, "per-txn"),
 ];
+
+/// Scratch WAL directory for one bench cell (unique per process + cell,
+/// removed around each run so stale segments never replay into a bench).
+fn bench_wal_dir(wal: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("pr-load-bench-wal-{}-{wal}", std::process::id()))
+}
 
 struct BenchRow {
     clients: usize,
     zipf_centi: u16,
     policy: String,
+    wal: String,
     txns: u64,
     commits: u64,
     elapsed_us: u128,
@@ -474,8 +507,26 @@ fn calibrate() -> Result<f64, String> {
     Ok(best)
 }
 
-fn cell_options(o: &Options, cell: &(usize, u16, &str, usize, usize)) -> Options {
-    let &(clients, zipf, policy, txns, per_conn) = cell;
+fn cell_options(o: &Options, cell: &(usize, u16, &str, usize, usize, &str)) -> Options {
+    let &(clients, zipf, policy, txns, per_conn, wal) = cell;
+    // The durability axis: "off" disables the journal; "per-txn" is
+    // per-batch flushing with group commit disabled (every transaction
+    // its own batch and fsync) — the baseline the amortised cells beat.
+    let (durability, batch_max) = match wal {
+        "off" => (pr_server::DurabilityConfig::default(), o.batch_max),
+        _ => {
+            let flush = match wal {
+                "per-txn" => "per-batch",
+                other => other,
+            };
+            let durability = pr_server::DurabilityConfig {
+                dir: Some(bench_wal_dir(wal)),
+                flush: flush.parse().expect("bench wal cells carry valid policies"),
+                ..pr_server::DurabilityConfig::default()
+            };
+            (durability, if wal == "per-txn" { 1 } else { o.batch_max })
+        }
+    };
     Options {
         mode: Mode::Run,
         connect: None,
@@ -493,21 +544,23 @@ fn cell_options(o: &Options, cell: &(usize, u16, &str, usize, usize)) -> Options
         },
         strategy: o.strategy,
         threads: o.threads,
-        batch_max: o.batch_max,
+        batch_max,
         batch_deadline_us: o.batch_deadline_us,
         procs: 1,
         out: o.out.clone(),
         oracle: true,
+        durability,
     }
 }
 
-fn bench_row(o: &Options, cell: &CellOutcome) -> BenchRow {
+fn bench_row(o: &Options, cell: &CellOutcome, wal: &str) -> BenchRow {
     let r = &cell.result;
     let report = cell.report.as_ref();
     BenchRow {
         clients: o.load.clients,
         zipf_centi: o.load.zipf_centi,
         policy: o.policy.name().to_string(),
+        wal: wal.to_string(),
         txns: (o.load.clients * o.load.txns_per_client) as u64,
         commits: r.commits,
         elapsed_us: r.elapsed.as_micros(),
@@ -536,13 +589,14 @@ fn server_json(calib: f64, rows: &[BenchRow]) -> String {
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             out,
-            "    {{\"clients\":{},\"zipf_centi\":{},\"policy\":\"{}\",\
+            "    {{\"clients\":{},\"zipf_centi\":{},\"policy\":\"{}\",\"wal\":\"{}\",\
              \"txns\":{},\"commits\":{},\"elapsed_us\":{},\
              \"throughput\":{:.1},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\
              \"batches\":{},\"oracle_accesses\":{},\"conflict_edges\":{}}}{}",
             r.clients,
             r.zipf_centi,
             r.policy,
+            r.wal,
             r.txns,
             r.commits,
             r.elapsed_us,
@@ -571,8 +625,16 @@ fn run_bench(o: &Options) -> ExitCode {
     println!("pr-load: calibration {calib:.0} tx/s (fixed in-process workload)");
     let mut rows = Vec::new();
     for cell in BENCH_CELLS {
+        let wal = cell.5;
+        if wal != "off" {
+            let _ = std::fs::remove_dir_all(bench_wal_dir(wal));
+        }
         let cell_o = cell_options(o, cell);
-        match run_cell(&cell_o) {
+        let outcome = run_cell(&cell_o);
+        if wal != "off" {
+            let _ = std::fs::remove_dir_all(bench_wal_dir(wal));
+        }
+        match outcome {
             Ok(out) => {
                 print_cell(&cell_o, &out);
                 let expected = (cell_o.load.clients * cell_o.load.txns_per_client) as u64;
@@ -584,7 +646,7 @@ fn run_bench(o: &Options) -> ExitCode {
                     );
                     return ExitCode::FAILURE;
                 }
-                rows.push(bench_row(&cell_o, &out));
+                rows.push(bench_row(&cell_o, &out, wal));
             }
             Err(e) => {
                 eprintln!("pr-load: bench cell failed: {e}");
@@ -643,11 +705,12 @@ fn run_gate(o: &Options, path: &std::path::Path) -> ExitCode {
         eprintln!("pr-load: no calib_throughput in {}", path.display());
         return ExitCode::FAILURE;
     };
-    let gate_cell = &BENCH_CELLS[3]; // 4096 clients, zipf 1.2, fair-queue
+    let gate_cell = &BENCH_CELLS[3]; // 4096 clients, zipf 1.2, fair-queue, wal off
     let committed = text.lines().find(|l| {
         row_field(l, "clients") == Some(gate_cell.0 as f64)
             && row_field(l, "zipf_centi") == Some(f64::from(gate_cell.1))
             && row_str_field(l, "policy").as_deref() == Some(gate_cell.2)
+            && row_str_field(l, "wal").as_deref() == Some(gate_cell.5)
     });
     let Some(committed) = committed else {
         eprintln!("pr-load: gate cell not found in {}", path.display());
@@ -711,6 +774,193 @@ fn run_gate(o: &Options, path: &std::path::Path) -> ExitCode {
          calibration scale {scale:.2}, live {last})"
     );
     ExitCode::FAILURE
+}
+
+// ---------------------------------------------------------------------------
+// Durability gate
+// ---------------------------------------------------------------------------
+
+/// The durability arm of the perf gate. Two checks against the committed
+/// grid's flush-policy cells (512 clients / zipf 1.2 / fair-queue):
+///
+/// 1. **Amortisation holds in the committed numbers**: the `per-batch`
+///    cell (one fsync per group commit) must out-run the `per-txn` cell
+///    (group commit disabled, one fsync per transaction). If it doesn't,
+///    group commit stopped paying for itself and the grid must not be
+///    committed.
+/// 2. **The journalled path hasn't regressed**: re-measure the
+///    `per-batch` cell live with the same calibrated bars the server
+///    gate uses (≥80% throughput, ≤120% p99 after machine-speed
+///    normalisation, best of two attempts).
+fn run_gate_durability(o: &Options, path: &std::path::Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("pr-load: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let find_row = |wal: &str| {
+        text.lines().find(|l| {
+            row_field(l, "clients") == Some(512.0)
+                && row_field(l, "zipf_centi") == Some(120.0)
+                && row_str_field(l, "policy").as_deref() == Some("fair-queue")
+                && row_str_field(l, "wal").as_deref() == Some(wal)
+        })
+    };
+    let (Some(per_batch), Some(per_txn)) = (find_row("per-batch"), find_row("per-txn")) else {
+        eprintln!(
+            "pr-load: durability rows (wal per-batch / per-txn) not found in {}",
+            path.display()
+        );
+        return ExitCode::FAILURE;
+    };
+    let (Some(pb_thr), Some(pb_p99), Some(pt_thr)) = (
+        row_field(per_batch, "throughput"),
+        row_field(per_batch, "p99_us"),
+        row_field(per_txn, "throughput"),
+    ) else {
+        eprintln!("pr-load: malformed durability rows in {}", path.display());
+        return ExitCode::FAILURE;
+    };
+    if pb_thr <= pt_thr {
+        eprintln!(
+            "pr-load: DURABILITY GATE: group commit is not amortising fsyncs — \
+             committed per-batch {pb_thr:.0} tx/s <= per-txn {pt_thr:.0} tx/s"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "durability grid sane: per-batch {pb_thr:.0} tx/s > per-txn {pt_thr:.0} tx/s \
+         ({:.1}x fsync amortisation)",
+        pb_thr / pt_thr
+    );
+
+    let Some(committed_calib) =
+        text.lines().find_map(|l| row_field(l, "calib_throughput")).filter(|c| *c > 0.0)
+    else {
+        eprintln!("pr-load: no calib_throughput in {}", path.display());
+        return ExitCode::FAILURE;
+    };
+    let live_calib = match calibrate() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("pr-load: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scale = (live_calib / committed_calib).clamp(0.25, 1.0);
+    let need_thr = 0.8 * pb_thr * scale;
+    let allow_p99 = 1.2 * pb_p99 / scale;
+    let gate_cell = &BENCH_CELLS[6]; // 512 clients, zipf 1.2, fair-queue, per-batch
+    let mut last = String::new();
+    for attempt in 1..=2 {
+        let _ = std::fs::remove_dir_all(bench_wal_dir(gate_cell.5));
+        let cell_o = cell_options(o, gate_cell);
+        let cell = run_cell(&cell_o);
+        let _ = std::fs::remove_dir_all(bench_wal_dir(gate_cell.5));
+        let cell = match cell {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("pr-load: durability gate cell failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let thr = cell.result.throughput();
+        let p99 = cell.result.latency.p99() as f64;
+        if thr >= need_thr && p99 <= allow_p99 {
+            println!(
+                "durability gate passed (attempt {attempt}): per-batch {thr:.0} tx/s >= \
+                 {need_thr:.0} and p99 {p99:.0}us <= {allow_p99:.0}us \
+                 (committed {pb_thr:.0} tx/s / {pb_p99:.0}us, calibration scale {scale:.2})"
+            );
+            return ExitCode::SUCCESS;
+        }
+        last = format!(
+            "{thr:.0} tx/s (need >= {need_thr:.0}), p99 {p99:.0}us (allow <= {allow_p99:.0}us)"
+        );
+        eprintln!("pr-load: durability gate attempt {attempt} outside bars: {last}");
+    }
+    eprintln!(
+        "pr-load: DURABILITY GATE: journalled per-batch cell regressed vs committed grid \
+         (committed {pb_thr:.0} tx/s / p99 {pb_p99:.0}us, calibration scale {scale:.2}, \
+         live {last})"
+    );
+    ExitCode::FAILURE
+}
+
+// ---------------------------------------------------------------------------
+// Crash soak
+// ---------------------------------------------------------------------------
+
+/// The nightly crash-injection battery: `cases` seeded in-process crash
+/// points over the [`pr_server::crashsim`] harness, sweeping flush
+/// policy, grant policy, engine threads, page-cache-loss mode, and the
+/// crash byte offset. Every case asserts the full durability contract
+/// (acknowledged ⇒ replayed within the policy's loss window,
+/// all-or-nothing recovery, idempotent replay). A failure writes its
+/// reproduction recipe to `crash-soak-failure.txt` for artifact upload.
+fn run_crash_soak(o: &Options, cases: usize) -> ExitCode {
+    use pr_server::crashsim::{check_crash_case, run_to_crash, SimConfig};
+    use pr_storage::wal::MemDir;
+
+    let start = Instant::now();
+    let mut crashed = 0usize;
+    let mut completed = 0usize;
+    for i in 0..cases {
+        let seed = o.load.seed.wrapping_add(i as u64);
+        let flush =
+            ["per-batch", "every-4", "off"][i % 3].parse().expect("soak flush policies are valid");
+        let mut system = SystemConfig::new(o.strategy, VictimPolicyKind::PartialOrder);
+        system.grant_policy = [GrantPolicy::FairQueue, GrantPolicy::Ordered][(i / 3) % 2];
+        let lose_unsynced = (i / 6) % 2 == 1;
+        let cfg = SimConfig { seed, flush, system, threads: 1 + i % 2, ..SimConfig::default() };
+
+        // A dry run of the same case shape tells us how many bytes the
+        // log grows to, so the seeded crash budget always lands inside
+        // (or just past — the run-to-completion case) the real log.
+        let fail = |why: String| {
+            let body = format!(
+                "pr-load crash-soak failure\ncase: {i}\nseed: {seed}\nflush: {flush}\n\
+                 policy: {}\nthreads: {}\nlose_unsynced: {lose_unsynced}\nreason: {why}\n\
+                 replay: pr-load --crash-soak {} --seed {}\n",
+                system.grant_policy.name(),
+                1 + i % 2,
+                i + 1,
+                o.load.seed,
+            );
+            let path = "crash-soak-failure.txt";
+            if std::fs::write(path, &body).is_ok() {
+                eprintln!("pr-load: wrote failing case to {path}");
+            }
+            eprintln!("pr-load: CRASH SOAK FAILED (case {i}): {why}");
+            ExitCode::FAILURE
+        };
+        let dry = MemDir::new();
+        if let Err(e) = run_to_crash(&cfg, &dry) {
+            return fail(format!("dry run: {e}"));
+        }
+        let total = dry.persisted_bytes().max(1);
+        let budget =
+            1 + seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) % (total + total / 8);
+        match check_crash_case(&cfg, budget, lose_unsynced) {
+            Ok(v) if v.crashed => crashed += 1,
+            Ok(_) => completed += 1,
+            Err(e) => return fail(e),
+        }
+        if (i + 1) % 32 == 0 {
+            println!(
+                "crash soak: {}/{cases} cases green ({crashed} crashed, {completed} complete)",
+                i + 1
+            );
+        }
+    }
+    println!(
+        "crash soak passed: {cases} cases green ({crashed} crashed mid-log, {completed} ran \
+         to drain) in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
+    ExitCode::SUCCESS
 }
 
 // ---------------------------------------------------------------------------
@@ -816,6 +1066,7 @@ fn run_soak(o: &Options) -> ExitCode {
             procs: o.procs.max(2),
             out: o.out.clone(),
             oracle: true,
+            durability: o.durability.clone(),
         };
         match run_cell(&cell_o) {
             Ok(cell) => {
@@ -931,6 +1182,8 @@ fn main() -> ExitCode {
         Mode::Run => run_default(&o),
         Mode::Bench => run_bench(&o),
         Mode::Gate(path) => run_gate(&o, &path.clone()),
+        Mode::GateDurability(path) => run_gate_durability(&o, &path.clone()),
+        Mode::CrashSoak(cases) => run_crash_soak(&o, *cases),
         Mode::Probe(addr) => run_probe(addr),
         Mode::Soak => run_soak(&o),
         Mode::Shutdown(addr) => run_shutdown(addr),

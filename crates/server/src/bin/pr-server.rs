@@ -27,7 +27,10 @@ usage: pr-server [OPTIONS]
   --policy NAME        grant policy: barging | fair-queue | ordered (default fair-queue)
   --batch-max N        group-commit flush threshold (default 256)
   --batch-deadline-us N  group-commit deadline in microseconds (default 2000)
-  --no-fast-path       force every lock through the shard-mutex path";
+  --no-fast-path       force every lock through the shard-mutex path
+  --wal DIR            write-ahead redo log directory (durability on)
+  --recover DIR        replay DIR's durable prefix before serving (implies --wal DIR)
+  --wal-flush POLICY   fsync policy: per-batch | every-N | off (default per-batch)";
 
 struct Options {
     config: ServerConfig,
@@ -94,6 +97,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 config.batch_deadline = Duration::from_micros(us);
             }
             "--no-fast-path" => config.fast_path = false,
+            "--wal" => config.durability.dir = Some(value("--wal")?.into()),
+            "--recover" => {
+                config.durability.dir = Some(value("--recover")?.into());
+                config.durability.recover = true;
+            }
+            "--wal-flush" => config.durability.flush = value("--wal-flush")?.parse()?,
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -116,18 +125,39 @@ fn main() -> ExitCode {
     let policy = o.config.system.grant_policy.name();
     let entities = o.config.entities;
     let threads = o.config.threads;
+    let wal = o
+        .config
+        .durability
+        .dir
+        .as_ref()
+        .map(|d| format!(" wal={} flush={}", d.display(), o.config.durability.flush));
     let server = match Server::start(o.config) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("pr-server: bind failed: {e}");
+            eprintln!("pr-server: startup failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    // The recovery line prints before the listening line scripts scrape,
+    // so anything driving the server knows what it resumed from.
+    if let Some(r) = server.recovery() {
+        println!(
+            "pr-server recovered {} txns in {} batches (txn_hwm={} stamp_hwm={} \
+             last_batch_id={}{})",
+            r.txns,
+            r.batches,
+            r.txn_hwm,
+            r.stamp_hwm,
+            r.last_batch_id,
+            if r.torn_tail { ", torn tail sealed" } else { "" }
+        );
+    }
     println!(
         "pr-server listening on {} entities={entities} threads={threads} \
          strategy={strategy} policy={policy} batch_max={batch_max} \
-         batch_deadline_us={deadline_us}",
-        server.local_addr()
+         batch_deadline_us={deadline_us}{}",
+        server.local_addr(),
+        wal.unwrap_or_default()
     );
     match server.wait() {
         Ok(summary) => {

@@ -20,16 +20,23 @@
 //! * [`client`] — a small blocking client (control plane, tests, probes);
 //! * [`load`] — the closed-loop multi-client load driver behind
 //!   `pr-load`: Zipf skew, think times, latency histograms, multi-process
-//!   fan-out, and the post-run oracle check.
+//!   fan-out, and the post-run oracle check;
+//! * [`durable`] — the group-commit journal over `pr_storage::wal` and
+//!   the `--recover` crash-recovery replay;
+//! * [`crashsim`] — the in-process crash-injection harness behind the
+//!   crash-matrix tests and `pr-load --crash-soak`.
 
 pub mod batch;
 pub mod client;
+pub mod crashsim;
+pub mod durable;
 pub mod load;
 pub mod server;
 pub mod wire;
 
 pub use batch::{Batcher, FlushReason};
 pub use client::{Client, HistoryDump};
+pub use durable::{recover, DurabilityConfig, Journal, Recovery, RecoverySummary};
 pub use load::{run_load, LoadConfig, LoadResult};
 pub use server::{Server, ServerConfig, ServerSummary};
 pub use wire::{FrameAssembler, Reply, Request, WireError};

@@ -63,6 +63,12 @@ pub struct LoadConfig {
     pub seed: u64,
     /// Global id of this process's first client (multi-process offset).
     pub client_base: usize,
+    /// Treat a mid-run disconnect (server death) as the end of the run
+    /// instead of an error, returning whatever was acknowledged before
+    /// the connection dropped. The kill-and-recover test uses this: the
+    /// partial result is exactly the set of commits the server must be
+    /// able to replay after `kill -9`.
+    pub tolerate_disconnect: bool,
 }
 
 impl Default for LoadConfig {
@@ -78,6 +84,7 @@ impl Default for LoadConfig {
             clients_per_conn: 256,
             seed: 1,
             client_base: 0,
+            tolerate_disconnect: false,
         }
     }
 }
@@ -206,7 +213,12 @@ fn drive_conn(cfg: &LoadConfig, first_local: usize, count: usize) -> Result<Load
                         break;
                     }
                     Err(e) => {
-                        *error.lock().unwrap() = Some(format!("read: {e}"));
+                        // The socket died mid-run. Under tolerate_disconnect
+                        // that IS the experiment (the server was killed);
+                        // the partial result is the answer.
+                        if !cfg.tolerate_disconnect {
+                            *error.lock().unwrap() = Some(format!("read: {e}"));
+                        }
                         break;
                     }
                 };
@@ -214,9 +226,9 @@ fn drive_conn(cfg: &LoadConfig, first_local: usize, count: usize) -> Result<Load
                 match reply {
                     Reply::Committed { request_id, txn } => {
                         remaining -= 1;
-                        let local = (request_id & 0xFFFF_FFFF) as usize;
+                        let g = (request_id & 0xFFFF_FFFF) as u32;
                         let seq = (request_id >> 32) as u32;
-                        let g = (cfg.client_base + first_local + local) as u32;
+                        let local = g as usize - cfg.client_base - first_local;
                         let us =
                             now.duration_since(sent_at.lock().unwrap()[local]).as_micros() as u64;
                         let mut r = result.lock().unwrap();
@@ -312,11 +324,18 @@ fn drive_conn(cfg: &LoadConfig, first_local: usize, count: usize) -> Result<Load
             let seq = next_seq[local];
             next_seq[local] += 1;
             let ops = programs[local][seq as usize].ops().to_vec();
-            let request_id = u64::from(seq) << 32 | local as u64;
+            // The low half is the *global* client id: request ids reach
+            // the server's WAL as idempotence tokens, and a recovery-side
+            // reader must be able to regenerate the program behind each
+            // durable transaction from (g, seq) alone.
+            let g = (cfg.client_base + first_local + local) as u32;
+            let request_id = u64::from(seq) << 32 | u64::from(g);
             let bytes = frame(&encode_request(&Request::Submit { request_id, ops }));
             sent_at.lock().unwrap()[local] = Instant::now();
             if let Err(e) = write_half.write_all(&bytes) {
-                *error.lock().unwrap() = Some(format!("write: {e}"));
+                if !cfg.tolerate_disconnect {
+                    *error.lock().unwrap() = Some(format!("write: {e}"));
+                }
                 // Unblock the reader (it would otherwise wait forever for
                 // replies to submissions that never went out).
                 let _ = write_half.shutdown(std::net::Shutdown::Both);

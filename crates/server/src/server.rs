@@ -29,6 +29,7 @@
 //! of being silently dropped.
 
 use crate::batch::{Batcher, FlushReason};
+use crate::durable::{recover, DurabilityConfig, Journal, Recovery};
 use crate::wire::{
     decode_request, encode_reply, frame, AbortReason, FrameAssembler, Reply, Request,
     HISTORY_CHUNK_ACCESSES,
@@ -37,6 +38,7 @@ use pr_core::{ServerMetrics, SystemConfig};
 use pr_model::Value;
 use pr_model::{TransactionProgram, TxnId};
 use pr_par::{CommittedAccess, FastPathStats, ParConfig, ParError, Session};
+use pr_storage::wal::{FsDir, LogDir};
 use pr_storage::GlobalStore;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -66,6 +68,8 @@ pub struct ServerConfig {
     pub batch_max: usize,
     /// Group-commit deadline for partial batches.
     pub batch_deadline: Duration,
+    /// Write-ahead-log and crash-recovery knobs.
+    pub durability: DurabilityConfig,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +84,7 @@ impl Default for ServerConfig {
             fast_path: true,
             batch_max: 256,
             batch_deadline: Duration::from_millis(2),
+            durability: DurabilityConfig::default(),
         }
     }
 }
@@ -164,13 +169,33 @@ pub struct Server {
     executor: std::thread::JoinHandle<Result<ServerSummary, ParError>>,
     accept: std::thread::JoinHandle<()>,
     shared: Arc<Shared>,
+    recovery: Option<crate::durable::RecoverySummary>,
 }
 
 impl Server {
     /// Binds, spawns the accept and executor threads, and returns
     /// immediately. The server runs until a `SHUTDOWN` request arrives
     /// (or [`Server::request_shutdown`] is called in-process).
+    ///
+    /// When a log directory is configured with `recover`, the durable
+    /// prefix is replayed *before* the listener accepts anyone, so the
+    /// first client already sees recovered state over STATS/HISTORY.
     pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        // Recovery and log-directory setup happen synchronously so a bad
+        // log refuses startup here, not asynchronously mid-serve.
+        let wal_io = |e: pr_storage::WalError| std::io::Error::other(e.to_string());
+        let log_dir: Option<Arc<dyn LogDir>> = match &config.durability.dir {
+            Some(path) => Some(Arc::new(FsDir::open(path).map_err(wal_io)?)),
+            None => None,
+        };
+        let recovered: Option<Recovery> = match (&log_dir, config.durability.recover) {
+            (Some(dir), true) => {
+                Some(recover(dir.as_ref(), config.entities, config.init).map_err(wal_io)?)
+            }
+            _ => None,
+        };
+        let recovery = recovered.as_ref().map(|r| r.summary.clone());
+
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -194,14 +219,19 @@ impl Server {
         };
         let executor = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || executor_loop(&config, shared))
+            std::thread::spawn(move || executor_loop(&config, shared, log_dir, recovered))
         };
-        Ok(Server { local_addr, executor, accept, shared })
+        Ok(Server { local_addr, executor, accept, shared, recovery })
     }
 
     /// The address the listener actually bound (resolves port 0).
     pub fn local_addr(&self) -> std::net::SocketAddr {
         self.local_addr
+    }
+
+    /// What `--recover` replayed at startup, if recovery ran.
+    pub fn recovery(&self) -> Option<&crate::durable::RecoverySummary> {
+        self.recovery.as_ref()
     }
 
     /// Initiates the drain protocol without a network peer (tests).
@@ -354,18 +384,52 @@ fn handle_frame(payload: &[u8], conn: &Arc<ConnWriter>, shared: &Arc<Shared>) ->
 }
 
 /// The executor: one engine run per batch, replies after the run — group
-/// commit. Owns the [`Session`] for the server's whole lifetime.
-fn executor_loop(config: &ServerConfig, shared: Arc<Shared>) -> Result<ServerSummary, ParError> {
-    let store = GlobalStore::with_entities(config.entities, Value::new(config.init));
+/// commit. Owns the [`Session`] (and the journal, when durability is on)
+/// for the server's whole lifetime.
+fn executor_loop(
+    config: &ServerConfig,
+    shared: Arc<Shared>,
+    log_dir: Option<Arc<dyn LogDir>>,
+    recovered: Option<Recovery>,
+) -> Result<ServerSummary, ParError> {
     let par_config = ParConfig {
         threads: config.threads,
         shards: config.shards,
         system: config.system,
         fast_path: config.fast_path,
     };
-    let mut session = Session::new(&store, par_config);
-    let mut history: Vec<CommittedAccess> = Vec::new();
-    let mut commits: u64 = 0;
+    let wal_fatal = |ctx: &str, e: pr_storage::WalError| {
+        ParError::Inconsistent(format!("write-ahead log {ctx}: {e}"))
+    };
+    // A recovered server resumes the dead process's txn-id and stamp
+    // clocks, so post-crash commits extend the recovered history into one
+    // valid oracle input.
+    let (store, mut history, mut commits, last_batch_id, session) = match recovered {
+        Some(rec) => {
+            let session =
+                Session::resume(&rec.store, par_config, rec.summary.txn_hwm, rec.summary.stamp_hwm);
+            {
+                let mut m = shared.batch_metrics.lock().expect("metrics poisoned");
+                m.batches_recovered = rec.summary.batches;
+                m.txns_recovered = rec.summary.txns;
+                m.commits = rec.summary.txns;
+            }
+            (rec.store, rec.accesses, rec.summary.txns, rec.summary.last_batch_id, session)
+        }
+        None => {
+            let store = GlobalStore::with_entities(config.entities, Value::new(config.init));
+            let session = Session::new(&store, par_config);
+            (store, Vec::new(), 0u64, 0u64, session)
+        }
+    };
+    let mut session = session;
+    let mut journal = match log_dir {
+        Some(dir) => Some(
+            Journal::open(dir, &config.durability, store.snapshot(), last_batch_id)
+                .map_err(|e| wal_fatal("open", e))?,
+        ),
+        None => None,
+    };
     let mut batches: u64 = 0;
     let mut ack_to: Option<Arc<ConnWriter>> = None;
 
@@ -388,8 +452,39 @@ fn executor_loop(config: &ServerConfig, shared: Arc<Shared>) -> Result<ServerSum
 
         if !programs.is_empty() {
             let base = session.admitted();
+            let fail_batch = |e: ParError, shared: &Shared| {
+                // An engine (or journal) error on validated input is an
+                // invariant violation: answer everyone, then surface it.
+                // Nothing is acknowledged COMMITTED, so the durability
+                // invariant is vacuously preserved.
+                for (request_id, conn) in &submitters {
+                    conn.send(
+                        shared,
+                        &Reply::Aborted { request_id: *request_id, reason: AbortReason::Engine },
+                    );
+                }
+                shared.shutdown.store(true, Ordering::SeqCst);
+                shared.batcher.close();
+                e
+            };
             match session.execute(&programs) {
                 Ok(outcome) => {
+                    // Write-ahead: the batch's redo record and commit
+                    // marker are appended (and fsynced, per policy)
+                    // *before* any COMMITTED reply publishes.
+                    if let Some(j) = journal.as_mut() {
+                        let request_ids: Vec<u64> =
+                            submitters.iter().map(|(rid, _)| *rid).collect();
+                        if let Err(e) = j.log_batch(
+                            base,
+                            &request_ids,
+                            session.stamp(),
+                            &outcome.snapshot,
+                            &outcome.accesses,
+                        ) {
+                            return Err(fail_batch(wal_fatal("append", e), &shared));
+                        }
+                    }
                     commits += outcome.commits() as u64;
                     history.extend(outcome.accesses);
                     // Group commit: every reply in the batch goes out
@@ -399,28 +494,19 @@ fn executor_loop(config: &ServerConfig, shared: Arc<Shared>) -> Result<ServerSum
                         conn.send(&shared, &Reply::Committed { request_id: *request_id, txn });
                     }
                 }
-                Err(e) => {
-                    // An engine error on validated input is an invariant
-                    // violation: answer everyone, then surface it.
-                    for (request_id, conn) in &submitters {
-                        conn.send(
-                            &shared,
-                            &Reply::Aborted {
-                                request_id: *request_id,
-                                reason: AbortReason::Engine,
-                            },
-                        );
-                    }
-                    shared.shutdown.store(true, Ordering::SeqCst);
-                    shared.batcher.close();
-                    return Err(e);
-                }
+                Err(e) => return Err(fail_batch(e, &shared)),
             }
             batches += 1;
             let mut m = shared.batch_metrics.lock().expect("metrics poisoned");
             m.batches = batches;
             m.commits = commits;
             m.batch_fill.record(programs.len() as u64);
+            if let Some(j) = &journal {
+                let s = j.stats();
+                m.wal_appends = s.appends;
+                m.wal_fsyncs = s.syncs;
+                m.wal_bytes = s.bytes;
+            }
             for us in wait_us {
                 m.group_wait_us.record(us);
             }
@@ -440,7 +526,16 @@ fn executor_loop(config: &ServerConfig, shared: Arc<Shared>) -> Result<ServerSum
         }
     }
 
-    // Drained and closed: the graceful-shutdown quiescence assertion.
+    // Drained and closed: graceful drain implies durability — the tail
+    // segment is fsynced whatever the flush policy, so everything the
+    // server ever acknowledged survives a post-shutdown restart. Only
+    // then is quiescence asserted and SHUTDOWN_ACK sent.
+    if let Some(j) = journal.as_mut() {
+        j.sync().map_err(|e| wal_fatal("drain sync", e))?;
+        let s = j.stats();
+        let mut m = shared.batch_metrics.lock().expect("metrics poisoned");
+        m.wal_fsyncs = s.syncs;
+    }
     let fast = session.finish()?;
     if let Some(conn) = ack_to {
         conn.send(&shared, &Reply::ShutdownAck { commits });

@@ -23,6 +23,10 @@
 //!   well-defined lock state.
 //! * [`Snapshot`] — whole-database snapshots used by the serializability
 //!   and crash-consistency test oracles.
+//! * [`wal`] — the write-ahead redo log that extends recovery from
+//!   in-process rollback to process crashes: segmented CRC32-framed
+//!   records logged at group-commit boundaries, a total fail-closed
+//!   replay, and a failpoint storage backend for crash-injection tests.
 
 pub mod error;
 pub mod global;
@@ -30,6 +34,7 @@ pub mod mcs;
 pub mod single_copy;
 pub mod snapshot;
 pub mod version_stack;
+pub mod wal;
 
 pub use error::StorageError;
 pub use global::{Constraint, GlobalStore, SharedGlobalStore};
@@ -37,6 +42,7 @@ pub use mcs::{CopyCounts, McsWorkspace};
 pub use single_copy::SingleCopyWorkspace;
 pub use snapshot::Snapshot;
 pub use version_stack::{StackElement, VersionStack};
+pub use wal::{BatchRecord, FlushPolicy, Wal, WalError};
 
 /// Compile-time proof that the storage layer is safe to move into and
 /// share across worker threads: the parallel engine keeps a [`GlobalStore`]
@@ -53,4 +59,8 @@ const _: () = {
     assert_send_sync::<SingleCopyWorkspace>();
     assert_send_sync::<SharedGlobalStore>();
     assert_send_sync::<StorageError>();
+    assert_send_sync::<BatchRecord>();
+    assert_send_sync::<WalError>();
+    assert_send_sync::<wal::MemDir>();
+    assert_send_sync::<wal::FsDir>();
 };

@@ -1,0 +1,71 @@
+//! Write-ahead redo log for the server's group commit.
+//!
+//! The paper's partial-rollback machinery recovers from *deadlock* by
+//! rewinding in-memory workspaces; this module extends recovery to *process
+//! crashes*. The unit of durability is the group-commit batch: at the only
+//! instant where committed state is published to clients (the batch
+//! boundary), the server appends one redo record carrying the batch's
+//! committed entity deltas, followed by a separate commit marker. A batch is
+//! recovered iff its commit marker is durable — all-or-nothing per batch.
+//!
+//! Layout on disk: a directory of segmented append-only files
+//! (`wal-NNNNNN.seg`), each a sequence of CRC32-framed, length-prefixed
+//! records. The decoder is total in the style of the server's `wire.rs`: it
+//! never panics, and it fails **closed** on a torn or corrupt tail — replay
+//! stops at the first invalid byte and reports exactly the longest
+//! whole-record prefix.
+//!
+//! The writer talks to storage through the [`LogFile`]/[`LogDir`] traits.
+//! [`FsDir`] is the real filesystem; [`MemDir`] is a deterministic in-memory
+//! disk with a seeded failpoint (crash after N appended bytes, optionally
+//! losing bytes that were never fsynced) so every crash point is enumerable
+//! in-process by the crash-matrix tests.
+
+mod crc;
+mod file;
+mod record;
+mod replay;
+mod writer;
+
+pub use crc::crc32;
+pub use file::{FailPlan, FsDir, LogDir, LogFile, MemDir};
+pub use record::{decode_stream, BatchRecord, Tail, WalAccess, WalRecord, MAX_RECORD_PAYLOAD};
+pub use replay::{replay, seal, ReplayOutcome, SegmentReport};
+pub use writer::{
+    FlushPolicy, Wal, WalStats, DEFAULT_SEGMENT_MAX, SEGMENT_NAME_PREFIX, SEGMENT_NAME_SUFFIX,
+};
+
+use std::fmt;
+
+/// Errors from the write-ahead log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalError {
+    /// An underlying storage operation failed.
+    Io(String),
+    /// The deterministic failpoint fired: the simulated process is dead and
+    /// every subsequent operation on this log must also fail.
+    Crashed,
+    /// A record exceeded [`MAX_RECORD_PAYLOAD`] and was refused at encode
+    /// time (the decoder treats oversized frames as a torn tail instead).
+    RecordTooLarge(usize),
+    /// Replayed state references an entity the store does not hold — the
+    /// log and the server configuration disagree, so recovery refuses.
+    UnknownEntity(u32),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(msg) => write!(f, "wal io error: {msg}"),
+            WalError::Crashed => write!(f, "wal failpoint crash"),
+            WalError::RecordTooLarge(n) => {
+                write!(f, "wal record payload of {n} bytes exceeds {MAX_RECORD_PAYLOAD}")
+            }
+            WalError::UnknownEntity(e) => {
+                write!(f, "wal replay references entity e{e} absent from the store")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}

@@ -1,0 +1,486 @@
+//! WAL record types and their total, fail-closed codec.
+//!
+//! On-disk framing, mirroring the server wire protocol's discipline:
+//!
+//! ```text
+//! frame   := len:u32le  crc:u32le  payload[len]     (crc is over payload)
+//! payload := 0x01 batch-body | 0x02 commit-body
+//! batch   := batch_id:u64  txn_base:u32  txn_count:u32  stamp_hwm:u64
+//!            request_ids: count:u32 (id:u64)*          -- count == txn_count
+//!            deltas:      count:u32 (entity:u32 value:i64)*
+//!            accesses:    count:u32 (txn:u32 entity:u32 excl:u8 stamp:u64)*
+//! commit  := batch_id:u64
+//! ```
+//!
+//! [`decode_stream`] is *total*: any input byte sequence decodes to the
+//! longest prefix of whole, checksummed, well-formed records plus a
+//! [`Tail`] verdict. It never panics, never over-allocates (element counts
+//! are validated against the bytes actually present before any `Vec` is
+//! sized), and treats every malformation — short length prefix, oversized
+//! frame, CRC mismatch, unknown tag, truncated body, trailing bytes inside
+//! a payload — identically: the record is invalid and decoding stops there.
+
+use super::crc::crc32;
+use super::WalError;
+use pr_model::{EntityId, Value};
+
+/// Hard ceiling on a record payload, like `wire.rs`'s `MAX_PAYLOAD`. A batch
+/// of 4096 txns with full access lists fits comfortably; anything larger is
+/// corruption.
+pub const MAX_RECORD_PAYLOAD: usize = 1 << 24;
+
+/// Frame overhead: length prefix + checksum.
+pub const FRAME_HEADER: usize = 8;
+
+const TAG_BATCH: u8 = 0x01;
+const TAG_COMMIT: u8 = 0x02;
+
+/// One committed access, as logged. Raw integers rather than the engine's
+/// typed `CommittedAccess` so the codec stays self-contained in the storage
+/// crate; the server converts at the boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalAccess {
+    /// Raw transaction id.
+    pub txn: u32,
+    /// Raw entity id.
+    pub entity: u32,
+    /// `true` for an exclusive (write) access, `false` for shared.
+    pub exclusive: bool,
+    /// The global grant stamp, preserving commit-order evidence for the
+    /// serializability oracle after recovery.
+    pub stamp: u64,
+}
+
+/// The redo record for one group-commit batch.
+///
+/// `request_ids[i]` is the client-supplied request id of the txn that was
+/// admitted `i`-th (txn id `txn_base + i + 1`) — the idempotence token that
+/// lets a post-crash differential check reconstruct *which* client program
+/// each recovered txn was, even when the COMMITTED reply never reached the
+/// client.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct BatchRecord {
+    /// Monotone batch sequence number, 1-based.
+    pub batch_id: u64,
+    /// Txn ids in this batch are `txn_base + 1 ..= txn_base + txn_count`.
+    pub txn_base: u32,
+    /// Number of committed txns in the batch.
+    pub txn_count: u32,
+    /// High-water mark of the engine's grant-stamp counter after the batch,
+    /// so a recovered server resumes stamps monotonically.
+    pub stamp_hwm: u64,
+    /// Client request ids in admission order; length equals `txn_count`.
+    pub request_ids: Vec<u64>,
+    /// Net entity-value changes of the batch (post-state values).
+    pub deltas: Vec<(EntityId, Value)>,
+    /// The batch's committed access history, for the recovered HISTORY
+    /// surface and the oracle.
+    pub accesses: Vec<WalAccess>,
+}
+
+/// A decoded record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A batch's redo data. Not yet durable-committed on its own.
+    Batch(BatchRecord),
+    /// Commit marker: the batch with this id is durably committed.
+    Commit {
+        /// Id of the batch this marker commits.
+        batch_id: u64,
+    },
+}
+
+/// Why (and where) decoding stopped.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum Tail {
+    /// The input ended exactly at a record boundary.
+    #[default]
+    Clean,
+    /// The input has invalid bytes starting at `offset` (the start of the
+    /// first frame that failed to decode). Everything before `offset` is
+    /// whole records; everything from it on is discarded.
+    Torn {
+        /// Byte offset of the first invalid frame.
+        offset: usize,
+        /// Human-readable reason, for diagnostics and test assertions.
+        reason: String,
+    },
+}
+
+impl Tail {
+    /// Whether the tail was clean.
+    pub fn is_clean(&self) -> bool {
+        matches!(self, Tail::Clean)
+    }
+}
+
+/// Bounds-checked little-endian reader over a record payload, in the style
+/// of `wire.rs::Reader`. Every method fails instead of panicking.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.remaining() < n {
+            return Err(format!("need {n} bytes, have {}", self.remaining()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn i64(&mut self) -> Result<i64, String> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Reads an element count and verifies the remaining bytes can actually
+    /// hold `count` elements of `elem_size` bytes, so a corrupt count can
+    /// never drive a huge allocation.
+    fn count(&mut self, elem_size: usize, what: &str) -> Result<usize, String> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(elem_size) > self.remaining() {
+            return Err(format!(
+                "{what} count {n} needs {} bytes, have {}",
+                n * elem_size,
+                self.remaining()
+            ));
+        }
+        Ok(n)
+    }
+
+    fn finish(self) -> Result<(), String> {
+        if self.pos != self.buf.len() {
+            return Err(format!("{} trailing bytes in payload", self.buf.len() - self.pos));
+        }
+        Ok(())
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+impl BatchRecord {
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(
+            1 + 8
+                + 4
+                + 4
+                + 8
+                + 4
+                + self.request_ids.len() * 8
+                + 4
+                + self.deltas.len() * 12
+                + 4
+                + self.accesses.len() * 17,
+        );
+        p.push(TAG_BATCH);
+        put_u64(&mut p, self.batch_id);
+        put_u32(&mut p, self.txn_base);
+        put_u32(&mut p, self.txn_count);
+        put_u64(&mut p, self.stamp_hwm);
+        put_u32(&mut p, self.request_ids.len() as u32);
+        for &rid in &self.request_ids {
+            put_u64(&mut p, rid);
+        }
+        put_u32(&mut p, self.deltas.len() as u32);
+        for &(id, v) in &self.deltas {
+            put_u32(&mut p, id.raw());
+            put_u64(&mut p, v.raw() as u64);
+        }
+        put_u32(&mut p, self.accesses.len() as u32);
+        for a in &self.accesses {
+            put_u32(&mut p, a.txn);
+            put_u32(&mut p, a.entity);
+            p.push(u8::from(a.exclusive));
+            put_u64(&mut p, a.stamp);
+        }
+        p
+    }
+
+    fn decode_payload(cur: &mut Cursor<'_>) -> Result<BatchRecord, String> {
+        let batch_id = cur.u64()?;
+        let txn_base = cur.u32()?;
+        let txn_count = cur.u32()?;
+        let stamp_hwm = cur.u64()?;
+        let n_rids = cur.count(8, "request-id")?;
+        if n_rids != txn_count as usize {
+            return Err(format!("request-id count {n_rids} != txn count {txn_count}"));
+        }
+        let mut request_ids = Vec::with_capacity(n_rids);
+        for _ in 0..n_rids {
+            request_ids.push(cur.u64()?);
+        }
+        let n_deltas = cur.count(12, "delta")?;
+        let mut deltas = Vec::with_capacity(n_deltas);
+        for _ in 0..n_deltas {
+            let id = EntityId::new(cur.u32()?);
+            let v = Value::new(cur.i64()?);
+            deltas.push((id, v));
+        }
+        let n_acc = cur.count(17, "access")?;
+        let mut accesses = Vec::with_capacity(n_acc);
+        for _ in 0..n_acc {
+            let txn = cur.u32()?;
+            let entity = cur.u32()?;
+            let excl = cur.u8()?;
+            if excl > 1 {
+                return Err(format!("access mode byte {excl} is neither 0 nor 1"));
+            }
+            let stamp = cur.u64()?;
+            accesses.push(WalAccess { txn, entity, exclusive: excl == 1, stamp });
+        }
+        Ok(BatchRecord { batch_id, txn_base, txn_count, stamp_hwm, request_ids, deltas, accesses })
+    }
+}
+
+impl WalRecord {
+    fn encode_payload(&self) -> Vec<u8> {
+        match self {
+            WalRecord::Batch(b) => b.encode_payload(),
+            WalRecord::Commit { batch_id } => {
+                let mut p = Vec::with_capacity(9);
+                p.push(TAG_COMMIT);
+                put_u64(&mut p, *batch_id);
+                p
+            }
+        }
+    }
+
+    /// Encodes the record as one checksummed frame.
+    pub fn encode_frame(&self) -> Result<Vec<u8>, WalError> {
+        let payload = self.encode_payload();
+        if payload.len() > MAX_RECORD_PAYLOAD {
+            return Err(WalError::RecordTooLarge(payload.len()));
+        }
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        put_u32(&mut frame, payload.len() as u32);
+        put_u32(&mut frame, crc32(&payload));
+        frame.extend_from_slice(&payload);
+        Ok(frame)
+    }
+
+    fn decode_payload(payload: &[u8]) -> Result<WalRecord, String> {
+        let mut cur = Cursor::new(payload);
+        let tag = cur.u8()?;
+        let rec = match tag {
+            TAG_BATCH => WalRecord::Batch(BatchRecord::decode_payload(&mut cur)?),
+            TAG_COMMIT => WalRecord::Commit { batch_id: cur.u64()? },
+            other => return Err(format!("unknown record tag 0x{other:02x}")),
+        };
+        cur.finish()?;
+        Ok(rec)
+    }
+}
+
+/// Decodes `bytes` into the longest prefix of whole records.
+///
+/// Returns each record with the byte offset of the *end* of its frame (so a
+/// caller can seal a log at any record boundary) and the tail verdict.
+pub fn decode_stream(bytes: &[u8]) -> (Vec<(WalRecord, usize)>, Tail) {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let start = pos;
+        let torn = |reason: String| Tail::Torn { offset: start, reason };
+        if bytes.len() - pos < FRAME_HEADER {
+            return (out, torn(format!("{} header bytes at tail", bytes.len() - pos)));
+        }
+        let len = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+            as usize;
+        let crc =
+            u32::from_le_bytes([bytes[pos + 4], bytes[pos + 5], bytes[pos + 6], bytes[pos + 7]]);
+        if len > MAX_RECORD_PAYLOAD {
+            return (out, torn(format!("frame length {len} exceeds {MAX_RECORD_PAYLOAD}")));
+        }
+        if bytes.len() - pos - FRAME_HEADER < len {
+            return (
+                out,
+                torn(format!(
+                    "frame wants {len} payload bytes, {} present",
+                    bytes.len() - pos - FRAME_HEADER
+                )),
+            );
+        }
+        let payload = &bytes[pos + FRAME_HEADER..pos + FRAME_HEADER + len];
+        if crc32(payload) != crc {
+            return (out, torn("payload checksum mismatch".into()));
+        }
+        match WalRecord::decode_payload(payload) {
+            Ok(rec) => {
+                pos += FRAME_HEADER + len;
+                out.push((rec, pos));
+            }
+            Err(reason) => return (out, torn(reason)),
+        }
+    }
+    (out, Tail::Clean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_batch(id: u64) -> BatchRecord {
+        BatchRecord {
+            batch_id: id,
+            txn_base: (id as u32 - 1) * 2,
+            txn_count: 2,
+            stamp_hwm: id * 10,
+            request_ids: vec![id << 32, (id << 32) | 1],
+            deltas: vec![
+                (EntityId::new(3), Value::new(-7)),
+                (EntityId::new(9), Value::new(i64::MAX)),
+            ],
+            accesses: vec![
+                WalAccess {
+                    txn: (id as u32 - 1) * 2 + 1,
+                    entity: 3,
+                    exclusive: true,
+                    stamp: id * 10 - 1,
+                },
+                WalAccess {
+                    txn: (id as u32 - 1) * 2 + 2,
+                    entity: 9,
+                    exclusive: false,
+                    stamp: id * 10,
+                },
+            ],
+        }
+    }
+
+    fn sample_log() -> (Vec<u8>, Vec<WalRecord>) {
+        let records = vec![
+            WalRecord::Batch(sample_batch(1)),
+            WalRecord::Commit { batch_id: 1 },
+            WalRecord::Batch(sample_batch(2)),
+            WalRecord::Commit { batch_id: 2 },
+        ];
+        let mut bytes = Vec::new();
+        for r in &records {
+            bytes.extend_from_slice(&r.encode_frame().unwrap());
+        }
+        (bytes, records)
+    }
+
+    #[test]
+    fn roundtrip_preserves_records_and_offsets() {
+        let (bytes, records) = sample_log();
+        let (decoded, tail) = decode_stream(&bytes);
+        assert!(tail.is_clean());
+        assert_eq!(decoded.len(), records.len());
+        for ((got, _), want) in decoded.iter().zip(&records) {
+            assert_eq!(got, want);
+        }
+        assert_eq!(decoded.last().unwrap().1, bytes.len());
+    }
+
+    #[test]
+    fn every_truncation_yields_longest_whole_prefix() {
+        let (bytes, _) = sample_log();
+        let (full, _) = decode_stream(&bytes);
+        let boundaries: Vec<usize> = full.iter().map(|(_, end)| *end).collect();
+        for cut in 0..=bytes.len() {
+            let (decoded, tail) = decode_stream(&bytes[..cut]);
+            let expect = boundaries.iter().filter(|&&b| b <= cut).count();
+            assert_eq!(decoded.len(), expect, "cut at {cut}");
+            let at_boundary = cut == 0 || boundaries.contains(&cut);
+            assert_eq!(tail.is_clean(), at_boundary, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn any_bit_flip_stops_at_or_before_the_flipped_record() {
+        let (bytes, _) = sample_log();
+        let (full, _) = decode_stream(&bytes);
+        let boundaries: Vec<usize> = full.iter().map(|(_, end)| *end).collect();
+        for byte in 0..bytes.len() {
+            let mut evil = bytes.clone();
+            evil[byte] ^= 0x40;
+            let (decoded, _) = decode_stream(&evil);
+            // The records strictly before the flipped byte's frame must
+            // survive; the flipped frame must not produce a *different*
+            // record silently — either it is rejected or (length-prefix
+            // flips only) decoding stops earlier.
+            let frame_idx = boundaries.iter().filter(|&&b| b <= byte).count();
+            assert!(decoded.len() <= full.len(), "flip at {byte} grew the log");
+            for (i, (rec, _)) in decoded.iter().enumerate() {
+                if i < frame_idx {
+                    assert_eq!(rec, &full[i].0, "flip at {byte} corrupted earlier record {i}");
+                }
+            }
+            assert!(
+                decoded.len() <= frame_idx || decoded.len() == full.len(),
+                "flip at {byte}: {} records decoded, flipped frame starts at index {frame_idx}",
+                decoded.len(),
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_request_id_count_is_rejected() {
+        let mut rec = sample_batch(1);
+        rec.request_ids.pop();
+        let frame = WalRecord::Batch(rec).encode_frame().unwrap();
+        let (decoded, tail) = decode_stream(&frame);
+        assert!(decoded.is_empty());
+        assert!(matches!(tail, Tail::Torn { offset: 0, .. }));
+    }
+
+    #[test]
+    fn oversized_record_is_refused_at_encode_time() {
+        let rec = BatchRecord {
+            txn_count: 0,
+            deltas: vec![(EntityId::new(0), Value::ZERO); MAX_RECORD_PAYLOAD / 12 + 1],
+            ..BatchRecord::default()
+        };
+        assert!(matches!(WalRecord::Batch(rec).encode_frame(), Err(WalError::RecordTooLarge(_))));
+    }
+
+    #[test]
+    fn hostile_counts_do_not_allocate() {
+        // A frame whose payload claims 2^32-1 deltas but carries 13 bytes.
+        let mut payload = vec![TAG_BATCH];
+        payload.extend_from_slice(&1u64.to_le_bytes()); // batch_id
+        payload.extend_from_slice(&0u32.to_le_bytes()); // txn_base
+        payload.extend_from_slice(&0u32.to_le_bytes()); // txn_count
+        payload.extend_from_slice(&0u64.to_le_bytes()); // stamp_hwm
+        payload.extend_from_slice(&0u32.to_le_bytes()); // request_ids count
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // delta count (hostile)
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let (decoded, tail) = decode_stream(&frame);
+        assert!(decoded.is_empty());
+        assert!(matches!(tail, Tail::Torn { .. }));
+    }
+}

@@ -1,0 +1,361 @@
+//! Crash-recovery replay: scan the segments, keep the durable prefix.
+//!
+//! The durable prefix is defined record-by-record, fail-closed:
+//!
+//! 1. Segments are processed in sequence order; within each, records are
+//!    decoded by the total codec. The first invalid byte anywhere ends the
+//!    prefix — later bytes *and later segments* are discarded, because a
+//!    hole in the middle of a redo log makes everything after it
+//!    unattributable.
+//! 2. A batch is recovered iff its commit marker is inside the valid
+//!    prefix. A `Batch` record without its `Commit` contributes nothing
+//!    (all-or-nothing per batch), and the valid prefix is pinned at the
+//!    last commit marker so sealing truncates the orphan batch record too.
+//! 3. The record sequence itself is validated: commit markers must match
+//!    the pending batch, batch ids must be strictly increasing, and txn id
+//!    ranges must be contiguous. Any violation is treated exactly like a
+//!    torn tail.
+//!
+//! Replay is idempotent: records carry post-state values, so applying a
+//! prefix twice (or recovering, serving, crashing, and recovering again)
+//! converges to the same store.
+
+use super::file::LogDir;
+use super::record::{decode_stream, BatchRecord, Tail, WalRecord};
+use super::writer::parse_segment_name;
+use super::WalError;
+use crate::global::GlobalStore;
+use pr_model::Value;
+
+/// Per-segment scan report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentReport {
+    /// Segment file name.
+    pub name: String,
+    /// Bytes present in the file.
+    pub len: u64,
+    /// Bytes covered by the durable prefix (≤ `len`).
+    pub valid: u64,
+}
+
+/// The result of scanning a log directory.
+#[derive(Clone, Debug, Default)]
+pub struct ReplayOutcome {
+    /// Committed batches, in batch-id order.
+    pub batches: Vec<BatchRecord>,
+    /// Whole records decoded (including uncommitted tail records).
+    pub records: usize,
+    /// Scan report for every segment file, in sequence order.
+    pub segments: Vec<SegmentReport>,
+    /// Why scanning stopped. `Tail::Clean` means every byte in every
+    /// segment belongs to the durable prefix.
+    pub tail: Tail,
+}
+
+impl ReplayOutcome {
+    /// Total committed transactions in the durable prefix.
+    pub fn commits(&self) -> u64 {
+        self.batches.iter().map(|b| u64::from(b.txn_count)).sum()
+    }
+
+    /// Highest committed txn id (0 when the log is empty).
+    pub fn txn_hwm(&self) -> u32 {
+        self.batches.last().map(|b| b.txn_base + b.txn_count).unwrap_or(0)
+    }
+
+    /// Highest grant stamp (0 when the log is empty).
+    pub fn stamp_hwm(&self) -> u64 {
+        self.batches.last().map(|b| b.stamp_hwm).unwrap_or(0)
+    }
+
+    /// Highest committed batch id (0 when the log is empty).
+    pub fn last_batch_id(&self) -> u64 {
+        self.batches.last().map(|b| b.batch_id).unwrap_or(0)
+    }
+
+    /// Applies the durable prefix's deltas to `store`, in order. Refuses
+    /// (touching nothing further) if the log names an entity the store
+    /// does not hold — the log belongs to a different configuration.
+    pub fn apply(&self, store: &mut GlobalStore) -> Result<(), WalError> {
+        for b in &self.batches {
+            for &(id, v) in &b.deltas {
+                store
+                    .publish(id, Value::new(v.raw()))
+                    .map_err(|_| WalError::UnknownEntity(id.raw()))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Scans every segment in `dir` and returns the durable prefix.
+pub fn replay(dir: &dyn LogDir) -> Result<ReplayOutcome, WalError> {
+    let mut names: Vec<(u64, String)> = dir
+        .list()?
+        .into_iter()
+        .filter_map(|n| parse_segment_name(&n).map(|seq| (seq, n)))
+        .collect();
+    names.sort();
+
+    let mut out = ReplayOutcome::default();
+    let mut pending: Option<BatchRecord> = None;
+    let mut stopped = false;
+
+    for (_, name) in names {
+        let bytes = dir.read(&name)?;
+        let len = bytes.len() as u64;
+        if stopped {
+            // Everything after the first invalid record is outside the
+            // durable prefix, whole segments included.
+            out.segments.push(SegmentReport { name, len, valid: 0 });
+            continue;
+        }
+        let (records, tail) = decode_stream(&bytes);
+        let mut valid = 0u64;
+        for (rec, end) in records {
+            let fault = |reason: String| Tail::Torn { offset: end, reason };
+            match rec {
+                WalRecord::Batch(b) => {
+                    if pending.is_some() {
+                        out.tail = fault(format!(
+                            "batch {} logged while batch {} awaits its commit marker",
+                            b.batch_id,
+                            pending.as_ref().map(|p| p.batch_id).unwrap_or(0),
+                        ));
+                        stopped = true;
+                        break;
+                    }
+                    if b.batch_id != out.last_batch_id() + 1 {
+                        out.tail =
+                            fault(format!("batch id {} after {}", b.batch_id, out.last_batch_id()));
+                        stopped = true;
+                        break;
+                    }
+                    if b.txn_base != out.txn_hwm() {
+                        out.tail = fault(format!(
+                            "txn base {} after high-water mark {}",
+                            b.txn_base,
+                            out.txn_hwm()
+                        ));
+                        stopped = true;
+                        break;
+                    }
+                    out.records += 1;
+                    pending = Some(b);
+                }
+                WalRecord::Commit { batch_id } => match pending.take() {
+                    Some(b) if b.batch_id == batch_id => {
+                        out.records += 1;
+                        out.batches.push(b);
+                        valid = end as u64;
+                    }
+                    other => {
+                        out.tail = fault(format!(
+                            "commit marker for batch {batch_id} with {} pending",
+                            other.map(|b| b.batch_id.to_string()).unwrap_or_else(|| "none".into()),
+                        ));
+                        stopped = true;
+                        break;
+                    }
+                },
+            }
+        }
+        if !stopped {
+            match tail {
+                Tail::Clean => {
+                    if let Some(b) = pending.take() {
+                        // The writer keeps every batch/commit pair inside
+                        // one segment, so a segment ending with an unmarked
+                        // batch means the process died between the two
+                        // appends. The batch is outside the durable prefix
+                        // (`valid` already stops at the last marker) and
+                        // nothing after it can be trusted.
+                        out.tail = Tail::Torn {
+                            offset: valid as usize,
+                            reason: format!(
+                                "batch {} has no commit marker in its segment",
+                                b.batch_id
+                            ),
+                        };
+                        stopped = true;
+                    } else {
+                        valid = len;
+                    }
+                }
+                torn @ Tail::Torn { .. } => {
+                    out.tail = torn;
+                    stopped = true;
+                }
+            }
+        }
+        out.segments.push(SegmentReport { name, len, valid });
+    }
+    if !stopped {
+        out.tail = Tail::Clean;
+    }
+    Ok(out)
+}
+
+/// Seals the log after replay: truncates the segment holding the end of the
+/// durable prefix and removes every segment holding none of it, so a writer
+/// reopened on this directory appends strictly after valid data.
+pub fn seal(dir: &dyn LogDir, outcome: &ReplayOutcome) -> Result<(), WalError> {
+    for seg in &outcome.segments {
+        if seg.valid == 0 {
+            dir.remove(&seg.name)?;
+        } else if seg.valid < seg.len {
+            dir.truncate(&seg.name, seg.valid)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::file::{FailPlan, MemDir};
+    use super::super::writer::{FlushPolicy, Wal};
+    use super::*;
+    use pr_model::EntityId;
+    use std::sync::Arc;
+
+    fn batch(id: u64, delta: i64) -> BatchRecord {
+        BatchRecord {
+            batch_id: id,
+            txn_base: (id - 1) as u32,
+            txn_count: 1,
+            stamp_hwm: id * 3,
+            request_ids: vec![id * 100],
+            deltas: vec![(EntityId::new((id % 4) as u32), Value::new(delta))],
+            accesses: vec![],
+        }
+    }
+
+    fn write_log(dir: &MemDir, n: u64, segment_max: u64) {
+        let mut wal = Wal::open(Arc::new(dir.clone()), FlushPolicy::PerBatch, segment_max).unwrap();
+        for id in 1..=n {
+            wal.append_batch(&batch(id, id as i64 * 10)).unwrap();
+            wal.commit_batch(id).unwrap();
+        }
+    }
+
+    #[test]
+    fn clean_log_replays_fully_and_applies() {
+        let dir = MemDir::new();
+        write_log(&dir, 5, 1 << 20);
+        let out = replay(&dir).unwrap();
+        assert!(out.tail.is_clean());
+        assert_eq!(out.batches.len(), 5);
+        assert_eq!(out.commits(), 5);
+        assert_eq!(out.txn_hwm(), 5);
+        assert_eq!(out.stamp_hwm(), 15);
+        let mut store = GlobalStore::with_entities(4, Value::ZERO);
+        out.apply(&mut store).unwrap();
+        // Batch 5 wrote entity 1 last with 50; batch 4 wrote entity 0 with 40.
+        assert_eq!(store.read(EntityId::new(1)).unwrap(), Value::new(50));
+        assert_eq!(store.read(EntityId::new(0)).unwrap(), Value::new(40));
+    }
+
+    #[test]
+    fn replay_spans_segments() {
+        let dir = MemDir::new();
+        write_log(&dir, 12, 96);
+        assert!(dir.list().unwrap().len() > 2);
+        let out = replay(&dir).unwrap();
+        assert!(out.tail.is_clean());
+        assert_eq!(out.batches.len(), 12);
+    }
+
+    #[test]
+    fn apply_is_idempotent() {
+        let dir = MemDir::new();
+        write_log(&dir, 6, 1 << 20);
+        let out = replay(&dir).unwrap();
+        let mut once = GlobalStore::with_entities(4, Value::ZERO);
+        out.apply(&mut once).unwrap();
+        let mut twice = GlobalStore::with_entities(4, Value::ZERO);
+        out.apply(&mut twice).unwrap();
+        out.apply(&mut twice).unwrap();
+        assert_eq!(once.snapshot(), twice.snapshot());
+    }
+
+    #[test]
+    fn torn_tail_drops_the_uncommitted_batch() {
+        let dir = MemDir::new();
+        write_log(&dir, 3, 1 << 20);
+        // Append a batch record with no commit marker.
+        let mut wal = Wal::open_default(Arc::new(dir.clone()), FlushPolicy::Off).unwrap();
+        wal.append_batch(&batch(4, 40)).unwrap();
+        wal.sync().unwrap();
+        let out = replay(&dir).unwrap();
+        assert_eq!(out.batches.len(), 3);
+        assert!(!out.tail.is_clean());
+    }
+
+    #[test]
+    fn crash_mid_record_recovers_committed_prefix() {
+        // Write 4 batches, then replay every surviving image produced by a
+        // byte-budget crash during a fifth.
+        let probe = MemDir::new();
+        write_log(&probe, 4, 1 << 20);
+        let full_len = probe.persisted_bytes();
+        for budget in (0..=full_len).step_by(7) {
+            let dir = MemDir::with_plan(FailPlan { crash_after_bytes: Some(budget) });
+            let mut wal = Wal::open(Arc::new(dir.clone()), FlushPolicy::PerBatch, 1 << 20).unwrap();
+            for id in 1..=4u64 {
+                if wal.append_batch(&batch(id, id as i64 * 10)).is_err() {
+                    break;
+                }
+                if wal.commit_batch(id).is_err() {
+                    break;
+                }
+            }
+            let out = replay(&dir.surviving(false)).unwrap();
+            // Every recovered batch is fully durable and in order.
+            for (i, b) in out.batches.iter().enumerate() {
+                assert_eq!(b.batch_id, i as u64 + 1);
+            }
+            assert!(out.batches.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn seal_truncates_to_the_durable_prefix() {
+        let dir = MemDir::new();
+        write_log(&dir, 3, 1 << 20);
+        let name = dir.list().unwrap()[0].clone();
+        let full = dir.read(&name).unwrap();
+        // Corrupt the tail mid-record.
+        dir.truncate(&name, full.len() as u64 - 3).unwrap();
+        let out = replay(&dir).unwrap();
+        assert_eq!(out.batches.len(), 2);
+        assert!(!out.tail.is_clean());
+        seal(&dir, &out).unwrap();
+        let sealed = replay(&dir).unwrap();
+        assert!(sealed.tail.is_clean());
+        assert_eq!(sealed.batches.len(), 2);
+        // A writer reopened after sealing continues the sequence.
+        let mut wal = Wal::open_default(Arc::new(dir.clone()), FlushPolicy::PerBatch).unwrap();
+        let mut next = batch(3, 30);
+        next.txn_base = sealed.txn_hwm();
+        wal.append_batch(&next).unwrap();
+        wal.commit_batch(3).unwrap();
+        let reopened = replay(&dir).unwrap();
+        assert!(reopened.tail.is_clean());
+        assert_eq!(reopened.batches.len(), 3);
+    }
+
+    #[test]
+    fn out_of_sequence_records_fail_closed() {
+        let dir = MemDir::new();
+        let shared: Arc<dyn LogDir> = Arc::new(dir.clone());
+        let mut wal = Wal::open_default(Arc::clone(&shared), FlushPolicy::PerBatch).unwrap();
+        wal.append_batch(&batch(1, 10)).unwrap();
+        wal.commit_batch(1).unwrap();
+        // Skip batch 2 entirely: id gap must stop replay.
+        wal.append_batch(&batch(3, 30)).unwrap();
+        wal.commit_batch(3).unwrap();
+        let out = replay(&dir).unwrap();
+        assert_eq!(out.batches.len(), 1);
+        assert!(matches!(out.tail, Tail::Torn { .. }));
+    }
+}
